@@ -1,0 +1,25 @@
+#include "bench/bench_util.h"
+
+#include <cstdarg>
+
+namespace mtdb::bench {
+
+void PrintHeader(const std::string& experiment_id, const std::string& title) {
+  std::printf("\n=== %s: %s ===\n", experiment_id.c_str(), title.c_str());
+}
+
+void PrintRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::printf("%s%-*s", i == 0 ? "" : " ", i == 0 ? 28 : 14,
+                cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+std::string Fmt(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+}  // namespace mtdb::bench

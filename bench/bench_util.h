@@ -1,0 +1,22 @@
+#ifndef MTDB_BENCH_BENCH_UTIL_H_
+#define MTDB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mtdb::bench {
+
+// Prints a figure/table header in a consistent style across all harnesses.
+void PrintHeader(const std::string& experiment_id, const std::string& title);
+
+// Prints one aligned row: first cell is the row label, remaining cells are
+// the series values.
+void PrintRow(const std::vector<std::string>& cells);
+
+// Formats a double with the given precision.
+std::string Fmt(double value, int precision = 2);
+
+}  // namespace mtdb::bench
+
+#endif  // MTDB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,9 @@
+// Regenerates Figure 2: throughput with synchronous replication, TPC-W
+// shopping mix, for the no-replication baseline and read Options 1/2/3.
+#include "bench/throughput_figure.h"
+
+int main() {
+  mtdb::bench::RunThroughputFigure("Figure 2",
+                                   mtdb::workload::TpcwMix::kShopping);
+  return 0;
+}

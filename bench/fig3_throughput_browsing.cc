@@ -1,0 +1,9 @@
+// Regenerates Figure 3: throughput with synchronous replication, TPC-W
+// browsing mix, for the no-replication baseline and read Options 1/2/3.
+#include "bench/throughput_figure.h"
+
+int main() {
+  mtdb::bench::RunThroughputFigure("Figure 3",
+                                   mtdb::workload::TpcwMix::kBrowsing);
+  return 0;
+}

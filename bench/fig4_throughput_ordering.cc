@@ -1,0 +1,9 @@
+// Regenerates Figure 4: throughput with synchronous replication, TPC-W
+// ordering mix, for the no-replication baseline and read Options 1/2/3.
+#include "bench/throughput_figure.h"
+
+int main() {
+  mtdb::bench::RunThroughputFigure("Figure 4",
+                                   mtdb::workload::TpcwMix::kOrdering);
+  return 0;
+}

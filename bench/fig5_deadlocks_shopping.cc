@@ -1,0 +1,9 @@
+// Regenerates Figure 5: deadlock rate for different database sizes, TPC-W
+// shopping mix.
+#include "bench/deadlock_figure.h"
+
+int main() {
+  mtdb::bench::RunDeadlockFigure("Figure 5",
+                                 mtdb::workload::TpcwMix::kShopping);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Regenerates Figure 6: deadlock rate for different database sizes, TPC-W
+// browsing mix.
+#include "bench/deadlock_figure.h"
+
+int main() {
+  mtdb::bench::RunDeadlockFigure("Figure 6",
+                                 mtdb::workload::TpcwMix::kBrowsing);
+  return 0;
+}

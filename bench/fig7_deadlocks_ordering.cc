@@ -1,0 +1,9 @@
+// Regenerates Figure 7: deadlock rate for different database sizes, TPC-W
+// ordering mix.
+#include "bench/deadlock_figure.h"
+
+int main() {
+  mtdb::bench::RunDeadlockFigure("Figure 7",
+                                 mtdb::workload::TpcwMix::kOrdering);
+  return 0;
+}

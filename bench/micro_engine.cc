@@ -1,0 +1,152 @@
+// Microbenchmarks (google-benchmark) for the substrate components: lock
+// manager, storage engine row operations, SQL parsing/execution, zipfian
+// generation, and the serializability checker.
+#include <benchmark/benchmark.h>
+
+#include "src/cluster/serializability.h"
+#include "src/common/random.h"
+#include "src/sql/executor.h"
+#include "src/sql/parser.h"
+#include "src/storage/engine.h"
+
+namespace mtdb {
+namespace {
+
+void BM_LockAcquireRelease(benchmark::State& state) {
+  LockManager lm;
+  uint64_t txn = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lm.Acquire(txn, "resource", LockMode::kExclusive));
+    lm.ReleaseAll(txn);
+    ++txn;
+  }
+}
+BENCHMARK(BM_LockAcquireRelease);
+
+void BM_LockHierarchicalRowAccess(benchmark::State& state) {
+  LockManager lm;
+  uint64_t txn = 1;
+  for (auto _ : state) {
+    (void)lm.Acquire(txn, "T/db/t", LockMode::kIntentionShared);
+    (void)lm.Acquire(txn, "R/db/t/5", LockMode::kShared);
+    lm.ReleaseAll(txn);
+    ++txn;
+  }
+}
+BENCHMARK(BM_LockHierarchicalRowAccess);
+
+std::unique_ptr<Engine> MakeLoadedEngine(int64_t rows) {
+  auto engine = std::make_unique<Engine>("bench");
+  (void)engine->CreateDatabase("db");
+  (void)engine->CreateTable(
+      "db", TableSchema("t",
+                        {{"id", ColumnType::kInt64, true},
+                         {"payload", ColumnType::kString, false},
+                         {"n", ColumnType::kInt64, false}},
+                        0));
+  std::vector<Row> data;
+  for (int64_t i = 0; i < rows; ++i) {
+    data.push_back({Value(i), Value("payload_" + std::to_string(i)),
+                    Value(i * 2)});
+  }
+  (void)engine->BulkInsert("db", "t", data);
+  return engine;
+}
+
+void BM_EnginePointRead(benchmark::State& state) {
+  auto engine = MakeLoadedEngine(state.range(0));
+  Random rng(1);
+  uint64_t txn = 1;
+  for (auto _ : state) {
+    (void)engine->Begin(txn);
+    benchmark::DoNotOptimize(engine->Read(
+        txn, "db", "t",
+        Value(static_cast<int64_t>(rng.Uniform(state.range(0))))));
+    (void)engine->Commit(txn);
+    ++txn;
+  }
+}
+BENCHMARK(BM_EnginePointRead)->Arg(1000)->Arg(100000);
+
+void BM_EngineUpdateTxn(benchmark::State& state) {
+  auto engine = MakeLoadedEngine(1000);
+  Random rng(1);
+  uint64_t txn = 1;
+  for (auto _ : state) {
+    int64_t id = static_cast<int64_t>(rng.Uniform(1000));
+    (void)engine->Begin(txn);
+    (void)engine->Update(txn, "db", "t", Value(id),
+                         {Value(id), Value("updated"), Value(id)});
+    (void)engine->Commit(txn);
+    ++txn;
+  }
+}
+BENCHMARK(BM_EngineUpdateTxn);
+
+void BM_SqlParseSelect(benchmark::State& state) {
+  const std::string sql =
+      "SELECT o.oid, i.name, o.n * i.price AS amount FROM orders o "
+      "JOIN items i ON o.item_id = i.id WHERE o.total > 100 AND "
+      "i.cat IN ('a', 'b') ORDER BY amount DESC LIMIT 10";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::Parse(sql));
+  }
+}
+BENCHMARK(BM_SqlParseSelect);
+
+void BM_SqlPointSelectEndToEnd(benchmark::State& state) {
+  auto engine = MakeLoadedEngine(10000);
+  sql::SqlExecutor executor(engine.get());
+  Random rng(1);
+  uint64_t txn = 1;
+  for (auto _ : state) {
+    (void)engine->Begin(txn);
+    benchmark::DoNotOptimize(executor.ExecuteSql(
+        txn, "db", "SELECT payload FROM t WHERE id = ?",
+        {Value(static_cast<int64_t>(rng.Uniform(10000)))}));
+    (void)engine->Commit(txn);
+    ++txn;
+  }
+}
+BENCHMARK(BM_SqlPointSelectEndToEnd);
+
+void BM_SqlAggregateScan(benchmark::State& state) {
+  auto engine = MakeLoadedEngine(state.range(0));
+  sql::SqlExecutor executor(engine.get());
+  uint64_t txn = 1;
+  for (auto _ : state) {
+    (void)engine->Begin(txn);
+    benchmark::DoNotOptimize(executor.ExecuteSql(
+        txn, "db", "SELECT COUNT(*), SUM(n), MAX(n) FROM t"));
+    (void)engine->Commit(txn);
+    ++txn;
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SqlAggregateScan)->Arg(1000)->Arg(10000);
+
+void BM_ZipfianDraw(benchmark::State& state) {
+  ZipfianGenerator zipf(100000, 0.99, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next());
+  }
+}
+BENCHMARK(BM_ZipfianDraw);
+
+void BM_SerializabilityCheck(benchmark::State& state) {
+  // A chain history of N txns across 2 sites.
+  std::vector<CommittedTxnRecord> site1, site2;
+  for (uint64_t i = 1; i <= static_cast<uint64_t>(state.range(0)); ++i) {
+    site1.push_back({i, {{"x", i - 1}}, {{"x", i}}});
+    site2.push_back({i, {{"y", i - 1}}, {{"y", i}}});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CheckSerializability({site1, site2}));
+  }
+}
+BENCHMARK(BM_SerializabilityCheck)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace mtdb
+
+BENCHMARK_MAIN();

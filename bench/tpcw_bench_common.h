@@ -1,0 +1,98 @@
+#ifndef MTDB_BENCH_TPCW_BENCH_COMMON_H_
+#define MTDB_BENCH_TPCW_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster_controller.h"
+#include "src/workload/driver.h"
+#include "src/workload/tpcw.h"
+
+namespace mtdb::bench {
+
+// Shared experiment configuration for the TPC-W figure harnesses. The
+// absolute numbers are a function of the simulated machine model (see
+// DESIGN.md); the comparisons between configurations are the reproduction
+// target.
+struct TpcwClusterConfig {
+  int machines = 4;
+  int num_databases = 4;
+  int replicas = 2;
+  workload::TpcwScale scale;
+  ReadRoutingOption read_option = ReadRoutingOption::kPerDatabase;
+  WriteAckPolicy write_policy = WriteAckPolicy::kConservative;
+  // Machine model: buffer pool sized to hold roughly one tenant's read
+  // working set, so read-routing locality decides the hit rate.
+  // The page mapping hashes keys, so a "page" is effectively a row; the
+  // pool is sized to hold roughly one tenant's read working set (~450 hot
+  // rows), making read-routing locality decide the hit rate: a machine that
+  // serves reads for one tenant stays warm, one that serves several
+  // tenants' reads thrashes.
+  size_t buffer_pool_pages = 600;
+  int64_t rows_per_page = 1;
+  int64_t cache_miss_penalty_us = 400;
+  int64_t base_op_latency_us = 60;
+  // NOTE: max_concurrent_ops stays 0 here. The engine takes row locks while
+  // executing, so a bounded per-machine op semaphore can be starved by
+  // operations that block on locks while holding a slot (a convoy the
+  // wait-for graph cannot see). Service-time modeling comes from the
+  // per-operation latencies instead.
+  int max_concurrent_ops = 0;
+  int64_t lock_timeout_us = 800'000;
+  bool record_history = false;
+  bool release_read_locks_on_prepare = true;
+
+  TpcwClusterConfig() {
+    scale.items = 80;
+    scale.customers = 160;
+    scale.initial_orders = 60;
+  }
+};
+
+// Builds a cluster with TPC-W tenant databases loaded on every replica.
+// Database names come back through `db_names`.
+inline std::unique_ptr<ClusterController> BuildTpcwCluster(
+    const TpcwClusterConfig& config, std::vector<std::string>* db_names) {
+  ClusterControllerOptions cluster_options;
+  cluster_options.read_option = config.read_option;
+  cluster_options.write_policy = config.write_policy;
+  cluster_options.default_replicas = config.replicas;
+  auto controller = std::make_unique<ClusterController>(cluster_options);
+
+  MachineOptions machine_options;
+  machine_options.engine_options.buffer_pool_pages = config.buffer_pool_pages;
+  machine_options.engine_options.rows_per_page = config.rows_per_page;
+  machine_options.engine_options.cache_miss_penalty_us =
+      config.cache_miss_penalty_us;
+  machine_options.engine_options.lock_options.lock_timeout_us =
+      config.lock_timeout_us;
+  machine_options.engine_options.record_history = config.record_history;
+  machine_options.engine_options.release_read_locks_on_prepare =
+      config.release_read_locks_on_prepare;
+  machine_options.base_op_latency_us = config.base_op_latency_us;
+  machine_options.max_concurrent_ops = config.max_concurrent_ops;
+  for (int m = 0; m < config.machines; ++m) {
+    controller->AddMachine(machine_options);
+  }
+
+  for (int d = 0; d < config.num_databases; ++d) {
+    std::string name = "tenant" + std::to_string(d);
+    Status status = controller->CreateDatabase(name, config.replicas);
+    if (!status.ok()) {
+      std::fprintf(stderr, "CreateDatabase(%s): %s\n", name.c_str(),
+                   status.ToString().c_str());
+      continue;
+    }
+    workload::TpcwScale scale = config.scale;
+    scale.seed = 42 + static_cast<uint64_t>(d);
+    (void)workload::CreateTpcwSchema(controller.get(), name);
+    (void)workload::LoadTpcwData(controller.get(), name, scale);
+    db_names->push_back(name);
+  }
+  return controller;
+}
+
+}  // namespace mtdb::bench
+
+#endif  // MTDB_BENCH_TPCW_BENCH_COMMON_H_

@@ -1,0 +1,929 @@
+#include "src/cluster/cluster_controller.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "src/common/logging.h"
+#include "src/sql/parser.h"
+
+namespace mtdb {
+
+namespace {
+
+// The single table a write statement touches (the correctness of Algorithm 1
+// relies on SQL updates touching exactly one table).
+const std::string* WriteTargetTable(const sql::Statement& stmt) {
+  switch (stmt.kind) {
+    case sql::StatementKind::kInsert:
+      return &stmt.insert.table;
+    case sql::StatementKind::kUpdate:
+      return &stmt.update.table;
+    case sql::StatementKind::kDelete:
+      return &stmt.del.table;
+    default:
+      return nullptr;
+  }
+}
+
+bool IsReadStatement(const sql::Statement& stmt) {
+  return stmt.kind == sql::StatementKind::kSelect;
+}
+
+}  // namespace
+
+// ===== ClusterController =====
+
+ClusterController::ClusterController(ClusterControllerOptions options)
+    : options_(options) {}
+
+ClusterController::~ClusterController() = default;
+
+int ClusterController::AddMachine(MachineOptions machine_options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int id = static_cast<int>(machines_.size());
+  machines_.push_back(std::make_unique<Machine>(id, machine_options));
+  return id;
+}
+
+size_t ClusterController::machine_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return machines_.size();
+}
+
+Machine* ClusterController::machine(int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= machines_.size()) return nullptr;
+  return machines_[id].get();
+}
+
+std::vector<int> ClusterController::MachineIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> ids;
+  for (const auto& m : machines_) ids.push_back(m->id());
+  return ids;
+}
+
+Status ClusterController::CreateDatabase(const std::string& db_name,
+                                         int num_replicas) {
+  if (num_replicas <= 0) num_replicas = options_.default_replicas;
+  std::vector<int> chosen;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (databases_.count(db_name) > 0) {
+      return Status::AlreadyExists("database " + db_name);
+    }
+    // Least-loaded placement: machines hosting the fewest replicas first.
+    std::vector<std::pair<int, int>> load_by_machine;  // (load, id)
+    for (const auto& m : machines_) {
+      if (m->failed()) continue;
+      int load = 0;
+      for (const auto& [name, db] : databases_) {
+        load += static_cast<int>(std::count(db->replicas.begin(),
+                                            db->replicas.end(), m->id()));
+      }
+      load_by_machine.emplace_back(load, m->id());
+    }
+    if (static_cast<int>(load_by_machine.size()) < num_replicas) {
+      return Status::ResourceExhausted(
+          "not enough machines for " + std::to_string(num_replicas) +
+          " replicas of " + db_name);
+    }
+    std::sort(load_by_machine.begin(), load_by_machine.end());
+    for (int i = 0; i < num_replicas; ++i) {
+      chosen.push_back(load_by_machine[i].second);
+    }
+  }
+  return CreateDatabaseOn(db_name, chosen);
+}
+
+Status ClusterController::CreateDatabaseOn(const std::string& db_name,
+                                           const std::vector<int>& machine_ids) {
+  if (machine_ids.empty()) {
+    return Status::InvalidArgument("need at least one replica");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (databases_.count(db_name) > 0) {
+    return Status::AlreadyExists("database " + db_name);
+  }
+  for (int id : machine_ids) {
+    if (id < 0 || static_cast<size_t>(id) >= machines_.size()) {
+      return Status::InvalidArgument("no machine " + std::to_string(id));
+    }
+    if (machines_[id]->failed()) {
+      return Status::Unavailable("machine " + std::to_string(id) +
+                                 " is failed");
+    }
+  }
+  for (int id : machine_ids) {
+    MTDB_RETURN_IF_ERROR(machines_[id]->engine()->CreateDatabase(db_name));
+  }
+  auto db = std::make_unique<DbState>();
+  db->replicas = machine_ids;
+  int same_set = 0;
+  for (const auto& [name, other] : databases_) {
+    if (other->replicas == machine_ids) ++same_set;
+  }
+  db->primary_offset = machine_ids.empty()
+                           ? 0
+                           : same_set % static_cast<int>(machine_ids.size());
+  databases_[db_name] = std::move(db);
+  backup_.replica_map[db_name] = machine_ids;
+  return Status::OK();
+}
+
+Status ClusterController::DropDatabase(const std::string& db_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = databases_.find(db_name);
+  if (it == databases_.end()) return Status::NotFound("database " + db_name);
+  for (int id : it->second->replicas) {
+    if (!machines_[id]->failed()) {
+      (void)machines_[id]->engine()->DropDatabase(db_name);
+    }
+  }
+  databases_.erase(it);
+  backup_.replica_map.erase(db_name);
+  return Status::OK();
+}
+
+std::vector<int> ClusterController::ReplicasOf(
+    const std::string& db_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = databases_.find(db_name);
+  return it == databases_.end() ? std::vector<int>() : it->second->replicas;
+}
+
+std::vector<std::string> ClusterController::DatabaseNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& [name, db] : databases_) names.push_back(name);
+  return names;
+}
+
+Status ClusterController::ExecuteDdl(const std::string& db_name,
+                                     const std::string& sql) {
+  MTDB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
+  std::vector<int> replicas = ReplicasOf(db_name);
+  if (replicas.empty()) return Status::NotFound("database " + db_name);
+  for (int id : replicas) {
+    Machine* m = machine(id);
+    if (m == nullptr || m->failed()) continue;
+    auto engine = m->engine();
+    sql::SqlExecutor executor(engine.get());
+    MTDB_RETURN_IF_ERROR(executor.Execute(0, db_name, stmt).status());
+  }
+  return Status::OK();
+}
+
+Status ClusterController::BulkLoad(const std::string& db_name,
+                                   const std::string& table,
+                                   const std::vector<Row>& rows) {
+  std::vector<int> replicas = ReplicasOf(db_name);
+  if (replicas.empty()) return Status::NotFound("database " + db_name);
+  for (int id : replicas) {
+    Machine* m = machine(id);
+    if (m == nullptr || m->failed()) continue;
+    MTDB_RETURN_IF_ERROR(m->engine()->BulkInsert(db_name, table, rows));
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<Connection> ClusterController::Connect(
+    const std::string& db_name) {
+  return std::unique_ptr<Connection>(
+      new Connection(this, db_name, epoch_.load()));
+}
+
+// --- Failure & copy coordination ---
+
+void ClusterController::FailMachine(int machine_id) {
+  Machine* m = machine(machine_id);
+  if (m != nullptr) m->Fail();
+}
+
+Status ClusterController::BeginCopy(const std::string& db_name,
+                                    int target_machine) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = databases_.find(db_name);
+  if (it == databases_.end()) return Status::NotFound("database " + db_name);
+  DbState& db = *it->second;
+  if (db.copy.active) {
+    return Status::FailedPrecondition("copy already active for " + db_name);
+  }
+  if (std::count(db.replicas.begin(), db.replicas.end(), target_machine) > 0) {
+    return Status::InvalidArgument("target already hosts " + db_name);
+  }
+  db.copy = CopyState{true, target_machine, {}, ""};
+  return Status::OK();
+}
+
+Status ClusterController::SetCopyInProgress(const std::string& db_name,
+                                            const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = databases_.find(db_name);
+  if (it == databases_.end()) return Status::NotFound("database " + db_name);
+  if (!it->second->copy.active) {
+    return Status::FailedPrecondition("no active copy for " + db_name);
+  }
+  it->second->copy.in_progress = table;
+  return Status::OK();
+}
+
+Status ClusterController::MarkTableCopied(const std::string& db_name,
+                                          const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = databases_.find(db_name);
+  if (it == databases_.end()) return Status::NotFound("database " + db_name);
+  CopyState& copy = it->second->copy;
+  if (!copy.active) {
+    return Status::FailedPrecondition("no active copy for " + db_name);
+  }
+  copy.copied_tables.insert(table);
+  if (copy.in_progress == table) copy.in_progress.clear();
+  return Status::OK();
+}
+
+Status ClusterController::CompleteCopy(const std::string& db_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = databases_.find(db_name);
+  if (it == databases_.end()) return Status::NotFound("database " + db_name);
+  DbState& db = *it->second;
+  if (!db.copy.active) {
+    return Status::FailedPrecondition("no active copy for " + db_name);
+  }
+  db.replicas.push_back(db.copy.target_machine);
+  // Failed machines have been replaced; drop them from the replica map.
+  std::erase_if(db.replicas,
+                [this](int id) { return machines_[id]->failed(); });
+  db.copy = CopyState{};
+  backup_.replica_map[db_name] = db.replicas;
+  return Status::OK();
+}
+
+Status ClusterController::AbandonCopy(const std::string& db_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = databases_.find(db_name);
+  if (it == databases_.end()) return Status::NotFound("database " + db_name);
+  it->second->copy = CopyState{};
+  return Status::OK();
+}
+
+// --- Routing ---
+
+std::vector<int> ClusterController::AliveReplicasLocked(
+    const DbState& db) const {
+  std::vector<int> alive;
+  for (int id : db.replicas) {
+    if (!machines_[id]->failed()) alive.push_back(id);
+  }
+  return alive;
+}
+
+Result<std::vector<int>> ClusterController::ReadTargets(
+    const std::string& db_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = databases_.find(db_name);
+  if (it == databases_.end()) return Status::NotFound("database " + db_name);
+  std::vector<int> targets = AliveReplicasLocked(*it->second);
+  if (targets.empty()) {
+    return Status::Unavailable("no alive replica of " + db_name);
+  }
+  return targets;
+}
+
+Result<int> ClusterController::PickReadMachine(const std::string& db_name,
+                                               int sticky) {
+  MTDB_ASSIGN_OR_RETURN(std::vector<int> targets, ReadTargets(db_name));
+  int primary_offset = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = databases_.find(db_name);
+    if (it != databases_.end()) primary_offset = it->second->primary_offset;
+  }
+  switch (options_.read_option) {
+    case ReadRoutingOption::kPerDatabase:
+      // A fixed replica per database; the round-robin offset spreads the
+      // per-database primaries across machines so Option 1 does not
+      // concentrate all read load on a few machines.
+      return targets[primary_offset % static_cast<int>(targets.size())];
+    case ReadRoutingOption::kPerTransaction:
+      if (sticky >= 0 &&
+          std::count(targets.begin(), targets.end(), sticky) > 0) {
+        return sticky;
+      }
+      return targets[round_robin_.fetch_add(1) % targets.size()];
+    case ReadRoutingOption::kPerOperation:
+      return targets[round_robin_.fetch_add(1) % targets.size()];
+  }
+  return Status::Internal("bad read option");
+}
+
+Result<std::vector<int>> ClusterController::WriteTargets(
+    const std::string& db_name, const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = databases_.find(db_name);
+  if (it == databases_.end()) return Status::NotFound("database " + db_name);
+  DbState& db = *it->second;
+  std::vector<int> targets = AliveReplicasLocked(db);
+  if (db.copy.active) {
+    // Algorithm 1: reject writes to the table being copied ("*" = whole
+    // database during coarse-granularity copying).
+    if (db.copy.in_progress == "*" || db.copy.in_progress == table) {
+      db.rejected_writes.fetch_add(1, std::memory_order_relaxed);
+      return Status::Rejected("table " + table + " of " + db_name +
+                              " is being copied");
+    }
+    if (db.copy.copied_tables.count(table) > 0 &&
+        !machines_[db.copy.target_machine]->failed()) {
+      targets.push_back(db.copy.target_machine);
+    }
+  }
+  if (targets.empty()) {
+    return Status::Unavailable("no alive replica of " + db_name);
+  }
+  return targets;
+}
+
+// --- Process pair ---
+
+void ClusterController::BeginInflightWrite(const std::string& db_name,
+                                           const std::string& table) {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  inflight_writes_[db_name]++;
+  inflight_writes_[db_name + "/" + table]++;
+}
+
+void ClusterController::EndInflightWrite(const std::string& db_name,
+                                         const std::string& table) {
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_writes_[db_name]--;
+    inflight_writes_[db_name + "/" + table]--;
+  }
+  inflight_cv_.notify_all();
+}
+
+void ClusterController::WaitForQuiescentWrites(const std::string& db_name,
+                                               const std::string& table) {
+  std::string key = table == "*" ? db_name : db_name + "/" + table;
+  std::unique_lock<std::mutex> lock(inflight_mu_);
+  inflight_cv_.wait(lock, [this, &key] {
+    auto it = inflight_writes_.find(key);
+    return it == inflight_writes_.end() || it->second == 0;
+  });
+}
+
+void ClusterController::LogCommitDecision(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  backup_.commit_decisions.insert(txn_id);
+}
+
+void ClusterController::ForgetCommitDecision(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  backup_.commit_decisions.erase(txn_id);
+}
+
+void ClusterController::SimulateControllerFailover() {
+  // 1. The primary is gone: connections it managed are dropped. Bumping the
+  // epoch invalidates every outstanding Connection.
+  epoch_.fetch_add(1);
+  // 2. The backup takes over and cleans up transactions in transit, using
+  // the mirrored commit-decision log: prepared transactions with a logged
+  // decision are committed, everything else is rolled back.
+  std::vector<Machine*> machines;
+  std::set<uint64_t> decisions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& m : machines_) {
+      if (!m->failed()) machines.push_back(m.get());
+    }
+    decisions = backup_.commit_decisions;
+  }
+  for (Machine* m : machines) {
+    auto engine = m->engine();
+    for (uint64_t txn : engine->PreparedTxnIds()) {
+      if (decisions.count(txn) > 0) {
+        (void)engine->CommitPrepared(txn);
+      } else {
+        (void)engine->Abort(txn);
+      }
+    }
+    for (uint64_t txn : engine->ActiveTxnIds()) {
+      (void)engine->Abort(txn);
+    }
+  }
+}
+
+// --- Introspection ---
+
+int64_t ClusterController::rejected_writes(const std::string& db_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = databases_.find(db_name);
+  return it == databases_.end()
+             ? 0
+             : it->second->rejected_writes.load(std::memory_order_relaxed);
+}
+
+int64_t ClusterController::total_rejected_writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [name, db] : databases_) {
+    total += db->rejected_writes.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+int64_t ClusterController::total_deadlocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& m : machines_) {
+    total += m->engine()->lock_manager().deadlock_count();
+  }
+  return total;
+}
+
+std::vector<std::vector<CommittedTxnRecord>>
+ClusterController::CollectHistories() const {
+  std::vector<std::shared_ptr<Engine>> engines;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& m : machines_) engines.push_back(m->engine());
+  }
+  std::vector<std::vector<CommittedTxnRecord>> histories;
+  for (const auto& engine : engines) {
+    histories.push_back(engine->GetHistory());
+  }
+  return histories;
+}
+
+SerializabilityReport ClusterController::CheckClusterSerializability() const {
+  return CheckSerializability(CollectHistories());
+}
+
+void ClusterController::SetLatencyInjector(LatencyInjector injector) {
+  std::lock_guard<std::mutex> lock(injector_mu_);
+  latency_injector_ = std::move(injector);
+}
+
+int64_t ClusterController::InjectedLatency(const std::string& label,
+                                           bool is_write,
+                                           int machine_id) const {
+  LatencyInjector injector;
+  {
+    std::lock_guard<std::mutex> lock(injector_mu_);
+    injector = latency_injector_;
+  }
+  return injector ? injector(label, is_write, machine_id) : 0;
+}
+
+// ===== Connection =====
+
+Connection::Connection(ClusterController* controller, std::string db_name,
+                       uint64_t epoch)
+    : controller_(controller), db_name_(std::move(db_name)), epoch_(epoch) {}
+
+Connection::~Connection() {
+  if (active_) {
+    (void)AbortInternal(Status::Aborted("connection closed mid-transaction"));
+  }
+  // Strands drain on destruction.
+}
+
+Strand* Connection::StrandFor(int machine_id) {
+  auto it = strands_.find(machine_id);
+  if (it == strands_.end()) {
+    it = strands_.emplace(machine_id, std::make_unique<Strand>()).first;
+  }
+  return it->second.get();
+}
+
+void Connection::Poison(const Status& status) {
+  std::lock_guard<std::mutex> lock(poison_mu_);
+  if (poison_.ok()) poison_ = status;
+}
+
+Status Connection::poison_status() const {
+  std::lock_guard<std::mutex> lock(poison_mu_);
+  return poison_;
+}
+
+Status Connection::Begin() {
+  if (active_) {
+    return Status::FailedPrecondition("transaction already open");
+  }
+  return BeginInternal();
+}
+
+Status Connection::BeginInternal() {
+  if (epoch_ != controller_->epoch()) {
+    return Status::Unavailable("connection lost: controller failover");
+  }
+  txn_id_ = controller_->NextTxnId();
+  active_ = true;
+  wrote_ = false;
+  sticky_read_machine_ = -1;
+  begun_machines_.clear();
+  outstanding_.clear();
+  {
+    std::lock_guard<std::mutex> lock(poison_mu_);
+    poison_ = Status::OK();
+  }
+  return Status::OK();
+}
+
+void Connection::EnsureBegun(int machine_id) {
+  if (begun_machines_.count(machine_id) > 0) return;
+  begun_machines_.insert(machine_id);
+  Machine* m = controller_->machine(machine_id);
+  auto engine = m->engine();
+  uint64_t txn = txn_id_;
+  StrandFor(machine_id)->SubmitDetached([m, engine, txn] {
+    if (!m->failed()) (void)engine->Begin(txn);
+  });
+}
+
+Result<sql::QueryResult> Connection::Execute(const std::string& sql,
+                                             const std::vector<Value>& params) {
+  MTDB_ASSIGN_OR_RETURN(sql::Statement parsed, sql::Parse(sql));
+  auto stmt = std::make_shared<const sql::Statement>(std::move(parsed));
+  auto shared_params = std::make_shared<const std::vector<Value>>(params);
+
+  if (!active_) {
+    // Autocommit: run the statement in its own transaction.
+    MTDB_RETURN_IF_ERROR(BeginInternal());
+    auto result = ExecuteInTxn(stmt, shared_params);
+    if (!result.ok()) {
+      (void)AbortInternal(result.status());
+      return result;
+    }
+    Status commit_status = CommitInternal();
+    if (!commit_status.ok()) return commit_status;
+    return result;
+  }
+  return ExecuteInTxn(stmt, shared_params);
+}
+
+Result<sql::QueryResult> Connection::ExecuteInTxn(
+    const StatementPtr& stmt, const ParamsPtr& params) {
+  if (epoch_ != controller_->epoch()) {
+    return Status::Unavailable("connection lost: controller failover");
+  }
+  // Late write failures from aggressive mode poison subsequent operations.
+  Status poison = poison_status();
+  if (!poison.ok()) {
+    return Status::Aborted("transaction poisoned: " + poison.ToString());
+  }
+
+  if (IsReadStatement(*stmt)) {
+    return ExecuteRead(stmt, params);
+  }
+  const std::string* table = WriteTargetTable(*stmt);
+  if (table == nullptr) {
+    return Status::InvalidArgument(
+        "DDL must go through ClusterController::ExecuteDdl");
+  }
+  return ExecuteWrite(stmt, *table, params);
+}
+
+Result<sql::QueryResult> Connection::ExecuteRead(
+    const StatementPtr& stmt, const ParamsPtr& params) {
+  // Retry against other replicas when the chosen one turns out to be dead
+  // (the paper: "the cluster controller continues to process client database
+  // requests using the available machines").
+  size_t attempts = controller_->machine_count() + 1;
+  Status last = Status::Unavailable("no replica tried");
+  for (size_t attempt = 0; attempt < attempts; ++attempt) {
+    MTDB_ASSIGN_OR_RETURN(
+        int machine_id,
+        controller_->PickReadMachine(db_name_, sticky_read_machine_));
+    if (controller_->options().read_option ==
+        ReadRoutingOption::kPerTransaction) {
+      sticky_read_machine_ = machine_id;
+    }
+    Machine* m = controller_->machine(machine_id);
+    EnsureBegun(machine_id);
+
+    auto engine = m->engine();
+    auto done = std::make_shared<std::promise<std::pair<Status,
+                                                        sql::QueryResult>>>();
+    auto future = done->get_future();
+    uint64_t txn = txn_id_;
+    std::string db = db_name_;
+    int64_t inject =
+        controller_->InjectedLatency(label_, /*is_write=*/false, machine_id);
+    StrandFor(machine_id)->SubmitDetached([m, engine, txn, db, stmt,
+                                           params, inject, done] {
+      if (m->failed()) {
+        done->set_value({Status::Unavailable("machine failed"), {}});
+        return;
+      }
+      if (inject > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(inject));
+      }
+      SemaphoreGuard guard(m->op_semaphore());
+      if (m->base_op_latency_us() > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(m->base_op_latency_us()));
+      }
+      sql::SqlExecutor executor(engine.get());
+      auto result = executor.Execute(txn, db, *stmt, *params);
+      if (result.ok()) {
+        done->set_value({Status::OK(), std::move(*result)});
+      } else {
+        done->set_value({result.status(), {}});
+      }
+    });
+    auto [status, result] = future.get();
+    if (status.ok()) return result;
+    if (status.code() == StatusCode::kUnavailable) {
+      begun_machines_.erase(machine_id);
+      if (sticky_read_machine_ == machine_id) sticky_read_machine_ = -1;
+      last = status;
+      continue;  // pick another replica
+    }
+    Poison(status);
+    return status;
+  }
+  Poison(last);
+  return last;
+}
+
+Result<sql::QueryResult> Connection::ExecuteWrite(
+    const StatementPtr& stmt, const std::string& table,
+    const ParamsPtr& params) {
+  auto targets_or = controller_->WriteTargets(db_name_, table);
+  if (!targets_or.ok()) {
+    // Algorithm 1 line 11: reject the operation and abort the transaction.
+    if (targets_or.status().code() == StatusCode::kRejected) {
+      (void)AbortInternal(targets_or.status());
+    } else {
+      Poison(targets_or.status());
+    }
+    return targets_or.status();
+  }
+  const std::vector<int>& targets = *targets_or;
+  wrote_ = true;
+  controller_->BeginInflightWrite(db_name_, table);
+
+  auto pending = std::make_shared<PendingWrite>();
+  pending->outstanding = static_cast<int>(targets.size());
+  ClusterController* controller = controller_;
+  std::string inflight_db = db_name_;
+  std::string inflight_table = table;
+
+  for (int machine_id : targets) {
+    Machine* m = controller_->machine(machine_id);
+    EnsureBegun(machine_id);
+    auto engine = m->engine();
+    uint64_t txn = txn_id_;
+    std::string db = db_name_;
+    int64_t inject =
+        controller_->InjectedLatency(label_, /*is_write=*/true, machine_id);
+    StrandFor(machine_id)->SubmitDetached([m, engine, txn, db, stmt, params,
+                                           inject, pending, controller,
+                                           inflight_db, inflight_table] {
+      Status status;
+      sql::QueryResult query_result;
+      if (m->failed()) {
+        status = Status::Unavailable("machine failed");
+      } else {
+        if (inject > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(inject));
+        }
+        SemaphoreGuard guard(m->op_semaphore());
+        if (m->base_op_latency_us() > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(m->base_op_latency_us()));
+        }
+        sql::SqlExecutor executor(engine.get());
+        auto result = executor.Execute(txn, db, *stmt, *params);
+        if (result.ok()) {
+          query_result = std::move(*result);
+        } else {
+          status = result.status();
+        }
+      }
+      bool last = false;
+      {
+        std::lock_guard<std::mutex> lock(pending->mu);
+        pending->outstanding--;
+        last = pending->outstanding == 0;
+        if (status.ok()) {
+          if (!pending->have_first) {
+            pending->have_first = true;
+            pending->first_result = std::move(query_result);
+          }
+          pending->succeeded++;
+        } else if (status.code() == StatusCode::kUnavailable) {
+          pending->unavailable++;
+        } else if (pending->first_error.ok()) {
+          pending->first_error = status;
+        }
+        pending->cv.notify_all();
+      }
+      if (last) controller->EndInflightWrite(inflight_db, inflight_table);
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(pending->mu);
+  if (controller_->options().write_policy == WriteAckPolicy::kConservative) {
+    // Wait for *all* replicas before acknowledging (Theorem 2).
+    pending->cv.wait(lock, [&pending] { return pending->AllDone(); });
+    if (!pending->first_error.ok()) {
+      Status error = pending->first_error;
+      lock.unlock();
+      Poison(error);
+      return error;
+    }
+    if (pending->succeeded == 0) {
+      Status error = Status::Unavailable("write failed on every replica");
+      lock.unlock();
+      Poison(error);
+      return error;
+    }
+    return std::move(pending->first_result);
+  }
+  // Aggressive: acknowledge as soon as one replica succeeds; keep tracking
+  // the rest asynchronously (their failure poisons the transaction).
+  pending->cv.wait(lock, [&pending] {
+    return pending->have_first || pending->AllDone();
+  });
+  if (pending->have_first) {
+    sql::QueryResult result = pending->first_result;
+    bool all_done = pending->AllDone();
+    Status late_error = pending->first_error;
+    lock.unlock();
+    if (!all_done) {
+      outstanding_.push_back(pending);
+    } else if (!late_error.ok()) {
+      Poison(late_error);
+    }
+    return result;
+  }
+  // Every replica finished without a success.
+  Status error = !pending->first_error.ok()
+                     ? pending->first_error
+                     : Status::Unavailable("write failed on every replica");
+  lock.unlock();
+  Poison(error);
+  return error;
+}
+
+Status Connection::WaitOutstandingWrites() {
+  Status result = Status::OK();
+  for (const auto& pending : outstanding_) {
+    std::unique_lock<std::mutex> lock(pending->mu);
+    pending->cv.wait(lock, [&pending] { return pending->AllDone(); });
+    if (!pending->first_error.ok() && result.ok()) {
+      result = pending->first_error;
+    }
+    if (pending->succeeded == 0 && result.ok()) {
+      result = Status::Unavailable("write lost on every replica");
+    }
+  }
+  outstanding_.clear();
+  if (!result.ok()) Poison(result);
+  return result;
+}
+
+Status Connection::Commit() {
+  if (!active_) return Status::FailedPrecondition("no open transaction");
+  return CommitInternal();
+}
+
+Status Connection::CommitInternal() {
+  if (epoch_ != controller_->epoch()) {
+    active_ = false;
+    return Status::Unavailable("connection lost: controller failover");
+  }
+  // Conservative controllers have no outstanding writes (each Execute waited
+  // for all replicas). Aggressive controllers deliberately do NOT wait here:
+  // PREPARE is queued behind any still-running write on each replica's
+  // strand, reproducing the paper's Section 3.1 interleaving where a
+  // transaction enters the PREPARE phase while a write is still executing on
+  // another machine. Write failures are checked after the votes, before the
+  // commit decision.
+  Status poison = poison_status();
+  if (!poison.ok()) {
+    return AbortInternal(poison);
+  }
+
+  uint64_t txn = txn_id_;
+  std::vector<int> participants(begun_machines_.begin(),
+                                begun_machines_.end());
+
+  if (!wrote_) {
+    // Read-only: single-phase commit on every participant.
+    std::vector<std::future<void>> futures;
+    for (int machine_id : participants) {
+      Machine* m = controller_->machine(machine_id);
+      auto engine = m->engine();
+      futures.push_back(StrandFor(machine_id)->Submit([m, engine, txn] {
+        if (!m->failed()) (void)engine->Commit(txn);
+      }));
+    }
+    for (auto& f : futures) f.wait();
+    active_ = false;
+    controller_->committed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  // Phase 1: PREPARE everywhere. A failed machine is dropped from the
+  // participant set (its replica is lost regardless); any other failure
+  // vetoes the commit.
+  struct PhaseState {
+    std::mutex mu;
+    std::vector<std::pair<int, Status>> results;
+  };
+  auto phase = std::make_shared<PhaseState>();
+  {
+    std::vector<std::future<void>> futures;
+    for (int machine_id : participants) {
+      Machine* m = controller_->machine(machine_id);
+      auto engine = m->engine();
+      futures.push_back(
+          StrandFor(machine_id)->Submit([m, engine, txn, machine_id, phase] {
+            Status status = m->failed()
+                                ? Status::Unavailable("machine failed")
+                                : engine->Prepare(txn);
+            std::lock_guard<std::mutex> lock(phase->mu);
+            phase->results.emplace_back(machine_id, status);
+          }));
+    }
+    for (auto& f : futures) f.wait();
+  }
+  std::vector<int> prepared;
+  Status veto = Status::OK();
+  for (const auto& [machine_id, status] : phase->results) {
+    if (status.ok()) {
+      prepared.push_back(machine_id);
+    } else if (status.code() != StatusCode::kUnavailable && veto.ok()) {
+      veto = status;
+    }
+  }
+  // PREPARE ran after every queued write on each strand, so all replicated
+  // writes have resolved by now; a failure on any replica vetoes the commit
+  // (this is the "asynchronously keeps track of whether the writes in the
+  // other machines failed" bookkeeping of the aggressive controller).
+  Status late_write_failure = WaitOutstandingWrites();
+  if (veto.ok() && !late_write_failure.ok()) veto = late_write_failure;
+  if (veto.ok()) {
+    Status repoison = poison_status();
+    if (!repoison.ok()) veto = repoison;
+  }
+  if (!veto.ok() || prepared.empty()) {
+    return AbortInternal(veto.ok() ? Status::Unavailable(
+                                         "no replica survived to prepare")
+                                   : veto);
+  }
+
+  // Decision point: mirrored to the backup before phase 2 so a controller
+  // failover after this line still commits the transaction.
+  controller_->LogCommitDecision(txn);
+
+  // Phase 2: COMMIT on all prepared participants.
+  {
+    std::vector<std::future<void>> futures;
+    for (int machine_id : prepared) {
+      Machine* m = controller_->machine(machine_id);
+      auto engine = m->engine();
+      futures.push_back(StrandFor(machine_id)->Submit([m, engine, txn] {
+        if (!m->failed()) (void)engine->CommitPrepared(txn);
+      }));
+    }
+    for (auto& f : futures) f.wait();
+  }
+  controller_->ForgetCommitDecision(txn);
+  active_ = false;
+  controller_->committed_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status Connection::Abort() {
+  if (!active_) return Status::FailedPrecondition("no open transaction");
+  return AbortInternal(Status::OK());
+}
+
+Status Connection::AbortInternal(Status reason) {
+  // Outstanding writes are queued on the same strands as the aborts below,
+  // so FIFO ordering guarantees the abort runs after them on each machine.
+  (void)WaitOutstandingWrites();
+  uint64_t txn = txn_id_;
+  std::vector<std::future<void>> futures;
+  for (int machine_id : begun_machines_) {
+    Machine* m = controller_->machine(machine_id);
+    auto engine = m->engine();
+    futures.push_back(StrandFor(machine_id)->Submit([m, engine, txn] {
+      if (!m->failed()) (void)engine->Abort(txn);
+    }));
+  }
+  for (auto& f : futures) f.wait();
+  active_ = false;
+  controller_->aborted_.fetch_add(1, std::memory_order_relaxed);
+  if (!reason.ok()) {
+    return Status::Aborted("transaction aborted: " + reason.ToString());
+  }
+  return Status::OK();
+}
+
+}  // namespace mtdb

@@ -1,0 +1,295 @@
+#ifndef MTDB_CLUSTER_CLUSTER_CONTROLLER_H_
+#define MTDB_CLUSTER_CLUSTER_CONTROLLER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/cluster/machine.h"
+#include "src/cluster/serializability.h"
+#include "src/cluster/strand.h"
+#include "src/common/result.h"
+#include "src/sql/executor.h"
+
+namespace mtdb {
+
+// The three read-routing options of Section 3.1.
+enum class ReadRoutingOption {
+  // Option 1: all reads for a database go to the same (primary) replica.
+  kPerDatabase = 1,
+  // Option 2: all reads of one transaction go to one replica; different
+  // transactions may use different replicas.
+  kPerTransaction = 2,
+  // Option 3: every read operation is routed independently.
+  kPerOperation = 3,
+};
+
+// When the controller acknowledges a replicated write to the client.
+enum class WriteAckPolicy {
+  // Wait for every replica to finish the write (always serializable —
+  // Theorem 2).
+  kConservative,
+  // Acknowledge after the first replica finishes; remaining replicas apply
+  // asynchronously (non-serializable under Options 2/3 — Table 1).
+  kAggressive,
+};
+
+struct ClusterControllerOptions {
+  ReadRoutingOption read_option = ReadRoutingOption::kPerDatabase;
+  WriteAckPolicy write_policy = WriteAckPolicy::kConservative;
+  int default_replicas = 2;
+};
+
+class ClusterController;
+
+// A client database connection, handed out by the cluster controller (which
+// is the connection manager: clients never talk to machines directly).
+// Not thread-safe: one connection serves one client session.
+//
+// Usage: Begin / Execute* / Commit|Abort, or Execute outside a transaction
+// for JDBC-style autocommit.
+class Connection {
+ public:
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  const std::string& database() const { return db_name_; }
+
+  Status Begin();
+  Result<sql::QueryResult> Execute(const std::string& sql,
+                                   const std::vector<Value>& params = {});
+  Status Commit();
+  Status Abort();
+  bool in_transaction() const { return active_; }
+  uint64_t current_txn_id() const { return txn_id_; }
+
+  // Label used by the latency-injection test hook.
+  void SetLabel(std::string label) { label_ = std::move(label); }
+
+ private:
+  friend class ClusterController;
+
+  // Result of one replicated write: completion latch shared by all replica
+  // tasks.
+  struct PendingWrite {
+    std::mutex mu;
+    std::condition_variable cv;
+    int outstanding = 0;
+    int succeeded = 0;
+    int unavailable = 0;
+    bool have_first = false;
+    Status first_error;                 // first non-unavailable failure
+    sql::QueryResult first_result;      // result of the fastest success
+
+    bool AllDone() const { return outstanding == 0; }
+  };
+
+  Connection(ClusterController* controller, std::string db_name,
+             uint64_t epoch);
+
+  // Statements and params are shared because aggressive-mode write tasks may
+  // still be queued on replica strands after Execute() returns.
+  using StatementPtr = std::shared_ptr<const sql::Statement>;
+  using ParamsPtr = std::shared_ptr<const std::vector<Value>>;
+
+  Status BeginInternal();
+  Result<sql::QueryResult> ExecuteInTxn(const StatementPtr& stmt,
+                                        const ParamsPtr& params);
+  Result<sql::QueryResult> ExecuteRead(const StatementPtr& stmt,
+                                       const ParamsPtr& params);
+  Result<sql::QueryResult> ExecuteWrite(const StatementPtr& stmt,
+                                        const std::string& table,
+                                        const ParamsPtr& params);
+  // Waits for all asynchronously outstanding writes (aggressive mode).
+  Status WaitOutstandingWrites();
+  Status CommitInternal();
+  Status AbortInternal(Status reason);
+  // Ensures the engine-side transaction exists on machine m (same strand,
+  // so ordering with subsequent ops is guaranteed).
+  void EnsureBegun(int machine_id);
+  Strand* StrandFor(int machine_id);
+  void Poison(const Status& status);
+  Status poison_status() const;
+
+  ClusterController* controller_;
+  std::string db_name_;
+  uint64_t epoch_;
+  std::string label_;
+
+  bool active_ = false;
+  uint64_t txn_id_ = 0;
+  bool wrote_ = false;
+  int sticky_read_machine_ = -1;  // Option 2 anchor for the current txn
+  std::set<int> begun_machines_;
+  std::map<int, std::unique_ptr<Strand>> strands_;
+  std::vector<std::shared_ptr<PendingWrite>> outstanding_;
+
+  mutable std::mutex poison_mu_;
+  Status poison_;
+};
+
+// The fault-tolerant cluster controller of Sections 2–3: connection manager,
+// read-one-write-all replicator, 2PC coordinator, Algorithm-1 copy
+// coordinator, and (with sla::*) SLA-driven placement driver. Runs as a
+// process pair: controller state (replica map, copy states, commit
+// decisions) is mirrored synchronously to a hot-standby image, and
+// SimulateControllerFailover() exercises the backup's takeover path.
+class ClusterController {
+ public:
+  explicit ClusterController(ClusterControllerOptions options = {});
+  ~ClusterController();
+
+  ClusterController(const ClusterController&) = delete;
+  ClusterController& operator=(const ClusterController&) = delete;
+
+  const ClusterControllerOptions& options() const { return options_; }
+
+  // --- Machines ---
+  int AddMachine(MachineOptions machine_options = MachineOptions());
+  size_t machine_count() const;
+  Machine* machine(int id) const;
+  std::vector<int> MachineIds() const;
+
+  // --- Database lifecycle ---
+  // Places `num_replicas` replicas on the least-loaded distinct machines.
+  Status CreateDatabase(const std::string& db_name, int num_replicas = 0);
+  // Explicit placement (used by SLA-driven placement and tests).
+  Status CreateDatabaseOn(const std::string& db_name,
+                          const std::vector<int>& machine_ids);
+  Status DropDatabase(const std::string& db_name);
+  std::vector<int> ReplicasOf(const std::string& db_name) const;
+  std::vector<std::string> DatabaseNames() const;
+
+  // DDL / bulk loading applied to every replica (run outside client txns,
+  // before the database goes live).
+  Status ExecuteDdl(const std::string& db_name, const std::string& sql);
+  Status BulkLoad(const std::string& db_name, const std::string& table,
+                  const std::vector<Row>& rows);
+
+  // --- Connections ---
+  std::unique_ptr<Connection> Connect(const std::string& db_name);
+
+  // --- Failure handling & copy coordination (Algorithm 1) ---
+  void FailMachine(int machine_id);
+  // Registers m' as the copy target for db (no tables copied yet).
+  Status BeginCopy(const std::string& db_name, int target_machine);
+  // Marks `table` as the one currently being copied (writes rejected). The
+  // sentinel "*" marks database-granularity copying: all writes rejected.
+  Status SetCopyInProgress(const std::string& db_name,
+                           const std::string& table);
+  // Moves `table` into the copied set (writes now go to m' too).
+  Status MarkTableCopied(const std::string& db_name, const std::string& table);
+  // Blocks until no routed-but-unfinished write targets the table ("*" = any
+  // table of the database). Called by the recovery manager after
+  // SetCopyInProgress and before the dump takes its read lock: a write that
+  // was routed before the copy window opened must reach the engines before
+  // the snapshot, or the new replica would silently miss it.
+  void WaitForQuiescentWrites(const std::string& db_name,
+                              const std::string& table);
+  // Promotes m' to a full replica and clears the copy state.
+  Status CompleteCopy(const std::string& db_name);
+  Status AbandonCopy(const std::string& db_name);
+
+  // --- Process-pair failover ---
+  // Simulates the primary controller crashing and the backup taking over:
+  // existing connections are invalidated, in-flight 2PC transactions are
+  // resolved from the mirrored decision log (commit if decision logged,
+  // abort otherwise).
+  void SimulateControllerFailover();
+  uint64_t epoch() const { return epoch_.load(); }
+
+  // --- Introspection & experiment support ---
+  int64_t rejected_writes(const std::string& db_name) const;
+  int64_t total_rejected_writes() const;
+  int64_t committed_transactions() const { return committed_.load(); }
+  int64_t aborted_transactions() const { return aborted_.load(); }
+  int64_t total_deadlocks() const;
+  // Per-site committed histories, for the serializability checker.
+  std::vector<std::vector<CommittedTxnRecord>> CollectHistories() const;
+  SerializabilityReport CheckClusterSerializability() const;
+
+  // Test hook: extra latency (us) applied per operation, keyed by the
+  // connection label. `is_write` distinguishes read/write ops.
+  using LatencyInjector =
+      std::function<int64_t(const std::string& label, bool is_write,
+                            int machine_id)>;
+  void SetLatencyInjector(LatencyInjector injector);
+
+ private:
+  friend class Connection;
+
+  struct CopyState {
+    bool active = false;
+    int target_machine = -1;
+    std::set<std::string> copied_tables;
+    std::string in_progress;  // "" = none, "*" = whole database
+  };
+
+  struct DbState {
+    std::vector<int> replicas;
+    // Which replica serves Option-1 reads: assigned round-robin among
+    // databases sharing the same replica set, so per-database primaries
+    // spread evenly across machines.
+    int primary_offset = 0;
+    CopyState copy;
+    std::atomic<int64_t> rejected_writes{0};
+  };
+
+  // Hot-standby mirror of controller state (the process pair's backup).
+  struct BackupImage {
+    std::map<std::string, std::vector<int>> replica_map;
+    std::set<uint64_t> commit_decisions;
+  };
+
+  uint64_t NextTxnId() { return next_txn_id_.fetch_add(1); }
+  // Replicas that are alive (machine not failed), under mu_.
+  std::vector<int> AliveReplicasLocked(const DbState& db) const;
+  // Read targets per Algorithm 1: alive replicas excluding the copy target.
+  Result<std::vector<int>> ReadTargets(const std::string& db_name) const;
+  // Write targets per Algorithm 1; returns kRejected for a table being
+  // copied (and bumps the rejection counter).
+  Result<std::vector<int>> WriteTargets(const std::string& db_name,
+                                        const std::string& table);
+  // Option-1 primary (first alive replica); Option 2/3 round-robin pick.
+  Result<int> PickReadMachine(const std::string& db_name, int sticky);
+  void LogCommitDecision(uint64_t txn_id);
+  void ForgetCommitDecision(uint64_t txn_id);
+  // In-flight replicated-write accounting (see WaitForQuiescentWrites).
+  void BeginInflightWrite(const std::string& db_name,
+                          const std::string& table);
+  void EndInflightWrite(const std::string& db_name, const std::string& table);
+  int64_t InjectedLatency(const std::string& label, bool is_write,
+                          int machine_id) const;
+
+  ClusterControllerOptions options_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+  std::map<std::string, std::unique_ptr<DbState>> databases_;
+  BackupImage backup_;
+
+  std::atomic<uint64_t> next_txn_id_{1};
+  std::atomic<uint64_t> epoch_{1};
+  std::atomic<uint64_t> round_robin_{0};
+  std::atomic<int64_t> committed_{0};
+  std::atomic<int64_t> aborted_{0};
+
+  mutable std::mutex injector_mu_;
+  LatencyInjector latency_injector_;
+
+  mutable std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  // Keys: "<db>" (all tables) and "<db>/<table>".
+  std::map<std::string, int64_t> inflight_writes_;
+};
+
+}  // namespace mtdb
+
+#endif  // MTDB_CLUSTER_CLUSTER_CONTROLLER_H_

@@ -1,0 +1,26 @@
+#include "src/cluster/machine.h"
+
+namespace mtdb {
+
+Machine::Machine(int id, MachineOptions options)
+    : id_(id), name_("m" + std::to_string(id)), options_(options) {
+  engine_ = std::make_shared<Engine>(name_, options_.engine_options);
+  if (options_.max_concurrent_ops > 0) {
+    op_semaphore_ = std::make_unique<Semaphore>(options_.max_concurrent_ops);
+  }
+}
+
+std::shared_ptr<Engine> Machine::engine() const {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  return engine_;
+}
+
+void Machine::Fail() { failed_.store(true, std::memory_order_release); }
+
+void Machine::Recover() {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  engine_ = std::make_shared<Engine>(name_, options_.engine_options);
+  failed_.store(false, std::memory_order_release);
+}
+
+}  // namespace mtdb

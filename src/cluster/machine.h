@@ -1,0 +1,71 @@
+#ifndef MTDB_CLUSTER_MACHINE_H_
+#define MTDB_CLUSTER_MACHINE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/cluster/strand.h"
+#include "src/common/resource.h"
+#include "src/storage/engine.h"
+
+namespace mtdb {
+
+struct MachineOptions {
+  // Capacity vector used by SLA placement (Section 4).
+  ResourceVector capacity = ResourceVector(100, 4096, 100000, 1000);
+  EngineOptions engine_options;
+  // Degree of intra-machine parallelism for query work (models cores).
+  // <= 0 means unlimited.
+  int max_concurrent_ops = 0;
+  // Fixed execution cost charged per operation (models per-query CPU).
+  int64_t base_op_latency_us = 0;
+};
+
+// One commodity database machine: an engine instance, a capacity vector, and
+// a failure switch. A failed machine loses its contents (power/disk failure
+// in the paper); Recover() returns it to service as an *empty* machine that
+// the colo's free pool can hand back to a cluster.
+class Machine {
+ public:
+  Machine(int id, MachineOptions options);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const MachineOptions& options() const { return options_; }
+  const ResourceVector& capacity() const { return options_.capacity; }
+
+  // Returns a shared handle so in-flight operations stay valid even if the
+  // machine is failed and later recovered (which installs a fresh engine).
+  std::shared_ptr<Engine> engine() const;
+
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+
+  // Simulates a machine crash: contents are lost, in-flight work is moot.
+  void Fail();
+
+  // Brings the machine back with a fresh, empty engine.
+  void Recover();
+
+  // Limits concurrent engine work on this machine (nullptr = unlimited).
+  Semaphore* op_semaphore() { return op_semaphore_.get(); }
+
+  int64_t base_op_latency_us() const { return options_.base_op_latency_us; }
+
+ private:
+  int id_;
+  std::string name_;
+  MachineOptions options_;
+  mutable std::mutex engine_mu_;
+  std::shared_ptr<Engine> engine_;
+  std::atomic<bool> failed_{false};
+  std::unique_ptr<Semaphore> op_semaphore_;
+};
+
+}  // namespace mtdb
+
+#endif  // MTDB_CLUSTER_MACHINE_H_

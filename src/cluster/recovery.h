@@ -1,0 +1,82 @@
+#ifndef MTDB_CLUSTER_RECOVERY_H_
+#define MTDB_CLUSTER_RECOVERY_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster_controller.h"
+#include "src/storage/dump.h"
+
+namespace mtdb {
+
+// Granularity of the copy tool during recovery (Figures 8/9): table-level
+// copying rejects writes only to the table currently being copied;
+// database-level copying holds read locks on every table for the whole copy
+// and rejects all writes to the database.
+enum class CopyGranularity { kTable, kDatabase };
+
+struct RecoveryOptions {
+  // Number of concurrent database copy processes ("recovery threads",
+  // Figure 8's x-axis).
+  int recovery_threads = 1;
+  CopyGranularity granularity = CopyGranularity::kTable;
+  // Per-row copy cost while holding the read lock (models the paper's
+  // ~2 minutes per 200 MB, scaled for experiments).
+  int64_t per_row_delay_us = 0;
+};
+
+// Result of recovering one database.
+struct RecoveryResult {
+  std::string database;
+  Status status;
+  int source_machine = -1;
+  int target_machine = -1;
+  int64_t duration_us = 0;
+};
+
+// The background database replication process of Section 3.2: after a
+// machine failure, re-creates replicas of the databases that lost one, using
+// the off-the-shelf copy tool coordinated with the cluster controller per
+// Algorithm 1.
+class RecoveryManager {
+ public:
+  RecoveryManager(ClusterController* controller, RecoveryOptions options)
+      : controller_(controller), options_(options) {}
+
+  // Recovers every database that has fewer than `target_replicas` alive
+  // replicas (call after a FailMachine). Blocks until all copies finish;
+  // copies run on options_.recovery_threads concurrent workers. New replicas
+  // are placed with First-Fit over machines not already hosting the database.
+  std::vector<RecoveryResult> RecoverAll(int target_replicas);
+
+  // Recovers one database onto an explicit target machine.
+  RecoveryResult RecoverDatabase(const std::string& db_name,
+                                 int target_machine);
+
+ private:
+  // Chooses a target machine for a new replica of db (First-Fit: lowest id
+  // alive machine not already hosting it).
+  Result<int> ChooseTarget(const std::string& db_name);
+  RecoveryResult CopyTableGranularity(const std::string& db_name,
+                                      int source_machine, int target_machine);
+  RecoveryResult CopyDatabaseGranularity(const std::string& db_name,
+                                         int source_machine,
+                                         int target_machine);
+
+  // Concurrent copies share disk/network bandwidth: the effective per-row
+  // delay scales with the number of copies in flight when a copy starts.
+  int64_t EffectivePerRowDelay() const {
+    int active = std::max(1, active_copies_.load(std::memory_order_relaxed));
+    return options_.per_row_delay_us * active;
+  }
+
+  ClusterController* controller_;
+  RecoveryOptions options_;
+  std::atomic<uint64_t> dump_txn_seq_{1};
+  std::atomic<int> active_copies_{0};
+};
+
+}  // namespace mtdb
+
+#endif  // MTDB_CLUSTER_RECOVERY_H_

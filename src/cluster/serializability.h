@@ -1,0 +1,42 @@
+#ifndef MTDB_CLUSTER_SERIALIZABILITY_H_
+#define MTDB_CLUSTER_SERIALIZABILITY_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/storage/transaction.h"
+
+namespace mtdb {
+
+// Result of a global-serialization-graph acyclicity check.
+struct SerializabilityReport {
+  bool serializable = true;
+  size_t num_transactions = 0;
+  size_t num_edges = 0;
+  // A cycle witness (transaction ids, in order) when not serializable.
+  std::vector<uint64_t> cycle;
+
+  std::string ToString() const;
+};
+
+// Builds the global serialization graph from per-site version histories and
+// checks it for cycles (Bernstein et al.: with read-one-write-all, global
+// one-copy serializability == acyclic global serialization graph).
+//
+// Each site contributes committed transactions with (object, version)
+// observations; versions are per-site, per-object monotonic. Per-site edges:
+//   ww: writer of version v  -> writer of the next version of the object
+//   wr: writer of version v  -> every reader that observed v
+//   rw: reader that observed v -> writer of the next version after v
+// Edges from all sites are unioned on transaction ids; a cycle in the union
+// is a global serializability violation (exactly the anomaly of the paper's
+// Section 3.1 example).
+SerializabilityReport CheckSerializability(
+    const std::vector<std::vector<CommittedTxnRecord>>& site_histories);
+
+}  // namespace mtdb
+
+#endif  // MTDB_CLUSTER_SERIALIZABILITY_H_

@@ -1,0 +1,62 @@
+#include "src/cluster/strand.h"
+
+namespace mtdb {
+
+Strand::Strand() : thread_([this] { Run(); }) {}
+
+Strand::~Strand() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Strand::Run() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    cv_.notify_all();  // wake Drain() waiters
+  }
+}
+
+std::future<void> Strand::Submit(std::function<void()> task) {
+  auto promise = std::make_shared<std::promise<void>>();
+  std::future<void> future = promise->get_future();
+  SubmitDetached([task = std::move(task), promise]() mutable {
+    task();
+    promise->set_value();
+  });
+  return future;
+}
+
+void Strand::SubmitDetached(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_all();
+}
+
+void Strand::Drain() {
+  auto done = Submit([] {});
+  done.wait();
+}
+
+size_t Strand::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace mtdb

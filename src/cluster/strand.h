@@ -1,0 +1,93 @@
+#ifndef MTDB_CLUSTER_STRAND_H_
+#define MTDB_CLUSTER_STRAND_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+
+namespace mtdb {
+
+// A single-threaded FIFO task executor. The cluster controller gives each
+// (connection, machine) pair its own strand, which yields exactly the
+// per-site operation ordering a real DBMS connection provides: operations of
+// one transaction execute in submission order on each machine, while
+// different machines proceed independently. This independence is what lets
+// an *aggressive* controller acknowledge a write after one replica finishes
+// while the same write is still executing (queued) on another replica.
+class Strand {
+ public:
+  Strand();
+  ~Strand();  // drains the queue, then joins
+
+  Strand(const Strand&) = delete;
+  Strand& operator=(const Strand&) = delete;
+
+  // Enqueues a task; returns a future for its completion.
+  std::future<void> Submit(std::function<void()> task);
+
+  // Enqueues a task without result tracking.
+  void SubmitDetached(std::function<void()> task);
+
+  // Blocks until every task submitted so far has run.
+  void Drain();
+
+  size_t pending() const;
+
+ private:
+  void Run();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+// A counting semaphore used to model per-machine execution parallelism
+// (number of "cores" a machine devotes to query processing).
+class Semaphore {
+ public:
+  explicit Semaphore(int permits) : permits_(permits) {}
+
+  void Acquire() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return permits_ > 0; });
+    --permits_;
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++permits_;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int permits_;
+};
+
+// RAII permit holder.
+class SemaphoreGuard {
+ public:
+  explicit SemaphoreGuard(Semaphore* semaphore) : semaphore_(semaphore) {
+    if (semaphore_ != nullptr) semaphore_->Acquire();
+  }
+  ~SemaphoreGuard() {
+    if (semaphore_ != nullptr) semaphore_->Release();
+  }
+  SemaphoreGuard(const SemaphoreGuard&) = delete;
+  SemaphoreGuard& operator=(const SemaphoreGuard&) = delete;
+
+ private:
+  Semaphore* semaphore_;
+};
+
+}  // namespace mtdb
+
+#endif  // MTDB_CLUSTER_STRAND_H_

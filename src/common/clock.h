@@ -1,0 +1,34 @@
+#ifndef MTDB_COMMON_CLOCK_H_
+#define MTDB_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace mtdb {
+
+// Monotonic microseconds since an arbitrary epoch. All latency and
+// throughput accounting in the platform uses this clock.
+inline int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Simple scoped stopwatch: measures wall time between construction and
+// ElapsedMicros() calls.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(NowMicros()) {}
+  void Reset() { start_ = NowMicros(); }
+  int64_t ElapsedMicros() const { return NowMicros() - start_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace mtdb
+
+#endif  // MTDB_COMMON_CLOCK_H_

@@ -1,0 +1,119 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace mtdb {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+Histogram::Histogram(const Histogram& other) : buckets_(kNumBuckets, 0) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  buckets_ = other.buckets_;
+  count_ = other.count_;
+  sum_ = other.sum_;
+  min_ = other.min_;
+  max_ = other.max_;
+}
+
+Histogram& Histogram::operator=(const Histogram& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  buckets_ = other.buckets_;
+  count_ = other.count_;
+  sum_ = other.sum_;
+  min_ = other.min_;
+  max_ = other.max_;
+  return *this;
+}
+
+int Histogram::BucketFor(int64_t value) {
+  if (value <= 0) return 0;
+  int bucket = 0;
+  uint64_t v = static_cast<uint64_t>(value);
+  while (v > 1 && bucket < kNumBuckets - 1) {
+    v >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+int64_t Histogram::BucketUpperBound(int bucket) {
+  if (bucket >= 62) return INT64_MAX;
+  return (int64_t{1} << (bucket + 1)) - 1;
+}
+
+void Histogram::Record(int64_t value_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_[BucketFor(value_us)]++;
+  if (count_ == 0) {
+    min_ = max_ = value_us;
+  } else {
+    min_ = std::min(min_, value_us);
+    max_ = std::max(max_, value_us);
+  }
+  ++count_;
+  sum_ += value_us;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  std::scoped_lock lock(mu_, other.mu_);
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+    max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::Mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+}
+
+int64_t Histogram::Percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0;
+  int64_t threshold = static_cast<int64_t>(std::ceil(count_ * p / 100.0));
+  int64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= threshold) {
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+int64_t Histogram::Min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+int64_t Histogram::Max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream out;
+  out << "count=" << count() << " mean=" << Mean() << "us p50="
+      << Percentile(50) << "us p99=" << Percentile(99) << "us max=" << Max()
+      << "us";
+  return out.str();
+}
+
+}  // namespace mtdb

@@ -1,0 +1,50 @@
+#ifndef MTDB_COMMON_HISTOGRAM_H_
+#define MTDB_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mtdb {
+
+// Thread-safe latency histogram with power-of-two-ish buckets. Records
+// microsecond values; reports count/mean/percentiles. Used by the workload
+// driver and the benchmark harnesses.
+class Histogram {
+ public:
+  Histogram();
+  // Copyable (snapshot semantics) so aggregate stat structs can be passed
+  // around by value.
+  Histogram(const Histogram& other);
+  Histogram& operator=(const Histogram& other);
+
+  void Record(int64_t value_us);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  int64_t count() const;
+  double Mean() const;
+  // Approximate percentile (bucket upper bound interpolation). p in [0, 100].
+  int64_t Percentile(double p) const;
+  int64_t Min() const;
+  int64_t Max() const;
+
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 64;
+  static int BucketFor(int64_t value);
+  static int64_t BucketUpperBound(int bucket);
+
+  mutable std::mutex mu_;
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace mtdb
+
+#endif  // MTDB_COMMON_HISTOGRAM_H_

@@ -1,0 +1,50 @@
+#ifndef MTDB_COMMON_LOGGING_H_
+#define MTDB_COMMON_LOGGING_H_
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace mtdb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are dropped. Defaults to
+// kWarning so tests and benchmarks stay quiet unless asked.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+// Stream-style collector that emits one line on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+bool LevelEnabled(LogLevel level);
+
+}  // namespace internal_logging
+}  // namespace mtdb
+
+#define MTDB_LOG(level)                                                   \
+  if (!::mtdb::internal_logging::LevelEnabled(::mtdb::LogLevel::level)) { \
+  } else                                                                  \
+    ::mtdb::internal_logging::LogMessage(::mtdb::LogLevel::level,         \
+                                         __FILE__, __LINE__)
+
+#endif  // MTDB_COMMON_LOGGING_H_

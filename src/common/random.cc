@@ -1,0 +1,43 @@
+#include "src/common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mtdb {
+
+std::string Random::AlphaString(size_t length) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  std::string out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    out.push_back(kAlphabet[Uniform(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  cdf_.resize(n_);
+  double sum = 0.0;
+  for (uint64_t i = 0; i < n_; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta_);
+    cdf_[i] = sum;
+  }
+  for (uint64_t i = 0; i < n_; ++i) cdf_[i] /= sum;
+}
+
+uint64_t ZipfianGenerator::Next() {
+  double u = rng_.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfianGenerator::Pmf(uint64_t rank) const {
+  if (rank >= n_) return 0.0;
+  double prev = rank == 0 ? 0.0 : cdf_[rank - 1];
+  return cdf_[rank] - prev;
+}
+
+}  // namespace mtdb

@@ -1,0 +1,77 @@
+#ifndef MTDB_COMMON_RANDOM_H_
+#define MTDB_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mtdb {
+
+// Deterministic, fast pseudo-random generator (xorshift64*). Every stochastic
+// component in the platform takes an explicit seed so experiments are
+// reproducible run to run.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ULL)
+      : state_(seed ? seed : 0x9E3779B97F4A7C15ULL) {}
+
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+
+  // Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Random alphanumeric string of the given length.
+  std::string AlphaString(size_t length);
+
+ private:
+  uint64_t state_;
+};
+
+// Draws ranks from a Zipf(theta) distribution over {0, ..., n-1}: rank i has
+// probability proportional to 1 / (i+1)^theta. theta = 0 degenerates to
+// uniform; larger theta concentrates mass on low ranks. Used for the skewed
+// database-size and throughput populations of the paper's Table 2, and for
+// skewed item access in TPC-W.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta, uint64_t seed);
+
+  // Returns a rank in [0, n).
+  uint64_t Next();
+
+  // Probability mass of a given rank (for tests).
+  double Pmf(uint64_t rank) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  Random rng_;
+  // Cumulative distribution; binary-searched per draw. Built once; fine for
+  // the populations (<= millions) we use.
+  std::vector<double> cdf_;
+};
+
+}  // namespace mtdb
+
+#endif  // MTDB_COMMON_RANDOM_H_

@@ -1,0 +1,19 @@
+#include "src/common/resource.h"
+
+#include <sstream>
+
+namespace mtdb {
+
+std::string ResourceVector::ToString() const {
+  std::ostringstream out;
+  out << "{cpu=" << cpu << ", mem=" << memory_mb << "MB, disk=" << disk_mb
+      << "MB, io=" << disk_io << "/s}";
+  return out.str();
+}
+
+bool operator==(const ResourceVector& a, const ResourceVector& b) {
+  return a.cpu == b.cpu && a.memory_mb == b.memory_mb &&
+         a.disk_mb == b.disk_mb && a.disk_io == b.disk_io;
+}
+
+}  // namespace mtdb

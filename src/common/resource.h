@@ -1,0 +1,70 @@
+#ifndef MTDB_COMMON_RESOURCE_H_
+#define MTDB_COMMON_RESOURCE_H_
+
+#include <string>
+
+namespace mtdb {
+
+// Multi-dimensional resource vector, per Section 4.1 of the paper: "Resources
+// in this context are specified as multi-dimensional vectors representing CPU
+// cycles, main memory size, disk size, and disk bandwidth."
+//
+// Units are abstract but used consistently: cpu in "cycle units" (fraction of
+// a core * 100), memory and disk in MB, disk bandwidth in IO ops/sec.
+struct ResourceVector {
+  double cpu = 0;
+  double memory_mb = 0;
+  double disk_mb = 0;
+  double disk_io = 0;
+
+  ResourceVector() = default;
+  ResourceVector(double cpu_in, double memory_in, double disk_in,
+                 double disk_io_in)
+      : cpu(cpu_in),
+        memory_mb(memory_in),
+        disk_mb(disk_in),
+        disk_io(disk_io_in) {}
+
+  ResourceVector& operator+=(const ResourceVector& other) {
+    cpu += other.cpu;
+    memory_mb += other.memory_mb;
+    disk_mb += other.disk_mb;
+    disk_io += other.disk_io;
+    return *this;
+  }
+
+  ResourceVector& operator-=(const ResourceVector& other) {
+    cpu -= other.cpu;
+    memory_mb -= other.memory_mb;
+    disk_mb -= other.disk_mb;
+    disk_io -= other.disk_io;
+    return *this;
+  }
+
+  friend ResourceVector operator+(ResourceVector a, const ResourceVector& b) {
+    a += b;
+    return a;
+  }
+  friend ResourceVector operator-(ResourceVector a, const ResourceVector& b) {
+    a -= b;
+    return a;
+  }
+
+  // Component-wise <=: true when this demand fits within `capacity`.
+  bool FitsIn(const ResourceVector& capacity) const {
+    return cpu <= capacity.cpu && memory_mb <= capacity.memory_mb &&
+           disk_mb <= capacity.disk_mb && disk_io <= capacity.disk_io;
+  }
+
+  bool IsNonNegative() const {
+    return cpu >= 0 && memory_mb >= 0 && disk_mb >= 0 && disk_io >= 0;
+  }
+
+  std::string ToString() const;
+};
+
+bool operator==(const ResourceVector& a, const ResourceVector& b);
+
+}  // namespace mtdb
+
+#endif  // MTDB_COMMON_RESOURCE_H_

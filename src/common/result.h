@@ -1,0 +1,68 @@
+#ifndef MTDB_COMMON_RESULT_H_
+#define MTDB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace mtdb {
+
+// Holds either a value of type T or a non-OK Status. The moral equivalent of
+// absl::StatusOr / arrow::Result, specialized for this codebase.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error status keeps call sites
+  // terse: `return row;` or `return Status::NotFound(...)`.
+  Result(T value) : value_(std::move(value)) {}        // NOLINT
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mtdb
+
+// Evaluates `expr` (a Result<T>), propagating errors; on success binds the
+// value to `lhs`.
+#define MTDB_ASSIGN_OR_RETURN(lhs, expr)                \
+  auto MTDB_CONCAT_(_mtdb_result_, __LINE__) = (expr);  \
+  if (!MTDB_CONCAT_(_mtdb_result_, __LINE__).ok())      \
+    return MTDB_CONCAT_(_mtdb_result_, __LINE__).status(); \
+  lhs = std::move(MTDB_CONCAT_(_mtdb_result_, __LINE__)).value()
+
+#define MTDB_CONCAT_INNER_(a, b) a##b
+#define MTDB_CONCAT_(a, b) MTDB_CONCAT_INNER_(a, b)
+
+#endif  // MTDB_COMMON_RESULT_H_

@@ -1,0 +1,125 @@
+#include "src/platform/colo.h"
+
+#include <cmath>
+
+namespace mtdb::platform {
+
+double GeoDistanceKm(const GeoPoint& a, const GeoPoint& b) {
+  constexpr double kEarthRadiusKm = 6371.0;
+  constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+  double lat1 = a.latitude * kDegToRad;
+  double lat2 = b.latitude * kDegToRad;
+  double dlat = (b.latitude - a.latitude) * kDegToRad;
+  double dlon = (b.longitude - a.longitude) * kDegToRad;
+  double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+             std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                 std::sin(dlon / 2);
+  return 2 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+Colo::Colo(ColoOptions options)
+    : options_(std::move(options)), free_pool_(options_.free_pool_machines) {}
+
+int Colo::AddCluster() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto cluster =
+      std::make_unique<ClusterController>(options_.cluster_options);
+  for (int i = 0; i < options_.machines_per_cluster; ++i) {
+    cluster->AddMachine(options_.machine_options);
+  }
+  clusters_.push_back(std::move(cluster));
+  return static_cast<int>(clusters_.size()) - 1;
+}
+
+ClusterController* Colo::cluster(int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= clusters_.size()) return nullptr;
+  return clusters_[id].get();
+}
+
+size_t Colo::cluster_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clusters_.size();
+}
+
+Status Colo::CreateDatabase(const std::string& db_name, int num_replicas) {
+  if (failed()) return Status::Unavailable("colo " + name() + " is down");
+  if (cluster_count() == 0) AddCluster();
+  int best = -1;
+  size_t best_load = SIZE_MAX;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (db_to_cluster_.count(db_name) > 0) {
+      return Status::AlreadyExists("database " + db_name + " in colo " +
+                                   name());
+    }
+    for (size_t c = 0; c < clusters_.size(); ++c) {
+      size_t load = clusters_[c]->DatabaseNames().size();
+      if (load < best_load) {
+        best_load = load;
+        best = static_cast<int>(c);
+      }
+    }
+  }
+  ClusterController* target = cluster(best);
+  Status status = target->CreateDatabase(db_name, num_replicas);
+  if (status.code() == StatusCode::kResourceExhausted) {
+    // Grow the cluster from the free pool, then retry (the colo controller
+    // "manages a pool of free machines and adds them to clusters as
+    // needed").
+    while (static_cast<int>(target->machine_count()) < num_replicas &&
+           GrantMachine(best).ok()) {
+    }
+    status = target->CreateDatabase(db_name, num_replicas);
+  }
+  if (status.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    db_to_cluster_[db_name] = best;
+  }
+  return status;
+}
+
+Result<ClusterController*> Colo::ClusterFor(const std::string& db_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = db_to_cluster_.find(db_name);
+  if (it == db_to_cluster_.end()) {
+    return Status::NotFound("database " + db_name + " not in colo " + name());
+  }
+  return clusters_[it->second].get();
+}
+
+bool Colo::HostsDatabase(const std::string& db_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return db_to_cluster_.count(db_name) > 0;
+}
+
+std::vector<std::string> Colo::DatabaseNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& [name, cluster] : db_to_cluster_) names.push_back(name);
+  return names;
+}
+
+Result<std::unique_ptr<Connection>> Colo::Connect(const std::string& db_name) {
+  if (failed()) return Status::Unavailable("colo " + name() + " is down");
+  MTDB_ASSIGN_OR_RETURN(ClusterController * cluster, ClusterFor(db_name));
+  return cluster->Connect(db_name);
+}
+
+Status Colo::GrantMachine(int cluster_id) {
+  ClusterController* target = cluster(cluster_id);
+  if (target == nullptr) {
+    return Status::InvalidArgument("no cluster " + std::to_string(cluster_id));
+  }
+  int available = free_pool_.load();
+  while (available > 0) {
+    if (free_pool_.compare_exchange_weak(available, available - 1)) {
+      target->AddMachine(options_.machine_options);
+      return Status::OK();
+    }
+  }
+  return Status::ResourceExhausted("free machine pool of colo " + name() +
+                                   " is empty");
+}
+
+}  // namespace mtdb::platform

@@ -1,0 +1,281 @@
+#include "src/platform/system_controller.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/sql/parser.h"
+
+namespace mtdb::platform {
+
+namespace {
+
+bool IsWriteSql(const std::string& sql) {
+  auto parsed = sql::Parse(sql);
+  if (!parsed.ok()) return false;
+  switch (parsed->kind) {
+    case sql::StatementKind::kInsert:
+    case sql::StatementKind::kUpdate:
+    case sql::StatementKind::kDelete:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+// ===== PlatformConnection =====
+
+PlatformConnection::PlatformConnection(SystemController* system,
+                                       std::string db_name,
+                                       std::string colo_name,
+                                       std::unique_ptr<Connection> inner,
+                                       bool capture_writes)
+    : system_(system),
+      db_name_(std::move(db_name)),
+      colo_name_(std::move(colo_name)),
+      inner_(std::move(inner)),
+      capture_writes_(capture_writes) {}
+
+Status PlatformConnection::Begin() {
+  txn_writes_.clear();
+  return inner_->Begin();
+}
+
+Result<sql::QueryResult> PlatformConnection::Execute(
+    const std::string& sql, const std::vector<Value>& params) {
+  bool autocommit = !inner_->in_transaction();
+  auto result = inner_->Execute(sql, params);
+  if (result.ok() && capture_writes_ && IsWriteSql(sql)) {
+    if (autocommit) {
+      system_->EnqueueShipment(db_name_, {{sql, params}});
+    } else {
+      txn_writes_.push_back({sql, params});
+    }
+  }
+  return result;
+}
+
+Status PlatformConnection::Commit() {
+  Status status = inner_->Commit();
+  if (status.ok() && capture_writes_ && !txn_writes_.empty()) {
+    system_->EnqueueShipment(db_name_, std::move(txn_writes_));
+  }
+  txn_writes_.clear();
+  return status;
+}
+
+Status PlatformConnection::Abort() {
+  txn_writes_.clear();
+  return inner_->Abort();
+}
+
+// ===== SystemController =====
+
+SystemController::SystemController(SystemOptions options)
+    : options_(options), shipper_([this] { ShipperLoop(); }) {}
+
+SystemController::~SystemController() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  if (shipper_.joinable()) shipper_.join();
+}
+
+int SystemController::AddColo(ColoOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  colos_.push_back(std::make_unique<Colo>(std::move(options)));
+  return static_cast<int>(colos_.size()) - 1;
+}
+
+Colo* SystemController::colo(int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= colos_.size()) return nullptr;
+  return colos_[id].get();
+}
+
+Colo* SystemController::colo(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& c : colos_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+size_t SystemController::colo_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return colos_.size();
+}
+
+Status SystemController::CreateDatabase(const std::string& db_name,
+                                        GeoPoint owner_location,
+                                        int replicas_per_colo) {
+  if (replicas_per_colo <= 0) {
+    replicas_per_colo = options_.default_replicas_per_colo;
+  }
+  // Rank alive colos by proximity to the owner.
+  std::vector<Colo*> ranked;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (routes_.count(db_name) > 0) {
+      return Status::AlreadyExists("database " + db_name);
+    }
+    for (const auto& c : colos_) {
+      if (!c->failed()) ranked.push_back(c.get());
+    }
+  }
+  if (ranked.empty()) return Status::Unavailable("no alive colo");
+  std::sort(ranked.begin(), ranked.end(),
+            [&owner_location](Colo* a, Colo* b) {
+              return GeoDistanceKm(a->location(), owner_location) <
+                     GeoDistanceKm(b->location(), owner_location);
+            });
+  Colo* primary = ranked[0];
+  MTDB_RETURN_IF_ERROR(primary->CreateDatabase(db_name, replicas_per_colo));
+  DbRoute route;
+  route.primary_colo = primary->name();
+  if (ranked.size() > 1) {
+    Colo* secondary = ranked[1];
+    Status status = secondary->CreateDatabase(db_name, replicas_per_colo);
+    if (status.ok()) route.secondary_colo = secondary->name();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  routes_[db_name] = route;
+  return Status::OK();
+}
+
+Result<std::string> SystemController::PrimaryColoOf(
+    const std::string& db_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = routes_.find(db_name);
+  if (it == routes_.end()) return Status::NotFound("database " + db_name);
+  return it->second.primary_colo;
+}
+
+Result<std::string> SystemController::SecondaryColoOf(
+    const std::string& db_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = routes_.find(db_name);
+  if (it == routes_.end()) return Status::NotFound("database " + db_name);
+  if (it->second.secondary_colo.empty()) {
+    return Status::NotFound("no secondary colo for " + db_name);
+  }
+  return it->second.secondary_colo;
+}
+
+Result<std::unique_ptr<PlatformConnection>> SystemController::Connect(
+    const std::string& db_name, GeoPoint client_location) {
+  (void)client_location;  // reads go to the primary for consistency
+  DbRoute route;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = routes_.find(db_name);
+    if (it == routes_.end()) return Status::NotFound("database " + db_name);
+    route = it->second;
+  }
+  Colo* primary = colo(route.primary_colo);
+  if (primary != nullptr && !primary->failed()) {
+    MTDB_ASSIGN_OR_RETURN(std::unique_ptr<Connection> inner,
+                          primary->Connect(db_name));
+    bool capture = !route.secondary_colo.empty();
+    return std::unique_ptr<PlatformConnection>(new PlatformConnection(
+        this, db_name, route.primary_colo, std::move(inner), capture));
+  }
+  // Disaster path: the primary colo is down; serve from the secondary with
+  // weaker guarantees (asynchronously shipped writes may be missing).
+  if (!route.secondary_colo.empty()) {
+    Colo* secondary = colo(route.secondary_colo);
+    if (secondary != nullptr && !secondary->failed()) {
+      MTDB_ASSIGN_OR_RETURN(std::unique_ptr<Connection> inner,
+                            secondary->Connect(db_name));
+      return std::unique_ptr<PlatformConnection>(
+          new PlatformConnection(this, db_name, route.secondary_colo,
+                                 std::move(inner), /*capture_writes=*/false));
+    }
+  }
+  return Status::Unavailable("no alive colo hosts " + db_name);
+}
+
+Status SystemController::FailoverDatabase(const std::string& db_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = routes_.find(db_name);
+  if (it == routes_.end()) return Status::NotFound("database " + db_name);
+  if (it->second.secondary_colo.empty()) {
+    return Status::FailedPrecondition("no secondary colo for " + db_name);
+  }
+  std::swap(it->second.primary_colo, it->second.secondary_colo);
+  return Status::OK();
+}
+
+void SystemController::EnqueueShipment(
+    const std::string& db_name,
+    std::vector<PlatformConnection::BufferedWrite> writes) {
+  std::string target;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = routes_.find(db_name);
+    if (it == routes_.end() || it->second.secondary_colo.empty()) return;
+    target = it->second.secondary_colo;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(ShipTask{db_name, target, std::move(writes)});
+  }
+  queue_cv_.notify_all();
+}
+
+void SystemController::ShipperLoop() {
+  while (true) {
+    ShipTask task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      in_flight_++;
+    }
+    if (options_.replication_lag_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.replication_lag_ms));
+    }
+    Colo* target = colo(task.target_colo);
+    if (target != nullptr && !target->failed()) {
+      auto conn = target->Connect(task.db_name);
+      if (conn.ok()) {
+        if ((*conn)->Begin().ok()) {
+          bool ok = true;
+          for (const auto& write : task.writes) {
+            if (!(*conn)->Execute(write.sql, write.params).ok()) {
+              ok = false;
+              break;
+            }
+          }
+          if (ok) {
+            (void)(*conn)->Commit();
+            shipped_.fetch_add(1);
+          } else if ((*conn)->in_transaction()) {
+            (void)(*conn)->Abort();
+          }
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      in_flight_--;
+    }
+    queue_cv_.notify_all();
+  }
+}
+
+void SystemController::DrainReplication() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  queue_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+}  // namespace mtdb::platform

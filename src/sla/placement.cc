@@ -1,0 +1,203 @@
+#include "src/sla/placement.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mtdb::sla {
+
+Result<std::vector<int>> FirstFitPlacer::AddDatabase(
+    const DatabaseDemand& demand) {
+  if (!demand.requirement.FitsIn(capacity_)) {
+    return Status::ResourceExhausted(
+        "database " + demand.name +
+        " exceeds single-machine capacity (the platform requires every "
+        "database to fit in one machine)");
+  }
+  if (placement_.assignment.count(demand.name) > 0) {
+    return Status::AlreadyExists("database " + demand.name +
+                                 " already placed");
+  }
+  std::vector<int> chosen;
+  for (int r = 0; r < demand.replicas; ++r) {
+    int target = -1;
+    for (size_t m = 0; m < loads_.size(); ++m) {
+      if (std::count(chosen.begin(), chosen.end(), static_cast<int>(m)) > 0) {
+        continue;  // replicas of one database on distinct machines
+      }
+      ResourceVector with = loads_[m] + demand.requirement;
+      if (with.FitsIn(capacity_)) {
+        target = static_cast<int>(m);
+        break;  // First-Fit: lowest-index machine with room
+      }
+    }
+    if (target < 0) {
+      // Algorithm 2 line 13: open a new machine from the free pool.
+      loads_.emplace_back();
+      target = static_cast<int>(loads_.size()) - 1;
+    }
+    loads_[target] += demand.requirement;
+    chosen.push_back(target);
+  }
+  placement_.assignment[demand.name] = chosen;
+  placement_.machines_used = static_cast<int>(loads_.size());
+  return chosen;
+}
+
+namespace {
+
+// DFS state for branch-and-bound bin packing.
+struct Search {
+  const std::vector<DatabaseDemand>* demands;
+  ResourceVector capacity;
+  int best;  // best (lowest) machine count found
+  int lower_bound = 1;  // static volume bound; reaching it ends the search
+  int64_t nodes_left;
+
+  // Replica-level flattened items: demand index per replica.
+  std::vector<int> items;
+  std::vector<ResourceVector> loads;
+  // Which machine hosts a replica of demand d in the current partial
+  // assignment (for the distinctness constraint).
+  std::vector<std::vector<int>> machines_of_demand;
+
+  void Dfs(size_t item_index) {
+    if (nodes_left-- <= 0 || best <= lower_bound) return;
+    int used = static_cast<int>(loads.size());
+    if (used >= best) return;  // cannot improve
+    if (item_index == items.size()) {
+      best = used;
+      return;
+    }
+    int demand_index = items[item_index];
+    const DatabaseDemand& demand = (*demands)[demand_index];
+    const std::vector<int>& taken = machines_of_demand[demand_index];
+
+    for (size_t m = 0; m < loads.size(); ++m) {
+      if (std::count(taken.begin(), taken.end(), static_cast<int>(m)) > 0) {
+        continue;
+      }
+      ResourceVector with = loads[m] + demand.requirement;
+      if (!with.FitsIn(capacity)) continue;
+      loads[m] = with;
+      machines_of_demand[demand_index].push_back(static_cast<int>(m));
+      Dfs(item_index + 1);
+      machines_of_demand[demand_index].pop_back();
+      loads[m] -= demand.requirement;
+    }
+    // Open one new machine (opening more than one is symmetric).
+    if (used + 1 < best) {
+      loads.push_back(demand.requirement);
+      machines_of_demand[demand_index].push_back(used);
+      Dfs(item_index + 1);
+      machines_of_demand[demand_index].pop_back();
+      loads.pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+int OptimalMachineCount(const std::vector<DatabaseDemand>& demands,
+                        const ResourceVector& capacity,
+                        int64_t node_budget) {
+  // Upper bound from First-Fit-Decreasing to prune aggressively.
+  std::vector<DatabaseDemand> sorted = demands;
+  auto weight = [&capacity](const DatabaseDemand& d) {
+    double w = 0;
+    if (capacity.cpu > 0) w = std::max(w, d.requirement.cpu / capacity.cpu);
+    if (capacity.memory_mb > 0) {
+      w = std::max(w, d.requirement.memory_mb / capacity.memory_mb);
+    }
+    if (capacity.disk_mb > 0) {
+      w = std::max(w, d.requirement.disk_mb / capacity.disk_mb);
+    }
+    if (capacity.disk_io > 0) {
+      w = std::max(w, d.requirement.disk_io / capacity.disk_io);
+    }
+    return w;
+  };
+  std::sort(sorted.begin(), sorted.end(),
+            [&weight](const DatabaseDemand& a, const DatabaseDemand& b) {
+              return weight(a) > weight(b);
+            });
+  FirstFitPlacer ffd(capacity);
+  for (const DatabaseDemand& demand : sorted) {
+    if (!ffd.AddDatabase(demand).ok()) return -1;  // infeasible demand
+  }
+  int upper = ffd.machines_used();
+
+  // Static volume lower bound: total demand per dimension / capacity.
+  ResourceVector total;
+  for (const DatabaseDemand& d : sorted) {
+    for (int r = 0; r < d.replicas; ++r) total += d.requirement;
+  }
+  int lower_bound = 1;
+  auto dim_bound = [&lower_bound](double demand, double cap) {
+    if (cap > 0) {
+      lower_bound = std::max(
+          lower_bound, static_cast<int>(std::ceil(demand / cap - 1e-9)));
+    }
+  };
+  dim_bound(total.cpu, capacity.cpu);
+  dim_bound(total.memory_mb, capacity.memory_mb);
+  dim_bound(total.disk_mb, capacity.disk_mb);
+  dim_bound(total.disk_io, capacity.disk_io);
+  for (const DatabaseDemand& d : sorted) {
+    lower_bound = std::max(lower_bound, d.replicas);
+  }
+  if (upper <= lower_bound) return upper;
+
+  Search search;
+  search.demands = &sorted;
+  search.capacity = capacity;
+  search.best = upper;
+  search.lower_bound = lower_bound;
+  search.nodes_left = node_budget;
+  for (size_t d = 0; d < sorted.size(); ++d) {
+    for (int r = 0; r < sorted[d].replicas; ++r) {
+      search.items.push_back(static_cast<int>(d));
+    }
+  }
+  search.machines_of_demand.resize(sorted.size());
+  search.Dfs(0);
+  return search.best;
+}
+
+Status ValidatePlacement(const Placement& placement,
+                         const std::vector<DatabaseDemand>& demands,
+                         const ResourceVector& capacity) {
+  std::vector<ResourceVector> loads(placement.machines_used);
+  for (const DatabaseDemand& demand : demands) {
+    auto it = placement.assignment.find(demand.name);
+    if (it == placement.assignment.end()) {
+      return Status::NotFound("database " + demand.name + " not placed");
+    }
+    const std::vector<int>& machines = it->second;
+    if (static_cast<int>(machines.size()) != demand.replicas) {
+      return Status::Internal("replica count mismatch for " + demand.name);
+    }
+    for (size_t i = 0; i < machines.size(); ++i) {
+      for (size_t j = i + 1; j < machines.size(); ++j) {
+        if (machines[i] == machines[j]) {
+          return Status::Internal("replicas of " + demand.name +
+                                  " share machine " +
+                                  std::to_string(machines[i]));
+        }
+      }
+      if (machines[i] < 0 || machines[i] >= placement.machines_used) {
+        return Status::Internal("machine index out of range");
+      }
+      loads[machines[i]] += demand.requirement;
+    }
+  }
+  for (size_t m = 0; m < loads.size(); ++m) {
+    if (!loads[m].FitsIn(capacity)) {
+      return Status::ResourceExhausted("machine " + std::to_string(m) +
+                                       " over capacity: " +
+                                       loads[m].ToString());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mtdb::sla

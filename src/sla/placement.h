@@ -1,0 +1,70 @@
+#ifndef MTDB_SLA_PLACEMENT_H_
+#define MTDB_SLA_PLACEMENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/resource.h"
+#include "src/sla/sla.h"
+
+namespace mtdb::sla {
+
+// One database's placement demand: the resource requirement of a single
+// replica (r[j] in the paper) and the number of replicas, which must land on
+// distinct machines.
+struct DatabaseDemand {
+  std::string name;
+  ResourceVector requirement;
+  int replicas = 1;
+};
+
+// A placement of replicas onto machines (machine indexes are dense ids).
+struct Placement {
+  // db name -> machine index per replica.
+  std::map<std::string, std::vector<int>> assignment;
+  int machines_used = 0;
+};
+
+// Online First-Fit placement — Algorithm 2 of the paper. Databases arrive
+// one at a time; existing placements are never revisited. Each replica goes
+// to the first (lowest-index) machine with room that does not already hold a
+// replica of the same database; replicas that fit nowhere open new machines.
+class FirstFitPlacer {
+ public:
+  explicit FirstFitPlacer(ResourceVector machine_capacity)
+      : capacity_(machine_capacity) {}
+
+  // Places all replicas of `demand`; grows the machine pool as needed.
+  // Fails only if a single replica exceeds the machine capacity outright.
+  Result<std::vector<int>> AddDatabase(const DatabaseDemand& demand);
+
+  int machines_used() const { return static_cast<int>(loads_.size()); }
+  const std::vector<ResourceVector>& loads() const { return loads_; }
+  const Placement& placement() const { return placement_; }
+
+ private:
+  ResourceVector capacity_;
+  std::vector<ResourceVector> loads_;
+  Placement placement_;
+};
+
+// Exact minimum machine count via branch-and-bound over replica->bin
+// assignments (multi-dimensional vector bin packing with the distinct-machine
+// constraint; the paper computed this "exhaustively offline" for Table 2).
+// `node_budget` caps the search; if exhausted, the best bound found so far is
+// returned (still an upper bound that equals the optimum on the benchmark
+// sizes used here).
+int OptimalMachineCount(const std::vector<DatabaseDemand>& demands,
+                        const ResourceVector& capacity,
+                        int64_t node_budget = 50'000'000);
+
+// Validates that a placement respects capacities and replica distinctness.
+Status ValidatePlacement(const Placement& placement,
+                         const std::vector<DatabaseDemand>& demands,
+                         const ResourceVector& capacity);
+
+}  // namespace mtdb::sla
+
+#endif  // MTDB_SLA_PLACEMENT_H_

@@ -1,0 +1,48 @@
+#include "src/sla/profiler.h"
+
+#include "src/common/clock.h"
+
+namespace mtdb::sla {
+
+ProfileObservation ResourceProfiler::Observe(
+    ClusterController* controller, const std::string& db_name,
+    const std::function<std::pair<bool, bool>(Connection*)>& run_txn,
+    int64_t duration_ms) {
+  ProfileObservation observation;
+  auto conn = controller->Connect(db_name);
+  Stopwatch watch;
+  int64_t committed = 0;
+  int64_t writes = 0;
+  while (watch.ElapsedMicros() < duration_ms * 1000) {
+    auto [ok, was_write] = run_txn(conn.get());
+    if (ok) {
+      ++committed;
+      if (was_write) ++writes;
+    }
+  }
+  double seconds = watch.ElapsedSeconds();
+  observation.measured_tps = seconds > 0 ? committed / seconds : 0;
+  observation.write_mix =
+      committed > 0 ? static_cast<double>(writes) / committed : 0;
+
+  // Footprint: ask any alive replica.
+  for (int id : controller->ReplicasOf(db_name)) {
+    Machine* m = controller->machine(id);
+    if (m == nullptr || m->failed()) continue;
+    Database* db = m->engine()->GetDatabase(db_name);
+    if (db != nullptr) {
+      observation.size_mb =
+          static_cast<double>(db->ApproxByteSize()) / (1024.0 * 1024.0);
+      break;
+    }
+  }
+  return observation;
+}
+
+ResourceVector ResourceProfiler::RequirementFor(
+    const ProfileObservation& observation) const {
+  return EstimateRequirement(observation.size_mb, observation.measured_tps,
+                             model_);
+}
+
+}  // namespace mtdb::sla

@@ -1,0 +1,49 @@
+#ifndef MTDB_SLA_PROFILER_H_
+#define MTDB_SLA_PROFILER_H_
+
+#include <functional>
+#include <string>
+
+#include "src/cluster/cluster_controller.h"
+#include "src/sla/sla.h"
+
+namespace mtdb::sla {
+
+// What the observation period measures for a new database.
+struct ProfileObservation {
+  double measured_tps = 0;
+  double size_mb = 0;
+  double write_mix = 0;
+};
+
+// Section 4.2: "When a new database is created, it is first allocated to a
+// free machine in the cluster to observe the resource requirements needed to
+// maintain its SLA." This profiler drives a caller-supplied transaction
+// function against the database for an observation window and reports the
+// measured throughput, footprint, and write mix, which map to a resource
+// requirement r[j] via the ProfileModel.
+class ResourceProfiler {
+ public:
+  explicit ResourceProfiler(ProfileModel model = ProfileModel())
+      : model_(model) {}
+
+  // Runs `run_txn` in a loop on a fresh connection for `duration_ms`
+  // milliseconds. `run_txn` returns (committed, was_write); aborted
+  // transactions count toward neither.
+  ProfileObservation Observe(
+      ClusterController* controller, const std::string& db_name,
+      const std::function<std::pair<bool, bool>(Connection*)>& run_txn,
+      int64_t duration_ms);
+
+  // Maps an observation to a resource requirement vector.
+  ResourceVector RequirementFor(const ProfileObservation& observation) const;
+
+  const ProfileModel& model() const { return model_; }
+
+ private:
+  ProfileModel model_;
+};
+
+}  // namespace mtdb::sla
+
+#endif  // MTDB_SLA_PROFILER_H_

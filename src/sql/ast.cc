@@ -1,0 +1,96 @@
+#include "src/sql/ast.h"
+
+namespace mtdb::sql {
+
+bool IsAggregateFunction(const std::string& upper_name) {
+  return upper_name == "COUNT" || upper_name == "SUM" || upper_name == "AVG" ||
+         upper_name == "MIN" || upper_name == "MAX";
+}
+
+bool Expr::ContainsAggregate() const {
+  if (kind == ExprKind::kFunction && IsAggregateFunction(function)) {
+    return true;
+  }
+  for (const ExprPtr& child : children) {
+    if (child && child->ContainsAggregate()) return true;
+  }
+  return false;
+}
+
+std::string Expr::Fingerprint() const {
+  std::string out;
+  switch (kind) {
+    case ExprKind::kLiteral:
+      out = "L:" + literal.ToString();
+      break;
+    case ExprKind::kColumnRef:
+      out = "C:" + table + "." + column;
+      break;
+    case ExprKind::kParam:
+      out = "P:" + std::to_string(param_index);
+      break;
+    case ExprKind::kUnary:
+      out = "U:" + op;
+      break;
+    case ExprKind::kBinary:
+      out = "B:" + op;
+      break;
+    case ExprKind::kFunction:
+      out = "F:" + function + (star ? "*" : "");
+      break;
+    case ExprKind::kInList:
+      out = negated ? "NIN" : "IN";
+      break;
+    case ExprKind::kIsNull:
+      out = negated ? "NOTNULL" : "ISNULL";
+      break;
+  }
+  out += "(";
+  for (const ExprPtr& child : children) {
+    out += child ? child->Fingerprint() : "<null>";
+    out += ",";
+  }
+  out += ")";
+  return out;
+}
+
+ExprPtr MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr MakeParam(int index) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kParam;
+  e->param_index = index;
+  return e;
+}
+
+ExprPtr MakeUnary(std::string op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->op = std::move(op);
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr MakeBinary(std::string op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->op = std::move(op);
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+}  // namespace mtdb::sql

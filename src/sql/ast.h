@@ -1,0 +1,160 @@
+#ifndef MTDB_SQL_AST_H_
+#define MTDB_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/storage/schema.h"
+#include "src/storage/value.h"
+
+namespace mtdb::sql {
+
+// --- Expressions ---
+
+enum class ExprKind {
+  kLiteral,    // 42, 'abc', NULL
+  kColumnRef,  // col or tbl.col
+  kParam,      // ? (positional)
+  kUnary,      // NOT e, -e
+  kBinary,     // e op e  (comparisons, AND/OR, arithmetic, LIKE)
+  kFunction,   // COUNT/SUM/AVG/MIN/MAX(expr) or COUNT(*)
+  kInList,     // e IN (v1, v2, ...), possibly negated
+  kIsNull,     // e IS [NOT] NULL
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+
+  // kLiteral
+  Value literal;
+  // kColumnRef
+  std::string table;   // optional qualifier
+  std::string column;
+  // kParam
+  int param_index = -1;
+  // kUnary / kBinary: operator text, normalized uppercase ("AND", "=", "+",
+  // "LIKE", "NOT", "-").
+  std::string op;
+  // kFunction: uppercase name; star for COUNT(*).
+  std::string function;
+  bool star = false;
+  // kInList / kIsNull
+  bool negated = false;
+
+  std::vector<ExprPtr> children;
+
+  // True if this subtree contains an aggregate function call.
+  bool ContainsAggregate() const;
+  // Structural key used to match identical aggregate expressions between the
+  // SELECT list and the computed group values.
+  std::string Fingerprint() const;
+};
+
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeColumnRef(std::string table, std::string column);
+ExprPtr MakeParam(int index);
+ExprPtr MakeUnary(std::string op, ExprPtr operand);
+ExprPtr MakeBinary(std::string op, ExprPtr lhs, ExprPtr rhs);
+
+// True for COUNT/SUM/AVG/MIN/MAX.
+bool IsAggregateFunction(const std::string& upper_name);
+
+// --- Statements ---
+
+struct SelectItem {
+  ExprPtr expr;          // null when star
+  std::string alias;     // output column name (defaults derived)
+  bool star = false;     // SELECT * or t.*
+  std::string star_table;
+};
+
+struct TableRef {
+  std::string table;
+  std::string alias;  // defaults to table name
+
+  const std::string& EffectiveName() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+struct JoinClause {
+  TableRef table;
+  ExprPtr on;
+};
+
+struct OrderByItem {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+struct SelectStatement {
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;     // comma-separated FROM list (cross join)
+  std::vector<JoinClause> joins;  // explicit [INNER] JOIN ... ON
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderByItem> order_by;
+  int64_t limit = -1;  // -1 = no limit
+};
+
+struct InsertStatement {
+  std::string table;
+  std::vector<std::string> columns;         // empty = all, in schema order
+  std::vector<std::vector<ExprPtr>> rows;   // VALUES (...), (...)
+};
+
+struct UpdateStatement {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;
+};
+
+struct DeleteStatement {
+  std::string table;
+  ExprPtr where;
+};
+
+struct CreateTableStatement {
+  TableSchema schema;
+};
+
+struct CreateIndexStatement {
+  std::string index_name;
+  std::string table;
+  std::string column;
+};
+
+struct DropTableStatement {
+  std::string table;
+};
+
+enum class StatementKind {
+  kSelect,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kCreateTable,
+  kCreateIndex,
+  kDropTable,
+};
+
+struct Statement {
+  StatementKind kind;
+  SelectStatement select;
+  InsertStatement insert;
+  UpdateStatement update;
+  DeleteStatement del;
+  CreateTableStatement create_table;
+  CreateIndexStatement create_index;
+  DropTableStatement drop_table;
+};
+
+}  // namespace mtdb::sql
+
+#endif  // MTDB_SQL_AST_H_

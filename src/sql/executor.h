@@ -1,0 +1,84 @@
+#ifndef MTDB_SQL_EXECUTOR_H_
+#define MTDB_SQL_EXECUTOR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/sql/ast.h"
+#include "src/sql/expression.h"
+#include "src/storage/engine.h"
+
+namespace mtdb::sql {
+
+// Result of executing one statement: a relation for queries, an affected-row
+// count for DML/DDL.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  int64_t affected_rows = 0;
+
+  // Convenience accessors for single-valued results.
+  bool empty() const { return rows.empty(); }
+  const Value& at(size_t row, size_t col) const { return rows[row][col]; }
+};
+
+// Executes parsed statements against an Engine within a caller-managed
+// transaction. Performs its own lightweight planning:
+//  * single-table access paths: PK point lookup, PK range scan, secondary
+//    index lookup, full scan;
+//  * left-deep nested-loop joins, using index lookups on the inner side when
+//    the ON clause allows;
+//  * grouping/aggregation, HAVING, ORDER BY, LIMIT.
+//
+// Locking is delegated to the engine: point reads take row S locks, scans
+// take table S locks, point writes take row X locks, and non-PK-predicate
+// UPDATE/DELETE escalate to a table X lock.
+class SqlExecutor {
+ public:
+  explicit SqlExecutor(Engine* engine) : engine_(engine) {}
+
+  Result<QueryResult> Execute(uint64_t txn_id, const std::string& db_name,
+                              const Statement& stmt,
+                              const std::vector<Value>& params = {});
+
+  // Parses and executes in one step.
+  Result<QueryResult> ExecuteSql(uint64_t txn_id, const std::string& db_name,
+                                 const std::string& sql,
+                                 const std::vector<Value>& params = {});
+
+ private:
+  struct Source {
+    std::string alias;
+    std::string table_name;
+    const TableSchema* schema;
+    const Expr* on = nullptr;  // join condition (null for FROM list entries)
+  };
+
+  Result<QueryResult> ExecSelect(uint64_t txn_id, const std::string& db_name,
+                                 const SelectStatement& select,
+                                 const std::vector<Value>& params);
+  Result<QueryResult> ExecInsert(uint64_t txn_id, const std::string& db_name,
+                                 const InsertStatement& insert,
+                                 const std::vector<Value>& params);
+  Result<QueryResult> ExecUpdate(uint64_t txn_id, const std::string& db_name,
+                                 const UpdateStatement& update,
+                                 const std::vector<Value>& params);
+  Result<QueryResult> ExecDelete(uint64_t txn_id, const std::string& db_name,
+                                 const DeleteStatement& del,
+                                 const std::vector<Value>& params);
+
+  // Fetches the rows of one table using the best access path the predicate
+  // conjuncts allow. Rows come back as full table rows.
+  Result<std::vector<Row>> FetchTableRows(
+      uint64_t txn_id, const std::string& db_name, const Source& source,
+      const std::vector<const Expr*>& conjuncts,
+      const std::vector<Value>& params);
+
+  Engine* engine_;
+};
+
+}  // namespace mtdb::sql
+
+#endif  // MTDB_SQL_EXECUTOR_H_

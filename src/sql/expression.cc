@@ -1,0 +1,239 @@
+#include "src/sql/expression.h"
+
+#include <cmath>
+
+namespace mtdb::sql {
+
+void RowLayout::Append(const std::string& qualifier,
+                       const TableSchema& schema) {
+  for (size_t i = 0; i < schema.columns().size(); ++i) {
+    qualifiers_.push_back(qualifier);
+    names_.push_back(schema.columns()[i].name);
+    columns_.push_back(static_cast<int>(i));
+  }
+}
+
+Result<int> RowLayout::Resolve(const std::string& qualifier,
+                               const std::string& name) const {
+  int found = -1;
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] != name) continue;
+    if (!qualifier.empty() && qualifiers_[i] != qualifier) continue;
+    if (found >= 0) {
+      return Status::InvalidArgument("ambiguous column reference " + name);
+    }
+    found = static_cast<int>(i);
+  }
+  if (found < 0) {
+    return Status::InvalidArgument(
+        "unknown column " + (qualifier.empty() ? name : qualifier + "." + name));
+  }
+  return found;
+}
+
+bool ExprEvaluator::IsTruthy(const Value& v) {
+  if (v.is_null()) return false;
+  if (v.is_numeric()) return v.AsDouble() != 0.0;
+  return !v.AsString().empty();
+}
+
+bool ExprEvaluator::LikeMatch(const std::string& text,
+                              const std::string& pattern) {
+  // Iterative glob matching with backtracking on '%'.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+namespace {
+
+Value CompareToValue(int cmp, const std::string& op) {
+  bool result = false;
+  if (op == "=") result = cmp == 0;
+  else if (op == "<>") result = cmp != 0;
+  else if (op == "<") result = cmp < 0;
+  else if (op == "<=") result = cmp <= 0;
+  else if (op == ">") result = cmp > 0;
+  else if (op == ">=") result = cmp >= 0;
+  return Value(int64_t{result ? 1 : 0});
+}
+
+Result<Value> Arithmetic(const std::string& op, const Value& a,
+                         const Value& b) {
+  if (a.is_null() || b.is_null()) return Value();
+  if (!a.is_numeric() || !b.is_numeric()) {
+    return Status::InvalidArgument("arithmetic on non-numeric value");
+  }
+  if (op == "/") {
+    double denom = b.AsDouble();
+    if (denom == 0.0) return Value();  // SQL: division by zero yields NULL
+    return Value(a.AsDouble() / denom);
+  }
+  if (op == "%") {
+    if (!a.is_int() || !b.is_int()) {
+      return Status::InvalidArgument("modulo requires integers");
+    }
+    if (b.AsInt() == 0) return Value();
+    return Value(a.AsInt() % b.AsInt());
+  }
+  if (a.is_int() && b.is_int()) {
+    int64_t x = a.AsInt(), y = b.AsInt();
+    if (op == "+") return Value(x + y);
+    if (op == "-") return Value(x - y);
+    if (op == "*") return Value(x * y);
+  } else {
+    double x = a.AsDouble(), y = b.AsDouble();
+    if (op == "+") return Value(x + y);
+    if (op == "-") return Value(x - y);
+    if (op == "*") return Value(x * y);
+  }
+  return Status::Internal("unknown arithmetic operator " + op);
+}
+
+}  // namespace
+
+Result<Value> ExprEvaluator::EvalBinary(
+    const Expr& expr, const Row& row,
+    const std::map<std::string, Value>* aggregates) const {
+  const std::string& op = expr.op;
+  // Short-circuit logical operators with three-valued NULL handling.
+  if (op == "AND" || op == "OR") {
+    MTDB_ASSIGN_OR_RETURN(Value lhs,
+                          EvalInternal(*expr.children[0], row, aggregates));
+    bool lhs_null = lhs.is_null();
+    bool lhs_true = IsTruthy(lhs);
+    if (op == "AND" && !lhs_null && !lhs_true) return Value(int64_t{0});
+    if (op == "OR" && !lhs_null && lhs_true) return Value(int64_t{1});
+    MTDB_ASSIGN_OR_RETURN(Value rhs,
+                          EvalInternal(*expr.children[1], row, aggregates));
+    bool rhs_null = rhs.is_null();
+    bool rhs_true = IsTruthy(rhs);
+    if (op == "AND") {
+      if (!rhs_null && !rhs_true) return Value(int64_t{0});
+      if (lhs_null || rhs_null) return Value();
+      return Value(int64_t{1});
+    }
+    if (!rhs_null && rhs_true) return Value(int64_t{1});
+    if (lhs_null || rhs_null) return Value();
+    return Value(int64_t{0});
+  }
+
+  MTDB_ASSIGN_OR_RETURN(Value lhs,
+                        EvalInternal(*expr.children[0], row, aggregates));
+  MTDB_ASSIGN_OR_RETURN(Value rhs,
+                        EvalInternal(*expr.children[1], row, aggregates));
+
+  if (op == "LIKE") {
+    if (lhs.is_null() || rhs.is_null()) return Value();
+    if (!lhs.is_string() || !rhs.is_string()) {
+      return Status::InvalidArgument("LIKE requires string operands");
+    }
+    return Value(int64_t{LikeMatch(lhs.AsString(), rhs.AsString()) ? 1 : 0});
+  }
+  if (op == "=" || op == "<>" || op == "<" || op == "<=" || op == ">" ||
+      op == ">=") {
+    if (lhs.is_null() || rhs.is_null()) return Value();
+    return CompareToValue(lhs.Compare(rhs), op);
+  }
+  return Arithmetic(op, lhs, rhs);
+}
+
+Result<Value> ExprEvaluator::EvalInternal(
+    const Expr& expr, const Row& row,
+    const std::map<std::string, Value>* aggregates) const {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return expr.literal;
+    case ExprKind::kColumnRef: {
+      MTDB_ASSIGN_OR_RETURN(int slot,
+                            layout_->Resolve(expr.table, expr.column));
+      if (static_cast<size_t>(slot) >= row.size()) {
+        return Status::Internal("row narrower than layout");
+      }
+      return row[slot];
+    }
+    case ExprKind::kParam: {
+      if (params_ == nullptr ||
+          expr.param_index >= static_cast<int>(params_->size())) {
+        return Status::InvalidArgument(
+            "missing bind parameter " + std::to_string(expr.param_index));
+      }
+      return (*params_)[expr.param_index];
+    }
+    case ExprKind::kUnary: {
+      MTDB_ASSIGN_OR_RETURN(Value operand,
+                            EvalInternal(*expr.children[0], row, aggregates));
+      if (expr.op == "NOT") {
+        if (operand.is_null()) return Value();
+        return Value(int64_t{IsTruthy(operand) ? 0 : 1});
+      }
+      if (expr.op == "-") {
+        if (operand.is_null()) return Value();
+        if (operand.is_int()) return Value(-operand.AsInt());
+        if (operand.is_double()) return Value(-operand.AsDouble());
+        return Status::InvalidArgument("unary minus on non-numeric value");
+      }
+      return Status::Internal("unknown unary operator " + expr.op);
+    }
+    case ExprKind::kBinary:
+      return EvalBinary(expr, row, aggregates);
+    case ExprKind::kFunction: {
+      if (IsAggregateFunction(expr.function)) {
+        if (aggregates == nullptr) {
+          return Status::InvalidArgument(
+              "aggregate " + expr.function +
+              " used outside an aggregating query context");
+        }
+        auto it = aggregates->find(expr.Fingerprint());
+        if (it == aggregates->end()) {
+          return Status::Internal("aggregate value not computed: " +
+                                  expr.function);
+        }
+        return it->second;
+      }
+      return Status::InvalidArgument("unknown function " + expr.function);
+    }
+    case ExprKind::kInList: {
+      MTDB_ASSIGN_OR_RETURN(Value needle,
+                            EvalInternal(*expr.children[0], row, aggregates));
+      if (needle.is_null()) return Value();
+      bool found = false;
+      for (size_t i = 1; i < expr.children.size(); ++i) {
+        MTDB_ASSIGN_OR_RETURN(
+            Value candidate, EvalInternal(*expr.children[i], row, aggregates));
+        if (!candidate.is_null() && needle.Compare(candidate) == 0) {
+          found = true;
+          break;
+        }
+      }
+      bool result = expr.negated ? !found : found;
+      return Value(int64_t{result ? 1 : 0});
+    }
+    case ExprKind::kIsNull: {
+      MTDB_ASSIGN_OR_RETURN(Value operand,
+                            EvalInternal(*expr.children[0], row, aggregates));
+      bool is_null = operand.is_null();
+      bool result = expr.negated ? !is_null : is_null;
+      return Value(int64_t{result ? 1 : 0});
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+}  // namespace mtdb::sql

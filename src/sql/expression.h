@@ -1,0 +1,78 @@
+#ifndef MTDB_SQL_EXPRESSION_H_
+#define MTDB_SQL_EXPRESSION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/sql/ast.h"
+#include "src/storage/schema.h"
+
+namespace mtdb::sql {
+
+// Describes the shape of the rows an expression evaluates against: the
+// concatenated columns of all tables in scope, each tagged with its source
+// qualifier (table alias). Built by the executor while planning.
+class RowLayout {
+ public:
+  void Append(const std::string& qualifier, const TableSchema& schema);
+
+  // Resolves `qualifier.name` (qualifier may be empty) to a slot index.
+  // Errors on unknown or ambiguous columns.
+  Result<int> Resolve(const std::string& qualifier,
+                      const std::string& name) const;
+
+  size_t size() const { return columns_.size(); }
+  const std::string& name_at(size_t i) const { return names_[i]; }
+  const std::string& qualifier_at(size_t i) const { return qualifiers_[i]; }
+
+ private:
+  std::vector<std::string> qualifiers_;
+  std::vector<std::string> names_;
+  std::vector<int> columns_;  // unused payload; kept parallel for clarity
+};
+
+// Evaluates expressions against a row of a given layout. NULL semantics: any
+// comparison or arithmetic involving NULL yields NULL; WHERE treats NULL as
+// false (IsTruthy).
+//
+// Aggregate function nodes are resolved through an optional fingerprint map
+// computed by the executor's grouping phase; evaluating an aggregate without
+// that map is an error.
+class ExprEvaluator {
+ public:
+  ExprEvaluator(const RowLayout* layout, const std::vector<Value>* params)
+      : layout_(layout), params_(params) {}
+
+  Result<Value> Eval(const Expr& expr, const Row& row) const {
+    return EvalInternal(expr, row, nullptr);
+  }
+
+  Result<Value> EvalWithAggregates(
+      const Expr& expr, const Row& row,
+      const std::map<std::string, Value>& aggregates) const {
+    return EvalInternal(expr, row, &aggregates);
+  }
+
+  // SQL LIKE with % (any run) and _ (single char).
+  static bool LikeMatch(const std::string& text, const std::string& pattern);
+
+  // WHERE-clause truthiness: non-null and numerically non-zero.
+  static bool IsTruthy(const Value& v);
+
+ private:
+  Result<Value> EvalInternal(
+      const Expr& expr, const Row& row,
+      const std::map<std::string, Value>* aggregates) const;
+  Result<Value> EvalBinary(
+      const Expr& expr, const Row& row,
+      const std::map<std::string, Value>* aggregates) const;
+
+  const RowLayout* layout_;
+  const std::vector<Value>* params_;
+};
+
+}  // namespace mtdb::sql
+
+#endif  // MTDB_SQL_EXPRESSION_H_

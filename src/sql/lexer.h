@@ -1,0 +1,39 @@
+#ifndef MTDB_SQL_LEXER_H_
+#define MTDB_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace mtdb::sql {
+
+enum class TokenType {
+  kIdentifier,   // table1, my_col  (also unquoted keywords; parser decides)
+  kIntLiteral,   // 42
+  kDoubleLiteral,  // 3.14
+  kStringLiteral,  // 'abc' with '' escape
+  kSymbol,       // ( ) , . * = < > <= >= <> != + - / % ? ;
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;      // uppercased for identifiers? No: raw text.
+  int64_t int_value = 0;
+  double double_value = 0;
+  size_t position = 0;   // byte offset in the SQL text, for error messages
+
+  // Case-insensitive keyword/identifier comparison.
+  bool Is(std::string_view keyword) const;
+};
+
+// Tokenizes a SQL string. Returns ParseError on malformed input (unterminated
+// string literal, unexpected character). The token stream always ends with a
+// kEnd token.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace mtdb::sql
+
+#endif  // MTDB_SQL_LEXER_H_

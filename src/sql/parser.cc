@@ -1,0 +1,560 @@
+#include "src/sql/parser.h"
+
+#include <cctype>
+
+#include "src/sql/lexer.h"
+
+namespace mtdb::sql {
+
+namespace {
+
+std::string ToUpper(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    Statement stmt;
+    if (Accept("SELECT")) {
+      stmt.kind = StatementKind::kSelect;
+      MTDB_RETURN_IF_ERROR(ParseSelect(&stmt.select));
+    } else if (Accept("INSERT")) {
+      stmt.kind = StatementKind::kInsert;
+      MTDB_RETURN_IF_ERROR(ParseInsert(&stmt.insert));
+    } else if (Accept("UPDATE")) {
+      stmt.kind = StatementKind::kUpdate;
+      MTDB_RETURN_IF_ERROR(ParseUpdate(&stmt.update));
+    } else if (Accept("DELETE")) {
+      stmt.kind = StatementKind::kDelete;
+      MTDB_RETURN_IF_ERROR(ParseDelete(&stmt.del));
+    } else if (Accept("CREATE")) {
+      if (Accept("TABLE")) {
+        stmt.kind = StatementKind::kCreateTable;
+        MTDB_RETURN_IF_ERROR(ParseCreateTable(&stmt.create_table));
+      } else if (Accept("INDEX")) {
+        stmt.kind = StatementKind::kCreateIndex;
+        MTDB_RETURN_IF_ERROR(ParseCreateIndex(&stmt.create_index));
+      } else {
+        return Error("expected TABLE or INDEX after CREATE");
+      }
+    } else if (Accept("DROP")) {
+      MTDB_RETURN_IF_ERROR(Expect("TABLE"));
+      stmt.kind = StatementKind::kDropTable;
+      MTDB_ASSIGN_OR_RETURN(stmt.drop_table.table, Identifier());
+    } else {
+      return Error("expected a SQL statement");
+    }
+    Accept(";");
+    if (Current().type != TokenType::kEnd) {
+      return Error("unexpected trailing tokens");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Current() const { return tokens_[pos_]; }
+  const Token& Peek(size_t ahead = 1) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  bool Accept(std::string_view keyword) {
+    if (Current().Is(keyword)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(std::string_view keyword) {
+    if (!Accept(keyword)) {
+      return Error(std::string("expected '") + std::string(keyword) + "'");
+    }
+    return Status::OK();
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " near offset " +
+                              std::to_string(Current().position) +
+                              (Current().text.empty()
+                                   ? ""
+                                   : " ('" + Current().text + "')"));
+  }
+
+  Result<std::string> Identifier() {
+    if (Current().type != TokenType::kIdentifier) {
+      return Error("expected identifier");
+    }
+    std::string name = Current().text;
+    Advance();
+    return name;
+  }
+
+  // --- SELECT ---
+
+  Status ParseSelect(SelectStatement* select) {
+    // Select list.
+    do {
+      SelectItem item;
+      if (Current().Is("*")) {
+        Advance();
+        item.star = true;
+      } else if (Current().type == TokenType::kIdentifier &&
+                 Peek().Is(".") && Peek(2).Is("*")) {
+        item.star = true;
+        item.star_table = Current().text;
+        Advance();
+        Advance();
+        Advance();
+      } else {
+        MTDB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (Accept("AS")) {
+          MTDB_ASSIGN_OR_RETURN(item.alias, Identifier());
+        } else if (Current().type == TokenType::kIdentifier &&
+                   !IsClauseKeyword(Current())) {
+          item.alias = Current().text;
+          Advance();
+        }
+      }
+      select->items.push_back(std::move(item));
+    } while (Accept(","));
+
+    MTDB_RETURN_IF_ERROR(Expect("FROM"));
+    do {
+      MTDB_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+      select->from.push_back(std::move(ref));
+    } while (Accept(","));
+
+    while (Current().Is("JOIN") || Current().Is("INNER")) {
+      Accept("INNER");
+      MTDB_RETURN_IF_ERROR(Expect("JOIN"));
+      JoinClause join;
+      MTDB_ASSIGN_OR_RETURN(join.table, ParseTableRef());
+      MTDB_RETURN_IF_ERROR(Expect("ON"));
+      MTDB_ASSIGN_OR_RETURN(join.on, ParseExpr());
+      select->joins.push_back(std::move(join));
+    }
+
+    if (Accept("WHERE")) {
+      MTDB_ASSIGN_OR_RETURN(select->where, ParseExpr());
+    }
+    if (Accept("GROUP")) {
+      MTDB_RETURN_IF_ERROR(Expect("BY"));
+      do {
+        MTDB_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        select->group_by.push_back(std::move(e));
+      } while (Accept(","));
+    }
+    if (Accept("HAVING")) {
+      MTDB_ASSIGN_OR_RETURN(select->having, ParseExpr());
+    }
+    if (Accept("ORDER")) {
+      MTDB_RETURN_IF_ERROR(Expect("BY"));
+      do {
+        OrderByItem item;
+        MTDB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (Accept("DESC")) {
+          item.descending = true;
+        } else {
+          Accept("ASC");
+        }
+        select->order_by.push_back(std::move(item));
+      } while (Accept(","));
+    }
+    if (Accept("LIMIT")) {
+      if (Current().type != TokenType::kIntLiteral) {
+        return Error("expected integer after LIMIT");
+      }
+      select->limit = Current().int_value;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  static bool IsClauseKeyword(const Token& token) {
+    static constexpr std::string_view kKeywords[] = {
+        "FROM",  "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT",
+        "JOIN",  "INNER", "ON",    "AS",     "ASC",   "DESC",
+        "SET",   "VALUES", "AND",  "OR",     "NOT"};
+    for (std::string_view kw : kKeywords) {
+      if (token.Is(kw)) return true;
+    }
+    return false;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    MTDB_ASSIGN_OR_RETURN(ref.table, Identifier());
+    if (Accept("AS")) {
+      MTDB_ASSIGN_OR_RETURN(ref.alias, Identifier());
+    } else if (Current().type == TokenType::kIdentifier &&
+               !IsClauseKeyword(Current())) {
+      ref.alias = Current().text;
+      Advance();
+    }
+    return ref;
+  }
+
+  // --- INSERT / UPDATE / DELETE ---
+
+  Status ParseInsert(InsertStatement* insert) {
+    MTDB_RETURN_IF_ERROR(Expect("INTO"));
+    MTDB_ASSIGN_OR_RETURN(insert->table, Identifier());
+    if (Accept("(")) {
+      do {
+        MTDB_ASSIGN_OR_RETURN(std::string col, Identifier());
+        insert->columns.push_back(std::move(col));
+      } while (Accept(","));
+      MTDB_RETURN_IF_ERROR(Expect(")"));
+    }
+    MTDB_RETURN_IF_ERROR(Expect("VALUES"));
+    do {
+      MTDB_RETURN_IF_ERROR(Expect("("));
+      std::vector<ExprPtr> row;
+      do {
+        MTDB_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        row.push_back(std::move(e));
+      } while (Accept(","));
+      MTDB_RETURN_IF_ERROR(Expect(")"));
+      insert->rows.push_back(std::move(row));
+    } while (Accept(","));
+    return Status::OK();
+  }
+
+  Status ParseUpdate(UpdateStatement* update) {
+    MTDB_ASSIGN_OR_RETURN(update->table, Identifier());
+    MTDB_RETURN_IF_ERROR(Expect("SET"));
+    do {
+      MTDB_ASSIGN_OR_RETURN(std::string col, Identifier());
+      MTDB_RETURN_IF_ERROR(Expect("="));
+      MTDB_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      update->assignments.emplace_back(std::move(col), std::move(e));
+    } while (Accept(","));
+    if (Accept("WHERE")) {
+      MTDB_ASSIGN_OR_RETURN(update->where, ParseExpr());
+    }
+    return Status::OK();
+  }
+
+  Status ParseDelete(DeleteStatement* del) {
+    MTDB_RETURN_IF_ERROR(Expect("FROM"));
+    MTDB_ASSIGN_OR_RETURN(del->table, Identifier());
+    if (Accept("WHERE")) {
+      MTDB_ASSIGN_OR_RETURN(del->where, ParseExpr());
+    }
+    return Status::OK();
+  }
+
+  // --- DDL ---
+
+  Result<ColumnType> ParseColumnType() {
+    MTDB_ASSIGN_OR_RETURN(std::string name, Identifier());
+    std::string upper = ToUpper(name);
+    // Optional (n) or (p, s) size suffix, ignored.
+    if (Accept("(")) {
+      while (!Current().Is(")") && Current().type != TokenType::kEnd) Advance();
+      MTDB_RETURN_IF_ERROR(Expect(")"));
+    }
+    if (upper == "INT" || upper == "INTEGER" || upper == "BIGINT" ||
+        upper == "SMALLINT") {
+      return ColumnType::kInt64;
+    }
+    if (upper == "DOUBLE" || upper == "FLOAT" || upper == "REAL" ||
+        upper == "DECIMAL" || upper == "NUMERIC") {
+      return ColumnType::kDouble;
+    }
+    if (upper == "VARCHAR" || upper == "CHAR" || upper == "TEXT" ||
+        upper == "DATE" || upper == "DATETIME" || upper == "TIMESTAMP") {
+      return ColumnType::kString;
+    }
+    return Error("unknown column type " + name);
+  }
+
+  Status ParseCreateTable(CreateTableStatement* create) {
+    MTDB_ASSIGN_OR_RETURN(std::string table_name, Identifier());
+    MTDB_RETURN_IF_ERROR(Expect("("));
+    std::vector<Column> columns;
+    int pk_index = -1;
+    do {
+      if (Current().Is("PRIMARY")) {
+        Advance();
+        MTDB_RETURN_IF_ERROR(Expect("KEY"));
+        MTDB_RETURN_IF_ERROR(Expect("("));
+        MTDB_ASSIGN_OR_RETURN(std::string pk_col, Identifier());
+        MTDB_RETURN_IF_ERROR(Expect(")"));
+        for (size_t i = 0; i < columns.size(); ++i) {
+          if (columns[i].name == pk_col) pk_index = static_cast<int>(i);
+        }
+        if (pk_index < 0) return Error("PRIMARY KEY names unknown column");
+        continue;
+      }
+      Column col;
+      MTDB_ASSIGN_OR_RETURN(col.name, Identifier());
+      MTDB_ASSIGN_OR_RETURN(col.type, ParseColumnType());
+      while (true) {
+        if (Accept("PRIMARY")) {
+          MTDB_RETURN_IF_ERROR(Expect("KEY"));
+          pk_index = static_cast<int>(columns.size());
+        } else if (Accept("NOT")) {
+          MTDB_RETURN_IF_ERROR(Expect("NULL"));
+          col.not_null = true;
+        } else {
+          break;
+        }
+      }
+      columns.push_back(std::move(col));
+    } while (Accept(","));
+    MTDB_RETURN_IF_ERROR(Expect(")"));
+    if (pk_index < 0) return Error("table must declare a PRIMARY KEY");
+    create->schema = TableSchema(table_name, std::move(columns), pk_index);
+    return Status::OK();
+  }
+
+  Status ParseCreateIndex(CreateIndexStatement* create) {
+    MTDB_ASSIGN_OR_RETURN(create->index_name, Identifier());
+    MTDB_RETURN_IF_ERROR(Expect("ON"));
+    MTDB_ASSIGN_OR_RETURN(create->table, Identifier());
+    MTDB_RETURN_IF_ERROR(Expect("("));
+    MTDB_ASSIGN_OR_RETURN(create->column, Identifier());
+    MTDB_RETURN_IF_ERROR(Expect(")"));
+    return Status::OK();
+  }
+
+  // --- Expressions (precedence climbing) ---
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    MTDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (Accept("OR")) {
+      MTDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = MakeBinary("OR", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    MTDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (Accept("AND")) {
+      MTDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = MakeBinary("AND", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (Accept("NOT")) {
+      MTDB_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return MakeUnary("NOT", std::move(operand));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    MTDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    // IS [NOT] NULL
+    if (Accept("IS")) {
+      bool negated = Accept("NOT");
+      MTDB_RETURN_IF_ERROR(Expect("NULL"));
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kIsNull;
+      e->negated = negated;
+      e->children.push_back(std::move(lhs));
+      return ExprPtr(std::move(e));
+    }
+    // [NOT] IN (list) / [NOT] LIKE / [NOT] BETWEEN
+    bool negated = false;
+    if (Current().Is("NOT") &&
+        (Peek().Is("IN") || Peek().Is("LIKE") || Peek().Is("BETWEEN"))) {
+      Advance();
+      negated = true;
+    }
+    if (Accept("IN")) {
+      MTDB_RETURN_IF_ERROR(Expect("("));
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kInList;
+      e->negated = negated;
+      e->children.push_back(std::move(lhs));
+      do {
+        MTDB_ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+        e->children.push_back(std::move(item));
+      } while (Accept(","));
+      MTDB_RETURN_IF_ERROR(Expect(")"));
+      return ExprPtr(std::move(e));
+    }
+    if (Accept("LIKE")) {
+      MTDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      ExprPtr like = MakeBinary("LIKE", std::move(lhs), std::move(rhs));
+      if (negated) like = MakeUnary("NOT", std::move(like));
+      return like;
+    }
+    if (Accept("BETWEEN")) {
+      MTDB_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+      MTDB_RETURN_IF_ERROR(Expect("AND"));
+      MTDB_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+      // Desugar: lhs >= lo AND lhs <= hi. The lhs subtree is duplicated via
+      // re-parse-free deep copy.
+      ExprPtr lhs_copy = CloneExpr(*lhs);
+      ExprPtr range =
+          MakeBinary("AND", MakeBinary(">=", std::move(lhs), std::move(lo)),
+                     MakeBinary("<=", std::move(lhs_copy), std::move(hi)));
+      if (negated) range = MakeUnary("NOT", std::move(range));
+      return range;
+    }
+    static constexpr std::string_view kComparisons[] = {"=",  "<>", "<=",
+                                                        ">=", "<",  ">"};
+    for (std::string_view op : kComparisons) {
+      if (Current().type == TokenType::kSymbol && Current().Is(op)) {
+        Advance();
+        MTDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+        return MakeBinary(std::string(op), std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    MTDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (Current().type == TokenType::kSymbol &&
+           (Current().Is("+") || Current().Is("-"))) {
+      std::string op = Current().text;
+      Advance();
+      MTDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    MTDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnaryExpr());
+    while (Current().type == TokenType::kSymbol &&
+           (Current().Is("*") || Current().Is("/") || Current().Is("%"))) {
+      std::string op = Current().text;
+      Advance();
+      MTDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnaryExpr());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnaryExpr() {
+    if (Current().type == TokenType::kSymbol && Current().Is("-")) {
+      Advance();
+      MTDB_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnaryExpr());
+      return MakeUnary("-", std::move(operand));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& token = Current();
+    switch (token.type) {
+      case TokenType::kIntLiteral: {
+        int64_t v = token.int_value;
+        Advance();
+        return MakeLiteral(Value(v));
+      }
+      case TokenType::kDoubleLiteral: {
+        double v = token.double_value;
+        Advance();
+        return MakeLiteral(Value(v));
+      }
+      case TokenType::kStringLiteral: {
+        std::string v = token.text;
+        Advance();
+        return MakeLiteral(Value(std::move(v)));
+      }
+      case TokenType::kSymbol:
+        if (token.Is("?")) {
+          Advance();
+          return MakeParam(next_param_++);
+        }
+        if (token.Is("(")) {
+          Advance();
+          MTDB_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+          MTDB_RETURN_IF_ERROR(Expect(")"));
+          return inner;
+        }
+        return Error("unexpected symbol in expression");
+      case TokenType::kIdentifier: {
+        if (token.Is("NULL")) {
+          Advance();
+          return MakeLiteral(Value());
+        }
+        std::string name = token.text;
+        // Function call?
+        if (Peek().Is("(")) {
+          std::string upper = ToUpper(name);
+          Advance();  // name
+          Advance();  // (
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kFunction;
+          e->function = upper;
+          if (Current().Is("*")) {
+            e->star = true;
+            Advance();
+          } else if (!Current().Is(")")) {
+            do {
+              MTDB_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+              e->children.push_back(std::move(arg));
+            } while (Accept(","));
+          }
+          MTDB_RETURN_IF_ERROR(Expect(")"));
+          return ExprPtr(std::move(e));
+        }
+        Advance();
+        // Qualified column?
+        if (Current().Is(".") && Peek().type == TokenType::kIdentifier) {
+          Advance();
+          std::string column = Current().text;
+          Advance();
+          return MakeColumnRef(name, column);
+        }
+        return MakeColumnRef("", name);
+      }
+      case TokenType::kEnd:
+        return Error("unexpected end of input in expression");
+    }
+    return Error("unexpected token in expression");
+  }
+
+  static ExprPtr CloneExpr(const Expr& e) {
+    auto copy = std::make_unique<Expr>();
+    copy->kind = e.kind;
+    copy->literal = e.literal;
+    copy->table = e.table;
+    copy->column = e.column;
+    copy->param_index = e.param_index;
+    copy->op = e.op;
+    copy->function = e.function;
+    copy->star = e.star;
+    copy->negated = e.negated;
+    for (const ExprPtr& child : e.children) {
+      copy->children.push_back(child ? CloneExpr(*child) : nullptr);
+    }
+    return copy;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int next_param_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> Parse(const std::string& sql) {
+  MTDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace mtdb::sql

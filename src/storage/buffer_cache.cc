@@ -1,0 +1,46 @@
+#include "src/storage/buffer_cache.h"
+
+namespace mtdb {
+
+BufferCache::BufferCache(size_t capacity_pages) : capacity_(capacity_pages) {}
+
+bool BufferCache::Touch(uint64_t page_id) {
+  if (capacity_ == 0) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(page_id);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  lru_.push_front(page_id);
+  map_[page_id] = lru_.begin();
+  if (map_.size() > capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return false;
+}
+
+double BufferCache::HitRate() const {
+  int64_t h = hits();
+  int64_t m = misses();
+  return (h + m) == 0 ? 1.0 : static_cast<double>(h) / (h + m);
+}
+
+size_t BufferCache::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+void BufferCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace mtdb

@@ -1,0 +1,47 @@
+#ifndef MTDB_STORAGE_BUFFER_CACHE_H_
+#define MTDB_STORAGE_BUFFER_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace mtdb {
+
+// Models a MySQL-style buffer pool as an LRU set of page ids. The engine maps
+// each row access to a page and charges a miss penalty when the page is cold.
+// This is what makes the paper's read-routing Options 1/2/3 differ in
+// throughput: Option 1 keeps one replica's pool hot for a database's whole
+// read working set, while Option 3 spreads the working set across replicas.
+class BufferCache {
+ public:
+  // capacity_pages == 0 disables modeling: every access is a hit.
+  explicit BufferCache(size_t capacity_pages);
+
+  BufferCache(const BufferCache&) = delete;
+  BufferCache& operator=(const BufferCache&) = delete;
+
+  // Touches a page; returns true on hit. Misses insert the page, evicting
+  // the least recently used one when full.
+  bool Touch(uint64_t page_id);
+
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  double HitRate() const;
+  size_t Size() const;
+  void Clear();
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<uint64_t> lru_;  // front = most recent
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+};
+
+}  // namespace mtdb
+
+#endif  // MTDB_STORAGE_BUFFER_CACHE_H_

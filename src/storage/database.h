@@ -1,0 +1,47 @@
+#ifndef MTDB_STORAGE_DATABASE_H_
+#define MTDB_STORAGE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/storage/table.h"
+
+namespace mtdb {
+
+// A named collection of tables — one client application's database. Owned by
+// an Engine. The internal latch protects the table map; table contents are
+// protected by each Table's own latch plus the engine's lock manager.
+class Database {
+ public:
+  explicit Database(std::string name) : name_(std::move(name)) {}
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  Status CreateTable(TableSchema schema);
+  Status DropTable(const std::string& table_name);
+  // Borrowed pointer, valid while the database exists (tables are never
+  // destroyed except by DropTable, which callers must not race with use).
+  Table* GetTable(const std::string& table_name) const;
+  std::vector<std::string> TableNames() const;
+  size_t table_count() const;
+
+  // Total approximate data bytes across tables.
+  size_t ApproxByteSize() const;
+
+ private:
+  std::string name_;
+  mutable std::shared_mutex latch_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace mtdb
+
+#endif  // MTDB_STORAGE_DATABASE_H_

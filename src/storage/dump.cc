@@ -1,0 +1,86 @@
+#include "src/storage/dump.h"
+
+#include <chrono>
+#include <thread>
+
+namespace mtdb {
+
+namespace {
+
+// Snapshot of one table's rows; caller must already hold the S lock.
+TableDump SnapshotTable(Engine* source, const std::string& db_name,
+                        const std::string& table_name,
+                        const DumpOptions& options) {
+  Table* table = source->GetDatabase(db_name)->GetTable(table_name);
+  TableDump dump;
+  dump.schema = table->schema();
+  for (auto& [pk, stored] : table->ScanAll()) {
+    (void)pk;
+    dump.max_version = std::max(dump.max_version, stored.version);
+    dump.rows.emplace_back(std::move(stored.values), stored.version);
+    if (options.per_row_delay_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options.per_row_delay_us));
+    }
+  }
+  return dump;
+}
+
+}  // namespace
+
+Result<TableDump> DumpTable(Engine* source, const std::string& db_name,
+                            const std::string& table_name,
+                            uint64_t dump_txn_id, const DumpOptions& options) {
+  MTDB_RETURN_IF_ERROR(source->Begin(dump_txn_id));
+  Status lock_status = source->LockTableShared(dump_txn_id, db_name, table_name);
+  if (!lock_status.ok()) {
+    (void)source->Abort(dump_txn_id);
+    return lock_status;
+  }
+  TableDump dump = SnapshotTable(source, db_name, table_name, options);
+  MTDB_RETURN_IF_ERROR(source->Commit(dump_txn_id));
+  return dump;
+}
+
+Result<DatabaseDump> DumpDatabaseCoarse(Engine* source,
+                                        const std::string& db_name,
+                                        uint64_t dump_txn_id,
+                                        const DumpOptions& options) {
+  Database* db = source->GetDatabase(db_name);
+  if (db == nullptr) return Status::NotFound("database " + db_name);
+  MTDB_RETURN_IF_ERROR(source->Begin(dump_txn_id));
+  DatabaseDump dump;
+  dump.database_name = db_name;
+  // Acquire S locks on every table up front; hold them all until done.
+  for (const std::string& table_name : db->TableNames()) {
+    Status lock_status =
+        source->LockTableShared(dump_txn_id, db_name, table_name);
+    if (!lock_status.ok()) {
+      (void)source->Abort(dump_txn_id);
+      return lock_status;
+    }
+  }
+  for (const std::string& table_name : db->TableNames()) {
+    dump.tables.push_back(SnapshotTable(source, db_name, table_name, options));
+  }
+  MTDB_RETURN_IF_ERROR(source->Commit(dump_txn_id));
+  return dump;
+}
+
+Status ApplyTableDump(Engine* target, const std::string& db_name,
+                      const TableDump& dump) {
+  if (!target->HasDatabase(db_name)) {
+    MTDB_RETURN_IF_ERROR(target->CreateDatabase(db_name));
+  }
+  MTDB_RETURN_IF_ERROR(target->CreateTable(db_name, dump.schema));
+  return target->BulkInsertVersioned(db_name, dump.schema.name(), dump.rows);
+}
+
+Status ApplyDatabaseDump(Engine* target, const DatabaseDump& dump) {
+  for (const TableDump& table_dump : dump.tables) {
+    MTDB_RETURN_IF_ERROR(ApplyTableDump(target, dump.database_name, table_dump));
+  }
+  return Status::OK();
+}
+
+}  // namespace mtdb

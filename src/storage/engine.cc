@@ -1,0 +1,520 @@
+#include "src/storage/engine.h"
+
+#include <chrono>
+#include <functional>
+#include <thread>
+
+#include "src/common/logging.h"
+
+namespace mtdb {
+
+Engine::Engine(std::string site_name, EngineOptions options)
+    : site_name_(std::move(site_name)),
+      options_(options),
+      lock_manager_(options.lock_options),
+      buffer_cache_(options.buffer_pool_pages) {
+  if (!options_.wal_path.empty()) {
+    WriteAheadLog::Options wal_options;
+    wal_options.sync_on_commit = options_.wal_sync_on_commit;
+    auto wal = WriteAheadLog::Open(options_.wal_path, wal_options);
+    if (wal.ok()) {
+      wal_ = std::move(*wal);
+    } else {
+      MTDB_LOG(kError) << "engine " << site_name_
+                       << " failed to open WAL: " << wal.status().ToString();
+    }
+  }
+}
+
+Engine::~Engine() = default;
+
+std::string Engine::TableLockId(const std::string& db_name,
+                                const std::string& table_name) {
+  return "T/" + db_name + "/" + table_name;
+}
+
+std::string Engine::RowLockId(const std::string& db_name,
+                              const std::string& table_name, const Value& pk) {
+  return "R/" + db_name + "/" + table_name + "/" + pk.LockKey();
+}
+
+// --- Catalog ---
+
+Status Engine::CreateDatabase(const std::string& db_name) {
+  std::unique_lock lock(catalog_latch_);
+  auto [it, inserted] =
+      databases_.try_emplace(db_name, std::make_unique<Database>(db_name));
+  if (!inserted) return Status::AlreadyExists("database " + db_name);
+  if (wal_ != nullptr) {
+    MTDB_RETURN_IF_ERROR(
+        wal_->AppendDdl(WalRecordType::kCreateDatabase, db_name, "", ""));
+  }
+  return Status::OK();
+}
+
+Status Engine::DropDatabase(const std::string& db_name) {
+  std::unique_lock lock(catalog_latch_);
+  if (databases_.erase(db_name) == 0) {
+    return Status::NotFound("database " + db_name);
+  }
+  return Status::OK();
+}
+
+bool Engine::HasDatabase(const std::string& db_name) const {
+  std::shared_lock lock(catalog_latch_);
+  return databases_.count(db_name) > 0;
+}
+
+Database* Engine::GetDatabase(const std::string& db_name) const {
+  std::shared_lock lock(catalog_latch_);
+  auto it = databases_.find(db_name);
+  return it == databases_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Engine::DatabaseNames() const {
+  std::shared_lock lock(catalog_latch_);
+  std::vector<std::string> names;
+  for (const auto& [name, db] : databases_) names.push_back(name);
+  return names;
+}
+
+Status Engine::CreateTable(const std::string& db_name, TableSchema schema) {
+  Database* db = GetDatabase(db_name);
+  if (db == nullptr) return Status::NotFound("database " + db_name);
+  std::string table_name = schema.name();
+  std::string encoded =
+      wal_ != nullptr ? WriteAheadLog::EncodeSchema(schema) : std::string();
+  MTDB_RETURN_IF_ERROR(db->CreateTable(std::move(schema)));
+  if (wal_ != nullptr) {
+    MTDB_RETURN_IF_ERROR(wal_->AppendDdl(WalRecordType::kCreateTable, db_name,
+                                         table_name, encoded));
+  }
+  return Status::OK();
+}
+
+Status Engine::CreateIndex(const std::string& db_name,
+                           const std::string& table_name,
+                           const std::string& index_name,
+                           const std::string& column_name) {
+  MTDB_ASSIGN_OR_RETURN(Table * table, ResolveTable(db_name, table_name));
+  MTDB_RETURN_IF_ERROR(table->AddIndex(index_name, column_name));
+  if (wal_ != nullptr) {
+    MTDB_RETURN_IF_ERROR(wal_->AppendDdl(WalRecordType::kCreateIndex, db_name,
+                                         table_name,
+                                         index_name + ":" + column_name));
+  }
+  return Status::OK();
+}
+
+Result<Table*> Engine::ResolveTable(const std::string& db_name,
+                                    const std::string& table_name) const {
+  Database* db = GetDatabase(db_name);
+  if (db == nullptr) return Status::NotFound("database " + db_name);
+  Table* table = db->GetTable(table_name);
+  if (table == nullptr) {
+    return Status::NotFound("table " + table_name + " in database " + db_name);
+  }
+  return table;
+}
+
+// --- Transaction lifecycle ---
+
+Status Engine::Begin(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(txn_mu_);
+  auto [it, inserted] = txns_.try_emplace(txn_id, nullptr);
+  if (!inserted) {
+    return Status::AlreadyExists("txn " + std::to_string(txn_id) +
+                                 " already exists at " + site_name_);
+  }
+  it->second = std::make_unique<Transaction>();
+  it->second->id = txn_id;
+  return Status::OK();
+}
+
+Result<Transaction*> Engine::Find(uint64_t txn_id) const {
+  std::lock_guard<std::mutex> lock(txn_mu_);
+  auto it = txns_.find(txn_id);
+  if (it == txns_.end()) {
+    return Status::NotFound("txn " + std::to_string(txn_id) + " at " +
+                            site_name_);
+  }
+  return it->second.get();
+}
+
+Result<Transaction*> Engine::FindActive(uint64_t txn_id) const {
+  MTDB_ASSIGN_OR_RETURN(Transaction * txn, Find(txn_id));
+  if (txn->state != TxnState::kActive) {
+    return Status::FailedPrecondition(
+        "txn " + std::to_string(txn_id) + " is " +
+        std::string(TxnStateName(txn->state)) + ", not active");
+  }
+  return txn;
+}
+
+Status Engine::Prepare(uint64_t txn_id) {
+  MTDB_ASSIGN_OR_RETURN(Transaction * txn, FindActive(txn_id));
+  txn->state = TxnState::kPrepared;
+  if (options_.release_read_locks_on_prepare) {
+    lock_manager_.ReleaseReadLocks(txn_id);
+  }
+  return Status::OK();
+}
+
+void Engine::RecordCommit(Transaction* txn) {
+  if (wal_ != nullptr) {
+    (void)wal_->AppendDecision(WalRecordType::kCommit, txn->id);
+  }
+  if (options_.record_history) {
+    std::lock_guard<std::mutex> lock(history_mu_);
+    history_.push_back(CommittedTxnRecord{txn->id, txn->reads, txn->writes});
+  }
+  committed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status Engine::CommitPrepared(uint64_t txn_id) {
+  MTDB_ASSIGN_OR_RETURN(Transaction * txn, Find(txn_id));
+  if (txn->state != TxnState::kPrepared) {
+    return Status::FailedPrecondition("txn " + std::to_string(txn_id) +
+                                      " not prepared");
+  }
+  txn->state = TxnState::kCommitted;
+  RecordCommit(txn);
+  lock_manager_.ReleaseAll(txn_id);
+  std::lock_guard<std::mutex> lock(txn_mu_);
+  txns_.erase(txn_id);
+  return Status::OK();
+}
+
+Status Engine::Commit(uint64_t txn_id) {
+  MTDB_ASSIGN_OR_RETURN(Transaction * txn, FindActive(txn_id));
+  txn->state = TxnState::kCommitted;
+  RecordCommit(txn);
+  lock_manager_.ReleaseAll(txn_id);
+  std::lock_guard<std::mutex> lock(txn_mu_);
+  txns_.erase(txn_id);
+  return Status::OK();
+}
+
+void Engine::ApplyUndo(Transaction* txn) {
+  for (auto it = txn->undo_log.rbegin(); it != txn->undo_log.rend(); ++it) {
+    const UndoRecord& undo = *it;
+    auto table_or = ResolveTable(undo.database, undo.table);
+    if (!table_or.ok()) continue;  // table dropped under us; nothing to undo
+    Table* table = *table_or;
+    switch (undo.type) {
+      case UndoRecord::Type::kInsert:
+        table->Delete(undo.primary_key, table->NextVersion());
+        break;
+      case UndoRecord::Type::kUpdate:
+        table->Update(undo.primary_key, undo.old_row, undo.old_version);
+        break;
+      case UndoRecord::Type::kDelete:
+        table->Insert(undo.old_row, undo.old_version);
+        break;
+    }
+  }
+}
+
+Status Engine::Abort(uint64_t txn_id) {
+  MTDB_ASSIGN_OR_RETURN(Transaction * txn, Find(txn_id));
+  if (txn->state == TxnState::kCommitted) {
+    return Status::FailedPrecondition("txn already committed");
+  }
+  ApplyUndo(txn);
+  if (wal_ != nullptr) {
+    (void)wal_->AppendDecision(WalRecordType::kAbort, txn_id);
+  }
+  txn->state = TxnState::kAborted;
+  aborted_.fetch_add(1, std::memory_order_relaxed);
+  lock_manager_.ReleaseAll(txn_id);
+  std::lock_guard<std::mutex> lock(txn_mu_);
+  txns_.erase(txn_id);
+  return Status::OK();
+}
+
+std::optional<TxnState> Engine::GetTxnState(uint64_t txn_id) const {
+  std::lock_guard<std::mutex> lock(txn_mu_);
+  auto it = txns_.find(txn_id);
+  if (it == txns_.end()) return std::nullopt;
+  return it->second->state;
+}
+
+std::vector<uint64_t> Engine::PreparedTxnIds() const {
+  std::lock_guard<std::mutex> lock(txn_mu_);
+  std::vector<uint64_t> ids;
+  for (const auto& [id, txn] : txns_) {
+    if (txn->state == TxnState::kPrepared) ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<uint64_t> Engine::ActiveTxnIds() const {
+  std::lock_guard<std::mutex> lock(txn_mu_);
+  std::vector<uint64_t> ids;
+  for (const auto& [id, txn] : txns_) {
+    if (txn->state == TxnState::kActive) ids.push_back(id);
+  }
+  return ids;
+}
+
+size_t Engine::ActiveTxnCount() const {
+  std::lock_guard<std::mutex> lock(txn_mu_);
+  return txns_.size();
+}
+
+// --- Row operations ---
+
+void Engine::ChargeCacheAccess(const std::string& db_name,
+                               const std::string& table_name,
+                               const Value& pk) {
+  if (options_.buffer_pool_pages == 0) return;
+  uint64_t key_hash =
+      std::hash<std::string>{}(db_name + "/" + table_name + "/" + pk.LockKey());
+  uint64_t page_id = key_hash / static_cast<uint64_t>(options_.rows_per_page);
+  if (!buffer_cache_.Touch(page_id) && options_.cache_miss_penalty_us > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.cache_miss_penalty_us));
+  }
+}
+
+Result<std::optional<Row>> Engine::Read(uint64_t txn_id,
+                                        const std::string& db_name,
+                                        const std::string& table_name,
+                                        const Value& pk) {
+  MTDB_ASSIGN_OR_RETURN(Transaction * txn, FindActive(txn_id));
+  MTDB_ASSIGN_OR_RETURN(Table * table, ResolveTable(db_name, table_name));
+  MTDB_RETURN_IF_ERROR(lock_manager_.Acquire(
+      txn_id, TableLockId(db_name, table_name), LockMode::kIntentionShared));
+  MTDB_RETURN_IF_ERROR(lock_manager_.Acquire(
+      txn_id, RowLockId(db_name, table_name, pk), LockMode::kShared));
+  ChargeCacheAccess(db_name, table_name, pk);
+  txn->read_ops++;
+  std::optional<StoredRow> stored = table->Get(pk);
+  if (options_.record_history) {
+    uint64_t version = stored ? stored->version : table->LastVersion(pk);
+    txn->reads.push_back(
+        {RowLockId(db_name, table_name, pk), version});
+  }
+  if (!stored) return std::optional<Row>();
+  return std::optional<Row>(std::move(stored->values));
+}
+
+Status Engine::Insert(uint64_t txn_id, const std::string& db_name,
+                      const std::string& table_name, const Row& row) {
+  MTDB_ASSIGN_OR_RETURN(Transaction * txn, FindActive(txn_id));
+  MTDB_ASSIGN_OR_RETURN(Table * table, ResolveTable(db_name, table_name));
+  MTDB_RETURN_IF_ERROR(table->schema().ValidateRow(row));
+  const Value& pk = row[table->schema().primary_key_index()];
+  MTDB_RETURN_IF_ERROR(lock_manager_.Acquire(
+      txn_id, TableLockId(db_name, table_name), LockMode::kIntentionExclusive));
+  MTDB_RETURN_IF_ERROR(lock_manager_.Acquire(
+      txn_id, RowLockId(db_name, table_name, pk), LockMode::kExclusive));
+  ChargeCacheAccess(db_name, table_name, pk);
+  uint64_t version = table->NextVersion();
+  if (!table->Insert(row, version)) {
+    return Status::AlreadyExists("duplicate primary key " + pk.ToString() +
+                                 " in " + db_name + "." + table_name);
+  }
+  txn->write_ops++;
+  txn->undo_log.push_back(UndoRecord{UndoRecord::Type::kInsert, db_name,
+                                     table_name, pk, Row{}, 0});
+  if (options_.record_history) {
+    txn->writes.push_back({RowLockId(db_name, table_name, pk), version});
+  }
+  if (wal_ != nullptr) {
+    MTDB_RETURN_IF_ERROR(wal_->AppendRowOp(WalRecordType::kInsert, txn_id,
+                                           db_name, table_name, pk, row));
+  }
+  return Status::OK();
+}
+
+Status Engine::Update(uint64_t txn_id, const std::string& db_name,
+                      const std::string& table_name, const Value& pk,
+                      const Row& row) {
+  MTDB_ASSIGN_OR_RETURN(Transaction * txn, FindActive(txn_id));
+  MTDB_ASSIGN_OR_RETURN(Table * table, ResolveTable(db_name, table_name));
+  MTDB_RETURN_IF_ERROR(table->schema().ValidateRow(row));
+  MTDB_RETURN_IF_ERROR(lock_manager_.Acquire(
+      txn_id, TableLockId(db_name, table_name), LockMode::kIntentionExclusive));
+  MTDB_RETURN_IF_ERROR(lock_manager_.Acquire(
+      txn_id, RowLockId(db_name, table_name, pk), LockMode::kExclusive));
+  ChargeCacheAccess(db_name, table_name, pk);
+  std::optional<StoredRow> old = table->Get(pk);
+  if (!old) {
+    return Status::NotFound("no row with pk " + pk.ToString() + " in " +
+                            db_name + "." + table_name);
+  }
+  uint64_t version = table->NextVersion();
+  table->Update(pk, row, version);
+  txn->write_ops++;
+  txn->undo_log.push_back(UndoRecord{UndoRecord::Type::kUpdate, db_name,
+                                     table_name, pk, std::move(old->values),
+                                     old->version});
+  if (options_.record_history) {
+    txn->writes.push_back({RowLockId(db_name, table_name, pk), version});
+  }
+  if (wal_ != nullptr) {
+    MTDB_RETURN_IF_ERROR(wal_->AppendRowOp(WalRecordType::kUpdate, txn_id,
+                                           db_name, table_name, pk, row));
+  }
+  return Status::OK();
+}
+
+Status Engine::Delete(uint64_t txn_id, const std::string& db_name,
+                      const std::string& table_name, const Value& pk) {
+  MTDB_ASSIGN_OR_RETURN(Transaction * txn, FindActive(txn_id));
+  MTDB_ASSIGN_OR_RETURN(Table * table, ResolveTable(db_name, table_name));
+  MTDB_RETURN_IF_ERROR(lock_manager_.Acquire(
+      txn_id, TableLockId(db_name, table_name), LockMode::kIntentionExclusive));
+  MTDB_RETURN_IF_ERROR(lock_manager_.Acquire(
+      txn_id, RowLockId(db_name, table_name, pk), LockMode::kExclusive));
+  ChargeCacheAccess(db_name, table_name, pk);
+  std::optional<StoredRow> old = table->Get(pk);
+  if (!old) {
+    return Status::NotFound("no row with pk " + pk.ToString() + " in " +
+                            db_name + "." + table_name);
+  }
+  uint64_t version = table->NextVersion();
+  table->Delete(pk, version);
+  txn->write_ops++;
+  txn->undo_log.push_back(UndoRecord{UndoRecord::Type::kDelete, db_name,
+                                     table_name, pk, std::move(old->values),
+                                     old->version});
+  if (options_.record_history) {
+    txn->writes.push_back({RowLockId(db_name, table_name, pk), version});
+  }
+  if (wal_ != nullptr) {
+    MTDB_RETURN_IF_ERROR(wal_->AppendRowOp(WalRecordType::kDelete, txn_id,
+                                           db_name, table_name, pk, Row{}));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::pair<Value, Row>>> Engine::ScanTable(
+    uint64_t txn_id, const std::string& db_name,
+    const std::string& table_name) {
+  return ScanRange(txn_id, db_name, table_name, std::nullopt, std::nullopt);
+}
+
+Result<std::vector<std::pair<Value, Row>>> Engine::ScanRange(
+    uint64_t txn_id, const std::string& db_name,
+    const std::string& table_name, const std::optional<Value>& lo,
+    const std::optional<Value>& hi) {
+  MTDB_ASSIGN_OR_RETURN(Transaction * txn, FindActive(txn_id));
+  MTDB_ASSIGN_OR_RETURN(Table * table, ResolveTable(db_name, table_name));
+  MTDB_RETURN_IF_ERROR(lock_manager_.Acquire(
+      txn_id, TableLockId(db_name, table_name), LockMode::kShared));
+  std::vector<std::pair<Value, StoredRow>> stored = table->ScanRange(lo, hi);
+  std::vector<std::pair<Value, Row>> out;
+  out.reserve(stored.size());
+  // Scans read pages sequentially: misses are counted against the buffer
+  // pool as usual but charged at a fraction of the random-access penalty,
+  // in one sleep after the pass (sequential I/O model).
+  int64_t scan_misses = 0;
+  for (auto& [pk, stored_row] : stored) {
+    if (options_.buffer_pool_pages > 0) {
+      uint64_t key_hash = std::hash<std::string>{}(db_name + "/" + table_name +
+                                                   "/" + pk.LockKey());
+      uint64_t page_id =
+          key_hash / static_cast<uint64_t>(options_.rows_per_page);
+      if (!buffer_cache_.Touch(page_id)) ++scan_misses;
+    }
+    txn->read_ops++;
+    if (options_.record_history) {
+      txn->reads.push_back(
+          {RowLockId(db_name, table_name, pk), stored_row.version});
+    }
+    out.emplace_back(std::move(pk), std::move(stored_row.values));
+  }
+  if (scan_misses > 0 && options_.cache_miss_penalty_us > 0) {
+    constexpr int64_t kSequentialDiscount = 8;
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        scan_misses * options_.cache_miss_penalty_us / kSequentialDiscount));
+  }
+  return out;
+}
+
+Result<std::vector<Value>> Engine::IndexLookup(uint64_t txn_id,
+                                               const std::string& db_name,
+                                               const std::string& table_name,
+                                               const std::string& column_name,
+                                               const Value& key) {
+  MTDB_RETURN_IF_ERROR(FindActive(txn_id).status());
+  MTDB_ASSIGN_OR_RETURN(Table * table, ResolveTable(db_name, table_name));
+  int column_index = table->schema().ColumnIndex(column_name);
+  if (column_index < 0) {
+    return Status::InvalidArgument("no column " + column_name);
+  }
+  MTDB_RETURN_IF_ERROR(lock_manager_.Acquire(
+      txn_id, TableLockId(db_name, table_name), LockMode::kIntentionShared));
+  return table->IndexLookup(column_index, key);
+}
+
+Status Engine::LockTableExclusive(uint64_t txn_id, const std::string& db_name,
+                                  const std::string& table_name) {
+  MTDB_RETURN_IF_ERROR(FindActive(txn_id).status());
+  MTDB_RETURN_IF_ERROR(ResolveTable(db_name, table_name).status());
+  return lock_manager_.Acquire(txn_id, TableLockId(db_name, table_name),
+                               LockMode::kExclusive);
+}
+
+Status Engine::LockTableShared(uint64_t txn_id, const std::string& db_name,
+                               const std::string& table_name) {
+  MTDB_RETURN_IF_ERROR(FindActive(txn_id).status());
+  MTDB_RETURN_IF_ERROR(ResolveTable(db_name, table_name).status());
+  return lock_manager_.Acquire(txn_id, TableLockId(db_name, table_name),
+                               LockMode::kShared);
+}
+
+// --- Bulk load ---
+
+Status Engine::BulkInsert(const std::string& db_name,
+                          const std::string& table_name,
+                          const std::vector<Row>& rows) {
+  MTDB_ASSIGN_OR_RETURN(Table * table, ResolveTable(db_name, table_name));
+  for (const Row& row : rows) {
+    MTDB_RETURN_IF_ERROR(table->schema().ValidateRow(row));
+    if (!table->Insert(row, table->NextVersion())) {
+      return Status::AlreadyExists(
+          "duplicate primary key during bulk load into " + table_name);
+    }
+    if (wal_ != nullptr) {
+      // Bulk loads log under the always-committed pseudo transaction 0.
+      MTDB_RETURN_IF_ERROR(wal_->AppendRowOp(
+          WalRecordType::kInsert, 0, db_name, table_name,
+          row[table->schema().primary_key_index()], row));
+    }
+  }
+  if (wal_ != nullptr) MTDB_RETURN_IF_ERROR(wal_->Sync());
+  return Status::OK();
+}
+
+Status Engine::BulkInsertVersioned(
+    const std::string& db_name, const std::string& table_name,
+    const std::vector<std::pair<Row, uint64_t>>& rows) {
+  MTDB_ASSIGN_OR_RETURN(Table * table, ResolveTable(db_name, table_name));
+  for (const auto& [row, version] : rows) {
+    MTDB_RETURN_IF_ERROR(table->schema().ValidateRow(row));
+    if (!table->Insert(row, version)) {
+      return Status::AlreadyExists(
+          "duplicate primary key during versioned bulk load into " +
+          table_name);
+    }
+    table->AdvanceVersionCounter(version);
+  }
+  return Status::OK();
+}
+
+// --- History ---
+
+std::vector<CommittedTxnRecord> Engine::GetHistory() const {
+  std::lock_guard<std::mutex> lock(history_mu_);
+  return history_;
+}
+
+void Engine::ClearHistory() {
+  std::lock_guard<std::mutex> lock(history_mu_);
+  history_.clear();
+}
+
+}  // namespace mtdb

@@ -1,0 +1,188 @@
+#ifndef MTDB_STORAGE_ENGINE_H_
+#define MTDB_STORAGE_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/storage/buffer_cache.h"
+#include "src/storage/database.h"
+#include "src/storage/lock_manager.h"
+#include "src/storage/transaction.h"
+#include "src/storage/wal.h"
+
+namespace mtdb {
+
+struct EngineOptions {
+  // Record committed read/write version observations for the
+  // serializability checker.
+  bool record_history = false;
+
+  // Model the 2PC optimization of commercial engines: drop S/IS locks at
+  // PREPARE instead of COMMIT. This is the behaviour the paper identifies as
+  // the source of the aggressive-controller anomaly (Section 3.1). ON by
+  // default, matching "most modern database systems".
+  bool release_read_locks_on_prepare = true;
+
+  // Buffer-pool model. 0 pages disables it (all hits, no penalty).
+  size_t buffer_pool_pages = 0;
+  int64_t cache_miss_penalty_us = 0;
+  int64_t rows_per_page = 16;
+
+  // Non-empty: append a redo-only write-ahead log to this file. Recover a
+  // crashed engine's state with WriteAheadLog::Recover(path, fresh_engine).
+  std::string wal_path;
+  bool wal_sync_on_commit = true;
+
+  LockManager::Options lock_options;
+};
+
+// The per-machine single-node DBMS: databases of tables, a strict-2PL lock
+// manager, undo-based aborts, and an XA-style transaction API
+// (Begin / Prepare / CommitPrepared / Abort plus one-phase Commit).
+//
+// This is the building block the paper instantiates with MySQL; every
+// behaviour the cluster controller relies on (2PC participant contract,
+// read-lock release at PREPARE, table-granularity copy locking) is
+// implemented here.
+class Engine {
+ public:
+  explicit Engine(std::string site_name, EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const std::string& site_name() const { return site_name_; }
+  const EngineOptions& options() const { return options_; }
+  LockManager& lock_manager() { return lock_manager_; }
+  BufferCache& buffer_cache() { return buffer_cache_; }
+
+  // --- Catalog ---
+  Status CreateDatabase(const std::string& db_name);
+  Status DropDatabase(const std::string& db_name);
+  bool HasDatabase(const std::string& db_name) const;
+  Database* GetDatabase(const std::string& db_name) const;
+  std::vector<std::string> DatabaseNames() const;
+  Status CreateTable(const std::string& db_name, TableSchema schema);
+  Status CreateIndex(const std::string& db_name, const std::string& table_name,
+                     const std::string& index_name,
+                     const std::string& column_name);
+
+  // --- Transaction lifecycle ---
+  // txn_id is assigned by the coordinator and must be unique engine-wide.
+  Status Begin(uint64_t txn_id);
+  // First phase of 2PC. Votes yes by returning OK; per options, releases
+  // read locks.
+  Status Prepare(uint64_t txn_id);
+  // Second phase after a successful Prepare.
+  Status CommitPrepared(uint64_t txn_id);
+  // One-phase commit (single-participant or read-only transactions).
+  Status Commit(uint64_t txn_id);
+  Status Abort(uint64_t txn_id);
+  std::optional<TxnState> GetTxnState(uint64_t txn_id) const;
+  // Ids of transactions in kPrepared state (used by controller takeover).
+  std::vector<uint64_t> PreparedTxnIds() const;
+  // Ids of transactions still in kActive state (takeover aborts these).
+  std::vector<uint64_t> ActiveTxnIds() const;
+  // Number of transactions not yet committed/aborted.
+  size_t ActiveTxnCount() const;
+
+  // --- Row operations (the executor API). All acquire logical locks and,
+  // on write, append undo records. Errors of kind Deadlock/LockTimeout mean
+  // the caller must Abort the transaction. ---
+  Result<std::optional<Row>> Read(uint64_t txn_id, const std::string& db_name,
+                                  const std::string& table_name,
+                                  const Value& pk);
+  Status Insert(uint64_t txn_id, const std::string& db_name,
+                const std::string& table_name, const Row& row);
+  Status Update(uint64_t txn_id, const std::string& db_name,
+                const std::string& table_name, const Value& pk, const Row& row);
+  Status Delete(uint64_t txn_id, const std::string& db_name,
+                const std::string& table_name, const Value& pk);
+  // Full-table read under a table S lock; returns (pk, row) pairs.
+  Result<std::vector<std::pair<Value, Row>>> ScanTable(
+      uint64_t txn_id, const std::string& db_name,
+      const std::string& table_name);
+  // PK-range read under a table S lock.
+  Result<std::vector<std::pair<Value, Row>>> ScanRange(
+      uint64_t txn_id, const std::string& db_name,
+      const std::string& table_name, const std::optional<Value>& lo,
+      const std::optional<Value>& hi);
+  // Secondary-index probe (IS lock on table); caller Reads each pk after.
+  Result<std::vector<Value>> IndexLookup(uint64_t txn_id,
+                                         const std::string& db_name,
+                                         const std::string& table_name,
+                                         const std::string& column_name,
+                                         const Value& key);
+  // Table-granularity locks, used by whole-table updates and the copy tool.
+  Status LockTableExclusive(uint64_t txn_id, const std::string& db_name,
+                            const std::string& table_name);
+  Status LockTableShared(uint64_t txn_id, const std::string& db_name,
+                         const std::string& table_name);
+
+  // --- Bulk, non-transactional load (setup / dump application only; caller
+  // guarantees no concurrent transactions touch the table). ---
+  Status BulkInsert(const std::string& db_name, const std::string& table_name,
+                    const std::vector<Row>& rows);
+  // Bulk load preserving explicit row versions (dump application).
+  Status BulkInsertVersioned(const std::string& db_name,
+                             const std::string& table_name,
+                             const std::vector<std::pair<Row, uint64_t>>& rows);
+
+  // --- History & stats ---
+  std::vector<CommittedTxnRecord> GetHistory() const;
+  void ClearHistory();
+  // Null when the engine runs without a WAL.
+  WriteAheadLog* wal() const { return wal_.get(); }
+  int64_t committed_count() const { return committed_.load(); }
+  int64_t aborted_count() const { return aborted_.load(); }
+
+  static std::string TableLockId(const std::string& db_name,
+                                 const std::string& table_name);
+  static std::string RowLockId(const std::string& db_name,
+                               const std::string& table_name, const Value& pk);
+
+ private:
+  // Resolves db.table or returns an error. Requires no latches.
+  Result<Table*> ResolveTable(const std::string& db_name,
+                              const std::string& table_name) const;
+  // Finds an active transaction, or error.
+  Result<Transaction*> FindActive(uint64_t txn_id) const;
+  Result<Transaction*> Find(uint64_t txn_id) const;
+  // Charges the buffer-cache model for touching a row.
+  void ChargeCacheAccess(const std::string& db_name,
+                         const std::string& table_name, const Value& pk);
+  void RecordCommit(Transaction* txn);
+  // Applies the undo log in reverse; requires the txn's X locks still held.
+  void ApplyUndo(Transaction* txn);
+
+  std::string site_name_;
+  EngineOptions options_;
+  LockManager lock_manager_;
+  BufferCache buffer_cache_;
+
+  mutable std::shared_mutex catalog_latch_;
+  std::map<std::string, std::unique_ptr<Database>> databases_;
+
+  mutable std::mutex txn_mu_;
+  std::map<uint64_t, std::unique_ptr<Transaction>> txns_;
+
+  mutable std::mutex history_mu_;
+  std::vector<CommittedTxnRecord> history_;
+
+  std::atomic<int64_t> committed_{0};
+  std::atomic<int64_t> aborted_{0};
+
+  std::unique_ptr<WriteAheadLog> wal_;  // null when WAL disabled
+};
+
+}  // namespace mtdb
+
+#endif  // MTDB_STORAGE_ENGINE_H_

@@ -1,0 +1,271 @@
+#include "src/storage/lock_manager.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace mtdb {
+
+std::string_view LockModeName(LockMode mode) {
+  switch (mode) {
+    case LockMode::kIntentionShared:
+      return "IS";
+    case LockMode::kIntentionExclusive:
+      return "IX";
+    case LockMode::kShared:
+      return "S";
+    case LockMode::kExclusive:
+      return "X";
+  }
+  return "?";
+}
+
+LockManager::LockManager(Options options) : options_(options) {}
+
+bool LockManager::ModesCompatible(LockMode a, LockMode b) {
+  // Standard multigranularity compatibility matrix.
+  static constexpr bool kCompat[4][4] = {
+      // IS     IX     S      X
+      {true, true, true, false},    // IS
+      {true, true, false, false},   // IX
+      {true, false, true, false},   // S
+      {false, false, false, false}  // X
+  };
+  return kCompat[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+bool LockManager::MaskCompatibleWith(uint8_t held_mask, LockMode mode) {
+  for (int m = 0; m < 4; ++m) {
+    if ((held_mask & (1u << m)) &&
+        !ModesCompatible(static_cast<LockMode>(m), mode)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LockManager::MaskCovers(uint8_t held_mask, LockMode mode) {
+  uint8_t x = ModeBit(LockMode::kExclusive);
+  switch (mode) {
+    case LockMode::kIntentionShared:
+      return held_mask != 0;  // any held mode implies IS rights
+    case LockMode::kIntentionExclusive:
+      return (held_mask & (ModeBit(LockMode::kIntentionExclusive) | x)) != 0;
+    case LockMode::kShared:
+      return (held_mask & (ModeBit(LockMode::kShared) | x)) != 0;
+    case LockMode::kExclusive:
+      return (held_mask & x) != 0;
+  }
+  return false;
+}
+
+bool LockManager::CanGrant(const LockState& state, uint64_t txn_id,
+                           LockMode mode, bool is_upgrade) const {
+  for (const auto& [holder, mask] : state.holders) {
+    if (holder == txn_id) continue;
+    if (!MaskCompatibleWith(mask, mode)) return false;
+  }
+  if (!is_upgrade) {
+    // FIFO fairness: a fresh request must not jump over waiting requests.
+    for (const WaitRequest* waiter : state.waiters) {
+      if (waiter->abandoned || waiter->granted) continue;
+      if (waiter->txn_id == txn_id) continue;
+      if (!ModesCompatible(waiter->mode, mode)) return false;
+    }
+  }
+  return true;
+}
+
+void LockManager::CollectBlockers(
+    const LockState& state, const WaitRequest& req,
+    std::unordered_set<uint64_t>* blockers) const {
+  for (const auto& [holder, mask] : state.holders) {
+    if (holder == req.txn_id) continue;
+    if (!MaskCompatibleWith(mask, req.mode)) blockers->insert(holder);
+  }
+  for (const WaitRequest* waiter : state.waiters) {
+    if (waiter == &req) break;  // only waiters ahead of us can block us
+    if (waiter->abandoned || waiter->granted) continue;
+    if (waiter->txn_id == req.txn_id) continue;
+    if (!ModesCompatible(waiter->mode, req.mode)) blockers->insert(waiter->txn_id);
+  }
+}
+
+bool LockManager::WouldDeadlock(uint64_t start_txn) const {
+  // DFS over the wait-for graph: edges go from a blocked transaction to the
+  // transactions blocking it. A path back to start_txn is a cycle.
+  std::vector<uint64_t> stack = {start_txn};
+  std::unordered_set<uint64_t> visited;
+  bool first = true;
+  while (!stack.empty()) {
+    uint64_t txn = stack.back();
+    stack.pop_back();
+    if (!first) {
+      if (txn == start_txn) return true;
+      if (!visited.insert(txn).second) continue;
+    }
+    first = false;
+    auto wait_it = waiting_on_.find(txn);
+    if (wait_it == waiting_on_.end()) continue;
+    auto lock_it = locks_.find(wait_it->second);
+    if (lock_it == locks_.end()) continue;
+    const LockState& state = lock_it->second;
+    // Find this txn's wait request to know what blocks it.
+    for (const WaitRequest* waiter : state.waiters) {
+      if (waiter->txn_id != txn || waiter->abandoned || waiter->granted) {
+        continue;
+      }
+      std::unordered_set<uint64_t> blockers;
+      CollectBlockers(state, *waiter, &blockers);
+      for (uint64_t b : blockers) stack.push_back(b);
+      break;
+    }
+  }
+  return false;
+}
+
+Status LockManager::Acquire(uint64_t txn_id, const std::string& resource,
+                            LockMode mode) {
+  std::unique_lock<std::mutex> lock(mu_);
+  acquire_count_.fetch_add(1, std::memory_order_relaxed);
+  LockState& state = locks_[resource];
+
+  auto holder_it = state.holders.find(txn_id);
+  bool is_upgrade = holder_it != state.holders.end();
+  if (is_upgrade && MaskCovers(holder_it->second, mode)) {
+    return Status::OK();
+  }
+
+  if (CanGrant(state, txn_id, mode, is_upgrade)) {
+    state.holders[txn_id] |= ModeBit(mode);
+    held_[txn_id].insert(resource);
+    return Status::OK();
+  }
+
+  // Must wait. Upgrades wait at the front of the queue so that readers
+  // draining away unblocks them before any new writer.
+  WaitRequest request{txn_id, mode};
+  if (is_upgrade) {
+    state.waiters.push_front(&request);
+  } else {
+    state.waiters.push_back(&request);
+  }
+  waiting_on_[txn_id] = resource;
+
+  if (WouldDeadlock(txn_id)) {
+    deadlock_count_.fetch_add(1, std::memory_order_relaxed);
+    waiting_on_.erase(txn_id);
+    auto it = std::find(state.waiters.begin(), state.waiters.end(), &request);
+    if (it != state.waiters.end()) state.waiters.erase(it);
+    GrantWaiters(state);
+    cv_.notify_all();
+    return Status::Deadlock("txn " + std::to_string(txn_id) +
+                            " chosen as deadlock victim on " + resource);
+  }
+
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(options_.lock_timeout_us);
+  bool granted = cv_.wait_until(lock, deadline,
+                                [&request] { return request.granted; });
+  waiting_on_.erase(txn_id);
+  if (!granted) {
+    timeout_count_.fetch_add(1, std::memory_order_relaxed);
+    request.abandoned = true;
+    auto it = std::find(state.waiters.begin(), state.waiters.end(), &request);
+    if (it != state.waiters.end()) state.waiters.erase(it);
+    GrantWaiters(state);
+    cv_.notify_all();
+    return Status::LockTimeout("txn " + std::to_string(txn_id) +
+                               " timed out waiting for " + resource);
+  }
+  // GrantWaiters() already installed us as holder.
+  held_[txn_id].insert(resource);
+  return Status::OK();
+}
+
+void LockManager::GrantWaiters(LockState& state) {
+  // Grant from the front while requests remain compatible with holders.
+  // Granting stops at the first blocked request to preserve FIFO order.
+  while (!state.waiters.empty()) {
+    WaitRequest* request = state.waiters.front();
+    if (request->abandoned) {
+      state.waiters.pop_front();
+      continue;
+    }
+    bool compatible = true;
+    for (const auto& [holder, mask] : state.holders) {
+      if (holder == request->txn_id) continue;
+      if (!MaskCompatibleWith(mask, request->mode)) {
+        compatible = false;
+        break;
+      }
+    }
+    if (!compatible) break;
+    state.holders[request->txn_id] |= ModeBit(request->mode);
+    request->granted = true;
+    state.waiters.pop_front();
+  }
+}
+
+void LockManager::ReleaseLocked(uint64_t txn_id, bool read_locks_only) {
+  auto held_it = held_.find(txn_id);
+  if (held_it == held_.end()) return;
+  std::vector<std::string> to_forget;
+  for (const std::string& resource : held_it->second) {
+    auto lock_it = locks_.find(resource);
+    if (lock_it == locks_.end()) continue;
+    LockState& state = lock_it->second;
+    auto holder_it = state.holders.find(txn_id);
+    if (holder_it == state.holders.end()) continue;
+    if (read_locks_only) {
+      holder_it->second &= static_cast<uint8_t>(
+          ~(ModeBit(LockMode::kShared) | ModeBit(LockMode::kIntentionShared)));
+      if (holder_it->second == 0) {
+        state.holders.erase(holder_it);
+        to_forget.push_back(resource);
+      }
+    } else {
+      state.holders.erase(holder_it);
+      to_forget.push_back(resource);
+    }
+    GrantWaiters(state);
+    if (state.holders.empty() && state.waiters.empty()) {
+      locks_.erase(lock_it);
+    }
+  }
+  if (read_locks_only) {
+    for (const std::string& resource : to_forget) {
+      held_it->second.erase(resource);
+    }
+    if (held_it->second.empty()) held_.erase(held_it);
+  } else {
+    held_.erase(held_it);
+  }
+  cv_.notify_all();
+}
+
+void LockManager::ReleaseAll(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ReleaseLocked(txn_id, /*read_locks_only=*/false);
+}
+
+void LockManager::ReleaseReadLocks(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ReleaseLocked(txn_id, /*read_locks_only=*/true);
+}
+
+bool LockManager::Holds(uint64_t txn_id, const std::string& resource,
+                        LockMode mode) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto lock_it = locks_.find(resource);
+  if (lock_it == locks_.end()) return false;
+  auto holder_it = lock_it->second.holders.find(txn_id);
+  if (holder_it == lock_it->second.holders.end()) return false;
+  return (holder_it->second & ModeBit(mode)) != 0;
+}
+
+size_t LockManager::ActiveLockCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return locks_.size();
+}
+
+}  // namespace mtdb

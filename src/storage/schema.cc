@@ -1,0 +1,88 @@
+#include "src/storage/schema.h"
+
+#include <sstream>
+
+namespace mtdb {
+
+int TableSchema::ColumnIndex(const std::string& column_name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == column_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status TableSchema::AddIndex(const std::string& index_name,
+                             const std::string& column_name) {
+  int col = ColumnIndex(column_name);
+  if (col < 0) {
+    return Status::InvalidArgument("no column " + column_name + " in table " +
+                                   name_);
+  }
+  for (const IndexDef& index : indexes_) {
+    if (index.name == index_name) {
+      return Status::AlreadyExists("index " + index_name);
+    }
+  }
+  indexes_.push_back(IndexDef{index_name, col});
+  return Status::OK();
+}
+
+const IndexDef* TableSchema::IndexOnColumn(int column_index) const {
+  for (const IndexDef& index : indexes_) {
+    if (index.column_index == column_index) return &index;
+  }
+  return nullptr;
+}
+
+Status TableSchema::ValidateRow(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(columns_.size()) + " for table " + name_);
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Column& col = columns_[i];
+    const Value& v = row[i];
+    if (v.is_null()) {
+      if (col.not_null || static_cast<int>(i) == primary_key_index_) {
+        return Status::InvalidArgument("NULL in NOT NULL column " + col.name);
+      }
+      continue;
+    }
+    switch (col.type) {
+      case ColumnType::kInt64:
+        if (!v.is_int()) {
+          return Status::InvalidArgument("type mismatch in column " +
+                                         col.name + ": expected INT");
+        }
+        break;
+      case ColumnType::kDouble:
+        if (!v.is_numeric()) {
+          return Status::InvalidArgument("type mismatch in column " +
+                                         col.name + ": expected DOUBLE");
+        }
+        break;
+      case ColumnType::kString:
+        if (!v.is_string()) {
+          return Status::InvalidArgument("type mismatch in column " +
+                                         col.name + ": expected VARCHAR");
+        }
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+std::string TableSchema::ToString() const {
+  std::ostringstream out;
+  out << name_ << "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << columns_[i].name << " " << ColumnTypeName(columns_[i].type);
+    if (static_cast<int>(i) == primary_key_index_) out << " PRIMARY KEY";
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace mtdb

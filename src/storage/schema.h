@@ -1,0 +1,69 @@
+#ifndef MTDB_STORAGE_SCHEMA_H_
+#define MTDB_STORAGE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/storage/value.h"
+
+namespace mtdb {
+
+// A column definition within a table schema.
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+  bool not_null = false;
+};
+
+// Definition of a secondary (non-unique, single-column) index.
+struct IndexDef {
+  std::string name;
+  int column_index = -1;
+};
+
+// Schema of one table: ordered columns, a single-column primary key, and any
+// secondary indexes. Immutable once the table is created (no ALTER TABLE).
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string table_name, std::vector<Column> columns,
+              int primary_key_index)
+      : name_(std::move(table_name)),
+        columns_(std::move(columns)),
+        primary_key_index_(primary_key_index) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  int primary_key_index() const { return primary_key_index_; }
+  const std::vector<IndexDef>& indexes() const { return indexes_; }
+
+  size_t num_columns() const { return columns_.size(); }
+
+  // Index of the named column, or -1.
+  int ColumnIndex(const std::string& column_name) const;
+
+  // Registers a secondary index over the named column.
+  Status AddIndex(const std::string& index_name,
+                  const std::string& column_name);
+
+  // Returns the secondary index over the given column, if any.
+  const IndexDef* IndexOnColumn(int column_index) const;
+
+  // Validates a row against this schema: arity, types (NULL allowed unless
+  // NOT NULL; ints acceptable where doubles expected).
+  Status ValidateRow(const Row& row) const;
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  int primary_key_index_ = -1;
+  std::vector<IndexDef> indexes_;
+};
+
+}  // namespace mtdb
+
+#endif  // MTDB_STORAGE_SCHEMA_H_

@@ -1,0 +1,19 @@
+#include "src/storage/transaction.h"
+
+namespace mtdb {
+
+std::string_view TxnStateName(TxnState state) {
+  switch (state) {
+    case TxnState::kActive:
+      return "Active";
+    case TxnState::kPrepared:
+      return "Prepared";
+    case TxnState::kCommitted:
+      return "Committed";
+    case TxnState::kAborted:
+      return "Aborted";
+  }
+  return "?";
+}
+
+}  // namespace mtdb

@@ -1,0 +1,72 @@
+#ifndef MTDB_WORKLOAD_TPCW_H_
+#define MTDB_WORKLOAD_TPCW_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster_controller.h"
+#include "src/common/random.h"
+
+namespace mtdb::workload {
+
+// Scale of one TPC-W tenant database. TPC-W's full schema is scaled down to
+// keep experiment wall time reasonable; row counts of the dependent tables
+// derive from items/customers as in the benchmark spec.
+struct TpcwScale {
+  int64_t items = 100;
+  int64_t customers = 200;
+  int64_t initial_orders = 100;
+  uint64_t seed = 42;
+
+  int64_t authors() const { return std::max<int64_t>(items / 4, 1); }
+  int64_t addresses() const { return customers * 2; }
+};
+
+// Creates the ten TPC-W tables (with indexes) on every replica of `db_name`.
+Status CreateTpcwSchema(ClusterController* controller,
+                        const std::string& db_name);
+
+// Bulk-loads generated data on every replica of `db_name`.
+Status LoadTpcwData(ClusterController* controller, const std::string& db_name,
+                    const TpcwScale& scale);
+
+// The three TPC-W workload mixes (browse% / order%): browsing 95/5,
+// shopping 80/20, ordering 50/50.
+enum class TpcwMix { kBrowsing, kShopping, kOrdering };
+
+std::string_view TpcwMixName(TpcwMix mix);
+
+// The web interactions, reduced to their database transactions.
+enum class Interaction {
+  kHome,
+  kNewProducts,
+  kBestSellers,
+  kProductDetail,
+  kSearchBySubject,
+  kSearchByTitle,
+  kShoppingCartAdd,
+  kBuyConfirm,
+  kOrderInquiry,
+  kAdminUpdate,
+};
+
+// Draws an interaction according to the given mix.
+Interaction DrawInteraction(TpcwMix mix, Random* rng);
+
+// True for interactions whose transaction performs updates.
+bool IsWriteInteraction(Interaction interaction);
+
+// Outcome of running one interaction.
+struct InteractionResult {
+  Status status;
+  bool was_write = false;
+};
+
+// Runs one interaction as a single transaction on the connection. On error
+// the transaction has already been rolled back.
+InteractionResult RunInteraction(Connection* conn, Interaction interaction,
+                                 const TpcwScale& scale, Random* rng);
+
+}  // namespace mtdb::workload
+
+#endif  // MTDB_WORKLOAD_TPCW_H_

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "src/common/histogram.h"
+#include "src/common/random.h"
+#include "src/common/resource.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace mtdb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing table");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing table");
+  EXPECT_EQ(s.ToString(), "NotFound: missing table");
+}
+
+TEST(StatusTest, TransientAbortClassification) {
+  EXPECT_TRUE(Status::Deadlock("d").IsTransientAbort());
+  EXPECT_TRUE(Status::LockTimeout("t").IsTransientAbort());
+  EXPECT_FALSE(Status::Aborted("a").IsTransientAbort());
+  EXPECT_FALSE(Status::OK().IsTransientAbort());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int code = 0; code <= static_cast<int>(StatusCode::kResourceExhausted);
+       ++code) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(code)), "Unknown");
+  }
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto inner = []() -> Status { return Status::Internal("boom"); };
+  auto outer = [&]() -> Status {
+    MTDB_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("x"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<std::string> {
+    if (fail) return Status::InvalidArgument("bad");
+    return std::string("value");
+  };
+  auto outer = [&](bool fail) -> Result<size_t> {
+    MTDB_ASSIGN_OR_RETURN(std::string s, inner(fail));
+    return s.size();
+  };
+  EXPECT_EQ(*outer(false), 5u);
+  EXPECT_EQ(outer(true).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RandomTest, Deterministic) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, UniformRangeInclusive) {
+  Random rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RandomTest, AlphaStringLengthAndCharset) {
+  Random rng(13);
+  std::string s = rng.AlphaString(64);
+  EXPECT_EQ(s.size(), 64u);
+  for (char c : s) EXPECT_TRUE(isalnum(static_cast<unsigned char>(c)));
+}
+
+TEST(ZipfianTest, UniformWhenThetaZero) {
+  ZipfianGenerator zipf(10, 0.0, 42);
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(zipf.Pmf(i), 0.1, 1e-9);
+  }
+}
+
+TEST(ZipfianTest, SkewConcentratesOnLowRanks) {
+  ZipfianGenerator zipf(100, 1.2, 42);
+  EXPECT_GT(zipf.Pmf(0), zipf.Pmf(1));
+  EXPECT_GT(zipf.Pmf(1), zipf.Pmf(10));
+  EXPECT_GT(zipf.Pmf(10), zipf.Pmf(99));
+}
+
+TEST(ZipfianTest, PmfSumsToOne) {
+  ZipfianGenerator zipf(50, 0.8, 1);
+  double sum = 0;
+  for (uint64_t i = 0; i < 50; ++i) sum += zipf.Pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfianTest, EmpiricalSkewMatchesPmf) {
+  ZipfianGenerator zipf(20, 1.0, 99);
+  std::vector<int> counts(20, 0);
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) counts[zipf.Next()]++;
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kDraws, zipf.Pmf(0), 0.02);
+  EXPECT_GT(counts[0], counts[10]);
+}
+
+TEST(ZipfianTest, DrawsAlwaysInRange) {
+  ZipfianGenerator zipf(5, 2.0, 3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Next(), 5u);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(i);
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_NEAR(h.Mean(), 50.5, 1e-9);
+  EXPECT_EQ(h.Min(), 1);
+  EXPECT_EQ(h.Max(), 100);
+  EXPECT_LE(h.Percentile(50), 127);  // bucketed upper bound
+  EXPECT_GE(h.Percentile(99), 63);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a, b;
+  a.Record(10);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.Min(), 10);
+  EXPECT_EQ(a.Max(), 1000);
+}
+
+TEST(HistogramTest, ConcurrentRecording) {
+  Histogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 1000; ++i) h.Record(i);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), 4000);
+}
+
+TEST(ResourceVectorTest, ArithmeticAndFit) {
+  ResourceVector demand(10, 100, 500, 20);
+  ResourceVector capacity(100, 4096, 100000, 500);
+  EXPECT_TRUE(demand.FitsIn(capacity));
+  EXPECT_FALSE(capacity.FitsIn(demand));
+
+  ResourceVector doubled = demand + demand;
+  EXPECT_EQ(doubled.cpu, 20);
+  EXPECT_EQ(doubled.memory_mb, 200);
+
+  ResourceVector back = doubled - demand;
+  EXPECT_TRUE(back == demand);
+}
+
+TEST(ResourceVectorTest, FitBoundaryIsInclusive) {
+  ResourceVector demand(10, 10, 10, 10);
+  EXPECT_TRUE(demand.FitsIn(demand));
+}
+
+TEST(ResourceVectorTest, NonNegativeCheck) {
+  ResourceVector ok(1, 1, 1, 1);
+  EXPECT_TRUE(ok.IsNonNegative());
+  ResourceVector neg = ok - ResourceVector(2, 0, 0, 0);
+  EXPECT_FALSE(neg.IsNonNegative());
+}
+
+}  // namespace
+}  // namespace mtdb

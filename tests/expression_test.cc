@@ -1,0 +1,168 @@
+// Focused unit tests for the expression evaluator: SQL three-valued NULL
+// semantics, LIKE matching, arithmetic typing, and layout resolution.
+#include <gtest/gtest.h>
+
+#include "src/sql/expression.h"
+#include "src/sql/parser.h"
+
+namespace mtdb::sql {
+namespace {
+
+// Parses `expr_text` as the WHERE clause of a dummy statement and evaluates
+// it against a row of schema (a INT, b DOUBLE, c VARCHAR).
+Result<Value> Eval(const std::string& expr_text, const Row& row,
+                   const std::vector<Value>& params = {}) {
+  auto stmt = Parse("SELECT x FROM t WHERE " + expr_text);
+  if (!stmt.ok()) return stmt.status();
+  TableSchema schema("t",
+                     {{"a", ColumnType::kInt64, false},
+                      {"b", ColumnType::kDouble, false},
+                      {"c", ColumnType::kString, false}},
+                     0);
+  RowLayout layout;
+  layout.Append("t", schema);
+  ExprEvaluator evaluator(&layout, &params);
+  return evaluator.Eval(*stmt->select.where, row);
+}
+
+Row R(int64_t a, double b, const std::string& c) {
+  return {Value(a), Value(b), Value(c)};
+}
+
+Row RNull() { return {Value(), Value(), Value()}; }
+
+TEST(ExpressionTest, ComparisonOperators) {
+  Row row = R(5, 2.5, "m");
+  EXPECT_EQ(Eval("a = 5", row)->AsInt(), 1);
+  EXPECT_EQ(Eval("a <> 5", row)->AsInt(), 0);
+  EXPECT_EQ(Eval("a < 6", row)->AsInt(), 1);
+  EXPECT_EQ(Eval("a <= 5", row)->AsInt(), 1);
+  EXPECT_EQ(Eval("a > 5", row)->AsInt(), 0);
+  EXPECT_EQ(Eval("a >= 6", row)->AsInt(), 0);
+  EXPECT_EQ(Eval("b = 2.5", row)->AsInt(), 1);
+  EXPECT_EQ(Eval("c = 'm'", row)->AsInt(), 1);
+  EXPECT_EQ(Eval("a = b", row)->AsInt(), 0);  // 5 vs 2.5, mixed numeric
+}
+
+TEST(ExpressionTest, NullPropagatesThroughComparison) {
+  Row row = RNull();
+  EXPECT_TRUE(Eval("a = 5", row)->is_null());
+  EXPECT_TRUE(Eval("a < 5", row)->is_null());
+  EXPECT_TRUE(Eval("a + 1 = 2", row)->is_null());
+  // WHERE treats NULL as false.
+  EXPECT_FALSE(ExprEvaluator::IsTruthy(*Eval("a = 5", row)));
+}
+
+TEST(ExpressionTest, ThreeValuedAndOr) {
+  Row row = RNull();
+  // NULL AND FALSE = FALSE; NULL AND TRUE = NULL.
+  EXPECT_EQ(Eval("a = 1 AND 1 = 2", row)->AsInt(), 0);
+  EXPECT_TRUE(Eval("a = 1 AND 1 = 1", row)->is_null());
+  // NULL OR TRUE = TRUE; NULL OR FALSE = NULL.
+  EXPECT_EQ(Eval("a = 1 OR 1 = 1", row)->AsInt(), 1);
+  EXPECT_TRUE(Eval("a = 1 OR 1 = 2", row)->is_null());
+  // NOT NULL = NULL.
+  EXPECT_TRUE(Eval("NOT (a = 1)", row)->is_null());
+}
+
+TEST(ExpressionTest, ShortCircuitPreventsNeedlessEvaluation) {
+  // The right side references a bind parameter that is missing; with a
+  // false left side under AND it must never be evaluated.
+  Row row = R(1, 1.0, "x");
+  auto result = Eval("1 = 2 AND a = ?", row, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->AsInt(), 0);
+}
+
+TEST(ExpressionTest, IsNullOperators) {
+  EXPECT_EQ(Eval("a IS NULL", RNull())->AsInt(), 1);
+  EXPECT_EQ(Eval("a IS NOT NULL", RNull())->AsInt(), 0);
+  EXPECT_EQ(Eval("a IS NULL", R(1, 1, "x"))->AsInt(), 0);
+  EXPECT_EQ(Eval("a IS NOT NULL", R(1, 1, "x"))->AsInt(), 1);
+}
+
+TEST(ExpressionTest, InListSemantics) {
+  Row row = R(3, 1.0, "x");
+  EXPECT_EQ(Eval("a IN (1, 2, 3)", row)->AsInt(), 1);
+  EXPECT_EQ(Eval("a IN (1, 2)", row)->AsInt(), 0);
+  EXPECT_EQ(Eval("a NOT IN (1, 2)", row)->AsInt(), 1);
+  EXPECT_TRUE(Eval("a IN (1, 2)", RNull())->is_null());
+}
+
+TEST(ExpressionTest, BetweenDesugars) {
+  EXPECT_EQ(Eval("a BETWEEN 1 AND 5", R(3, 0, ""))->AsInt(), 1);
+  EXPECT_EQ(Eval("a BETWEEN 1 AND 5", R(5, 0, ""))->AsInt(), 1);  // inclusive
+  EXPECT_EQ(Eval("a BETWEEN 1 AND 5", R(6, 0, ""))->AsInt(), 0);
+  EXPECT_EQ(Eval("a NOT BETWEEN 1 AND 5", R(6, 0, ""))->AsInt(), 1);
+}
+
+TEST(ExpressionTest, LikePatterns) {
+  EXPECT_TRUE(ExprEvaluator::LikeMatch("hello", "hello"));
+  EXPECT_TRUE(ExprEvaluator::LikeMatch("hello", "h%"));
+  EXPECT_TRUE(ExprEvaluator::LikeMatch("hello", "%llo"));
+  EXPECT_TRUE(ExprEvaluator::LikeMatch("hello", "%ell%"));
+  EXPECT_TRUE(ExprEvaluator::LikeMatch("hello", "h_llo"));
+  EXPECT_TRUE(ExprEvaluator::LikeMatch("hello", "%"));
+  EXPECT_TRUE(ExprEvaluator::LikeMatch("", "%"));
+  EXPECT_FALSE(ExprEvaluator::LikeMatch("hello", "h_l"));
+  EXPECT_FALSE(ExprEvaluator::LikeMatch("hello", "ello"));
+  EXPECT_FALSE(ExprEvaluator::LikeMatch("", "_"));
+  // Backtracking case: multiple % segments.
+  EXPECT_TRUE(ExprEvaluator::LikeMatch("abcabcabc", "%abc%abc"));
+  EXPECT_FALSE(ExprEvaluator::LikeMatch("abcabcab", "%abc%abc"));
+}
+
+TEST(ExpressionTest, ArithmeticTyping) {
+  Row row = R(7, 2.0, "x");
+  EXPECT_EQ(Eval("a + 1 = 8", row)->AsInt(), 1);
+  // Int/int division yields double.
+  auto stmt = Parse("SELECT x FROM t WHERE 7 / 2 = 3.5");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(Eval("7 / 2 = 3.5", row)->AsInt(), 1);
+  EXPECT_EQ(Eval("7 % 2 = 1", row)->AsInt(), 1);
+  EXPECT_EQ(Eval("a * b = 14", row)->AsInt(), 1);
+  EXPECT_EQ(Eval("-a = -7", row)->AsInt(), 1);
+  // Division by zero yields NULL, not an error.
+  EXPECT_TRUE(Eval("a / 0 = 1", row)->is_null());
+  EXPECT_TRUE(Eval("a % 0 = 1", row)->is_null());
+}
+
+TEST(ExpressionTest, ArithmeticOnStringsIsAnError) {
+  EXPECT_FALSE(Eval("c + 1 = 2", R(1, 1.0, "x")).ok());
+}
+
+TEST(ExpressionTest, ParameterBinding) {
+  Row row = R(9, 1.0, "x");
+  EXPECT_EQ(Eval("a = ?", row, {Value(int64_t{9})})->AsInt(), 1);
+  EXPECT_EQ(Eval("a = ? + ?", row,
+                 {Value(int64_t{4}), Value(int64_t{5})})
+                ->AsInt(),
+            1);
+  EXPECT_FALSE(Eval("a = ?", row, {}).ok());  // missing parameter
+}
+
+TEST(ExpressionTest, LayoutResolvesQualifiedAndAmbiguousNames) {
+  TableSchema t1("t1", {{"id", ColumnType::kInt64, false}}, 0);
+  TableSchema t2("t2", {{"id", ColumnType::kInt64, false}}, 0);
+  RowLayout layout;
+  layout.Append("t1", t1);
+  layout.Append("t2", t2);
+  EXPECT_EQ(*layout.Resolve("t1", "id"), 0);
+  EXPECT_EQ(*layout.Resolve("t2", "id"), 1);
+  EXPECT_FALSE(layout.Resolve("", "id").ok());    // ambiguous
+  EXPECT_FALSE(layout.Resolve("t3", "id").ok());  // unknown qualifier
+  EXPECT_FALSE(layout.Resolve("t1", "zz").ok());  // unknown column
+}
+
+TEST(ExpressionTest, FingerprintDistinguishesAggregates) {
+  auto stmt = Parse("SELECT SUM(a), SUM(b), COUNT(*), COUNT(a) FROM t");
+  ASSERT_TRUE(stmt.ok());
+  std::set<std::string> prints;
+  for (const auto& item : stmt->select.items) {
+    prints.insert(item.expr->Fingerprint());
+  }
+  EXPECT_EQ(prints.size(), 4u);
+}
+
+}  // namespace
+}  // namespace mtdb::sql

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/platform/system_controller.h"
+
+namespace mtdb::platform {
+namespace {
+
+constexpr GeoPoint kWestCoast{37.4, -122.0};
+constexpr GeoPoint kEastCoast{40.7, -74.0};
+constexpr GeoPoint kEurope{48.8, 2.3};
+
+ColoOptions MakeColo(const std::string& name, GeoPoint where) {
+  ColoOptions options;
+  options.name = name;
+  options.location = where;
+  options.machines_per_cluster = 2;
+  options.free_pool_machines = 2;
+  return options;
+}
+
+TEST(GeoTest, DistanceSanity) {
+  EXPECT_NEAR(GeoDistanceKm(kWestCoast, kWestCoast), 0.0, 1e-6);
+  double us = GeoDistanceKm(kWestCoast, kEastCoast);
+  double intercontinental = GeoDistanceKm(kWestCoast, kEurope);
+  EXPECT_GT(us, 3000);
+  EXPECT_LT(us, 5500);
+  EXPECT_GT(intercontinental, us);
+}
+
+TEST(ColoTest, ClusterCreationAndPlacement) {
+  Colo colo(MakeColo("west", kWestCoast));
+  EXPECT_EQ(colo.cluster_count(), 0u);
+  ASSERT_TRUE(colo.CreateDatabase("app1", 2).ok());
+  EXPECT_EQ(colo.cluster_count(), 1u);
+  EXPECT_TRUE(colo.HostsDatabase("app1"));
+  EXPECT_FALSE(colo.HostsDatabase("nope"));
+  auto cluster = colo.ClusterFor("app1");
+  ASSERT_TRUE(cluster.ok());
+  EXPECT_EQ((*cluster)->ReplicasOf("app1").size(), 2u);
+}
+
+TEST(ColoTest, FreePoolGrowsCluster) {
+  ColoOptions options = MakeColo("west", kWestCoast);
+  options.machines_per_cluster = 1;  // too small for 2 replicas
+  Colo colo(options);
+  colo.AddCluster();
+  EXPECT_EQ(colo.free_machines(), 2);
+  // Needs a second machine: the colo controller pulls one from the pool.
+  ASSERT_TRUE(colo.CreateDatabase("app", 2).ok());
+  EXPECT_EQ(colo.free_machines(), 1);
+  EXPECT_EQ(colo.cluster(0)->machine_count(), 2u);
+}
+
+TEST(ColoTest, PoolExhaustionSurfaces) {
+  ColoOptions options = MakeColo("west", kWestCoast);
+  options.machines_per_cluster = 1;
+  options.free_pool_machines = 0;
+  Colo colo(options);
+  colo.AddCluster();
+  EXPECT_EQ(colo.CreateDatabase("app", 3).code(),
+            StatusCode::kResourceExhausted);
+}
+
+class SystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SystemOptions options;
+    options.replication_lag_ms = 5;
+    system_ = std::make_unique<SystemController>(options);
+    system_->AddColo(MakeColo("west", kWestCoast));
+    system_->AddColo(MakeColo("east", kEastCoast));
+    ASSERT_TRUE(system_->CreateDatabase("app", kWestCoast, 2).ok());
+    // Schema on both colos' clusters.
+    for (const char* colo_name : {"west", "east"}) {
+      auto cluster = system_->colo(colo_name)->ClusterFor("app");
+      ASSERT_TRUE(cluster.ok());
+      ASSERT_TRUE((*cluster)
+                      ->ExecuteDdl("app",
+                                   "CREATE TABLE notes (id INT PRIMARY KEY, "
+                                   "body VARCHAR(100))")
+                      .ok());
+    }
+  }
+
+  std::unique_ptr<SystemController> system_;
+};
+
+TEST_F(SystemTest, PrimaryIsNearestColo) {
+  auto primary = system_->PrimaryColoOf("app");
+  ASSERT_TRUE(primary.ok());
+  EXPECT_EQ(*primary, "west");
+  auto secondary = system_->SecondaryColoOf("app");
+  ASSERT_TRUE(secondary.ok());
+  EXPECT_EQ(*secondary, "east");
+}
+
+TEST_F(SystemTest, WritesShipAsynchronouslyToSecondary) {
+  auto conn = system_->Connect("app", kWestCoast);
+  ASSERT_TRUE(conn.ok());
+  EXPECT_EQ((*conn)->colo_name(), "west");
+  ASSERT_TRUE(
+      (*conn)->Execute("INSERT INTO notes VALUES (1, 'hello')").ok());
+  system_->DrainReplication();
+  EXPECT_GE(system_->shipped_transactions(), 1);
+  // The secondary colo now has the row.
+  auto east = system_->colo("east")->Connect("app");
+  ASSERT_TRUE(east.ok());
+  auto read = (*east)->Execute("SELECT body FROM notes WHERE id = 1");
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->rows.size(), 1u);
+  EXPECT_EQ(read->at(0, 0).AsString(), "hello");
+}
+
+TEST_F(SystemTest, ExplicitTransactionShipsAtomically) {
+  auto conn = system_->Connect("app", kWestCoast);
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE((*conn)->Begin().ok());
+  ASSERT_TRUE((*conn)->Execute("INSERT INTO notes VALUES (10, 'a')").ok());
+  ASSERT_TRUE((*conn)->Execute("INSERT INTO notes VALUES (11, 'b')").ok());
+  ASSERT_TRUE((*conn)->Commit().ok());
+  system_->DrainReplication();
+  auto east = system_->colo("east")->Connect("app");
+  auto count = (*east)->Execute(
+      "SELECT COUNT(*) FROM notes WHERE id IN (10, 11)");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->at(0, 0).AsInt(), 2);
+}
+
+TEST_F(SystemTest, AbortedTransactionDoesNotShip) {
+  auto conn = system_->Connect("app", kWestCoast);
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE((*conn)->Begin().ok());
+  ASSERT_TRUE((*conn)->Execute("INSERT INTO notes VALUES (20, 'x')").ok());
+  ASSERT_TRUE((*conn)->Abort().ok());
+  system_->DrainReplication();
+  auto east = system_->colo("east")->Connect("app");
+  auto count = (*east)->Execute("SELECT COUNT(*) FROM notes WHERE id = 20");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->at(0, 0).AsInt(), 0);
+}
+
+TEST_F(SystemTest, ColoDisasterFailsOverToSecondary) {
+  auto conn = system_->Connect("app", kWestCoast);
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE((*conn)->Execute("INSERT INTO notes VALUES (1, 'pre')").ok());
+  system_->DrainReplication();
+
+  system_->colo("west")->Fail();
+  auto dr = system_->Connect("app", kWestCoast);
+  ASSERT_TRUE(dr.ok());
+  EXPECT_EQ((*dr)->colo_name(), "east");  // served from the DR colo
+  auto read = (*dr)->Execute("SELECT body FROM notes WHERE id = 1");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->rows.size(), 1u);  // shipped before the disaster
+
+  ASSERT_TRUE(system_->FailoverDatabase("app").ok());
+  auto primary = system_->PrimaryColoOf("app");
+  ASSERT_TRUE(primary.ok());
+  EXPECT_EQ(*primary, "east");
+}
+
+TEST_F(SystemTest, UnshippedTailLostOnDisaster) {
+  // Raise the lag so the disaster strikes mid-flight.
+  SystemOptions options;
+  options.replication_lag_ms = 200;
+  SystemController slow(options);
+  slow.AddColo(MakeColo("west", kWestCoast));
+  slow.AddColo(MakeColo("east", kEastCoast));
+  ASSERT_TRUE(slow.CreateDatabase("app", kWestCoast, 2).ok());
+  for (const char* colo_name : {"west", "east"}) {
+    auto cluster = slow.colo(colo_name)->ClusterFor("app");
+    ASSERT_TRUE((*cluster)
+                    ->ExecuteDdl("app",
+                                 "CREATE TABLE notes (id INT PRIMARY KEY, "
+                                 "body VARCHAR(100))")
+                    .ok());
+  }
+  auto conn = slow.Connect("app", kWestCoast);
+  ASSERT_TRUE((*conn)->Execute("INSERT INTO notes VALUES (1, 'tail')").ok());
+  // Disaster before the shipment lands: the paper's documented weaker
+  // cross-colo guarantee.
+  slow.colo("west")->Fail();
+  auto dr = slow.Connect("app", kWestCoast);
+  ASSERT_TRUE(dr.ok());
+  auto read = (*dr)->Execute("SELECT COUNT(*) FROM notes WHERE id = 1");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->at(0, 0).AsInt(), 0);
+  slow.DrainReplication();
+}
+
+TEST(SystemRoutingTest, NoSecondaryWithSingleColo) {
+  SystemController system;
+  system.AddColo(MakeColo("only", kWestCoast));
+  ASSERT_TRUE(system.CreateDatabase("solo", kWestCoast, 2).ok());
+  EXPECT_EQ(system.SecondaryColoOf("solo").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace mtdb::platform

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "src/storage/schema.h"
+#include "src/storage/value.h"
+
+namespace mtdb {
+namespace {
+
+TEST(ValueTest, TypePredicates) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(int64_t{5}).is_int());
+  EXPECT_TRUE(Value(3.14).is_double());
+  EXPECT_TRUE(Value("abc").is_string());
+  EXPECT_TRUE(Value(int64_t{5}).is_numeric());
+  EXPECT_TRUE(Value(3.14).is_numeric());
+  EXPECT_FALSE(Value("abc").is_numeric());
+}
+
+TEST(ValueTest, IntComparison) {
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_EQ(Value(int64_t{7}), Value(int64_t{7}));
+  EXPECT_GT(Value(int64_t{9}), Value(int64_t{2}));
+}
+
+TEST(ValueTest, MixedNumericComparison) {
+  EXPECT_EQ(Value(int64_t{2}), Value(2.0));
+  EXPECT_LT(Value(1.5), Value(int64_t{2}));
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value("apple"), Value("banana"));
+  EXPECT_EQ(Value("x"), Value("x"));
+}
+
+TEST(ValueTest, CrossTypeOrdering) {
+  // NULL < numerics < strings (index total order).
+  EXPECT_LT(Value(), Value(int64_t{0}));
+  EXPECT_LT(Value(int64_t{999}), Value("a"));
+}
+
+TEST(ValueTest, ToStringQuotesAndEscapes) {
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value("it's").ToString(), "'it''s'");
+  EXPECT_EQ(Value().ToString(), "NULL");
+}
+
+TEST(ValueTest, LockKeyDistinguishesTypes) {
+  EXPECT_NE(Value(int64_t{1}).LockKey(), Value("1").LockKey());
+  EXPECT_NE(Value().LockKey(), Value(int64_t{0}).LockKey());
+}
+
+TEST(ValueTest, LargeInt64PreservedExactly) {
+  int64_t big = (int64_t{1} << 62) + 1;
+  EXPECT_LT(Value(big), Value(big + 1));  // would fail under double coercion
+}
+
+TEST(SchemaTest, ColumnIndexLookup) {
+  TableSchema schema("t",
+                     {{"id", ColumnType::kInt64, true},
+                      {"name", ColumnType::kString, false}},
+                     0);
+  EXPECT_EQ(schema.ColumnIndex("id"), 0);
+  EXPECT_EQ(schema.ColumnIndex("name"), 1);
+  EXPECT_EQ(schema.ColumnIndex("zzz"), -1);
+}
+
+TEST(SchemaTest, ValidateRowArity) {
+  TableSchema schema("t", {{"id", ColumnType::kInt64, true}}, 0);
+  EXPECT_TRUE(schema.ValidateRow({Value(int64_t{1})}).ok());
+  EXPECT_FALSE(schema.ValidateRow({Value(int64_t{1}), Value(int64_t{2})}).ok());
+}
+
+TEST(SchemaTest, ValidateRowTypes) {
+  TableSchema schema("t",
+                     {{"id", ColumnType::kInt64, true},
+                      {"price", ColumnType::kDouble, false},
+                      {"name", ColumnType::kString, false}},
+                     0);
+  EXPECT_TRUE(schema
+                  .ValidateRow({Value(int64_t{1}), Value(9.5), Value("book")})
+                  .ok());
+  // Int accepted where double expected.
+  EXPECT_TRUE(schema
+                  .ValidateRow(
+                      {Value(int64_t{1}), Value(int64_t{9}), Value("book")})
+                  .ok());
+  // String where int expected.
+  EXPECT_FALSE(
+      schema.ValidateRow({Value("x"), Value(9.5), Value("book")}).ok());
+}
+
+TEST(SchemaTest, NullRejectedInPrimaryKeyAndNotNull) {
+  TableSchema schema("t",
+                     {{"id", ColumnType::kInt64, false},
+                      {"req", ColumnType::kString, true},
+                      {"opt", ColumnType::kString, false}},
+                     0);
+  EXPECT_FALSE(schema.ValidateRow({Value(), Value("a"), Value("b")}).ok());
+  EXPECT_FALSE(
+      schema.ValidateRow({Value(int64_t{1}), Value(), Value("b")}).ok());
+  EXPECT_TRUE(
+      schema.ValidateRow({Value(int64_t{1}), Value("a"), Value()}).ok());
+}
+
+TEST(SchemaTest, AddIndexValidation) {
+  TableSchema schema("t",
+                     {{"id", ColumnType::kInt64, true},
+                      {"cat", ColumnType::kString, false}},
+                     0);
+  EXPECT_TRUE(schema.AddIndex("idx_cat", "cat").ok());
+  EXPECT_EQ(schema.AddIndex("idx_cat", "cat").code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(schema.AddIndex("idx_bad", "nope").code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_NE(schema.IndexOnColumn(1), nullptr);
+  EXPECT_EQ(schema.IndexOnColumn(1)->name, "idx_cat");
+  EXPECT_EQ(schema.IndexOnColumn(0), nullptr);
+}
+
+}  // namespace
+}  // namespace mtdb

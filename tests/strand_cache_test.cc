@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/cluster/strand.h"
+#include "src/common/random.h"
+#include "src/storage/buffer_cache.h"
+
+namespace mtdb {
+namespace {
+
+TEST(StrandTest, TasksRunInSubmissionOrder) {
+  Strand strand;
+  std::vector<int> order;
+  std::mutex mu;
+  for (int i = 0; i < 100; ++i) {
+    strand.SubmitDetached([&order, &mu, i] {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(i);
+    });
+  }
+  strand.Drain();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(StrandTest, SubmitReturnsCompletionFuture) {
+  Strand strand;
+  std::atomic<bool> ran{false};
+  auto future = strand.Submit([&ran] { ran = true; });
+  future.wait();
+  EXPECT_TRUE(ran);
+}
+
+TEST(StrandTest, DrainWaitsForEarlierWork) {
+  Strand strand;
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i) {
+    strand.SubmitDetached([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      done++;
+    });
+  }
+  strand.Drain();
+  EXPECT_EQ(done, 10);
+}
+
+TEST(StrandTest, DestructorDrainsQueue) {
+  std::atomic<int> done{0};
+  {
+    Strand strand;
+    for (int i = 0; i < 20; ++i) {
+      strand.SubmitDetached([&done] { done++; });
+    }
+  }
+  EXPECT_EQ(done, 20);
+}
+
+TEST(StrandTest, ConcurrentSubmittersAllExecute) {
+  Strand strand;
+  std::atomic<int> executed{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&strand, &executed] {
+      for (int i = 0; i < 50; ++i) {
+        strand.SubmitDetached([&executed] { executed++; });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  strand.Drain();
+  EXPECT_EQ(executed, 200);
+}
+
+TEST(SemaphoreTest, LimitsConcurrency) {
+  Semaphore semaphore(2);
+  std::atomic<int> inside{0};
+  std::atomic<int> peak{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      SemaphoreGuard guard(&semaphore);
+      int now = ++inside;
+      int expected = peak.load();
+      while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      --inside;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(peak.load(), 2);
+  EXPECT_GE(peak.load(), 1);
+}
+
+TEST(SemaphoreTest, NullGuardIsNoop) {
+  SemaphoreGuard guard(nullptr);  // must not crash
+}
+
+TEST(BufferCacheTest, DisabledCacheAlwaysHits) {
+  BufferCache cache(0);
+  for (uint64_t p = 0; p < 100; ++p) EXPECT_TRUE(cache.Touch(p));
+  EXPECT_EQ(cache.misses(), 0);
+  EXPECT_DOUBLE_EQ(cache.HitRate(), 1.0);
+}
+
+TEST(BufferCacheTest, ColdMissThenWarmHit) {
+  BufferCache cache(4);
+  EXPECT_FALSE(cache.Touch(1));
+  EXPECT_TRUE(cache.Touch(1));
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+TEST(BufferCacheTest, LruEvictsLeastRecentlyUsed) {
+  BufferCache cache(2);
+  cache.Touch(1);
+  cache.Touch(2);
+  cache.Touch(1);       // 1 is now most recent
+  cache.Touch(3);       // evicts 2
+  EXPECT_TRUE(cache.Touch(1));
+  EXPECT_TRUE(cache.Touch(3));
+  EXPECT_FALSE(cache.Touch(2));  // was evicted
+}
+
+TEST(BufferCacheTest, CapacityIsRespected) {
+  BufferCache cache(8);
+  for (uint64_t p = 0; p < 100; ++p) cache.Touch(p);
+  EXPECT_EQ(cache.Size(), 8u);
+}
+
+TEST(BufferCacheTest, WorkingSetLargerThanPoolThrashes) {
+  BufferCache cache(10);
+  // Cyclic access over 20 pages with LRU: every access misses.
+  for (int round = 0; round < 5; ++round) {
+    for (uint64_t p = 0; p < 20; ++p) cache.Touch(p);
+  }
+  EXPECT_EQ(cache.hits(), 0);
+}
+
+TEST(BufferCacheTest, WorkingSetWithinPoolAllHitsAfterWarmup) {
+  BufferCache cache(32);
+  for (uint64_t p = 0; p < 20; ++p) cache.Touch(p);  // warmup: 20 misses
+  for (int round = 0; round < 5; ++round) {
+    for (uint64_t p = 0; p < 20; ++p) EXPECT_TRUE(cache.Touch(p));
+  }
+  EXPECT_EQ(cache.misses(), 20);
+}
+
+TEST(BufferCacheTest, ConcurrentTouchesAreSafe) {
+  BufferCache cache(64);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      Random rng(static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < 2000; ++i) cache.Touch(rng.Uniform(128));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(cache.hits() + cache.misses(), 8000);
+  EXPECT_LE(cache.Size(), 64u);
+}
+
+}  // namespace
+}  // namespace mtdb

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/common/random.h"
+#include "src/storage/engine.h"
+#include "src/storage/wal.h"
+
+namespace mtdb {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("mtdb_wal_" +
+             std::to_string(
+                 ::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name());
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  EngineOptions WalOptions() {
+    EngineOptions options;
+    options.wal_path = path_.string();
+    return options;
+  }
+
+  TableSchema ItemsSchema() {
+    return TableSchema("items",
+                       {{"id", ColumnType::kInt64, true},
+                        {"name", ColumnType::kString, false},
+                        {"price", ColumnType::kDouble, false}},
+                       0);
+  }
+
+  std::filesystem::path path_;
+};
+
+TEST_F(WalTest, ValueCodecRoundTrip) {
+  for (const Value& v :
+       {Value(), Value(int64_t{-42}), Value(3.14159), Value("plain"),
+        Value("with\nnewline"), Value(std::string(1, '\x1f')),
+        Value("back\\slash"), Value(int64_t{INT64_MAX})}) {
+    auto decoded = WriteAheadLog::DecodeValue(WriteAheadLog::EncodeValue(v));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, v) << v.ToString();
+  }
+}
+
+TEST_F(WalTest, SchemaCodecRoundTrip) {
+  TableSchema schema = ItemsSchema();
+  ASSERT_TRUE(schema.AddIndex("idx_name", "name").ok());
+  auto decoded = WriteAheadLog::DecodeSchema(WriteAheadLog::EncodeSchema(schema));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->name(), "items");
+  EXPECT_EQ(decoded->num_columns(), 3u);
+  EXPECT_EQ(decoded->primary_key_index(), 0);
+  EXPECT_EQ(decoded->columns()[2].type, ColumnType::kDouble);
+  ASSERT_EQ(decoded->indexes().size(), 1u);
+  EXPECT_EQ(decoded->indexes()[0].name, "idx_name");
+  EXPECT_EQ(decoded->indexes()[0].column_index, 1);
+}
+
+TEST_F(WalTest, CommittedTransactionSurvivesRestart) {
+  {
+    Engine engine("site", WalOptions());
+    ASSERT_TRUE(engine.CreateDatabase("db").ok());
+    ASSERT_TRUE(engine.CreateTable("db", ItemsSchema()).ok());
+    ASSERT_TRUE(engine.CreateIndex("db", "items", "idx_name", "name").ok());
+    ASSERT_TRUE(engine.Begin(1).ok());
+    ASSERT_TRUE(engine
+                    .Insert(1, "db", "items",
+                            {Value(int64_t{1}), Value("book"), Value(9.5)})
+                    .ok());
+    ASSERT_TRUE(engine.Commit(1).ok());
+    // Engine destroyed here: the "machine" power-cycles.
+  }
+  Engine recovered("site2");
+  ASSERT_TRUE(WriteAheadLog::Recover(path_.string(), &recovered).ok());
+  ASSERT_TRUE(recovered.HasDatabase("db"));
+  Table* items = recovered.GetDatabase("db")->GetTable("items");
+  ASSERT_NE(items, nullptr);
+  auto row = items->Get(Value(int64_t{1}));
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->values[1].AsString(), "book");
+  EXPECT_DOUBLE_EQ(row->values[2].AsDouble(), 9.5);
+  // The secondary index was rebuilt too.
+  auto pks = items->IndexLookup(1, Value("book"));
+  ASSERT_TRUE(pks.ok());
+  EXPECT_EQ(pks->size(), 1u);
+}
+
+TEST_F(WalTest, UncommittedTransactionDiscardedAtRecovery) {
+  {
+    Engine engine("site", WalOptions());
+    ASSERT_TRUE(engine.CreateDatabase("db").ok());
+    ASSERT_TRUE(engine.CreateTable("db", ItemsSchema()).ok());
+    ASSERT_TRUE(engine.Begin(1).ok());
+    ASSERT_TRUE(engine
+                    .Insert(1, "db", "items",
+                            {Value(int64_t{1}), Value("winner"), Value(1.0)})
+                    .ok());
+    ASSERT_TRUE(engine.Commit(1).ok());
+    ASSERT_TRUE(engine.Begin(2).ok());
+    ASSERT_TRUE(engine
+                    .Insert(2, "db", "items",
+                            {Value(int64_t{2}), Value("loser"), Value(2.0)})
+                    .ok());
+    // Crash before commit: no commit record for txn 2.
+  }
+  Engine recovered("site2");
+  ASSERT_TRUE(WriteAheadLog::Recover(path_.string(), &recovered).ok());
+  Table* items = recovered.GetDatabase("db")->GetTable("items");
+  EXPECT_TRUE(items->Get(Value(int64_t{1})).has_value());
+  EXPECT_FALSE(items->Get(Value(int64_t{2})).has_value());
+}
+
+TEST_F(WalTest, AbortedTransactionDiscardedAtRecovery) {
+  {
+    Engine engine("site", WalOptions());
+    ASSERT_TRUE(engine.CreateDatabase("db").ok());
+    ASSERT_TRUE(engine.CreateTable("db", ItemsSchema()).ok());
+    ASSERT_TRUE(engine.Begin(1).ok());
+    ASSERT_TRUE(engine
+                    .Insert(1, "db", "items",
+                            {Value(int64_t{1}), Value("x"), Value(1.0)})
+                    .ok());
+    ASSERT_TRUE(engine.Abort(1).ok());
+  }
+  Engine recovered("site2");
+  ASSERT_TRUE(WriteAheadLog::Recover(path_.string(), &recovered).ok());
+  EXPECT_EQ(recovered.GetDatabase("db")->GetTable("items")->row_count(), 0u);
+}
+
+TEST_F(WalTest, UpdatesAndDeletesReplayInOrder) {
+  {
+    Engine engine("site", WalOptions());
+    ASSERT_TRUE(engine.CreateDatabase("db").ok());
+    ASSERT_TRUE(engine.CreateTable("db", ItemsSchema()).ok());
+    ASSERT_TRUE(engine.BulkInsert("db", "items",
+                                  {{Value(int64_t{1}), Value("a"), Value(1.0)},
+                                   {Value(int64_t{2}), Value("b"), Value(2.0)},
+                                   {Value(int64_t{3}), Value("c"), Value(3.0)}})
+                    .ok());
+    ASSERT_TRUE(engine.Begin(5).ok());
+    ASSERT_TRUE(engine
+                    .Update(5, "db", "items", Value(int64_t{1}),
+                            {Value(int64_t{1}), Value("a2"), Value(10.0)})
+                    .ok());
+    ASSERT_TRUE(engine.Delete(5, "db", "items", Value(int64_t{2})).ok());
+    ASSERT_TRUE(engine.Commit(5).ok());
+  }
+  Engine recovered("site2");
+  ASSERT_TRUE(WriteAheadLog::Recover(path_.string(), &recovered).ok());
+  Table* items = recovered.GetDatabase("db")->GetTable("items");
+  EXPECT_EQ(items->row_count(), 2u);
+  EXPECT_EQ(items->Get(Value(int64_t{1}))->values[1].AsString(), "a2");
+  EXPECT_FALSE(items->Get(Value(int64_t{2})).has_value());
+  EXPECT_TRUE(items->Get(Value(int64_t{3})).has_value());
+}
+
+TEST_F(WalTest, TornFinalRecordIgnored) {
+  {
+    Engine engine("site", WalOptions());
+    ASSERT_TRUE(engine.CreateDatabase("db").ok());
+    ASSERT_TRUE(engine.CreateTable("db", ItemsSchema()).ok());
+    ASSERT_TRUE(engine.Begin(1).ok());
+    ASSERT_TRUE(engine
+                    .Insert(1, "db", "items",
+                            {Value(int64_t{1}), Value("ok"), Value(1.0)})
+                    .ok());
+    ASSERT_TRUE(engine.Commit(1).ok());
+  }
+  // Simulate a torn write: append garbage with no trailing newline.
+  {
+    std::FILE* f = std::fopen(path_.string().c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs("INS\x1f" "99\x1f" "db\x1f" "items\x1f" "I7", f);  // torn
+    std::fclose(f);
+  }
+  Engine recovered("site2");
+  ASSERT_TRUE(WriteAheadLog::Recover(path_.string(), &recovered).ok());
+  EXPECT_EQ(recovered.GetDatabase("db")->GetTable("items")->row_count(), 1u);
+}
+
+TEST_F(WalTest, RecoveredEngineEqualsOriginal) {
+  uint64_t original_fp = 0;
+  {
+    Engine engine("site", WalOptions());
+    ASSERT_TRUE(engine.CreateDatabase("db").ok());
+    ASSERT_TRUE(engine.CreateTable("db", ItemsSchema()).ok());
+    Random rng(3);
+    uint64_t txn = 1;
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(engine.Begin(txn).ok());
+      int64_t id = static_cast<int64_t>(rng.Uniform(20));
+      auto existing = engine.Read(txn, "db", "items", Value(id));
+      ASSERT_TRUE(existing.ok());
+      Status s;
+      if (!existing->has_value()) {
+        Row row = {Value(id), Value(rng.AlphaString(6)),
+                   Value(static_cast<double>(rng.Uniform(100)))};
+        s = engine.Insert(txn, "db", "items", row);
+      } else if (rng.Bernoulli(0.3)) {
+        s = engine.Delete(txn, "db", "items", Value(id));
+      } else {
+        Row row = {Value(id), Value(rng.AlphaString(6)),
+                   Value(static_cast<double>(rng.Uniform(100)))};
+        s = engine.Update(txn, "db", "items", Value(id), row);
+      }
+      ASSERT_TRUE(s.ok());
+      if (rng.Bernoulli(0.2)) {
+        ASSERT_TRUE(engine.Abort(txn).ok());
+      } else {
+        ASSERT_TRUE(engine.Commit(txn).ok());
+      }
+      ++txn;
+    }
+    original_fp =
+        engine.GetDatabase("db")->GetTable("items")->ContentFingerprint();
+  }
+  Engine recovered("site2");
+  ASSERT_TRUE(WriteAheadLog::Recover(path_.string(), &recovered).ok());
+  EXPECT_EQ(
+      recovered.GetDatabase("db")->GetTable("items")->ContentFingerprint(),
+      original_fp);
+}
+
+TEST_F(WalTest, ReadAllExposesRecordStream) {
+  {
+    Engine engine("site", WalOptions());
+    ASSERT_TRUE(engine.CreateDatabase("db").ok());
+    ASSERT_TRUE(engine.CreateTable("db", ItemsSchema()).ok());
+    ASSERT_TRUE(engine.Begin(1).ok());
+    ASSERT_TRUE(engine
+                    .Insert(1, "db", "items",
+                            {Value(int64_t{1}), Value("x"), Value(1.0)})
+                    .ok());
+    ASSERT_TRUE(engine.Commit(1).ok());
+  }
+  auto records = WriteAheadLog::ReadAll(path_.string());
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 4u);  // CDB, CTB, INS, CMT
+  EXPECT_EQ((*records)[0].type, WalRecordType::kCreateDatabase);
+  EXPECT_EQ((*records)[1].type, WalRecordType::kCreateTable);
+  EXPECT_EQ((*records)[2].type, WalRecordType::kInsert);
+  EXPECT_EQ((*records)[2].row.size(), 3u);
+  EXPECT_EQ((*records)[3].type, WalRecordType::kCommit);
+  EXPECT_EQ((*records)[3].txn_id, 1u);
+}
+
+}  // namespace
+}  // namespace mtdb

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "src/workload/driver.h"
+#include "src/workload/tpcw.h"
+
+namespace mtdb::workload {
+namespace {
+
+MachineOptions TestMachine() {
+  MachineOptions options;
+  options.engine_options.lock_options.lock_timeout_us = 500'000;
+  return options;
+}
+
+class TpcwTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    controller_ = std::make_unique<ClusterController>();
+    controller_->AddMachine(TestMachine());
+    controller_->AddMachine(TestMachine());
+    ASSERT_TRUE(controller_->CreateDatabase("shop", 2).ok());
+    scale_.items = 50;
+    scale_.customers = 100;
+    scale_.initial_orders = 40;
+    ASSERT_TRUE(CreateTpcwSchema(controller_.get(), "shop").ok());
+    ASSERT_TRUE(LoadTpcwData(controller_.get(), "shop", scale_).ok());
+  }
+
+  std::unique_ptr<ClusterController> controller_;
+  TpcwScale scale_;
+};
+
+TEST_F(TpcwTest, SchemaAndDataLoaded) {
+  auto conn = controller_->Connect("shop");
+  auto items = conn->Execute("SELECT COUNT(*) FROM item");
+  ASSERT_TRUE(items.ok());
+  EXPECT_EQ(items->at(0, 0).AsInt(), scale_.items);
+  auto customers = conn->Execute("SELECT COUNT(*) FROM customer");
+  ASSERT_TRUE(customers.ok());
+  EXPECT_EQ(customers->at(0, 0).AsInt(), scale_.customers);
+  auto orders = conn->Execute("SELECT COUNT(*) FROM orders");
+  ASSERT_TRUE(orders.ok());
+  EXPECT_EQ(orders->at(0, 0).AsInt(), scale_.initial_orders);
+}
+
+TEST_F(TpcwTest, DataIdenticalAcrossReplicas) {
+  std::vector<int> replicas = controller_->ReplicasOf("shop");
+  for (const char* table : {"item", "customer", "orders", "order_line"}) {
+    uint64_t fp0 = controller_->machine(replicas[0])
+                       ->engine()
+                       ->GetDatabase("shop")
+                       ->GetTable(table)
+                       ->ContentFingerprint();
+    uint64_t fp1 = controller_->machine(replicas[1])
+                       ->engine()
+                       ->GetDatabase("shop")
+                       ->GetTable(table)
+                       ->ContentFingerprint();
+    EXPECT_EQ(fp0, fp1) << table;
+  }
+}
+
+TEST_F(TpcwTest, EveryInteractionRunsCleanly) {
+  auto conn = controller_->Connect("shop");
+  Random rng(3);
+  for (Interaction interaction :
+       {Interaction::kHome, Interaction::kNewProducts,
+        Interaction::kBestSellers, Interaction::kProductDetail,
+        Interaction::kSearchBySubject, Interaction::kSearchByTitle,
+        Interaction::kShoppingCartAdd, Interaction::kBuyConfirm,
+        Interaction::kOrderInquiry, Interaction::kAdminUpdate}) {
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      InteractionResult result =
+          RunInteraction(conn.get(), interaction, scale_, &rng);
+      EXPECT_TRUE(result.status.ok())
+          << static_cast<int>(interaction) << ": "
+          << result.status.ToString();
+    }
+  }
+}
+
+TEST_F(TpcwTest, BuyConfirmCreatesConsistentOrder) {
+  auto conn = controller_->Connect("shop");
+  Random rng(11);
+  auto before = conn->Execute("SELECT COUNT(*) FROM orders");
+  ASSERT_TRUE(before.ok());
+  InteractionResult result =
+      RunInteraction(conn.get(), Interaction::kBuyConfirm, scale_, &rng);
+  ASSERT_TRUE(result.status.ok());
+  auto after = conn->Execute("SELECT COUNT(*) FROM orders");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->at(0, 0).AsInt(), before->at(0, 0).AsInt() + 1);
+  // Every order has a matching credit-card transaction.
+  auto orphans = conn->Execute(
+      "SELECT COUNT(*) FROM orders o JOIN cc_xacts c ON o.o_id = c.cx_o_id");
+  ASSERT_TRUE(orphans.ok());
+  EXPECT_EQ(orphans->at(0, 0).AsInt(), after->at(0, 0).AsInt());
+}
+
+TEST_F(TpcwTest, MixesDrawSensibleWriteFractions) {
+  Random rng(17);
+  auto write_fraction = [&rng](TpcwMix mix) {
+    int writes = 0;
+    constexpr int kDraws = 5000;
+    for (int i = 0; i < kDraws; ++i) {
+      if (IsWriteInteraction(DrawInteraction(mix, &rng))) ++writes;
+    }
+    return static_cast<double>(writes) / kDraws;
+  };
+  double browsing = write_fraction(TpcwMix::kBrowsing);
+  double shopping = write_fraction(TpcwMix::kShopping);
+  double ordering = write_fraction(TpcwMix::kOrdering);
+  EXPECT_LT(browsing, shopping);
+  EXPECT_LT(shopping, ordering);
+  EXPECT_LT(browsing, 0.10);
+  EXPECT_GT(ordering, 0.25);
+}
+
+TEST_F(TpcwTest, DriverRunsAndCommits) {
+  DriverOptions options;
+  options.mix = TpcwMix::kShopping;
+  options.sessions = 2;
+  options.duration_ms = 300;
+  WorkloadStats stats =
+      RunTpcwWorkload(controller_.get(), "shop", scale_, options);
+  EXPECT_GT(stats.committed, 0);
+  EXPECT_GT(stats.Tps(), 0);
+  EXPECT_EQ(stats.latency_us.count(), stats.committed);
+  // The system stayed consistent across replicas.
+  std::vector<int> replicas = controller_->ReplicasOf("shop");
+  for (const char* table : {"item", "orders", "customer"}) {
+    EXPECT_EQ(controller_->machine(replicas[0])
+                  ->engine()
+                  ->GetDatabase("shop")
+                  ->GetTable(table)
+                  ->ContentFingerprint(),
+              controller_->machine(replicas[1])
+                  ->engine()
+                  ->GetDatabase("shop")
+                  ->GetTable(table)
+                  ->ContentFingerprint())
+        << table;
+  }
+}
+
+TEST_F(TpcwTest, MultiTenantDriverIsolatesDatabases) {
+  ASSERT_TRUE(controller_->CreateDatabase("shop2", 2).ok());
+  ASSERT_TRUE(CreateTpcwSchema(controller_.get(), "shop2").ok());
+  ASSERT_TRUE(LoadTpcwData(controller_.get(), "shop2", scale_).ok());
+
+  DriverOptions options;
+  options.sessions = 1;
+  options.duration_ms = 200;
+  std::vector<WorkloadStats> per_db;
+  WorkloadStats total = RunMultiTenantWorkload(
+      controller_.get(), {"shop", "shop2"}, scale_, options, &per_db);
+  ASSERT_EQ(per_db.size(), 2u);
+  EXPECT_GT(per_db[0].committed, 0);
+  EXPECT_GT(per_db[1].committed, 0);
+  EXPECT_EQ(total.committed, per_db[0].committed + per_db[1].committed);
+}
+
+TEST_F(TpcwTest, WorkloadStatsMerge) {
+  WorkloadStats a, b;
+  a.committed = 10;
+  a.aborted = 1;
+  a.elapsed_seconds = 2.0;
+  b.committed = 5;
+  b.deadlock_aborts = 2;
+  b.aborted = 2;
+  b.elapsed_seconds = 1.0;
+  a.Merge(b);
+  EXPECT_EQ(a.committed, 15);
+  EXPECT_EQ(a.aborted, 3);
+  EXPECT_EQ(a.deadlock_aborts, 2);
+  EXPECT_DOUBLE_EQ(a.elapsed_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(a.Tps(), 7.5);
+}
+
+}  // namespace
+}  // namespace mtdb::workload
