@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_prepare_locks"
+  "../bench/ablation_prepare_locks.pdb"
+  "CMakeFiles/ablation_prepare_locks.dir/ablation_prepare_locks.cc.o"
+  "CMakeFiles/ablation_prepare_locks.dir/ablation_prepare_locks.cc.o.d"
+  "CMakeFiles/ablation_prepare_locks.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_prepare_locks.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prepare_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

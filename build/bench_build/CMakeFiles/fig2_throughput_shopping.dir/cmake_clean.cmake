@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_throughput_shopping"
+  "../bench/fig2_throughput_shopping.pdb"
+  "CMakeFiles/fig2_throughput_shopping.dir/bench_util.cc.o"
+  "CMakeFiles/fig2_throughput_shopping.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig2_throughput_shopping.dir/fig2_throughput_shopping.cc.o"
+  "CMakeFiles/fig2_throughput_shopping.dir/fig2_throughput_shopping.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_throughput_shopping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

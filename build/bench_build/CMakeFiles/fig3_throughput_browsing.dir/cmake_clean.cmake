@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_throughput_browsing"
+  "../bench/fig3_throughput_browsing.pdb"
+  "CMakeFiles/fig3_throughput_browsing.dir/bench_util.cc.o"
+  "CMakeFiles/fig3_throughput_browsing.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig3_throughput_browsing.dir/fig3_throughput_browsing.cc.o"
+  "CMakeFiles/fig3_throughput_browsing.dir/fig3_throughput_browsing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_throughput_browsing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_throughput_ordering"
+  "../bench/fig4_throughput_ordering.pdb"
+  "CMakeFiles/fig4_throughput_ordering.dir/bench_util.cc.o"
+  "CMakeFiles/fig4_throughput_ordering.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig4_throughput_ordering.dir/fig4_throughput_ordering.cc.o"
+  "CMakeFiles/fig4_throughput_ordering.dir/fig4_throughput_ordering.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_throughput_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_deadlocks_shopping"
+  "../bench/fig5_deadlocks_shopping.pdb"
+  "CMakeFiles/fig5_deadlocks_shopping.dir/bench_util.cc.o"
+  "CMakeFiles/fig5_deadlocks_shopping.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig5_deadlocks_shopping.dir/fig5_deadlocks_shopping.cc.o"
+  "CMakeFiles/fig5_deadlocks_shopping.dir/fig5_deadlocks_shopping.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_deadlocks_shopping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

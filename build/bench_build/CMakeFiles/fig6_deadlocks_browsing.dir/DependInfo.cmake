@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_util.cc" "bench_build/CMakeFiles/fig6_deadlocks_browsing.dir/bench_util.cc.o" "gcc" "bench_build/CMakeFiles/fig6_deadlocks_browsing.dir/bench_util.cc.o.d"
+  "/root/repo/bench/fig6_deadlocks_browsing.cc" "bench_build/CMakeFiles/fig6_deadlocks_browsing.dir/fig6_deadlocks_browsing.cc.o" "gcc" "bench_build/CMakeFiles/fig6_deadlocks_browsing.dir/fig6_deadlocks_browsing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mtdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

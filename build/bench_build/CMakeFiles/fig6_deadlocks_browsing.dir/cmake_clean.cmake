@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_deadlocks_browsing"
+  "../bench/fig6_deadlocks_browsing.pdb"
+  "CMakeFiles/fig6_deadlocks_browsing.dir/bench_util.cc.o"
+  "CMakeFiles/fig6_deadlocks_browsing.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig6_deadlocks_browsing.dir/fig6_deadlocks_browsing.cc.o"
+  "CMakeFiles/fig6_deadlocks_browsing.dir/fig6_deadlocks_browsing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_deadlocks_browsing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

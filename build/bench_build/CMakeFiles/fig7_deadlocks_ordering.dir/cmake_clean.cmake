@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_deadlocks_ordering"
+  "../bench/fig7_deadlocks_ordering.pdb"
+  "CMakeFiles/fig7_deadlocks_ordering.dir/bench_util.cc.o"
+  "CMakeFiles/fig7_deadlocks_ordering.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig7_deadlocks_ordering.dir/fig7_deadlocks_ordering.cc.o"
+  "CMakeFiles/fig7_deadlocks_ordering.dir/fig7_deadlocks_ordering.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_deadlocks_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_rejected_recovery"
+  "../bench/fig8_rejected_recovery.pdb"
+  "CMakeFiles/fig8_rejected_recovery.dir/bench_util.cc.o"
+  "CMakeFiles/fig8_rejected_recovery.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig8_rejected_recovery.dir/fig8_rejected_recovery.cc.o"
+  "CMakeFiles/fig8_rejected_recovery.dir/fig8_rejected_recovery.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_rejected_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_throughput_recovery"
+  "../bench/fig9_throughput_recovery.pdb"
+  "CMakeFiles/fig9_throughput_recovery.dir/bench_util.cc.o"
+  "CMakeFiles/fig9_throughput_recovery.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig9_throughput_recovery.dir/fig9_throughput_recovery.cc.o"
+  "CMakeFiles/fig9_throughput_recovery.dir/fig9_throughput_recovery.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_throughput_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

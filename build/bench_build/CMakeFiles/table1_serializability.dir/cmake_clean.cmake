@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/table1_serializability"
+  "../bench/table1_serializability.pdb"
+  "CMakeFiles/table1_serializability.dir/bench_util.cc.o"
+  "CMakeFiles/table1_serializability.dir/bench_util.cc.o.d"
+  "CMakeFiles/table1_serializability.dir/table1_serializability.cc.o"
+  "CMakeFiles/table1_serializability.dir/table1_serializability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_serializability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

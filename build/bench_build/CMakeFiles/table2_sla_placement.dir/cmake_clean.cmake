@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/table2_sla_placement"
+  "../bench/table2_sla_placement.pdb"
+  "CMakeFiles/table2_sla_placement.dir/bench_util.cc.o"
+  "CMakeFiles/table2_sla_placement.dir/bench_util.cc.o.d"
+  "CMakeFiles/table2_sla_placement.dir/table2_sla_placement.cc.o"
+  "CMakeFiles/table2_sla_placement.dir/table2_sla_placement.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_sla_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_platform.dir/geo_platform.cpp.o"
+  "CMakeFiles/geo_platform.dir/geo_platform.cpp.o.d"
+  "geo_platform"
+  "geo_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

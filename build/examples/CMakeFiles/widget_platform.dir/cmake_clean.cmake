@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/widget_platform.dir/widget_platform.cpp.o"
+  "CMakeFiles/widget_platform.dir/widget_platform.cpp.o.d"
+  "widget_platform"
+  "widget_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/widget_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster_controller.cc" "src/CMakeFiles/mtdb.dir/cluster/cluster_controller.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/cluster/cluster_controller.cc.o.d"
+  "/root/repo/src/cluster/machine.cc" "src/CMakeFiles/mtdb.dir/cluster/machine.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/cluster/machine.cc.o.d"
+  "/root/repo/src/cluster/recovery.cc" "src/CMakeFiles/mtdb.dir/cluster/recovery.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/cluster/recovery.cc.o.d"
+  "/root/repo/src/cluster/serializability.cc" "src/CMakeFiles/mtdb.dir/cluster/serializability.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/cluster/serializability.cc.o.d"
+  "/root/repo/src/cluster/strand.cc" "src/CMakeFiles/mtdb.dir/cluster/strand.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/cluster/strand.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/mtdb.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/mtdb.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/mtdb.dir/common/random.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/common/random.cc.o.d"
+  "/root/repo/src/common/resource.cc" "src/CMakeFiles/mtdb.dir/common/resource.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/common/resource.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/mtdb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/common/status.cc.o.d"
+  "/root/repo/src/platform/colo.cc" "src/CMakeFiles/mtdb.dir/platform/colo.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/platform/colo.cc.o.d"
+  "/root/repo/src/platform/system_controller.cc" "src/CMakeFiles/mtdb.dir/platform/system_controller.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/platform/system_controller.cc.o.d"
+  "/root/repo/src/sla/placement.cc" "src/CMakeFiles/mtdb.dir/sla/placement.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/sla/placement.cc.o.d"
+  "/root/repo/src/sla/profiler.cc" "src/CMakeFiles/mtdb.dir/sla/profiler.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/sla/profiler.cc.o.d"
+  "/root/repo/src/sla/sla.cc" "src/CMakeFiles/mtdb.dir/sla/sla.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/sla/sla.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/mtdb.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/executor.cc" "src/CMakeFiles/mtdb.dir/sql/executor.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/sql/executor.cc.o.d"
+  "/root/repo/src/sql/expression.cc" "src/CMakeFiles/mtdb.dir/sql/expression.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/sql/expression.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/mtdb.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/mtdb.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/sql/parser.cc.o.d"
+  "/root/repo/src/storage/buffer_cache.cc" "src/CMakeFiles/mtdb.dir/storage/buffer_cache.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/storage/buffer_cache.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/CMakeFiles/mtdb.dir/storage/database.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/storage/database.cc.o.d"
+  "/root/repo/src/storage/dump.cc" "src/CMakeFiles/mtdb.dir/storage/dump.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/storage/dump.cc.o.d"
+  "/root/repo/src/storage/engine.cc" "src/CMakeFiles/mtdb.dir/storage/engine.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/storage/engine.cc.o.d"
+  "/root/repo/src/storage/lock_manager.cc" "src/CMakeFiles/mtdb.dir/storage/lock_manager.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/storage/lock_manager.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/mtdb.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/mtdb.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/transaction.cc" "src/CMakeFiles/mtdb.dir/storage/transaction.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/storage/transaction.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/CMakeFiles/mtdb.dir/storage/value.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/storage/value.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/CMakeFiles/mtdb.dir/storage/wal.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/storage/wal.cc.o.d"
+  "/root/repo/src/workload/driver.cc" "src/CMakeFiles/mtdb.dir/workload/driver.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/workload/driver.cc.o.d"
+  "/root/repo/src/workload/tpcw.cc" "src/CMakeFiles/mtdb.dir/workload/tpcw.cc.o" "gcc" "src/CMakeFiles/mtdb.dir/workload/tpcw.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

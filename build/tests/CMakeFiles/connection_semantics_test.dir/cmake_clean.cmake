@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connection_semantics_test.dir/connection_semantics_test.cc.o"
+  "CMakeFiles/connection_semantics_test.dir/connection_semantics_test.cc.o.d"
+  "connection_semantics_test"
+  "connection_semantics_test.pdb"
+  "connection_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connection_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

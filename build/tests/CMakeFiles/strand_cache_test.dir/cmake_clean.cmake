@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strand_cache_test.dir/strand_cache_test.cc.o"
+  "CMakeFiles/strand_cache_test.dir/strand_cache_test.cc.o.d"
+  "strand_cache_test"
+  "strand_cache_test.pdb"
+  "strand_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strand_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

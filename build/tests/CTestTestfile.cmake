@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/cluster_controller_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/connection_semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/dump_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/expression_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/lock_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/platform_test[1]_include.cmake")
+include("/root/repo/build/tests/property_serializability_test[1]_include.cmake")
+include("/root/repo/build/tests/property_sql_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/serializability_test[1]_include.cmake")
+include("/root/repo/build/tests/sla_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_executor_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_value_test[1]_include.cmake")
+include("/root/repo/build/tests/strand_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/wal_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
