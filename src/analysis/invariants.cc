@@ -1,0 +1,74 @@
+#include "src/analysis/invariants.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace mtdb {
+namespace analysis {
+
+namespace {
+
+std::atomic<int64_t> g_violation_count{0};
+
+// Guards g_handler. A plain std::mutex (not an OrderedMutex) on purpose:
+// violations are reported from inside instrumented lock paths, and the
+// reporting machinery must not itself feed the lock-order graph.
+std::mutex g_handler_mu;
+ViolationHandler g_handler;  // empty = default log-and-abort
+
+void DefaultHandler(const InvariantViolation& violation) {
+  MTDB_LOG(kError) << "invariant violation [" << violation.checker
+                   << "]: " << violation.detail;
+  std::abort();
+}
+
+}  // namespace
+
+void ReportViolation(std::string checker, std::string detail) {
+  g_violation_count.fetch_add(1, std::memory_order_relaxed);
+  InvariantViolation violation{std::move(checker), std::move(detail)};
+  ViolationHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(g_handler_mu);
+    handler = g_handler;
+  }
+  if (handler) {
+    handler(violation);
+  } else {
+    DefaultHandler(violation);
+  }
+}
+
+ViolationHandler SetViolationHandler(ViolationHandler handler) {
+  std::lock_guard<std::mutex> lock(g_handler_mu);
+  ViolationHandler previous = std::move(g_handler);
+  g_handler = std::move(handler);
+  return previous;
+}
+
+int64_t ViolationCount() {
+  return g_violation_count.load(std::memory_order_relaxed);
+}
+
+void ResetViolationCount() {
+  g_violation_count.store(0, std::memory_order_relaxed);
+}
+
+ScopedViolationRecorder::ScopedViolationRecorder(
+    std::vector<InvariantViolation>* sink)
+    : sink_(sink),
+      previous_(SetViolationHandler([this](const InvariantViolation& v) {
+        std::lock_guard<std::mutex> lock(mu_);
+        sink_->push_back(v);
+      })) {}
+
+ScopedViolationRecorder::~ScopedViolationRecorder() {
+  SetViolationHandler(std::move(previous_));
+}
+
+}  // namespace analysis
+}  // namespace mtdb

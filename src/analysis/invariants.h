@@ -1,0 +1,74 @@
+#ifndef MTDB_ANALYSIS_INVARIANTS_H_
+#define MTDB_ANALYSIS_INVARIANTS_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mtdb {
+namespace analysis {
+
+// Compile-time master switch for the runtime concurrency checkers
+// (LockOrderGraph global tracking, strict-2PL auditing, 2PC state checking).
+// On in Debug builds and whenever the build defines MTDB_INVARIANT_CHECKS
+// (CMake option of the same name); off in optimized release builds so the
+// instrumented mutexes collapse to plain std::mutex wrappers.
+#if defined(MTDB_INVARIANT_CHECKS) || !defined(NDEBUG)
+#define MTDB_INVARIANT_CHECKS_ENABLED 1
+#else
+#define MTDB_INVARIANT_CHECKS_ENABLED 0
+#endif
+
+// True when this binary was built with the invariant checkers enabled.
+constexpr bool InvariantChecksEnabled() {
+  return MTDB_INVARIANT_CHECKS_ENABLED != 0;
+}
+
+// A detected violation of a concurrency invariant. `checker` names the
+// auditor that fired (e.g. "lock-order", "strict-2pl", "2pc-state");
+// `detail` is a human-readable description including the offending ids.
+struct InvariantViolation {
+  std::string checker;
+  std::string detail;
+};
+
+using ViolationHandler = std::function<void(const InvariantViolation&)>;
+
+// Routes a violation to the installed handler. The default handler logs the
+// violation at error level and aborts the process: an invariant violation
+// means the concurrency contract the rest of the platform depends on is
+// broken, and continuing would only let the corruption propagate.
+void ReportViolation(std::string checker, std::string detail);
+
+// Installs a handler, returning the previous one. Passing nullptr restores
+// the default log-and-abort handler. Thread-safe.
+ViolationHandler SetViolationHandler(ViolationHandler handler);
+
+// Process-wide count of violations reported since start (or last reset).
+// Monotonic; useful for tests and for CI assertions that a run stayed clean.
+int64_t ViolationCount();
+void ResetViolationCount();
+
+// RAII handler installation for tests: records every violation into the
+// given vector instead of aborting, restores the previous handler on
+// destruction.
+class ScopedViolationRecorder {
+ public:
+  explicit ScopedViolationRecorder(std::vector<InvariantViolation>* sink);
+  ~ScopedViolationRecorder();
+
+  ScopedViolationRecorder(const ScopedViolationRecorder&) = delete;
+  ScopedViolationRecorder& operator=(const ScopedViolationRecorder&) = delete;
+
+ private:
+  std::mutex mu_;  // violations can arrive from multiple threads
+  std::vector<InvariantViolation>* sink_;
+  ViolationHandler previous_;
+};
+
+}  // namespace analysis
+}  // namespace mtdb
+
+#endif  // MTDB_ANALYSIS_INVARIANTS_H_

@@ -1,0 +1,144 @@
+#ifndef MTDB_ANALYSIS_LOCK_ORDER_H_
+#define MTDB_ANALYSIS_LOCK_ORDER_H_
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/invariants.h"
+
+namespace mtdb {
+namespace analysis {
+
+// Runtime lock-order (lockdep-style) checker.
+//
+// Instrumented mutexes are grouped into *classes* by name — every
+// LockManager::mu_ across all engine instances shares one class — and the
+// graph records a directed edge A -> B the first time any thread acquires a
+// class-B mutex while holding a class-A one. An acquisition whose edge would
+// close a cycle is a lock-order inversion: two threads interleaving those
+// two paths can deadlock, even if this particular run never does. The
+// checker fires on the *potential*, which is what makes it far more
+// sensitive than waiting for an actual deadlock under test load.
+//
+// Violations are routed through ReportViolation("lock-order", ...) with the
+// full cycle path; the default handler aborts.
+//
+// Thread-safe. The per-thread held-lock stack lives in TLS, so only
+// acquisitions nested on the same thread produce edges.
+class LockOrderGraph {
+ public:
+  LockOrderGraph() = default;
+
+  LockOrderGraph(const LockOrderGraph&) = delete;
+  LockOrderGraph& operator=(const LockOrderGraph&) = delete;
+
+  // Called by OrderedMutex before blocking on the underlying mutex (a real
+  // deadlock would otherwise suppress the report). Records edges from every
+  // lock class this thread already holds to `name`, reporting a violation
+  // if any such edge closes a cycle, then pushes `name` on the thread's
+  // held stack.
+  void OnAcquire(const std::string& name);
+
+  // Pops the most recent matching entry from the thread's held stack.
+  void OnRelease(const std::string& name);
+
+  // Number of distinct ordering edges observed so far.
+  size_t EdgeCount() const;
+
+  // True if the graph has recorded edge from -> to.
+  bool HasEdge(const std::string& from, const std::string& to) const;
+
+  // Drops all recorded edges (not the TLS held stacks of live guards).
+  void Clear();
+
+  // The process-wide graph used by production mutexes.
+  static LockOrderGraph& Global();
+
+  // &Global() when the build has invariant checks enabled, else nullptr.
+  // OrderedMutex's default constructor argument, so release builds skip all
+  // tracking at the cost of a single null check per lock operation.
+  static LockOrderGraph* GlobalIfEnabled() {
+#if MTDB_INVARIANT_CHECKS_ENABLED
+    return &Global();
+#else
+    return nullptr;
+#endif
+  }
+
+ private:
+  // Returns the cycle path to -> ... -> from if `from` is reachable from
+  // `to`, i.e. adding from -> to would close a cycle. Requires mu_ held.
+  std::vector<std::string> FindPath(const std::string& from,
+                                    const std::string& to) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::set<std::string>> edges_;
+};
+
+// A std::mutex instrumented with lock-order tracking. Satisfies the C++
+// Lockable requirements, so it composes with std::lock_guard,
+// std::unique_lock, and std::condition_variable_any.
+//
+// The name identifies the lock *class* (see LockOrderGraph); by convention
+// "<area>/<Class>::<member>", e.g. "storage/LockManager::mu". With the
+// default graph argument, tracking is active only in builds where
+// MTDB_INVARIANT_CHECKS_ENABLED is on; passing an explicit graph (tests)
+// always tracks.
+class OrderedMutex {
+ public:
+  explicit OrderedMutex(const char* name,
+                        LockOrderGraph* graph = LockOrderGraph::GlobalIfEnabled())
+      : name_(name), graph_(graph) {}
+
+  OrderedMutex(const OrderedMutex&) = delete;
+  OrderedMutex& operator=(const OrderedMutex&) = delete;
+
+  void lock() {
+    if (graph_ != nullptr) graph_->OnAcquire(name_);
+    mu_.lock();
+  }
+
+  bool try_lock() {
+    // Check-before-acquire like lock(): a try_lock that *would* have
+    // inverted the order is just as much a latent deadlock when the lock
+    // happens to be contended.
+    if (graph_ != nullptr) graph_->OnAcquire(name_);
+    if (mu_.try_lock()) return true;
+    if (graph_ != nullptr) graph_->OnRelease(name_);
+    return false;
+  }
+
+  void unlock() {
+    mu_.unlock();
+    if (graph_ != nullptr) graph_->OnRelease(name_);
+  }
+
+  const char* name() const { return name_; }
+
+ private:
+  std::mutex mu_;
+  const char* name_;
+  LockOrderGraph* graph_;
+};
+
+// RAII scope guard over an OrderedMutex (the instrumented analogue of
+// std::lock_guard).
+class OrderedGuard {
+ public:
+  explicit OrderedGuard(OrderedMutex& mu) : mu_(mu) { mu_.lock(); }
+  ~OrderedGuard() { mu_.unlock(); }
+
+  OrderedGuard(const OrderedGuard&) = delete;
+  OrderedGuard& operator=(const OrderedGuard&) = delete;
+
+ private:
+  OrderedMutex& mu_;
+};
+
+}  // namespace analysis
+}  // namespace mtdb
+
+#endif  // MTDB_ANALYSIS_LOCK_ORDER_H_

@@ -1,0 +1,125 @@
+#include "src/analysis/two_phase.h"
+
+namespace mtdb {
+namespace analysis {
+
+TwoPhaseLockingAuditor::TwoPhaseLockingAuditor() : options_(Options()) {}
+
+TwoPhaseLockingAuditor::TwoPhaseLockingAuditor(Options options)
+    : options_(options) {}
+
+void TwoPhaseLockingAuditor::OnAcquire(uint64_t txn_id,
+                                       const std::string& resource) {
+  auto it = shrinking_.find(txn_id);
+  if (it != shrinking_.end()) {
+    ReportViolation("strict-2pl",
+                    "txn " + std::to_string(txn_id) + " acquired lock on " +
+                        resource +
+                        " after entering its shrinking phase (lock released "
+                        "before commit/abort)");
+  }
+}
+
+void TwoPhaseLockingAuditor::OnReleaseAll(uint64_t txn_id) {
+  shrinking_.erase(txn_id);
+}
+
+void TwoPhaseLockingAuditor::OnReleaseReadLocks(uint64_t txn_id) {
+  if (!options_.allow_read_release_at_prepare) {
+    ReportViolation("strict-2pl",
+                    "txn " + std::to_string(txn_id) +
+                        " released read locks before commit, but the "
+                        "PREPARE-time read-lock-release optimization is not "
+                        "enabled for this engine");
+  }
+  shrinking_[txn_id] = true;
+}
+
+bool TwoPhaseLockingAuditor::Shrinking(uint64_t txn_id) const {
+  return shrinking_.count(txn_id) > 0;
+}
+
+std::string_view TwoPhaseCommitChecker::StateName(State state) {
+  switch (state) {
+    case State::kActive:
+      return "Active";
+    case State::kPrepared:
+      return "Prepared";
+    case State::kCommitted:
+      return "Committed";
+    case State::kAborted:
+      return "Aborted";
+  }
+  return "?";
+}
+
+bool TwoPhaseCommitChecker::Expect(uint64_t txn_id, State required,
+                                   const char* transition) {
+  auto it = states_.find(txn_id);
+  if (it == states_.end()) {
+    ReportViolation("2pc-state", std::string(transition) + " of txn " +
+                                     std::to_string(txn_id) +
+                                     " that was never begun");
+    return false;
+  }
+  if (it->second != required) {
+    ReportViolation("2pc-state",
+                    std::string(transition) + " of txn " +
+                        std::to_string(txn_id) + " in state " +
+                        std::string(StateName(it->second)) + " (requires " +
+                        std::string(StateName(required)) + ")");
+    return false;
+  }
+  return true;
+}
+
+void TwoPhaseCommitChecker::OnBegin(uint64_t txn_id) {
+  auto [it, inserted] = states_.try_emplace(txn_id, State::kActive);
+  if (!inserted) {
+    ReportViolation("2pc-state",
+                    "Begin of txn " + std::to_string(txn_id) +
+                        " which already exists in state " +
+                        std::string(StateName(it->second)));
+    it->second = State::kActive;
+  }
+}
+
+void TwoPhaseCommitChecker::OnPrepare(uint64_t txn_id) {
+  if (Expect(txn_id, State::kActive, "Prepare")) {
+    states_[txn_id] = State::kPrepared;
+  }
+}
+
+void TwoPhaseCommitChecker::OnCommitPrepared(uint64_t txn_id) {
+  if (Expect(txn_id, State::kPrepared, "CommitPrepared")) {
+    states_[txn_id] = State::kCommitted;
+  }
+}
+
+void TwoPhaseCommitChecker::OnCommit(uint64_t txn_id) {
+  if (Expect(txn_id, State::kActive, "Commit")) {
+    states_[txn_id] = State::kCommitted;
+  }
+}
+
+void TwoPhaseCommitChecker::OnAbort(uint64_t txn_id) {
+  auto it = states_.find(txn_id);
+  if (it == states_.end()) {
+    ReportViolation("2pc-state", "Abort of txn " + std::to_string(txn_id) +
+                                     " that was never begun");
+    return;
+  }
+  if (it->second == State::kCommitted || it->second == State::kAborted) {
+    ReportViolation("2pc-state",
+                    "Abort of txn " + std::to_string(txn_id) +
+                        " already in terminal state " +
+                        std::string(StateName(it->second)));
+    return;
+  }
+  it->second = State::kAborted;
+}
+
+void TwoPhaseCommitChecker::Reset() { states_.clear(); }
+
+}  // namespace analysis
+}  // namespace mtdb

@@ -1,0 +1,99 @@
+#ifndef MTDB_ANALYSIS_TWO_PHASE_H_
+#define MTDB_ANALYSIS_TWO_PHASE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/analysis/invariants.h"
+
+namespace mtdb {
+namespace analysis {
+
+// Runtime auditor for the strict two-phase-locking contract: once a
+// transaction has released any lock, it must not acquire another one. The
+// single sanctioned exception is the commercial-DBMS 2PC optimization of
+// dropping read locks at PREPARE (paper Section 3.1), and only when the
+// auditor was explicitly told the engine runs with that optimization on —
+// an unsanctioned early read-lock release is itself a violation.
+//
+// The LockManager drives this under its own latch, so the auditor does no
+// internal locking; callers must serialize access (single-threaded tests
+// may call it directly).
+class TwoPhaseLockingAuditor {
+ public:
+  struct Options {
+    // True when the engine is configured to release S/IS locks at PREPARE;
+    // makes OnReleaseReadLocks a sanctioned phase transition instead of a
+    // violation.
+    bool allow_read_release_at_prepare = false;
+  };
+
+  TwoPhaseLockingAuditor();
+  explicit TwoPhaseLockingAuditor(Options options);
+
+  // A lock was granted to `txn_id`. Violation if the transaction already
+  // entered its shrinking phase.
+  void OnAcquire(uint64_t txn_id, const std::string& resource);
+
+  // All locks released (commit/abort): the transaction is finished and its
+  // auditing state is retired.
+  void OnReleaseAll(uint64_t txn_id);
+
+  // Read locks released at PREPARE. Moves the transaction into its
+  // shrinking phase; violation when the optimization is not sanctioned.
+  void OnReleaseReadLocks(uint64_t txn_id);
+
+  // True if the transaction has released locks (shrinking phase).
+  bool Shrinking(uint64_t txn_id) const;
+
+ private:
+  Options options_;
+  // Transactions that have entered the shrinking phase and not yet
+  // finished; growing-phase transactions carry no state.
+  std::map<uint64_t, bool> shrinking_;
+};
+
+// Runtime checker for the engine's 2PC participant state machine
+// (Active -> Prepared -> Committed, with Abort legal from Active and
+// Prepared). The engine notifies it of every transition it *applies*;
+// illegal transitions — Commit without Prepare, double Abort, Prepare of an
+// unknown transaction — are invariant violations, meaning the engine's own
+// validation has regressed.
+//
+// Terminal states are retained so that post-terminal transitions (e.g.
+// commit after abort) are caught. Not internally synchronized: the engine
+// serializes all transitions for a given txn through its txn latch, and a
+// std::mutex here would show up in every transition of every debug run.
+class TwoPhaseCommitChecker {
+ public:
+  enum class State { kActive, kPrepared, kCommitted, kAborted };
+
+  static std::string_view StateName(State state);
+
+  void OnBegin(uint64_t txn_id);
+  void OnPrepare(uint64_t txn_id);
+  // Second phase after Prepare.
+  void OnCommitPrepared(uint64_t txn_id);
+  // One-phase commit: legal only from Active (never after Prepare — a
+  // prepared participant must wait for the coordinator's decision).
+  void OnCommit(uint64_t txn_id);
+  void OnAbort(uint64_t txn_id);
+
+  // Drops all per-transaction state (e.g. engine wipe in tests).
+  void Reset();
+
+  size_t TrackedCount() const { return states_.size(); }
+
+ private:
+  // Reports a violation unless the transaction exists and is in `required`.
+  bool Expect(uint64_t txn_id, State required, const char* transition);
+
+  std::map<uint64_t, State> states_;
+};
+
+}  // namespace analysis
+}  // namespace mtdb
+
+#endif  // MTDB_ANALYSIS_TWO_PHASE_H_

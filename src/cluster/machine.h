@@ -3,9 +3,9 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "src/analysis/lock_order.h"
 #include "src/cluster/strand.h"
 #include "src/common/resource.h"
 #include "src/storage/engine.h"
@@ -60,7 +60,7 @@ class Machine {
   int id_;
   std::string name_;
   MachineOptions options_;
-  mutable std::mutex engine_mu_;
+  mutable analysis::OrderedMutex engine_mu_{"cluster/Machine::engine_mu"};
   std::shared_ptr<Engine> engine_;
   std::atomic<bool> failed_{false};
   std::unique_ptr<Semaphore> op_semaphore_;

@@ -6,7 +6,7 @@ Strand::Strand() : thread_([this] { Run(); }) {}
 
 Strand::~Strand() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    analysis::OrderedGuard lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -17,7 +17,7 @@ void Strand::Run() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      std::unique_lock<analysis::OrderedMutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) {
         if (stop_) return;
@@ -43,7 +43,7 @@ std::future<void> Strand::Submit(std::function<void()> task) {
 
 void Strand::SubmitDetached(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    analysis::OrderedGuard lock(mu_);
     queue_.push_back(std::move(task));
   }
   cv_.notify_all();
@@ -55,7 +55,7 @@ void Strand::Drain() {
 }
 
 size_t Strand::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::OrderedGuard lock(mu_);
   return queue_.size();
 }
 

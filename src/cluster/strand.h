@@ -8,6 +8,8 @@
 #include <mutex>
 #include <thread>
 
+#include "src/analysis/lock_order.h"
+
 namespace mtdb {
 
 // A single-threaded FIFO task executor. The cluster controller gives each
@@ -39,8 +41,8 @@ class Strand {
  private:
   void Run();
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable analysis::OrderedMutex mu_{"cluster/Strand::mu"};
+  std::condition_variable_any cv_;
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
   std::thread thread_;
@@ -53,22 +55,22 @@ class Semaphore {
   explicit Semaphore(int permits) : permits_(permits) {}
 
   void Acquire() {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<analysis::OrderedMutex> lock(mu_);
     cv_.wait(lock, [this] { return permits_ > 0; });
     --permits_;
   }
 
   void Release() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      analysis::OrderedGuard lock(mu_);
       ++permits_;
     }
     cv_.notify_one();
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
+  analysis::OrderedMutex mu_{"cluster/Semaphore::mu"};
+  std::condition_variable_any cv_;
   int permits_;
 };
 

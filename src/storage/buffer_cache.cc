@@ -9,7 +9,7 @@ bool BufferCache::Touch(uint64_t page_id) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::OrderedGuard lock(mu_);
   auto it = map_.find(page_id);
   if (it != map_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
@@ -33,12 +33,12 @@ double BufferCache::HitRate() const {
 }
 
 size_t BufferCache::Size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::OrderedGuard lock(mu_);
   return map_.size();
 }
 
 void BufferCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::OrderedGuard lock(mu_);
   lru_.clear();
   map_.clear();
 }

@@ -4,9 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "src/analysis/lock_order.h"
 
 namespace mtdb {
 
@@ -35,7 +36,7 @@ class BufferCache {
 
  private:
   size_t capacity_;
-  mutable std::mutex mu_;
+  mutable analysis::OrderedMutex mu_{"storage/BufferCache::mu"};
   std::list<uint64_t> lru_;  // front = most recent
   std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
   std::atomic<int64_t> hits_{0};

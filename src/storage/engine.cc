@@ -8,11 +8,29 @@
 
 namespace mtdb {
 
+namespace {
+
+// The engine, not the raw lock-manager defaults, decides the audit config:
+// auditing follows EngineOptions::invariant_checks, and the sanctioned
+// PREPARE-time read-lock release follows release_read_locks_on_prepare.
+LockManagerOptions MakeLockOptions(const EngineOptions& options) {
+  LockManagerOptions lock_options = options.lock_options;
+  lock_options.audit_strict_2pl = options.invariant_checks;
+  lock_options.allow_read_release_at_prepare =
+      options.release_read_locks_on_prepare;
+  return lock_options;
+}
+
+}  // namespace
+
 Engine::Engine(std::string site_name, EngineOptions options)
     : site_name_(std::move(site_name)),
       options_(options),
-      lock_manager_(options.lock_options),
+      lock_manager_(MakeLockOptions(options)),
       buffer_cache_(options.buffer_pool_pages) {
+  if (options_.invariant_checks) {
+    txn_checker_ = std::make_unique<analysis::TwoPhaseCommitChecker>();
+  }
   if (!options_.wal_path.empty()) {
     WriteAheadLog::Options wal_options;
     wal_options.sync_on_commit = options_.wal_sync_on_commit;
@@ -128,6 +146,7 @@ Status Engine::Begin(uint64_t txn_id) {
   }
   it->second = std::make_unique<Transaction>();
   it->second->id = txn_id;
+  if (txn_checker_ != nullptr) txn_checker_->OnBegin(txn_id);
   return Status::OK();
 }
 
@@ -154,6 +173,10 @@ Result<Transaction*> Engine::FindActive(uint64_t txn_id) const {
 Status Engine::Prepare(uint64_t txn_id) {
   MTDB_ASSIGN_OR_RETURN(Transaction * txn, FindActive(txn_id));
   txn->state = TxnState::kPrepared;
+  if (txn_checker_ != nullptr) {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    txn_checker_->OnPrepare(txn_id);
+  }
   if (options_.release_read_locks_on_prepare) {
     lock_manager_.ReleaseReadLocks(txn_id);
   }
@@ -181,6 +204,7 @@ Status Engine::CommitPrepared(uint64_t txn_id) {
   RecordCommit(txn);
   lock_manager_.ReleaseAll(txn_id);
   std::lock_guard<std::mutex> lock(txn_mu_);
+  if (txn_checker_ != nullptr) txn_checker_->OnCommitPrepared(txn_id);
   txns_.erase(txn_id);
   return Status::OK();
 }
@@ -191,6 +215,7 @@ Status Engine::Commit(uint64_t txn_id) {
   RecordCommit(txn);
   lock_manager_.ReleaseAll(txn_id);
   std::lock_guard<std::mutex> lock(txn_mu_);
+  if (txn_checker_ != nullptr) txn_checker_->OnCommit(txn_id);
   txns_.erase(txn_id);
   return Status::OK();
 }
@@ -228,6 +253,7 @@ Status Engine::Abort(uint64_t txn_id) {
   aborted_.fetch_add(1, std::memory_order_relaxed);
   lock_manager_.ReleaseAll(txn_id);
   std::lock_guard<std::mutex> lock(txn_mu_);
+  if (txn_checker_ != nullptr) txn_checker_->OnAbort(txn_id);
   txns_.erase(txn_id);
   return Status::OK();
 }

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/two_phase.h"
 #include "src/common/result.h"
 #include "src/storage/buffer_cache.h"
 #include "src/storage/database.h"
@@ -39,6 +40,13 @@ struct EngineOptions {
   // crashed engine's state with WriteAheadLog::Recover(path, fresh_engine).
   std::string wal_path;
   bool wal_sync_on_commit = true;
+
+  // Run the runtime concurrency auditors on this engine: the strict-2PL
+  // auditor in the lock manager and the 2PC participant state checker on
+  // Prepare/Commit/Abort. A detected violation goes through
+  // analysis::ReportViolation (default: abort). Defaults to on in builds
+  // with invariant checks enabled (Debug or -DMTDB_INVARIANT_CHECKS=ON).
+  bool invariant_checks = analysis::InvariantChecksEnabled();
 
   LockManager::Options lock_options;
 };
@@ -173,6 +181,9 @@ class Engine {
 
   mutable std::mutex txn_mu_;
   std::map<uint64_t, std::unique_ptr<Transaction>> txns_;
+  // 2PC participant state checker; null unless options_.invariant_checks.
+  // All notifications happen under txn_mu_.
+  std::unique_ptr<analysis::TwoPhaseCommitChecker> txn_checker_;
 
   mutable std::mutex history_mu_;
   std::vector<CommittedTxnRecord> history_;

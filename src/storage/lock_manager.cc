@@ -19,7 +19,20 @@ std::string_view LockModeName(LockMode mode) {
   return "?";
 }
 
-LockManager::LockManager(Options options) : options_(options) {}
+namespace {
+
+analysis::TwoPhaseLockingAuditor::Options AuditorOptions(
+    const LockManagerOptions& options) {
+  analysis::TwoPhaseLockingAuditor::Options auditor_options;
+  auditor_options.allow_read_release_at_prepare =
+      options.allow_read_release_at_prepare;
+  return auditor_options;
+}
+
+}  // namespace
+
+LockManager::LockManager(Options options)
+    : options_(options), auditor_(AuditorOptions(options)) {}
 
 bool LockManager::ModesCompatible(LockMode a, LockMode b) {
   // Standard multigranularity compatibility matrix.
@@ -125,7 +138,7 @@ bool LockManager::WouldDeadlock(uint64_t start_txn) const {
 
 Status LockManager::Acquire(uint64_t txn_id, const std::string& resource,
                             LockMode mode) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<analysis::OrderedMutex> lock(mu_);
   acquire_count_.fetch_add(1, std::memory_order_relaxed);
   LockState& state = locks_[resource];
 
@@ -134,6 +147,9 @@ Status LockManager::Acquire(uint64_t txn_id, const std::string& resource,
   if (is_upgrade && MaskCovers(holder_it->second, mode)) {
     return Status::OK();
   }
+  // Audit before granting: a shrinking-phase transaction must not widen its
+  // lock set, whether the request is served immediately or after a wait.
+  if (options_.audit_strict_2pl) auditor_.OnAcquire(txn_id, resource);
 
   if (CanGrant(state, txn_id, mode, is_upgrade)) {
     state.holders[txn_id] |= ModeBit(mode);
@@ -244,18 +260,20 @@ void LockManager::ReleaseLocked(uint64_t txn_id, bool read_locks_only) {
 }
 
 void LockManager::ReleaseAll(uint64_t txn_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::OrderedGuard lock(mu_);
+  if (options_.audit_strict_2pl) auditor_.OnReleaseAll(txn_id);
   ReleaseLocked(txn_id, /*read_locks_only=*/false);
 }
 
 void LockManager::ReleaseReadLocks(uint64_t txn_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::OrderedGuard lock(mu_);
+  if (options_.audit_strict_2pl) auditor_.OnReleaseReadLocks(txn_id);
   ReleaseLocked(txn_id, /*read_locks_only=*/true);
 }
 
 bool LockManager::Holds(uint64_t txn_id, const std::string& resource,
                         LockMode mode) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::OrderedGuard lock(mu_);
   auto lock_it = locks_.find(resource);
   if (lock_it == locks_.end()) return false;
   auto holder_it = lock_it->second.holders.find(txn_id);
@@ -264,7 +282,7 @@ bool LockManager::Holds(uint64_t txn_id, const std::string& resource,
 }
 
 size_t LockManager::ActiveLockCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::OrderedGuard lock(mu_);
   return locks_.size();
 }
 

@@ -12,6 +12,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/analysis/lock_order.h"
+#include "src/analysis/two_phase.h"
 #include "src/common/status.h"
 
 namespace mtdb {
@@ -42,6 +44,17 @@ std::string_view LockModeName(LockMode mode);
 struct LockManagerOptions {
   // How long a request may block before failing with kLockTimeout.
   int64_t lock_timeout_us = 5'000'000;
+
+  // Run the strict-2PL auditor on every acquire/release (see
+  // analysis::TwoPhaseLockingAuditor). Defaults to on in builds with
+  // invariant checks enabled; the engine overrides it from its own
+  // EngineOptions::invariant_checks.
+  bool audit_strict_2pl = analysis::InvariantChecksEnabled();
+
+  // Tells the auditor that ReleaseReadLocks() at PREPARE is a sanctioned
+  // transition rather than a 2PL violation. The engine sets this from
+  // EngineOptions::release_read_locks_on_prepare.
+  bool allow_read_release_at_prepare = true;
 };
 
 class LockManager {
@@ -105,8 +118,10 @@ class LockManager {
   void ReleaseLocked(uint64_t txn_id, bool read_locks_only);
 
   Options options_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable analysis::OrderedMutex mu_{"storage/LockManager::mu"};
+  std::condition_variable_any cv_;
+  // Strict-2PL auditor; consulted under mu_ when options_.audit_strict_2pl.
+  analysis::TwoPhaseLockingAuditor auditor_;
   std::unordered_map<std::string, LockState> locks_;
   // txn -> resources it holds (for release).
   std::unordered_map<uint64_t, std::unordered_set<std::string>> held_;

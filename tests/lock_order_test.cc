@@ -1,0 +1,201 @@
+#include "src/analysis/lock_order.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/invariants.h"
+
+namespace mtdb {
+namespace analysis {
+namespace {
+
+// Each test runs a private graph so results are independent of the global
+// graph the production mutexes feed (active in Debug builds).
+class LockOrderTest : public ::testing::Test {
+ protected:
+  std::vector<InvariantViolation> violations_;
+  ScopedViolationRecorder recorder_{&violations_};
+  LockOrderGraph graph_;
+};
+
+TEST_F(LockOrderTest, ConsistentOrderIsClean) {
+  OrderedMutex a("A", &graph_);
+  OrderedMutex b("B", &graph_);
+  for (int i = 0; i < 3; ++i) {
+    OrderedGuard ga(a);
+    OrderedGuard gb(b);
+  }
+  EXPECT_TRUE(violations_.empty());
+  EXPECT_TRUE(graph_.HasEdge("A", "B"));
+  EXPECT_FALSE(graph_.HasEdge("B", "A"));
+  EXPECT_EQ(graph_.EdgeCount(), 1u);
+}
+
+TEST_F(LockOrderTest, DetectsSeededInversion) {
+  OrderedMutex a("A", &graph_);
+  OrderedMutex b("B", &graph_);
+  {
+    // Establish A -> B.
+    OrderedGuard ga(a);
+    OrderedGuard gb(b);
+  }
+  ASSERT_TRUE(violations_.empty());
+  {
+    // The deliberate B -> A inversion. Sequential execution cannot actually
+    // deadlock, which is exactly why the graph check matters: it reports
+    // the *potential* cycle the moment the second ordering appears.
+    OrderedGuard gb(b);
+    OrderedGuard ga(a);
+  }
+  ASSERT_EQ(violations_.size(), 1u);
+  EXPECT_EQ(violations_[0].checker, "lock-order");
+  // The report names the closed cycle B -> A -> B.
+  EXPECT_NE(violations_[0].detail.find("acquiring A while holding B"),
+            std::string::npos)
+      << violations_[0].detail;
+  EXPECT_NE(violations_[0].detail.find("B -> A -> B"), std::string::npos)
+      << violations_[0].detail;
+}
+
+TEST_F(LockOrderTest, InversionReportsOncePerPair) {
+  OrderedMutex a("A", &graph_);
+  OrderedMutex b("B", &graph_);
+  {
+    OrderedGuard ga(a);
+    OrderedGuard gb(b);
+  }
+  for (int i = 0; i < 3; ++i) {
+    OrderedGuard gb(b);
+    OrderedGuard ga(a);
+  }
+  EXPECT_EQ(violations_.size(), 1u);
+}
+
+TEST_F(LockOrderTest, DetectsInversionAcrossThreads) {
+  OrderedMutex a("A", &graph_);
+  OrderedMutex b("B", &graph_);
+  // Thread 1 teaches the graph A -> B; thread 2 (joined, so no actual
+  // deadlock is possible) then takes B -> A.
+  std::thread t1([&] {
+    OrderedGuard ga(a);
+    OrderedGuard gb(b);
+  });
+  t1.join();
+  std::thread t2([&] {
+    OrderedGuard gb(b);
+    OrderedGuard ga(a);
+  });
+  t2.join();
+  ASSERT_EQ(violations_.size(), 1u);
+  EXPECT_EQ(violations_[0].checker, "lock-order");
+}
+
+TEST_F(LockOrderTest, DetectsLongerCycle) {
+  OrderedMutex a("A", &graph_);
+  OrderedMutex b("B", &graph_);
+  OrderedMutex c("C", &graph_);
+  {
+    OrderedGuard ga(a);
+    OrderedGuard gb(b);
+  }
+  {
+    OrderedGuard gb(b);
+    OrderedGuard gc(c);
+  }
+  ASSERT_TRUE(violations_.empty());
+  {
+    // C -> A closes A -> B -> C -> A.
+    OrderedGuard gc(c);
+    OrderedGuard ga(a);
+  }
+  ASSERT_EQ(violations_.size(), 1u);
+  EXPECT_NE(violations_[0].detail.find("C -> A -> B -> C"), std::string::npos)
+      << violations_[0].detail;
+}
+
+TEST_F(LockOrderTest, DetectsRecursiveAcquisitionOfSameClass) {
+  OrderedMutex outer("M", &graph_);
+  OrderedMutex inner("M", &graph_);  // same class, different instance
+  {
+    OrderedGuard g1(outer);
+    OrderedGuard g2(inner);
+  }
+  ASSERT_EQ(violations_.size(), 1u);
+  EXPECT_NE(violations_[0].detail.find("recursive acquisition"),
+            std::string::npos)
+      << violations_[0].detail;
+}
+
+TEST_F(LockOrderTest, TryLockParticipatesInOrdering) {
+  OrderedMutex a("A", &graph_);
+  OrderedMutex b("B", &graph_);
+  {
+    OrderedGuard ga(a);
+    ASSERT_TRUE(b.try_lock());
+    b.unlock();
+  }
+  {
+    OrderedGuard gb(b);
+    ASSERT_TRUE(a.try_lock());
+    a.unlock();
+  }
+  EXPECT_EQ(violations_.size(), 1u);
+}
+
+TEST_F(LockOrderTest, ClearForgetsEdges) {
+  OrderedMutex a("A", &graph_);
+  OrderedMutex b("B", &graph_);
+  {
+    OrderedGuard ga(a);
+    OrderedGuard gb(b);
+  }
+  graph_.Clear();
+  EXPECT_EQ(graph_.EdgeCount(), 0u);
+  {
+    OrderedGuard gb(b);
+    OrderedGuard ga(a);
+  }
+  // With the A -> B edge gone, B -> A is just a fresh (legal) ordering.
+  EXPECT_TRUE(violations_.empty());
+}
+
+TEST_F(LockOrderTest, ProductionMutexesFeedTheGlobalGraphWhenEnabled) {
+  // In invariant-checking builds, default-constructed OrderedMutexes track
+  // through LockOrderGraph::Global(); in release builds they are untracked.
+  OrderedMutex m("lock_order_test/global-probe");
+  {
+    std::lock_guard<OrderedMutex> g(m);
+  }
+  EXPECT_TRUE(violations_.empty());
+  if (!InvariantChecksEnabled()) {
+    SUCCEED() << "tracking compiled out in this build type";
+  }
+}
+
+// The condition_variable_any relock path must keep the TLS held-stack
+// balanced: a wait unlocks (pop) and relocks (push) the ordered mutex.
+TEST_F(LockOrderTest, ConditionVariableWaitKeepsStackBalanced) {
+  OrderedMutex m("CV", &graph_);
+  std::condition_variable_any cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    std::unique_lock<OrderedMutex> lock(m);
+    cv.wait(lock, [&] { return ready; });
+  });
+  {
+    std::lock_guard<OrderedMutex> lock(m);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  EXPECT_TRUE(violations_.empty());
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace mtdb
