@@ -1,8 +1,7 @@
 #include "src/cluster/cluster_controller.h"
 
 #include <algorithm>
-#include <chrono>
-#include <thread>
+#include <future>
 
 #include "src/common/logging.h"
 #include "src/sql/parser.h"
@@ -30,19 +29,65 @@ bool IsReadStatement(const sql::Statement& stmt) {
   return stmt.kind == sql::StatementKind::kSelect;
 }
 
+// Completion latch for a fan-out of async RPCs: handlers call Done(), the
+// issuing thread Wait()s. Shared-ptr-captured so a handler outliving the
+// caller (never happens today, but cheap insurance) stays safe.
+struct CallBarrier {
+  explicit CallBarrier(int n) : outstanding(n) {}
+  std::mutex mu;
+  std::condition_variable cv;
+  int outstanding;
+
+  void Done() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      --outstanding;
+    }
+    cv.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return outstanding <= 0; });
+  }
+};
+
 }  // namespace
 
 // ===== ClusterController =====
 
 ClusterController::ClusterController(ClusterControllerOptions options)
-    : options_(options) {}
+    : options_(options) {
+  if (options_.transport != nullptr) {
+    transport_ = options_.transport;
+  } else {
+    owned_transport_ = std::make_unique<net::InProcTransport>();
+    transport_ = owned_transport_.get();
+  }
+  client_ = std::make_unique<net::MachineClient>(transport_, options_.rpc);
+  // A machine that misses an RPC deadline is silent — under the fail-stop
+  // model the controller declares it failed and lets Section 3 recovery
+  // restore the replication factor.
+  client_->SetTimeoutListener([this](int machine_id) {
+    MTDB_LOG(kWarning) << "machine " << machine_id
+                       << " missed an rpc deadline; declaring it failed";
+    FailMachine(machine_id);
+  });
+}
 
 ClusterController::~ClusterController() = default;
 
 int ClusterController::AddMachine(MachineOptions machine_options) {
-  std::lock_guard<std::mutex> lock(mu_);
-  int id = static_cast<int>(machines_.size());
-  machines_.push_back(std::make_unique<Machine>(id, machine_options));
+  net::MachineService* service = nullptr;
+  int id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = static_cast<int>(machines_.size());
+    machines_.push_back(std::make_unique<Machine>(id, machine_options));
+    services_.push_back(
+        std::make_unique<net::MachineService>(machines_.back().get()));
+    service = services_.back().get();
+  }
+  transport_->AttachLocal(id, service);
   return id;
 }
 
@@ -70,7 +115,7 @@ Status ClusterController::CreateDatabase(const std::string& db_name,
   std::vector<int> chosen;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (databases_.count(db_name) > 0) {
+    if (databases_.count(db_name) > 0 || creating_.count(db_name) > 0) {
       return Status::AlreadyExists("database " + db_name);
     }
     // Least-loaded placement: machines hosting the fewest replicas first.
@@ -102,21 +147,38 @@ Status ClusterController::CreateDatabaseOn(const std::string& db_name,
   if (machine_ids.empty()) {
     return Status::InvalidArgument("need at least one replica");
   }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (databases_.count(db_name) > 0 || creating_.count(db_name) > 0) {
+      return Status::AlreadyExists("database " + db_name);
+    }
+    for (int id : machine_ids) {
+      if (id < 0 || static_cast<size_t>(id) >= machines_.size()) {
+        return Status::InvalidArgument("no machine " + std::to_string(id));
+      }
+      if (machines_[id]->failed()) {
+        return Status::Unavailable("machine " + std::to_string(id) +
+                                   " is failed");
+      }
+    }
+    creating_.insert(db_name);
+  }
+
+  // The CreateDatabase RPCs run unlocked: mu_ guards routing state and must
+  // never be held across the wire (a slow machine would stall the cluster).
+  Status status;
+  std::vector<int> created;
+  for (int id : machine_ids) {
+    status = client_->CreateDatabase(id, db_name);
+    if (!status.ok()) break;
+    created.push_back(id);
+  }
+
   std::lock_guard<std::mutex> lock(mu_);
-  if (databases_.count(db_name) > 0) {
-    return Status::AlreadyExists("database " + db_name);
-  }
-  for (int id : machine_ids) {
-    if (id < 0 || static_cast<size_t>(id) >= machines_.size()) {
-      return Status::InvalidArgument("no machine " + std::to_string(id));
-    }
-    if (machines_[id]->failed()) {
-      return Status::Unavailable("machine " + std::to_string(id) +
-                                 " is failed");
-    }
-  }
-  for (int id : machine_ids) {
-    MTDB_RETURN_IF_ERROR(machines_[id]->engine()->CreateDatabase(db_name));
+  creating_.erase(db_name);
+  if (!status.ok()) {
+    for (int id : created) (void)client_->DropDatabase(id, db_name);
+    return status;
   }
   auto db = std::make_unique<DbState>();
   db->replicas = machine_ids;
@@ -124,25 +186,27 @@ Status ClusterController::CreateDatabaseOn(const std::string& db_name,
   for (const auto& [name, other] : databases_) {
     if (other->replicas == machine_ids) ++same_set;
   }
-  db->primary_offset = machine_ids.empty()
-                           ? 0
-                           : same_set % static_cast<int>(machine_ids.size());
+  db->primary_offset = same_set % static_cast<int>(machine_ids.size());
   databases_[db_name] = std::move(db);
   backup_.replica_map[db_name] = machine_ids;
   return Status::OK();
 }
 
 Status ClusterController::DropDatabase(const std::string& db_name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = databases_.find(db_name);
-  if (it == databases_.end()) return Status::NotFound("database " + db_name);
-  for (int id : it->second->replicas) {
-    if (!machines_[id]->failed()) {
-      (void)machines_[id]->engine()->DropDatabase(db_name);
+  std::vector<int> replicas;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = databases_.find(db_name);
+    if (it == databases_.end()) return Status::NotFound("database " + db_name);
+    for (int id : it->second->replicas) {
+      if (!machines_[id]->failed()) replicas.push_back(id);
     }
+    databases_.erase(it);
+    backup_.replica_map.erase(db_name);
   }
-  databases_.erase(it);
-  backup_.replica_map.erase(db_name);
+  for (int id : replicas) {
+    (void)client_->DropDatabase(id, db_name);
+  }
   return Status::OK();
 }
 
@@ -162,15 +226,15 @@ std::vector<std::string> ClusterController::DatabaseNames() const {
 
 Status ClusterController::ExecuteDdl(const std::string& db_name,
                                      const std::string& sql) {
-  MTDB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
+  // Parse locally first so a bad statement fails fast with a ParseError
+  // instead of a per-replica RPC error.
+  MTDB_RETURN_IF_ERROR(sql::Parse(sql).status());
   std::vector<int> replicas = ReplicasOf(db_name);
   if (replicas.empty()) return Status::NotFound("database " + db_name);
   for (int id : replicas) {
     Machine* m = machine(id);
     if (m == nullptr || m->failed()) continue;
-    auto engine = m->engine();
-    sql::SqlExecutor executor(engine.get());
-    MTDB_RETURN_IF_ERROR(executor.Execute(0, db_name, stmt).status());
+    MTDB_RETURN_IF_ERROR(client_->ExecuteDdl(id, db_name, sql));
   }
   return Status::OK();
 }
@@ -183,7 +247,7 @@ Status ClusterController::BulkLoad(const std::string& db_name,
   for (int id : replicas) {
     Machine* m = machine(id);
     if (m == nullptr || m->failed()) continue;
-    MTDB_RETURN_IF_ERROR(m->engine()->BulkInsert(db_name, table, rows));
+    MTDB_RETURN_IF_ERROR(client_->BulkLoad(id, db_name, table, rows));
   }
   return Status::OK();
 }
@@ -389,27 +453,34 @@ void ClusterController::SimulateControllerFailover() {
   epoch_.fetch_add(1);
   // 2. The backup takes over and cleans up transactions in transit, using
   // the mirrored commit-decision log: prepared transactions with a logged
-  // decision are committed, everything else is rolled back.
-  std::vector<Machine*> machines;
+  // decision are committed, everything else is rolled back. The backup has
+  // no sessions to the machines — it interrogates and resolves them through
+  // fresh control-plane RPCs.
+  std::vector<int> alive;
   std::set<uint64_t> decisions;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& m : machines_) {
-      if (!m->failed()) machines.push_back(m.get());
+      if (!m->failed()) alive.push_back(m->id());
     }
     decisions = backup_.commit_decisions;
   }
-  for (Machine* m : machines) {
-    auto engine = m->engine();
-    for (uint64_t txn : engine->PreparedTxnIds()) {
-      if (decisions.count(txn) > 0) {
-        (void)engine->CommitPrepared(txn);
-      } else {
-        (void)engine->Abort(txn);
+  for (int id : alive) {
+    auto prepared = client_->ListPrepared(id);
+    if (prepared.ok()) {
+      for (uint64_t txn : *prepared) {
+        if (decisions.count(txn) > 0) {
+          (void)client_->CommitPrepared(id, txn);
+        } else {
+          (void)client_->Abort(id, txn);
+        }
       }
     }
-    for (uint64_t txn : engine->ActiveTxnIds()) {
-      (void)engine->Abort(txn);
+    auto active = client_->ListActive(id);
+    if (active.ok()) {
+      for (uint64_t txn : *active) {
+        (void)client_->Abort(id, txn);
+      }
     }
   }
 }
@@ -486,13 +557,16 @@ Connection::~Connection() {
   if (active_) {
     (void)AbortInternal(Status::Aborted("connection closed mid-transaction"));
   }
-  // Strands drain on destruction.
+  // Session channels drain on destruction.
 }
 
-Strand* Connection::StrandFor(int machine_id) {
-  auto it = strands_.find(machine_id);
-  if (it == strands_.end()) {
-    it = strands_.emplace(machine_id, std::make_unique<Strand>()).first;
+net::MachineClient::Session* Connection::SessionFor(int machine_id) {
+  auto it = sessions_.find(machine_id);
+  if (it == sessions_.end()) {
+    it = sessions_
+             .emplace(machine_id,
+                      controller_->client_->OpenSession(machine_id))
+             .first;
   }
   return it->second.get();
 }
@@ -534,24 +608,21 @@ Status Connection::BeginInternal() {
 void Connection::EnsureBegun(int machine_id) {
   if (begun_machines_.count(machine_id) > 0) return;
   begun_machines_.insert(machine_id);
-  Machine* m = controller_->machine(machine_id);
-  auto engine = m->engine();
-  uint64_t txn = txn_id_;
-  StrandFor(machine_id)->SubmitDetached([m, engine, txn] {
-    if (!m->failed()) (void)engine->Begin(txn);
-  });
+  // Queued ahead of the operation that triggered it on the same session
+  // channel, so the engine sees Begin first.
+  SessionFor(machine_id)->BeginDetached(txn_id_, db_name_);
 }
 
 Result<sql::QueryResult> Connection::Execute(const std::string& sql,
                                              const std::vector<Value>& params) {
-  MTDB_ASSIGN_OR_RETURN(sql::Statement parsed, sql::Parse(sql));
-  auto stmt = std::make_shared<const sql::Statement>(std::move(parsed));
-  auto shared_params = std::make_shared<const std::vector<Value>>(params);
+  // Parse for routing only (read vs. write, which table): the statement
+  // itself travels to the machines as SQL text.
+  MTDB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
 
   if (!active_) {
     // Autocommit: run the statement in its own transaction.
     MTDB_RETURN_IF_ERROR(BeginInternal());
-    auto result = ExecuteInTxn(stmt, shared_params);
+    auto result = ExecuteInTxn(sql, stmt, params);
     if (!result.ok()) {
       (void)AbortInternal(result.status());
       return result;
@@ -560,11 +631,12 @@ Result<sql::QueryResult> Connection::Execute(const std::string& sql,
     if (!commit_status.ok()) return commit_status;
     return result;
   }
-  return ExecuteInTxn(stmt, shared_params);
+  return ExecuteInTxn(sql, stmt, params);
 }
 
 Result<sql::QueryResult> Connection::ExecuteInTxn(
-    const StatementPtr& stmt, const ParamsPtr& params) {
+    const std::string& sql, const sql::Statement& stmt,
+    const std::vector<Value>& params) {
   if (epoch_ != controller_->epoch()) {
     return Status::Unavailable("connection lost: controller failover");
   }
@@ -574,19 +646,19 @@ Result<sql::QueryResult> Connection::ExecuteInTxn(
     return Status::Aborted("transaction poisoned: " + poison.ToString());
   }
 
-  if (IsReadStatement(*stmt)) {
-    return ExecuteRead(stmt, params);
+  if (IsReadStatement(stmt)) {
+    return ExecuteRead(sql, params);
   }
-  const std::string* table = WriteTargetTable(*stmt);
+  const std::string* table = WriteTargetTable(stmt);
   if (table == nullptr) {
     return Status::InvalidArgument(
         "DDL must go through ClusterController::ExecuteDdl");
   }
-  return ExecuteWrite(stmt, *table, params);
+  return ExecuteWrite(sql, *table, params);
 }
 
 Result<sql::QueryResult> Connection::ExecuteRead(
-    const StatementPtr& stmt, const ParamsPtr& params) {
+    const std::string& sql, const std::vector<Value>& params) {
   // Retry against other replicas when the chosen one turns out to be dead
   // (the paper: "the cluster controller continues to process client database
   // requests using the available machines").
@@ -600,41 +672,20 @@ Result<sql::QueryResult> Connection::ExecuteRead(
         ReadRoutingOption::kPerTransaction) {
       sticky_read_machine_ = machine_id;
     }
-    Machine* m = controller_->machine(machine_id);
     EnsureBegun(machine_id);
 
-    auto engine = m->engine();
-    auto done = std::make_shared<std::promise<std::pair<Status,
-                                                        sql::QueryResult>>>();
-    auto future = done->get_future();
-    uint64_t txn = txn_id_;
-    std::string db = db_name_;
     int64_t inject =
         controller_->InjectedLatency(label_, /*is_write=*/false, machine_id);
-    StrandFor(machine_id)->SubmitDetached([m, engine, txn, db, stmt,
-                                           params, inject, done] {
-      if (m->failed()) {
-        done->set_value({Status::Unavailable("machine failed"), {}});
-        return;
-      }
-      if (inject > 0) {
-        std::this_thread::sleep_for(std::chrono::microseconds(inject));
-      }
-      SemaphoreGuard guard(m->op_semaphore());
-      if (m->base_op_latency_us() > 0) {
-        std::this_thread::sleep_for(
-            std::chrono::microseconds(m->base_op_latency_us()));
-      }
-      sql::SqlExecutor executor(engine.get());
-      auto result = executor.Execute(txn, db, *stmt, *params);
-      if (result.ok()) {
-        done->set_value({Status::OK(), std::move(*result)});
-      } else {
-        done->set_value({result.status(), {}});
-      }
-    });
-    auto [status, result] = future.get();
-    if (status.ok()) return result;
+    auto done = std::make_shared<std::promise<net::RpcResponse>>();
+    auto future = done->get_future();
+    SessionFor(machine_id)
+        ->ExecuteAsync(txn_id_, db_name_, sql, params, inject,
+                       [done](net::RpcResponse response) {
+                         done->set_value(std::move(response));
+                       });
+    net::RpcResponse response = future.get();
+    if (response.ok()) return std::move(response.result);
+    Status status = response.ToStatus();
     if (status.code() == StatusCode::kUnavailable) {
       begun_machines_.erase(machine_id);
       if (sticky_read_machine_ == machine_id) sticky_read_machine_ = -1;
@@ -649,8 +700,8 @@ Result<sql::QueryResult> Connection::ExecuteRead(
 }
 
 Result<sql::QueryResult> Connection::ExecuteWrite(
-    const StatementPtr& stmt, const std::string& table,
-    const ParamsPtr& params) {
+    const std::string& sql, const std::string& table,
+    const std::vector<Value>& params) {
   auto targets_or = controller_->WriteTargets(db_name_, table);
   if (!targets_or.ok()) {
     // Algorithm 1 line 11: reject the operation and abort the transaction.
@@ -672,57 +723,38 @@ Result<sql::QueryResult> Connection::ExecuteWrite(
   std::string inflight_table = table;
 
   for (int machine_id : targets) {
-    Machine* m = controller_->machine(machine_id);
     EnsureBegun(machine_id);
-    auto engine = m->engine();
-    uint64_t txn = txn_id_;
-    std::string db = db_name_;
     int64_t inject =
         controller_->InjectedLatency(label_, /*is_write=*/true, machine_id);
-    StrandFor(machine_id)->SubmitDetached([m, engine, txn, db, stmt, params,
-                                           inject, pending, controller,
-                                           inflight_db, inflight_table] {
-      Status status;
-      sql::QueryResult query_result;
-      if (m->failed()) {
-        status = Status::Unavailable("machine failed");
-      } else {
-        if (inject > 0) {
-          std::this_thread::sleep_for(std::chrono::microseconds(inject));
-        }
-        SemaphoreGuard guard(m->op_semaphore());
-        if (m->base_op_latency_us() > 0) {
-          std::this_thread::sleep_for(
-              std::chrono::microseconds(m->base_op_latency_us()));
-        }
-        sql::SqlExecutor executor(engine.get());
-        auto result = executor.Execute(txn, db, *stmt, *params);
-        if (result.ok()) {
-          query_result = std::move(*result);
-        } else {
-          status = result.status();
-        }
-      }
-      bool last = false;
-      {
-        std::lock_guard<std::mutex> lock(pending->mu);
-        pending->outstanding--;
-        last = pending->outstanding == 0;
-        if (status.ok()) {
-          if (!pending->have_first) {
-            pending->have_first = true;
-            pending->first_result = std::move(query_result);
-          }
-          pending->succeeded++;
-        } else if (status.code() == StatusCode::kUnavailable) {
-          pending->unavailable++;
-        } else if (pending->first_error.ok()) {
-          pending->first_error = status;
-        }
-        pending->cv.notify_all();
-      }
-      if (last) controller->EndInflightWrite(inflight_db, inflight_table);
-    });
+    // The MachineClient guarantees this handler fires exactly once (reply or
+    // deadline), so the inflight-write accounting cannot leak.
+    SessionFor(machine_id)
+        ->ExecuteAsync(
+            txn_id_, db_name_, sql, params, inject,
+            [pending, controller, inflight_db,
+             inflight_table](net::RpcResponse response) {
+              Status status = response.ToStatus();
+              bool last = false;
+              {
+                std::lock_guard<std::mutex> lock(pending->mu);
+                pending->outstanding--;
+                last = pending->outstanding == 0;
+                if (status.ok()) {
+                  if (!pending->have_first) {
+                    pending->have_first = true;
+                    pending->first_result = std::move(response.result);
+                  }
+                  pending->succeeded++;
+                } else if (status.code() == StatusCode::kUnavailable) {
+                  pending->unavailable++;
+                } else if (pending->first_error.ok()) {
+                  pending->first_error = status;
+                }
+                pending->cv.notify_all();
+              }
+              if (last) controller->EndInflightWrite(inflight_db,
+                                                     inflight_table);
+            });
   }
 
   std::unique_lock<std::mutex> lock(pending->mu);
@@ -799,10 +831,10 @@ Status Connection::CommitInternal() {
   // Conservative controllers have no outstanding writes (each Execute waited
   // for all replicas). Aggressive controllers deliberately do NOT wait here:
   // PREPARE is queued behind any still-running write on each replica's
-  // strand, reproducing the paper's Section 3.1 interleaving where a
-  // transaction enters the PREPARE phase while a write is still executing on
-  // another machine. Write failures are checked after the votes, before the
-  // commit decision.
+  // session channel, reproducing the paper's Section 3.1 interleaving where
+  // a transaction enters the PREPARE phase while a write is still executing
+  // on another machine. Write failures are checked after the votes, before
+  // the commit decision.
   Status poison = poison_status();
   if (!poison.ok()) {
     return AbortInternal(poison);
@@ -814,15 +846,14 @@ Status Connection::CommitInternal() {
 
   if (!wrote_) {
     // Read-only: single-phase commit on every participant.
-    std::vector<std::future<void>> futures;
+    auto barrier =
+        std::make_shared<CallBarrier>(static_cast<int>(participants.size()));
     for (int machine_id : participants) {
-      Machine* m = controller_->machine(machine_id);
-      auto engine = m->engine();
-      futures.push_back(StrandFor(machine_id)->Submit([m, engine, txn] {
-        if (!m->failed()) (void)engine->Commit(txn);
-      }));
+      SessionFor(machine_id)
+          ->CommitAsync(txn,
+                        [barrier](net::RpcResponse) { barrier->Done(); });
     }
-    for (auto& f : futures) f.wait();
+    barrier->Wait();
     active_ = false;
     controller_->committed_.fetch_add(1, std::memory_order_relaxed);
     return Status::OK();
@@ -830,27 +861,29 @@ Status Connection::CommitInternal() {
 
   // Phase 1: PREPARE everywhere. A failed machine is dropped from the
   // participant set (its replica is lost regardless); any other failure
-  // vetoes the commit.
+  // vetoes the commit. A machine that never answers surfaces here as
+  // kUnavailable via the RPC deadline — a lost PREPARE reply cannot hang
+  // the coordinator.
   struct PhaseState {
     std::mutex mu;
     std::vector<std::pair<int, Status>> results;
   };
   auto phase = std::make_shared<PhaseState>();
   {
-    std::vector<std::future<void>> futures;
+    auto barrier =
+        std::make_shared<CallBarrier>(static_cast<int>(participants.size()));
     for (int machine_id : participants) {
-      Machine* m = controller_->machine(machine_id);
-      auto engine = m->engine();
-      futures.push_back(
-          StrandFor(machine_id)->Submit([m, engine, txn, machine_id, phase] {
-            Status status = m->failed()
-                                ? Status::Unavailable("machine failed")
-                                : engine->Prepare(txn);
-            std::lock_guard<std::mutex> lock(phase->mu);
-            phase->results.emplace_back(machine_id, status);
-          }));
+      SessionFor(machine_id)
+          ->PrepareAsync(txn, [phase, barrier,
+                               machine_id](net::RpcResponse response) {
+            {
+              std::lock_guard<std::mutex> lock(phase->mu);
+              phase->results.emplace_back(machine_id, response.ToStatus());
+            }
+            barrier->Done();
+          });
     }
-    for (auto& f : futures) f.wait();
+    barrier->Wait();
   }
   std::vector<int> prepared;
   Status veto = Status::OK();
@@ -861,10 +894,11 @@ Status Connection::CommitInternal() {
       veto = status;
     }
   }
-  // PREPARE ran after every queued write on each strand, so all replicated
-  // writes have resolved by now; a failure on any replica vetoes the commit
-  // (this is the "asynchronously keeps track of whether the writes in the
-  // other machines failed" bookkeeping of the aggressive controller).
+  // PREPARE ran after every queued write on each session channel, so all
+  // replicated writes have resolved by now; a failure on any replica vetoes
+  // the commit (this is the "asynchronously keeps track of whether the
+  // writes in the other machines failed" bookkeeping of the aggressive
+  // controller).
   Status late_write_failure = WaitOutstandingWrites();
   if (veto.ok() && !late_write_failure.ok()) veto = late_write_failure;
   if (veto.ok()) {
@@ -883,15 +917,14 @@ Status Connection::CommitInternal() {
 
   // Phase 2: COMMIT on all prepared participants.
   {
-    std::vector<std::future<void>> futures;
+    auto barrier =
+        std::make_shared<CallBarrier>(static_cast<int>(prepared.size()));
     for (int machine_id : prepared) {
-      Machine* m = controller_->machine(machine_id);
-      auto engine = m->engine();
-      futures.push_back(StrandFor(machine_id)->Submit([m, engine, txn] {
-        if (!m->failed()) (void)engine->CommitPrepared(txn);
-      }));
+      SessionFor(machine_id)
+          ->CommitPreparedAsync(
+              txn, [barrier](net::RpcResponse) { barrier->Done(); });
     }
-    for (auto& f : futures) f.wait();
+    barrier->Wait();
   }
   controller_->ForgetCommitDecision(txn);
   active_ = false;
@@ -905,19 +938,18 @@ Status Connection::Abort() {
 }
 
 Status Connection::AbortInternal(Status reason) {
-  // Outstanding writes are queued on the same strands as the aborts below,
-  // so FIFO ordering guarantees the abort runs after them on each machine.
+  // Outstanding writes are queued on the same session channels as the aborts
+  // below, so FIFO ordering guarantees the abort runs after them on each
+  // machine.
   (void)WaitOutstandingWrites();
   uint64_t txn = txn_id_;
-  std::vector<std::future<void>> futures;
+  auto barrier = std::make_shared<CallBarrier>(
+      static_cast<int>(begun_machines_.size()));
   for (int machine_id : begun_machines_) {
-    Machine* m = controller_->machine(machine_id);
-    auto engine = m->engine();
-    futures.push_back(StrandFor(machine_id)->Submit([m, engine, txn] {
-      if (!m->failed()) (void)engine->Abort(txn);
-    }));
+    SessionFor(machine_id)
+        ->AbortAsync(txn, [barrier](net::RpcResponse) { barrier->Done(); });
   }
-  for (auto& f : futures) f.wait();
+  barrier->Wait();
   active_ = false;
   controller_->aborted_.fetch_add(1, std::memory_order_relaxed);
   if (!reason.ok()) {

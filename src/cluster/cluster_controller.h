@@ -2,6 +2,7 @@
 #define MTDB_CLUSTER_CLUSTER_CONTROLLER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
@@ -12,8 +13,11 @@
 
 #include "src/cluster/machine.h"
 #include "src/cluster/serializability.h"
-#include "src/cluster/strand.h"
 #include "src/common/result.h"
+#include "src/net/inproc_transport.h"
+#include "src/net/machine_client.h"
+#include "src/net/machine_service.h"
+#include "src/net/transport.h"
 #include "src/sql/executor.h"
 
 namespace mtdb {
@@ -43,6 +47,13 @@ struct ClusterControllerOptions {
   ReadRoutingOption read_option = ReadRoutingOption::kPerDatabase;
   WriteAckPolicy write_policy = WriteAckPolicy::kConservative;
   int default_replicas = 2;
+  // Transport carrying every controller->machine interaction. nullptr means
+  // the controller owns a net::InProcTransport wired to the machines it
+  // creates with AddMachine; pass a net::TcpTransport (with endpoints
+  // registered) to drive remote mtdbd processes instead.
+  net::Transport* transport = nullptr;
+  // Per-RPC deadline; expiry marks the silent machine failed.
+  net::RpcOptions rpc;
 };
 
 class ClusterController;
@@ -77,7 +88,7 @@ class Connection {
   friend class ClusterController;
 
   // Result of one replicated write: completion latch shared by all replica
-  // tasks.
+  // RPC handlers.
   struct PendingWrite {
     std::mutex mu;
     std::condition_variable cv;
@@ -94,27 +105,26 @@ class Connection {
   Connection(ClusterController* controller, std::string db_name,
              uint64_t epoch);
 
-  // Statements and params are shared because aggressive-mode write tasks may
-  // still be queued on replica strands after Execute() returns.
-  using StatementPtr = std::shared_ptr<const sql::Statement>;
-  using ParamsPtr = std::shared_ptr<const std::vector<Value>>;
-
   Status BeginInternal();
-  Result<sql::QueryResult> ExecuteInTxn(const StatementPtr& stmt,
-                                        const ParamsPtr& params);
-  Result<sql::QueryResult> ExecuteRead(const StatementPtr& stmt,
-                                       const ParamsPtr& params);
-  Result<sql::QueryResult> ExecuteWrite(const StatementPtr& stmt,
+  // The statement is parsed once by the controller for routing decisions;
+  // machines receive the SQL text (plus params) and parse it themselves,
+  // exactly like a DBMS behind a wire protocol.
+  Result<sql::QueryResult> ExecuteInTxn(const std::string& sql,
+                                        const sql::Statement& stmt,
+                                        const std::vector<Value>& params);
+  Result<sql::QueryResult> ExecuteRead(const std::string& sql,
+                                       const std::vector<Value>& params);
+  Result<sql::QueryResult> ExecuteWrite(const std::string& sql,
                                         const std::string& table,
-                                        const ParamsPtr& params);
+                                        const std::vector<Value>& params);
   // Waits for all asynchronously outstanding writes (aggressive mode).
   Status WaitOutstandingWrites();
   Status CommitInternal();
   Status AbortInternal(Status reason);
-  // Ensures the engine-side transaction exists on machine m (same strand,
-  // so ordering with subsequent ops is guaranteed).
+  // Ensures the engine-side transaction exists on machine m (same session
+  // channel, so ordering with subsequent ops is guaranteed).
   void EnsureBegun(int machine_id);
-  Strand* StrandFor(int machine_id);
+  net::MachineClient::Session* SessionFor(int machine_id);
   void Poison(const Status& status);
   Status poison_status() const;
 
@@ -128,7 +138,10 @@ class Connection {
   bool wrote_ = false;
   int sticky_read_machine_ = -1;  // Option 2 anchor for the current txn
   std::set<int> begun_machines_;
-  std::map<int, std::unique_ptr<Strand>> strands_;
+  // One RPC session (= ordered channel) per machine this connection talks
+  // to — the strand-per-(connection,machine) of the pre-RPC controller,
+  // now owned by the transport layer.
+  std::map<int, std::unique_ptr<net::MachineClient::Session>> sessions_;
   std::vector<std::shared_ptr<PendingWrite>> outstanding_;
 
   mutable std::mutex poison_mu_;
@@ -141,6 +154,12 @@ class Connection {
 // process pair: controller state (replica map, copy states, commit
 // decisions) is mirrored synchronously to a hot-standby image, and
 // SimulateControllerFailover() exercises the backup's takeover path.
+//
+// All transaction work reaches machines exclusively through net::MachineClient
+// RPCs; the controller compiles against the RPC surface, not the engine.
+// (Introspection used by tests/experiments — CollectHistories,
+// total_deadlocks — reads the co-located engines directly and is the
+// documented exception; it is meaningless over a remote transport.)
 class ClusterController {
  public:
   explicit ClusterController(ClusterControllerOptions options = {});
@@ -156,6 +175,14 @@ class ClusterController {
   size_t machine_count() const;
   Machine* machine(int id) const;
   std::vector<int> MachineIds() const;
+
+  // The RPC client carrying every controller->machine interaction.
+  net::MachineClient* machine_client() const { return client_.get(); }
+  // The controller-owned in-process transport; null when the caller supplied
+  // a transport in the options. Test hook for fault injection.
+  net::InProcTransport* inproc_transport() const {
+    return owned_transport_.get();
+  }
 
   // --- Database lifecycle ---
   // Places `num_replicas` replicas on the least-loaded distinct machines.
@@ -216,7 +243,8 @@ class ClusterController {
   SerializabilityReport CheckClusterSerializability() const;
 
   // Test hook: extra latency (us) applied per operation, keyed by the
-  // connection label. `is_write` distinguishes read/write ops.
+  // connection label. `is_write` distinguishes read/write ops. Rides the
+  // wire as RpcRequest::debug_delay_us so schedules are transport-agnostic.
   using LatencyInjector =
       std::function<int64_t(const std::string& label, bool is_write,
                             int machine_id)>;
@@ -272,7 +300,13 @@ class ClusterController {
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Machine>> machines_;
+  // RPC endpoints for the local machines, registered with the transport
+  // (no-op for remote transports: the server process hosts the service).
+  std::vector<std::unique_ptr<net::MachineService>> services_;
   std::map<std::string, std::unique_ptr<DbState>> databases_;
+  // Databases mid-CreateDatabaseOn: reserved under mu_ while the replica
+  // CreateDatabase RPCs run unlocked.
+  std::set<std::string> creating_;
   BackupImage backup_;
 
   std::atomic<uint64_t> next_txn_id_{1};
@@ -288,6 +322,13 @@ class ClusterController {
   std::condition_variable inflight_cv_;
   // Keys: "<db>" (all tables) and "<db>/<table>".
   std::map<std::string, int64_t> inflight_writes_;
+
+  // Owned transport when the options did not supply one.
+  std::unique_ptr<net::InProcTransport> owned_transport_;
+  net::Transport* transport_ = nullptr;
+  // Declared last: destroyed first, so the deadline watchdog and all control
+  // channels wind down while machines and services are still alive.
+  std::unique_ptr<net::MachineClient> client_;
 };
 
 }  // namespace mtdb

@@ -6,6 +6,7 @@
 
 #include "src/common/clock.h"
 #include "src/common/logging.h"
+#include "src/net/machine_client.h"
 
 namespace mtdb {
 
@@ -16,12 +17,17 @@ constexpr uint64_t kDumpTxnBase = 1ull << 48;
 
 Result<int> RecoveryManager::ChooseTarget(const std::string& db_name) {
   std::vector<int> replicas = controller_->ReplicasOf(db_name);
+  net::MachineClient* client = controller_->machine_client();
   for (int id : controller_->MachineIds()) {
     Machine* m = controller_->machine(id);
     if (m == nullptr || m->failed()) continue;
     if (std::count(replicas.begin(), replicas.end(), id) > 0) continue;
-    // The machine must not already hold a stale copy of this database.
-    if (m->engine()->HasDatabase(db_name)) continue;
+    // The machine must not already hold a stale copy of this database. Only
+    // a definite "not found" answer makes it usable: an unreachable machine
+    // is no recovery target either.
+    if (client->HasDatabase(id, db_name).code() != StatusCode::kNotFound) {
+      continue;
+    }
     return id;
   }
   return Status::ResourceExhausted("no machine available to host " + db_name);
@@ -67,24 +73,25 @@ RecoveryResult RecoveryManager::CopyTableGranularity(const std::string& db_name,
   result.source_machine = source_machine;
   result.target_machine = target_machine;
 
-  auto source_engine = controller_->machine(source_machine)->engine();
-  auto target_engine = controller_->machine(target_machine)->engine();
+  // The copy tool is a cluster-controller client like any other: it reaches
+  // both source and target exclusively through machine RPCs (the paper's
+  // "off-the-shelf copy tool" run against the DBMS interface).
+  net::MachineClient* client = controller_->machine_client();
 
   Status status = controller_->BeginCopy(db_name, target_machine);
   if (!status.ok()) {
     result.status = status;
     return result;
   }
-  Database* db = source_engine->GetDatabase(db_name);
-  if (db == nullptr) {
+  auto tables_or = client->ListTables(source_machine, db_name);
+  if (!tables_or.ok()) {
     (void)controller_->AbandonCopy(db_name);
-    result.status = Status::NotFound("database " + db_name + " on source");
+    result.status = tables_or.status();
     return result;
   }
   active_copies_.fetch_add(1);
-  DumpOptions dump_options;
-  dump_options.per_row_delay_us = EffectivePerRowDelay();
-  for (const std::string& table : db->TableNames()) {
+  int64_t per_row_delay_us = EffectivePerRowDelay();
+  for (const std::string& table : *tables_or) {
     // Algorithm 1: writes to `table` are rejected from this point until the
     // table is installed on the target and marked copied.
     status = controller_->SetCopyInProgress(db_name, table);
@@ -92,14 +99,15 @@ RecoveryResult RecoveryManager::CopyTableGranularity(const std::string& db_name,
     // Writes routed before the copy window opened must reach the engines
     // before the snapshot; otherwise the new replica would miss them.
     controller_->WaitForQuiescentWrites(db_name, table);
-    auto dump = DumpTable(source_engine.get(), db_name, table,
-                          kDumpTxnBase + dump_txn_seq_.fetch_add(1),
-                          dump_options);
+    auto dump = client->DumpTable(source_machine, db_name, table,
+                                  kDumpTxnBase + dump_txn_seq_.fetch_add(1),
+                                  per_row_delay_us);
     if (!dump.ok()) {
       status = dump.status();
       break;
     }
-    status = ApplyTableDump(target_engine.get(), db_name, *dump);
+    // ApplyDump creates the database on the target on first use.
+    status = client->ApplyDump(target_machine, db_name, *dump);
     if (!status.ok()) break;
     status = controller_->MarkTableCopied(db_name, table);
     if (!status.ok()) break;
@@ -121,8 +129,7 @@ RecoveryResult RecoveryManager::CopyDatabaseGranularity(
   result.source_machine = source_machine;
   result.target_machine = target_machine;
 
-  auto source_engine = controller_->machine(source_machine)->engine();
-  auto target_engine = controller_->machine(target_machine)->engine();
+  net::MachineClient* client = controller_->machine_client();
 
   Status status = controller_->BeginCopy(db_name, target_machine);
   if (!status.ok()) {
@@ -135,15 +142,14 @@ RecoveryResult RecoveryManager::CopyDatabaseGranularity(
   if (status.ok()) controller_->WaitForQuiescentWrites(db_name, "*");
   active_copies_.fetch_add(1);
   if (status.ok()) {
-    DumpOptions dump_options;
-    dump_options.per_row_delay_us = EffectivePerRowDelay();
-    auto dump = DumpDatabaseCoarse(
-        source_engine.get(), db_name,
-        kDumpTxnBase + dump_txn_seq_.fetch_add(1), dump_options);
-    status = dump.ok() ? ApplyDatabaseDump(target_engine.get(), *dump)
-                       : dump.status();
+    auto dump = client->DumpDatabase(source_machine, db_name,
+                                     kDumpTxnBase + dump_txn_seq_.fetch_add(1),
+                                     EffectivePerRowDelay());
+    status = dump.status();
     if (status.ok()) {
-      for (const TableDump& table : dump->tables) {
+      for (const TableDump& table : *dump) {
+        status = client->ApplyDump(target_machine, db_name, table);
+        if (!status.ok()) break;
         status = controller_->MarkTableCopied(db_name, table.schema.name());
         if (!status.ok()) break;
       }

@@ -1,5 +1,10 @@
 #include "src/cluster/strand.h"
 
+#include <exception>
+#include <string>
+
+#include "src/analysis/invariants.h"
+
 namespace mtdb {
 
 Strand::Strand() : thread_([this] { Run(); }) {}
@@ -26,7 +31,18 @@ void Strand::Run() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // A throwing detached task used to terminate the process with no
+    // indication of where it came from. Route it through the violation
+    // handler instead, which aborts loudly (or records it in tests).
+    try {
+      task();
+    } catch (const std::exception& e) {
+      analysis::ReportViolation(
+          "strand", std::string("strand task threw: ") + e.what());
+    } catch (...) {
+      analysis::ReportViolation("strand",
+                                "strand task threw a non-std exception");
+    }
     cv_.notify_all();  // wake Drain() waiters
   }
 }
@@ -35,7 +51,14 @@ std::future<void> Strand::Submit(std::function<void()> task) {
   auto promise = std::make_shared<std::promise<void>>();
   std::future<void> future = promise->get_future();
   SubmitDetached([task = std::move(task), promise]() mutable {
-    task();
+    // The promise must resolve even if the task throws, or Drain()/waiters
+    // would hang; the rethrow lets Run() report the violation.
+    try {
+      task();
+    } catch (...) {
+      promise->set_value();
+      throw;
+    }
     promise->set_value();
   });
   return future;

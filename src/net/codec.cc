@@ -1,0 +1,375 @@
+#include "src/net/codec.h"
+
+#include <cstring>
+
+namespace mtdb::net {
+
+namespace {
+
+// Payload tags distinguishing the two message directions.
+constexpr uint8_t kRequestTag = 0xA1;
+constexpr uint8_t kResponseTag = 0xA2;
+
+void AppendU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void AppendString(std::string* out, const std::string& s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+// Bounds-checked reader over a frame payload. After the first failed read
+// every subsequent read fails too, so decode functions can read
+// unconditionally and check ok() once.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return data_.size(); }
+
+  uint8_t ReadU8() {
+    if (!Require(1)) return 0;
+    uint8_t v = static_cast<uint8_t>(data_[0]);
+    data_.remove_prefix(1);
+    return v;
+  }
+
+  uint32_t ReadU32() {
+    if (!Require(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[i])) << (8 * i);
+    }
+    data_.remove_prefix(4);
+    return v;
+  }
+
+  uint64_t ReadU64() {
+    if (!Require(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[i])) << (8 * i);
+    }
+    data_.remove_prefix(8);
+    return v;
+  }
+
+  std::string ReadString() {
+    uint32_t len = ReadU32();
+    if (!Require(len)) return {};
+    std::string s(data_.substr(0, len));
+    data_.remove_prefix(len);
+    return s;
+  }
+
+  Value ReadValue() {
+    if (!ok_) return Value::Null();
+    auto value = Value::DecodeFrom(&data_);
+    if (!value.ok()) {
+      ok_ = false;
+      return Value::Null();
+    }
+    return *std::move(value);
+  }
+
+  // Reads a u32 element count, bounded by the bytes actually remaining so a
+  // corrupt count cannot trigger a huge allocation (every element encodes to
+  // at least one byte).
+  uint32_t ReadCount() {
+    uint32_t n = ReadU32();
+    if (n > remaining()) ok_ = false;
+    return ok_ ? n : 0;
+  }
+
+ private:
+  bool Require(size_t n) {
+    if (!ok_ || data_.size() < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view data_;
+  bool ok_ = true;
+};
+
+void AppendRow(std::string* out, const Row& row) {
+  AppendU32(out, static_cast<uint32_t>(row.size()));
+  for (const Value& v : row) v.EncodeTo(out);
+}
+
+Row ReadRow(Cursor* in) {
+  Row row;
+  uint32_t arity = in->ReadCount();
+  row.reserve(arity);
+  for (uint32_t i = 0; i < arity && in->ok(); ++i) {
+    row.push_back(in->ReadValue());
+  }
+  return row;
+}
+
+void AppendQueryResult(std::string* out, const sql::QueryResult& result) {
+  AppendU32(out, static_cast<uint32_t>(result.columns.size()));
+  for (const std::string& c : result.columns) AppendString(out, c);
+  AppendU32(out, static_cast<uint32_t>(result.rows.size()));
+  for (const Row& row : result.rows) AppendRow(out, row);
+  AppendU64(out, static_cast<uint64_t>(result.affected_rows));
+}
+
+sql::QueryResult ReadQueryResult(Cursor* in) {
+  sql::QueryResult result;
+  uint32_t columns = in->ReadCount();
+  result.columns.reserve(columns);
+  for (uint32_t i = 0; i < columns && in->ok(); ++i) {
+    result.columns.push_back(in->ReadString());
+  }
+  uint32_t rows = in->ReadCount();
+  result.rows.reserve(rows);
+  for (uint32_t i = 0; i < rows && in->ok(); ++i) {
+    result.rows.push_back(ReadRow(in));
+  }
+  result.affected_rows = static_cast<int64_t>(in->ReadU64());
+  return result;
+}
+
+void AppendSchema(std::string* out, const TableSchema& schema) {
+  AppendString(out, schema.name());
+  AppendU32(out, static_cast<uint32_t>(schema.columns().size()));
+  for (const Column& c : schema.columns()) {
+    AppendString(out, c.name);
+    AppendU8(out, static_cast<uint8_t>(c.type));
+    AppendU8(out, c.not_null ? 1 : 0);
+  }
+  AppendU32(out, static_cast<uint32_t>(schema.primary_key_index()));
+  AppendU32(out, static_cast<uint32_t>(schema.indexes().size()));
+  for (const IndexDef& index : schema.indexes()) {
+    AppendString(out, index.name);
+    AppendU32(out, static_cast<uint32_t>(index.column_index));
+  }
+}
+
+TableSchema ReadSchema(Cursor* in) {
+  std::string name = in->ReadString();
+  uint32_t num_columns = in->ReadCount();
+  std::vector<Column> columns;
+  columns.reserve(num_columns);
+  for (uint32_t i = 0; i < num_columns && in->ok(); ++i) {
+    Column c;
+    c.name = in->ReadString();
+    c.type = static_cast<ColumnType>(in->ReadU8());
+    c.not_null = in->ReadU8() != 0;
+    columns.push_back(std::move(c));
+  }
+  int pk = static_cast<int32_t>(in->ReadU32());
+  TableSchema schema(std::move(name), std::move(columns), pk);
+  uint32_t num_indexes = in->ReadCount();
+  for (uint32_t i = 0; i < num_indexes && in->ok(); ++i) {
+    std::string index_name = in->ReadString();
+    int column_index = static_cast<int32_t>(in->ReadU32());
+    if (column_index >= 0 &&
+        column_index < static_cast<int>(schema.columns().size())) {
+      (void)schema.AddIndex(index_name, schema.columns()[column_index].name);
+    }
+  }
+  return schema;
+}
+
+void AppendTableDump(std::string* out, const TableDump& dump) {
+  AppendSchema(out, dump.schema);
+  AppendU32(out, static_cast<uint32_t>(dump.rows.size()));
+  for (const auto& [row, version] : dump.rows) {
+    AppendRow(out, row);
+    AppendU64(out, version);
+  }
+  AppendU64(out, dump.max_version);
+}
+
+TableDump ReadTableDump(Cursor* in) {
+  TableDump dump;
+  dump.schema = ReadSchema(in);
+  uint32_t rows = in->ReadCount();
+  dump.rows.reserve(rows);
+  for (uint32_t i = 0; i < rows && in->ok(); ++i) {
+    Row row = ReadRow(in);
+    uint64_t version = in->ReadU64();
+    dump.rows.emplace_back(std::move(row), version);
+  }
+  dump.max_version = in->ReadU64();
+  return dump;
+}
+
+}  // namespace
+
+std::string_view RpcTypeName(RpcType type) {
+  switch (type) {
+    case RpcType::kHealth: return "Health";
+    case RpcType::kBegin: return "Begin";
+    case RpcType::kExecute: return "Execute";
+    case RpcType::kPrepare: return "Prepare";
+    case RpcType::kCommit: return "Commit";
+    case RpcType::kCommitPrepared: return "CommitPrepared";
+    case RpcType::kAbort: return "Abort";
+    case RpcType::kCreateDatabase: return "CreateDatabase";
+    case RpcType::kDropDatabase: return "DropDatabase";
+    case RpcType::kHasDatabase: return "HasDatabase";
+    case RpcType::kExecuteDdl: return "ExecuteDdl";
+    case RpcType::kBulkLoad: return "BulkLoad";
+    case RpcType::kDumpTable: return "DumpTable";
+    case RpcType::kDumpDatabase: return "DumpDatabase";
+    case RpcType::kApplyDump: return "ApplyDump";
+    case RpcType::kListPrepared: return "ListPrepared";
+    case RpcType::kListActive: return "ListActive";
+    case RpcType::kListTables: return "ListTables";
+  }
+  return "?";
+}
+
+void EncodeRequestFrame(const RpcRequest& request, std::string* out) {
+  size_t frame_start = out->size();
+  AppendU32(out, 0);  // patched below
+  AppendU8(out, kRequestTag);
+  AppendU8(out, static_cast<uint8_t>(request.type));
+  AppendU64(out, request.txn_id);
+  AppendString(out, request.db_name);
+  AppendString(out, request.table);
+  AppendString(out, request.sql);
+  AppendU32(out, static_cast<uint32_t>(request.params.size()));
+  for (const Value& v : request.params) v.EncodeTo(out);
+  AppendU32(out, static_cast<uint32_t>(request.rows.size()));
+  for (const Row& row : request.rows) AppendRow(out, row);
+  AppendTableDump(out, request.dump);
+  AppendU64(out, static_cast<uint64_t>(request.per_row_delay_us));
+  AppendU64(out, static_cast<uint64_t>(request.debug_delay_us));
+  uint32_t payload = static_cast<uint32_t>(out->size() - frame_start - 4);
+  for (int i = 0; i < 4; ++i) {
+    (*out)[frame_start + i] = static_cast<char>((payload >> (8 * i)) & 0xff);
+  }
+}
+
+void EncodeResponseFrame(const RpcResponse& response, std::string* out) {
+  size_t frame_start = out->size();
+  AppendU32(out, 0);  // patched below
+  AppendU8(out, kResponseTag);
+  AppendU8(out, static_cast<uint8_t>(response.code));
+  AppendString(out, response.message);
+  AppendQueryResult(out, response.result);
+  AppendU32(out, static_cast<uint32_t>(response.dumps.size()));
+  for (const TableDump& dump : response.dumps) AppendTableDump(out, dump);
+  AppendU32(out, static_cast<uint32_t>(response.txn_ids.size()));
+  for (uint64_t id : response.txn_ids) AppendU64(out, id);
+  AppendU32(out, static_cast<uint32_t>(response.names.size()));
+  for (const std::string& name : response.names) AppendString(out, name);
+  uint32_t payload = static_cast<uint32_t>(out->size() - frame_start - 4);
+  for (int i = 0; i < 4; ++i) {
+    (*out)[frame_start + i] = static_cast<char>((payload >> (8 * i)) & 0xff);
+  }
+}
+
+std::optional<std::string_view> ExtractFrame(std::string_view buffer,
+                                             size_t* frame_size,
+                                             Status* error) {
+  *error = Status::OK();
+  if (buffer.size() < 4) return std::nullopt;
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<uint8_t>(buffer[i])) << (8 * i);
+  }
+  if (len > kMaxFrameBytes) {
+    *error = Status::InvalidArgument("frame length " + std::to_string(len) +
+                                     " exceeds limit");
+    return std::nullopt;
+  }
+  if (buffer.size() < 4 + static_cast<size_t>(len)) return std::nullopt;
+  *frame_size = 4 + static_cast<size_t>(len);
+  return buffer.substr(4, len);
+}
+
+Result<RpcRequest> DecodeRequest(std::string_view payload) {
+  Cursor in(payload);
+  if (in.ReadU8() != kRequestTag) {
+    return Status::InvalidArgument("not a request frame");
+  }
+  RpcRequest request;
+  uint8_t type = in.ReadU8();
+  if (type < static_cast<uint8_t>(RpcType::kHealth) ||
+      type > static_cast<uint8_t>(RpcType::kListTables)) {
+    return Status::InvalidArgument("unknown request type " +
+                                   std::to_string(type));
+  }
+  request.type = static_cast<RpcType>(type);
+  request.txn_id = in.ReadU64();
+  request.db_name = in.ReadString();
+  request.table = in.ReadString();
+  request.sql = in.ReadString();
+  uint32_t params = in.ReadCount();
+  request.params.reserve(params);
+  for (uint32_t i = 0; i < params && in.ok(); ++i) {
+    request.params.push_back(in.ReadValue());
+  }
+  uint32_t rows = in.ReadCount();
+  request.rows.reserve(rows);
+  for (uint32_t i = 0; i < rows && in.ok(); ++i) {
+    request.rows.push_back(ReadRow(&in));
+  }
+  request.dump = ReadTableDump(&in);
+  request.per_row_delay_us = static_cast<int64_t>(in.ReadU64());
+  request.debug_delay_us = static_cast<int64_t>(in.ReadU64());
+  if (!in.ok()) return Status::InvalidArgument("truncated request frame");
+  if (in.remaining() != 0) {
+    return Status::InvalidArgument("trailing bytes after request frame");
+  }
+  return request;
+}
+
+Result<RpcResponse> DecodeResponse(std::string_view payload) {
+  Cursor in(payload);
+  if (in.ReadU8() != kResponseTag) {
+    return Status::InvalidArgument("not a response frame");
+  }
+  RpcResponse response;
+  uint8_t code = in.ReadU8();
+  if (code > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
+    return Status::InvalidArgument("unknown status code " +
+                                   std::to_string(code));
+  }
+  response.code = static_cast<StatusCode>(code);
+  response.message = in.ReadString();
+  response.result = ReadQueryResult(&in);
+  uint32_t dumps = in.ReadCount();
+  response.dumps.reserve(dumps);
+  for (uint32_t i = 0; i < dumps && in.ok(); ++i) {
+    response.dumps.push_back(ReadTableDump(&in));
+  }
+  uint32_t txns = in.ReadCount();
+  response.txn_ids.reserve(txns);
+  for (uint32_t i = 0; i < txns && in.ok(); ++i) {
+    response.txn_ids.push_back(in.ReadU64());
+  }
+  uint32_t names = in.ReadCount();
+  response.names.reserve(names);
+  for (uint32_t i = 0; i < names && in.ok(); ++i) {
+    response.names.push_back(in.ReadString());
+  }
+  if (!in.ok()) return Status::InvalidArgument("truncated response frame");
+  if (in.remaining() != 0) {
+    return Status::InvalidArgument("trailing bytes after response frame");
+  }
+  return response;
+}
+
+}  // namespace mtdb::net

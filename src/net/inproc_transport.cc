@@ -1,0 +1,161 @@
+#include "src/net/inproc_transport.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "src/cluster/strand.h"
+#include "src/common/logging.h"
+#include "src/net/codec.h"
+#include "src/net/machine_service.h"
+
+namespace mtdb::net {
+
+// One in-process "connection": a strand that serializes delivery, dispatch,
+// and reply for all calls on this channel. Mirrors a dedicated client
+// connection to the machine's DBMS process.
+class InProcTransport::InProcChannel : public Channel {
+ public:
+  InProcChannel(InProcTransport* transport, int machine_id)
+      : transport_(transport), machine_id_(machine_id) {}
+
+  ~InProcChannel() override { strand_.Drain(); }
+
+  void Call(const RpcRequest& request, ResponseHandler handler) override {
+    // Marshal up front: the bytes are what the fault hook conceptually acts
+    // on, and encoding outside the strand keeps the serialized cost on the
+    // caller like a real socket write.
+    auto frame = std::make_shared<std::string>();
+    EncodeRequestFrame(request, frame.get());
+    strand_.SubmitDetached([this, frame = std::move(frame),
+                            handler = std::move(handler)]() mutable {
+      Deliver(*frame, std::move(handler));
+    });
+  }
+
+ private:
+  void Deliver(const std::string& frame, ResponseHandler handler) {
+    size_t frame_size = 0;
+    Status frame_error;
+    auto payload =
+        ExtractFrame(frame, &frame_size, &frame_error);
+    if (!payload.has_value()) {
+      handler(RpcResponse::FromStatus(
+          frame_error.ok() ? Status::Internal("inproc: incomplete frame")
+                           : frame_error));
+      return;
+    }
+    auto request_or = DecodeRequest(*payload);
+    if (!request_or.ok()) {
+      handler(RpcResponse::FromStatus(request_or.status()));
+      return;
+    }
+    const RpcRequest& request = *request_or;
+
+    Fault fault = transport_->EvaluateFault(machine_id_, request);
+    if (fault == Fault::kDropRequest) {
+      MTDB_LOG(kDebug) << "inproc: dropped request " << RpcTypeName(request.type)
+                   << " to machine " << machine_id_;
+      return;  // the caller's deadline watchdog answers eventually
+    }
+    int64_t delay_us = transport_->EvaluateLatency(machine_id_, request);
+    if (delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    }
+
+    MachineService* service = transport_->Lookup(machine_id_);
+    RpcResponse response =
+        service == nullptr
+            ? RpcResponse::FromStatus(Status::Unavailable(
+                  "no machine " + std::to_string(machine_id_) +
+                  " attached to inproc transport"))
+            : service->Dispatch(request);
+
+    if (fault == Fault::kDropReply) {
+      MTDB_LOG(kDebug) << "inproc: dropped reply for " << RpcTypeName(request.type)
+                   << " from machine " << machine_id_;
+      return;  // executed on the machine, but the coordinator never hears
+    }
+
+    // Round-trip the response through the codec too.
+    std::string reply_frame;
+    EncodeResponseFrame(response, &reply_frame);
+    size_t reply_size = 0;
+    Status reply_error;
+    auto reply_payload = ExtractFrame(reply_frame, &reply_size, &reply_error);
+    if (!reply_payload.has_value()) {
+      handler(RpcResponse::FromStatus(
+          Status::Internal("inproc: bad reply frame")));
+      return;
+    }
+    auto response_or = DecodeResponse(*reply_payload);
+    if (!response_or.ok()) {
+      handler(RpcResponse::FromStatus(response_or.status()));
+      return;
+    }
+    transport_->delivered_.fetch_add(1, std::memory_order_relaxed);
+    handler(std::move(*response_or));
+  }
+
+  InProcTransport* transport_;
+  int machine_id_;
+  Strand strand_;
+};
+
+std::unique_ptr<Channel> InProcTransport::OpenChannel(int machine_id) {
+  return std::make_unique<InProcChannel>(this, machine_id);
+}
+
+void InProcTransport::AttachLocal(int machine_id, MachineService* service) {
+  std::lock_guard<std::mutex> lock(mu_);
+  services_[machine_id] = service;
+}
+
+void InProcTransport::SetFaultHook(FaultHook hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_hook_ = std::move(hook);
+}
+
+void InProcTransport::SetLatencyHook(LatencyHook hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  latency_hook_ = std::move(hook);
+}
+
+void InProcTransport::PartitionMachine(int machine_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitioned_.insert(machine_id);
+}
+
+void InProcTransport::HealMachine(int machine_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitioned_.erase(machine_id);
+}
+
+MachineService* InProcTransport::Lookup(int machine_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = services_.find(machine_id);
+  return it == services_.end() ? nullptr : it->second;
+}
+
+InProcTransport::Fault InProcTransport::EvaluateFault(
+    int machine_id, const RpcRequest& request) const {
+  FaultHook hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (partitioned_.count(machine_id) > 0) return Fault::kDropRequest;
+    hook = fault_hook_;
+  }
+  return hook ? hook(machine_id, request) : Fault::kDeliver;
+}
+
+int64_t InProcTransport::EvaluateLatency(int machine_id,
+                                         const RpcRequest& request) const {
+  LatencyHook hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hook = latency_hook_;
+  }
+  return hook ? hook(machine_id, request) : 0;
+}
+
+}  // namespace mtdb::net

@@ -1,0 +1,357 @@
+#include "src/net/machine_client.h"
+
+#include <future>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace mtdb::net {
+
+MachineClient::MachineClient(Transport* transport, RpcOptions options)
+    : transport_(transport), options_(options) {
+  watchdog_ = std::thread([this] { WatchdogLoop(); });
+}
+
+MachineClient::~MachineClient() {
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+  // Control channels (and their transport threads) die before the transport:
+  // the member order takes care of it, this is just explicit.
+  control_channels_.clear();
+}
+
+void MachineClient::SetTimeoutListener(TimeoutListener listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  timeout_listener_ = std::move(listener);
+}
+
+std::unique_ptr<MachineClient::Session> MachineClient::OpenSession(
+    int machine_id) {
+  return std::unique_ptr<Session>(
+      new Session(this, machine_id, transport_->OpenChannel(machine_id)));
+}
+
+// --- Session ---
+
+void MachineClient::Session::BeginDetached(uint64_t txn_id,
+                                           const std::string& db_name) {
+  RpcRequest request;
+  request.type = RpcType::kBegin;
+  request.txn_id = txn_id;
+  request.db_name = db_name;
+  client_->CallWithDeadline(channel_.get(), machine_id_, request,
+                            [](RpcResponse) {});
+}
+
+void MachineClient::Session::ExecuteAsync(uint64_t txn_id,
+                                          const std::string& db_name,
+                                          const std::string& sql,
+                                          const std::vector<Value>& params,
+                                          int64_t debug_delay_us,
+                                          ResponseHandler done) {
+  RpcRequest request;
+  request.type = RpcType::kExecute;
+  request.txn_id = txn_id;
+  request.db_name = db_name;
+  request.sql = sql;
+  request.params = params;
+  request.debug_delay_us = debug_delay_us;
+  client_->CallWithDeadline(channel_.get(), machine_id_, request,
+                            std::move(done));
+}
+
+void MachineClient::Session::PrepareAsync(uint64_t txn_id,
+                                          ResponseHandler done) {
+  RpcRequest request;
+  request.type = RpcType::kPrepare;
+  request.txn_id = txn_id;
+  client_->CallWithDeadline(channel_.get(), machine_id_, request,
+                            std::move(done));
+}
+
+void MachineClient::Session::CommitAsync(uint64_t txn_id,
+                                         ResponseHandler done) {
+  RpcRequest request;
+  request.type = RpcType::kCommit;
+  request.txn_id = txn_id;
+  client_->CallWithDeadline(channel_.get(), machine_id_, request,
+                            std::move(done));
+}
+
+void MachineClient::Session::CommitPreparedAsync(uint64_t txn_id,
+                                                 ResponseHandler done) {
+  RpcRequest request;
+  request.type = RpcType::kCommitPrepared;
+  request.txn_id = txn_id;
+  client_->CallWithDeadline(channel_.get(), machine_id_, request,
+                            std::move(done));
+}
+
+void MachineClient::Session::AbortAsync(uint64_t txn_id, ResponseHandler done) {
+  RpcRequest request;
+  request.type = RpcType::kAbort;
+  request.txn_id = txn_id;
+  client_->CallWithDeadline(channel_.get(), machine_id_, request,
+                            std::move(done));
+}
+
+// --- Control plane ---
+
+Channel* MachineClient::ControlChannel(int machine_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = control_channels_.find(machine_id);
+  if (it == control_channels_.end()) {
+    it = control_channels_
+             .emplace(machine_id, transport_->OpenChannel(machine_id))
+             .first;
+  }
+  return it->second.get();
+}
+
+void MachineClient::ResetControlChannel(int machine_id) {
+  std::unique_ptr<Channel> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = control_channels_.find(machine_id);
+    if (it == control_channels_.end()) return;
+    dropped = std::move(it->second);
+    control_channels_.erase(it);
+  }
+  // Destroyed outside mu_: channel teardown joins transport threads.
+}
+
+RpcResponse MachineClient::ControlCall(int machine_id,
+                                       const RpcRequest& request) {
+  return CallSync(ControlChannel(machine_id), machine_id, request);
+}
+
+Status MachineClient::Health(int machine_id) {
+  RpcRequest request;
+  request.type = RpcType::kHealth;
+  return ControlCall(machine_id, request).ToStatus();
+}
+
+Status MachineClient::CreateDatabase(int machine_id,
+                                     const std::string& db_name) {
+  RpcRequest request;
+  request.type = RpcType::kCreateDatabase;
+  request.db_name = db_name;
+  return ControlCall(machine_id, request).ToStatus();
+}
+
+Status MachineClient::DropDatabase(int machine_id,
+                                   const std::string& db_name) {
+  RpcRequest request;
+  request.type = RpcType::kDropDatabase;
+  request.db_name = db_name;
+  return ControlCall(machine_id, request).ToStatus();
+}
+
+Status MachineClient::HasDatabase(int machine_id, const std::string& db_name) {
+  RpcRequest request;
+  request.type = RpcType::kHasDatabase;
+  request.db_name = db_name;
+  return ControlCall(machine_id, request).ToStatus();
+}
+
+Status MachineClient::ExecuteDdl(int machine_id, const std::string& db_name,
+                                 const std::string& sql) {
+  RpcRequest request;
+  request.type = RpcType::kExecuteDdl;
+  request.db_name = db_name;
+  request.sql = sql;
+  return ControlCall(machine_id, request).ToStatus();
+}
+
+Status MachineClient::BulkLoad(int machine_id, const std::string& db_name,
+                               const std::string& table,
+                               const std::vector<Row>& rows) {
+  RpcRequest request;
+  request.type = RpcType::kBulkLoad;
+  request.db_name = db_name;
+  request.table = table;
+  request.rows = rows;
+  return ControlCall(machine_id, request).ToStatus();
+}
+
+Result<std::vector<uint64_t>> MachineClient::ListPrepared(int machine_id) {
+  RpcRequest request;
+  request.type = RpcType::kListPrepared;
+  RpcResponse response = ControlCall(machine_id, request);
+  if (!response.ok()) return response.ToStatus();
+  return std::move(response.txn_ids);
+}
+
+Result<std::vector<uint64_t>> MachineClient::ListActive(int machine_id) {
+  RpcRequest request;
+  request.type = RpcType::kListActive;
+  RpcResponse response = ControlCall(machine_id, request);
+  if (!response.ok()) return response.ToStatus();
+  return std::move(response.txn_ids);
+}
+
+Result<std::vector<std::string>> MachineClient::ListTables(
+    int machine_id, const std::string& db_name) {
+  RpcRequest request;
+  request.type = RpcType::kListTables;
+  request.db_name = db_name;
+  RpcResponse response = ControlCall(machine_id, request);
+  if (!response.ok()) return response.ToStatus();
+  return std::move(response.names);
+}
+
+Status MachineClient::CommitPrepared(int machine_id, uint64_t txn_id) {
+  RpcRequest request;
+  request.type = RpcType::kCommitPrepared;
+  request.txn_id = txn_id;
+  return ControlCall(machine_id, request).ToStatus();
+}
+
+Status MachineClient::Abort(int machine_id, uint64_t txn_id) {
+  RpcRequest request;
+  request.type = RpcType::kAbort;
+  request.txn_id = txn_id;
+  return ControlCall(machine_id, request).ToStatus();
+}
+
+Result<TableDump> MachineClient::DumpTable(int machine_id,
+                                           const std::string& db_name,
+                                           const std::string& table,
+                                           uint64_t dump_txn_id,
+                                           int64_t per_row_delay_us) {
+  RpcRequest request;
+  request.type = RpcType::kDumpTable;
+  request.txn_id = dump_txn_id;
+  request.db_name = db_name;
+  request.table = table;
+  request.per_row_delay_us = per_row_delay_us;
+  auto channel = transport_->OpenChannel(machine_id);
+  RpcResponse response = CallSync(channel.get(), machine_id, request);
+  if (!response.ok()) return response.ToStatus();
+  if (response.dumps.size() != 1) {
+    return Status::Internal("DumpTable reply carried " +
+                            std::to_string(response.dumps.size()) + " dumps");
+  }
+  return std::move(response.dumps[0]);
+}
+
+Result<std::vector<TableDump>> MachineClient::DumpDatabase(
+    int machine_id, const std::string& db_name, uint64_t dump_txn_id,
+    int64_t per_row_delay_us) {
+  RpcRequest request;
+  request.type = RpcType::kDumpDatabase;
+  request.txn_id = dump_txn_id;
+  request.db_name = db_name;
+  request.per_row_delay_us = per_row_delay_us;
+  auto channel = transport_->OpenChannel(machine_id);
+  RpcResponse response = CallSync(channel.get(), machine_id, request);
+  if (!response.ok()) return response.ToStatus();
+  return std::move(response.dumps);
+}
+
+Status MachineClient::ApplyDump(int machine_id, const std::string& db_name,
+                                const TableDump& dump) {
+  RpcRequest request;
+  request.type = RpcType::kApplyDump;
+  request.db_name = db_name;
+  request.dump = dump;
+  auto channel = transport_->OpenChannel(machine_id);
+  return CallSync(channel.get(), machine_id, request).ToStatus();
+}
+
+// --- Deadline machinery ---
+
+void MachineClient::CallWithDeadline(Channel* channel, int machine_id,
+                                     const RpcRequest& request,
+                                     ResponseHandler handler) {
+  auto state = std::make_shared<CallState>();
+  state->handler = std::move(handler);
+  state->machine_id = machine_id;
+
+  if (options_.call_timeout_us > 0) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::microseconds(options_.call_timeout_us);
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mu_);
+      deadlines_.emplace(deadline, state);
+    }
+    watchdog_cv_.notify_all();
+  }
+
+  channel->Call(request, [state](RpcResponse response) {
+    ResponseHandler handler;
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (state->done) return;  // the deadline already answered
+      state->done = true;
+      handler = std::move(state->handler);
+    }
+    handler(std::move(response));
+  });
+}
+
+RpcResponse MachineClient::CallSync(Channel* channel, int machine_id,
+                                    const RpcRequest& request) {
+  auto done = std::make_shared<std::promise<RpcResponse>>();
+  auto future = done->get_future();
+  CallWithDeadline(channel, machine_id, request,
+                   [done](RpcResponse response) {
+                     done->set_value(std::move(response));
+                   });
+  return future.get();
+}
+
+void MachineClient::WatchdogLoop() {
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  while (!watchdog_stop_) {
+    if (deadlines_.empty()) {
+      watchdog_cv_.wait(lock);
+      continue;
+    }
+    auto next = deadlines_.begin()->first;
+    if (watchdog_cv_.wait_until(lock, next) == std::cv_status::no_timeout &&
+        watchdog_stop_) {
+      break;
+    }
+    auto now = std::chrono::steady_clock::now();
+    std::vector<std::shared_ptr<CallState>> expired;
+    while (!deadlines_.empty() && deadlines_.begin()->first <= now) {
+      expired.push_back(std::move(deadlines_.begin()->second));
+      deadlines_.erase(deadlines_.begin());
+    }
+    if (expired.empty()) continue;
+    lock.unlock();
+    for (auto& state : expired) {
+      ResponseHandler handler;
+      int machine_id = state->machine_id;
+      {
+        std::lock_guard<std::mutex> state_lock(state->mu);
+        if (state->done) continue;  // reply arrived in time
+        state->done = true;
+        handler = std::move(state->handler);
+      }
+      MTDB_LOG(kWarning) << "rpc to machine " << machine_id
+                         << " missed its deadline; treating as failed";
+      handler(RpcResponse::FromStatus(Status::Unavailable(
+          "rpc deadline exceeded (machine " + std::to_string(machine_id) +
+          ")")));
+      OnTimeout(machine_id);
+    }
+    lock.lock();
+  }
+}
+
+void MachineClient::OnTimeout(int machine_id) {
+  TimeoutListener listener;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    listener = timeout_listener_;
+  }
+  if (listener) listener(machine_id);
+}
+
+}  // namespace mtdb::net

@@ -1,0 +1,158 @@
+#ifndef MTDB_NET_MACHINE_CLIENT_H_
+#define MTDB_NET_MACHINE_CLIENT_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/net/message.h"
+#include "src/net/transport.h"
+
+namespace mtdb::net {
+
+struct RpcOptions {
+  // Per-call deadline. A call with no reply by then completes with
+  // kUnavailable and fires the timeout listener (the paper's fail-stop
+  // model: silence is indistinguishable from death, so the controller
+  // declares the machine failed and recovers). <= 0 disables deadlines.
+  int64_t call_timeout_us = 60'000'000;
+};
+
+// The controller's client stub for talking to machines. Everything the
+// cluster controller wants from a machine goes through here as an RPC; this
+// class adds the reliability layer transports do not provide:
+//  * every call completes exactly once — with the reply, or with
+//    kUnavailable when the deadline passes first;
+//  * a deadline expiry notifies the timeout listener so lost machines feed
+//    the existing failure/recovery path.
+class MachineClient {
+ public:
+  using TimeoutListener = std::function<void(int machine_id)>;
+
+  explicit MachineClient(Transport* transport, RpcOptions options = {});
+  ~MachineClient();
+
+  MachineClient(const MachineClient&) = delete;
+  MachineClient& operator=(const MachineClient&) = delete;
+
+  const RpcOptions& options() const { return options_; }
+
+  void SetTimeoutListener(TimeoutListener listener);
+
+  // The client end of one (connection, machine) conversation: owns a
+  // dedicated channel, so the machine executes this session's requests in
+  // submission order — the ordering contract transactions rely on.
+  class Session {
+   public:
+    int machine_id() const { return machine_id_; }
+
+    // Fire-and-forget Begin: later operations on this session queue behind
+    // it, and its failure surfaces through them.
+    void BeginDetached(uint64_t txn_id, const std::string& db_name);
+
+    void ExecuteAsync(uint64_t txn_id, const std::string& db_name,
+                      const std::string& sql, const std::vector<Value>& params,
+                      int64_t debug_delay_us, ResponseHandler done);
+    void PrepareAsync(uint64_t txn_id, ResponseHandler done);
+    void CommitAsync(uint64_t txn_id, ResponseHandler done);
+    void CommitPreparedAsync(uint64_t txn_id, ResponseHandler done);
+    void AbortAsync(uint64_t txn_id, ResponseHandler done);
+
+   private:
+    friend class MachineClient;
+    Session(MachineClient* client, int machine_id,
+            std::unique_ptr<Channel> channel)
+        : client_(client), machine_id_(machine_id),
+          channel_(std::move(channel)) {}
+
+    MachineClient* client_;
+    int machine_id_;
+    std::unique_ptr<Channel> channel_;
+  };
+
+  std::unique_ptr<Session> OpenSession(int machine_id);
+
+  // --- Control plane (synchronous; shared per-machine control channel) ---
+  Status Health(int machine_id);
+  Status CreateDatabase(int machine_id, const std::string& db_name);
+  Status DropDatabase(int machine_id, const std::string& db_name);
+  // OK when the machine hosts db_name, kNotFound otherwise.
+  Status HasDatabase(int machine_id, const std::string& db_name);
+  Status ExecuteDdl(int machine_id, const std::string& db_name,
+                    const std::string& sql);
+  Status BulkLoad(int machine_id, const std::string& db_name,
+                  const std::string& table, const std::vector<Row>& rows);
+  Result<std::vector<uint64_t>> ListPrepared(int machine_id);
+  Result<std::vector<uint64_t>> ListActive(int machine_id);
+  Result<std::vector<std::string>> ListTables(int machine_id,
+                                              const std::string& db_name);
+  // 2PC resolution outside a session (controller takeover).
+  Status CommitPrepared(int machine_id, uint64_t txn_id);
+  Status Abort(int machine_id, uint64_t txn_id);
+
+  // Copy-tool calls run on a transient channel of their own: a dump can
+  // legitimately take seconds (per_row_delay_us models the paper's copy
+  // cost) and must not head-of-line-block the control channel.
+  Result<TableDump> DumpTable(int machine_id, const std::string& db_name,
+                              const std::string& table, uint64_t dump_txn_id,
+                              int64_t per_row_delay_us);
+  Result<std::vector<TableDump>> DumpDatabase(int machine_id,
+                                              const std::string& db_name,
+                                              uint64_t dump_txn_id,
+                                              int64_t per_row_delay_us);
+  Status ApplyDump(int machine_id, const std::string& db_name,
+                   const TableDump& dump);
+
+  // Drops the cached control channel to one machine (e.g. after it was
+  // recovered into a new process); the next control call reconnects.
+  void ResetControlChannel(int machine_id);
+
+ private:
+  // Exactly-once completion record shared by the reply path and the
+  // watchdog; whichever gets there first consumes the handler.
+  struct CallState {
+    std::mutex mu;
+    bool done = false;
+    ResponseHandler handler;
+    int machine_id = -1;
+  };
+
+  // Issues the call on `channel` with the deadline armed.
+  void CallWithDeadline(Channel* channel, int machine_id,
+                        const RpcRequest& request, ResponseHandler handler);
+  RpcResponse CallSync(Channel* channel, int machine_id,
+                       const RpcRequest& request);
+  // Control-plane convenience: sync call on the shared control channel.
+  RpcResponse ControlCall(int machine_id, const RpcRequest& request);
+  Channel* ControlChannel(int machine_id);
+
+  void WatchdogLoop();
+  void OnTimeout(int machine_id);
+
+  Transport* transport_;
+  RpcOptions options_;
+
+  std::mutex mu_;
+  std::map<int, std::unique_ptr<Channel>> control_channels_;
+  TimeoutListener timeout_listener_;
+
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  std::multimap<std::chrono::steady_clock::time_point,
+                std::shared_ptr<CallState>>
+      deadlines_;
+  bool watchdog_stop_ = false;
+  std::thread watchdog_;
+};
+
+}  // namespace mtdb::net
+
+#endif  // MTDB_NET_MACHINE_CLIENT_H_

@@ -1,0 +1,188 @@
+#include "src/net/machine_service.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "src/cluster/machine.h"
+#include "src/cluster/strand.h"
+#include "src/sql/executor.h"
+#include "src/sql/parser.h"
+#include "src/storage/dump.h"
+
+namespace mtdb::net {
+
+namespace {
+
+bool IsTransactional(RpcType type) {
+  switch (type) {
+    case RpcType::kBegin:
+    case RpcType::kExecute:
+    case RpcType::kPrepare:
+    case RpcType::kCommit:
+    case RpcType::kCommitPrepared:
+    case RpcType::kAbort:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void SleepMicros(int64_t us) {
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace
+
+MachineService::MachineService(Machine* machine) : machine_(machine) {}
+
+RpcResponse MachineService::Dispatch(const RpcRequest& request) {
+  // The fail-stop model: a failed machine answers nothing but health probes.
+  // (The liveness probe must keep answering so monitoring can distinguish
+  // "machine declared failed" from "network partition".)
+  if (request.type == RpcType::kHealth) {
+    return RpcResponse::FromStatus(
+        machine_->failed() ? Status::Unavailable("machine failed")
+                           : Status::OK());
+  }
+  if (machine_->failed()) {
+    return RpcResponse::FromStatus(Status::Unavailable("machine failed"));
+  }
+  if (IsTransactional(request.type)) {
+    return DispatchTransactional(request);
+  }
+  return DispatchControl(request);
+}
+
+RpcResponse MachineService::DispatchTransactional(const RpcRequest& request) {
+  auto engine = machine_->engine();
+  switch (request.type) {
+    case RpcType::kBegin:
+      return RpcResponse::FromStatus(engine->Begin(request.txn_id));
+    case RpcType::kExecute: {
+      auto stmt_or = ParseCached(request.sql);
+      if (!stmt_or.ok()) return RpcResponse::FromStatus(stmt_or.status());
+      // Test-only injected latency is applied *before* taking an op slot,
+      // matching the pre-RPC execution path so Table 1 anomaly schedules
+      // stay deterministic.
+      SleepMicros(request.debug_delay_us);
+      SemaphoreGuard guard(machine_->op_semaphore());
+      SleepMicros(machine_->base_op_latency_us());
+      sql::SqlExecutor executor(engine.get());
+      auto result =
+          executor.Execute(request.txn_id, request.db_name, **stmt_or,
+                           request.params);
+      if (!result.ok()) return RpcResponse::FromStatus(result.status());
+      RpcResponse response;
+      response.result = std::move(*result);
+      return response;
+    }
+    case RpcType::kPrepare:
+      return RpcResponse::FromStatus(engine->Prepare(request.txn_id));
+    case RpcType::kCommit:
+      return RpcResponse::FromStatus(engine->Commit(request.txn_id));
+    case RpcType::kCommitPrepared:
+      return RpcResponse::FromStatus(engine->CommitPrepared(request.txn_id));
+    case RpcType::kAbort:
+      return RpcResponse::FromStatus(engine->Abort(request.txn_id));
+    default:
+      return RpcResponse::FromStatus(Status::Internal(
+          "non-transactional request in transactional dispatch"));
+  }
+}
+
+RpcResponse MachineService::DispatchControl(const RpcRequest& request) {
+  auto engine = machine_->engine();
+  switch (request.type) {
+    case RpcType::kCreateDatabase:
+      return RpcResponse::FromStatus(engine->CreateDatabase(request.db_name));
+    case RpcType::kDropDatabase:
+      return RpcResponse::FromStatus(engine->DropDatabase(request.db_name));
+    case RpcType::kHasDatabase:
+      return RpcResponse::FromStatus(
+          engine->HasDatabase(request.db_name)
+              ? Status::OK()
+              : Status::NotFound("no database " + request.db_name));
+    case RpcType::kExecuteDdl: {
+      auto stmt_or = sql::Parse(request.sql);
+      if (!stmt_or.ok()) return RpcResponse::FromStatus(stmt_or.status());
+      sql::SqlExecutor executor(engine.get());
+      auto result = executor.Execute(/*txn_id=*/0, request.db_name, *stmt_or);
+      if (!result.ok()) return RpcResponse::FromStatus(result.status());
+      RpcResponse response;
+      response.result = std::move(*result);
+      return response;
+    }
+    case RpcType::kBulkLoad:
+      return RpcResponse::FromStatus(
+          engine->BulkInsert(request.db_name, request.table, request.rows));
+    case RpcType::kDumpTable: {
+      DumpOptions options;
+      options.per_row_delay_us = request.per_row_delay_us;
+      auto dump_or = DumpTable(engine.get(), request.db_name, request.table,
+                               request.txn_id, options);
+      if (!dump_or.ok()) return RpcResponse::FromStatus(dump_or.status());
+      RpcResponse response;
+      response.dumps.push_back(std::move(*dump_or));
+      return response;
+    }
+    case RpcType::kDumpDatabase: {
+      DumpOptions options;
+      options.per_row_delay_us = request.per_row_delay_us;
+      auto dump_or = DumpDatabaseCoarse(engine.get(), request.db_name,
+                                        request.txn_id, options);
+      if (!dump_or.ok()) return RpcResponse::FromStatus(dump_or.status());
+      RpcResponse response;
+      response.dumps = std::move(dump_or->tables);
+      return response;
+    }
+    case RpcType::kApplyDump:
+      return RpcResponse::FromStatus(
+          ApplyTableDump(engine.get(), request.db_name, request.dump));
+    case RpcType::kListPrepared: {
+      RpcResponse response;
+      response.txn_ids = engine->PreparedTxnIds();
+      return response;
+    }
+    case RpcType::kListActive: {
+      RpcResponse response;
+      response.txn_ids = engine->ActiveTxnIds();
+      return response;
+    }
+    case RpcType::kListTables: {
+      Database* db = engine->GetDatabase(request.db_name);
+      if (db == nullptr) {
+        return RpcResponse::FromStatus(
+            Status::NotFound("no database " + request.db_name));
+      }
+      RpcResponse response;
+      response.names = db->TableNames();
+      return response;
+    }
+    default:
+      return RpcResponse::FromStatus(Status::InvalidArgument(
+          "unhandled rpc type " +
+          std::to_string(static_cast<int>(request.type))));
+  }
+}
+
+Result<std::shared_ptr<const sql::Statement>> MachineService::ParseCached(
+    const std::string& sql) {
+  bool cacheable = sql.find('?') != std::string::npos;
+  if (cacheable) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = stmt_cache_.find(sql);
+    if (it != stmt_cache_.end()) return it->second;
+  }
+  auto stmt_or = sql::Parse(sql);
+  if (!stmt_or.ok()) return stmt_or.status();
+  auto stmt = std::make_shared<const sql::Statement>(std::move(*stmt_or));
+  if (cacheable) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (stmt_cache_.size() >= kMaxCachedStatements) stmt_cache_.clear();
+    stmt_cache_.emplace(sql, stmt);
+  }
+  return stmt;
+}
+
+}  // namespace mtdb::net

@@ -1,0 +1,84 @@
+#ifndef MTDB_NET_MESSAGE_H_
+#define MTDB_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sql/executor.h"
+#include "src/storage/dump.h"
+#include "src/storage/value.h"
+
+namespace mtdb::net {
+
+// Every controller->machine interaction, as a message type. Transactional
+// requests (kBegin..kAbort) ride a per-session ordered channel; the rest are
+// control-plane requests issued outside client transactions.
+enum class RpcType : uint8_t {
+  kHealth = 1,         // liveness probe
+  kBegin = 2,          // start engine-side transaction txn_id
+  kExecute = 3,        // run one SQL statement inside txn_id
+  kPrepare = 4,        // 2PC phase 1 (the vote is the response Status)
+  kCommit = 5,         // one-phase commit (read-only / single participant)
+  kCommitPrepared = 6, // 2PC phase 2
+  kAbort = 7,
+  kCreateDatabase = 8,
+  kDropDatabase = 9,
+  kHasDatabase = 10,   // catalog probe (recovery target selection)
+  kExecuteDdl = 11,    // DDL statement, run outside client transactions
+  kBulkLoad = 12,      // non-transactional bulk insert (setup / data gen)
+  kDumpTable = 13,     // copy-tool source side (Algorithm 1 recovery)
+  kDumpDatabase = 14,  // database-granularity dump
+  kApplyDump = 15,     // copy-tool target side: install one table dump
+  kListPrepared = 16,  // prepared txn ids (process-pair takeover)
+  kListActive = 17,    // active txn ids (process-pair takeover)
+  kListTables = 18,    // table names of one database (recovery work list)
+};
+
+std::string_view RpcTypeName(RpcType type);
+
+// A decoded request. One struct covers every RpcType; unused fields stay at
+// their defaults and encode to nothing beyond their presence tags.
+struct RpcRequest {
+  RpcType type = RpcType::kHealth;
+  uint64_t txn_id = 0;            // transactional ops, kDumpTable (dump txn)
+  std::string db_name;            // everything except kHealth/kList*
+  std::string table;              // kBulkLoad / kDumpTable
+  std::string sql;                // kExecute / kExecuteDdl
+  std::vector<Value> params;      // kExecute ('?' binding)
+  std::vector<Row> rows;          // kBulkLoad
+  TableDump dump;                 // kApplyDump
+  int64_t per_row_delay_us = 0;   // kDumpTable / kDumpDatabase copy-cost model
+  // Test instrumentation: extra service delay applied before execution (the
+  // controller's latency injector rides the wire so fault schedules stay
+  // deterministic across transports).
+  int64_t debug_delay_us = 0;
+};
+
+// A decoded response. `code`/`message` carry the operation Status; payload
+// fields are filled per request type.
+struct RpcResponse {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  sql::QueryResult result;         // kExecute / kExecuteDdl
+  std::vector<TableDump> dumps;    // kDumpTable (one) / kDumpDatabase (all)
+  std::vector<uint64_t> txn_ids;   // kListPrepared / kListActive
+  std::vector<std::string> names;  // kListTables
+
+  bool ok() const { return code == StatusCode::kOk; }
+  Status ToStatus() const {
+    return ok() ? Status::OK() : Status(code, message);
+  }
+  static RpcResponse FromStatus(const Status& status) {
+    RpcResponse response;
+    response.code = status.code();
+    response.message = status.message();
+    return response;
+  }
+};
+
+}  // namespace mtdb::net
+
+#endif  // MTDB_NET_MESSAGE_H_

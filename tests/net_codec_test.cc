@@ -1,0 +1,317 @@
+// Round-trip and robustness tests for the net wire codec (DESIGN.md §8).
+//
+// The decoder's contract: any byte string either decodes to exactly the
+// message that was encoded, or yields an error Status — never a crash, hang,
+// or silently partial message. The truncation tests enforce that for every
+// strict prefix of every frame produced here (a cheap deterministic stand-in
+// for a fuzzer), and the trailing-byte tests for every one-byte extension.
+
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/net/codec.h"
+#include "src/net/message.h"
+
+namespace mtdb::net {
+namespace {
+
+// --- helpers ---
+
+std::string_view PayloadOf(const std::string& frame) {
+  size_t frame_size = 0;
+  Status error;
+  auto payload = ExtractFrame(frame, &frame_size, &error);
+  EXPECT_TRUE(payload.has_value()) << error.ToString();
+  EXPECT_EQ(frame_size, frame.size());
+  return *payload;
+}
+
+RpcRequest RoundTripRequest(const RpcRequest& request) {
+  std::string frame;
+  EncodeRequestFrame(request, &frame);
+  auto decoded = DecodeRequest(PayloadOf(frame));
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  return std::move(*decoded);
+}
+
+RpcResponse RoundTripResponse(const RpcResponse& response) {
+  std::string frame;
+  EncodeResponseFrame(response, &frame);
+  auto decoded = DecodeResponse(PayloadOf(frame));
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  return std::move(*decoded);
+}
+
+// Every strict prefix of the payload must fail to decode; every one-byte
+// extension must be rejected for trailing garbage.
+template <typename DecodeFn>
+void ExpectPrefixAndSuffixRejected(const std::string& frame, DecodeFn decode) {
+  std::string payload(PayloadOf(frame));
+  for (size_t len = 0; len < payload.size(); ++len) {
+    auto result = decode(std::string_view(payload.data(), len));
+    EXPECT_FALSE(result.ok()) << "prefix of length " << len << " decoded";
+  }
+  std::string extended = payload + '\0';
+  EXPECT_FALSE(decode(extended).ok()) << "trailing byte accepted";
+}
+
+TableDump MakeDump() {
+  TableSchema schema("item",
+                     {{"i_id", ColumnType::kInt64, true},
+                      {"i_title", ColumnType::kString, false},
+                      {"i_cost", ColumnType::kDouble, false}},
+                     /*primary_key_index=*/0);
+  EXPECT_TRUE(schema.AddIndex("idx_title", "i_title").ok());
+  TableDump dump;
+  dump.schema = schema;
+  dump.rows.push_back({{Value(int64_t{1}), Value("book"), Value(9.5)}, 3});
+  dump.rows.push_back({{Value(int64_t{2}), Value::Null(), Value::Null()}, 7});
+  dump.max_version = 7;
+  return dump;
+}
+
+void ExpectDumpsEqual(const TableDump& a, const TableDump& b) {
+  EXPECT_EQ(a.schema.name(), b.schema.name());
+  ASSERT_EQ(a.schema.num_columns(), b.schema.num_columns());
+  for (size_t i = 0; i < a.schema.num_columns(); ++i) {
+    EXPECT_EQ(a.schema.columns()[i].name, b.schema.columns()[i].name);
+    EXPECT_EQ(a.schema.columns()[i].type, b.schema.columns()[i].type);
+    EXPECT_EQ(a.schema.columns()[i].not_null, b.schema.columns()[i].not_null);
+  }
+  EXPECT_EQ(a.schema.primary_key_index(), b.schema.primary_key_index());
+  ASSERT_EQ(a.schema.indexes().size(), b.schema.indexes().size());
+  for (size_t i = 0; i < a.schema.indexes().size(); ++i) {
+    EXPECT_EQ(a.schema.indexes()[i].name, b.schema.indexes()[i].name);
+    EXPECT_EQ(a.schema.indexes()[i].column_index,
+              b.schema.indexes()[i].column_index);
+  }
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(a.rows[i].first, b.rows[i].first);
+    EXPECT_EQ(a.rows[i].second, b.rows[i].second);
+  }
+  EXPECT_EQ(a.max_version, b.max_version);
+}
+
+// --- request round trips ---
+
+TEST(NetCodecTest, ExecuteRequestRoundTripsAllValueKinds) {
+  RpcRequest request;
+  request.type = RpcType::kExecute;
+  request.txn_id = 0xDEADBEEFCAFEull;
+  request.db_name = "tenant-42";
+  request.sql = "UPDATE item SET i_stock = ? WHERE i_id = ? AND i_title = ?";
+  request.params = {Value(int64_t{-17}), Value::Null(), Value("O'Reilly \" \0x"),
+                    Value(2.5), Value(std::numeric_limits<int64_t>::min()),
+                    Value(std::string("\x00\xff\x7f", 3)), Value(-0.0),
+                    Value(std::numeric_limits<double>::infinity())};
+  request.debug_delay_us = 1234;
+
+  RpcRequest out = RoundTripRequest(request);
+  EXPECT_EQ(out.type, RpcType::kExecute);
+  EXPECT_EQ(out.txn_id, request.txn_id);
+  EXPECT_EQ(out.db_name, request.db_name);
+  EXPECT_EQ(out.sql, request.sql);
+  ASSERT_EQ(out.params.size(), request.params.size());
+  for (size_t i = 0; i < request.params.size(); ++i) {
+    EXPECT_EQ(out.params[i], request.params[i]) << "param " << i;
+    EXPECT_EQ(out.params[i].is_null(), request.params[i].is_null());
+    EXPECT_EQ(out.params[i].is_int(), request.params[i].is_int());
+    EXPECT_EQ(out.params[i].is_double(), request.params[i].is_double());
+    EXPECT_EQ(out.params[i].is_string(), request.params[i].is_string());
+  }
+  EXPECT_EQ(out.debug_delay_us, request.debug_delay_us);
+}
+
+TEST(NetCodecTest, EveryRequestTypeRoundTrips) {
+  for (int raw = 1; raw <= static_cast<int>(RpcType::kListTables); ++raw) {
+    RpcRequest request;
+    request.type = static_cast<RpcType>(raw);
+    request.txn_id = static_cast<uint64_t>(raw) << 40;
+    request.db_name = "db" + std::to_string(raw);
+    request.table = "t" + std::to_string(raw);
+    request.sql = "SELECT " + std::to_string(raw);
+    request.per_row_delay_us = raw * 11;
+    request.debug_delay_us = raw * 7;
+    RpcRequest out = RoundTripRequest(request);
+    EXPECT_EQ(out.type, request.type) << RpcTypeName(request.type);
+    EXPECT_EQ(out.txn_id, request.txn_id);
+    EXPECT_EQ(out.db_name, request.db_name);
+    EXPECT_EQ(out.table, request.table);
+    EXPECT_EQ(out.sql, request.sql);
+    EXPECT_EQ(out.per_row_delay_us, request.per_row_delay_us);
+    EXPECT_EQ(out.debug_delay_us, request.debug_delay_us);
+  }
+}
+
+TEST(NetCodecTest, BulkLoadRequestCarriesRows) {
+  RpcRequest request;
+  request.type = RpcType::kBulkLoad;
+  request.db_name = "shop";
+  request.table = "item";
+  for (int64_t i = 0; i < 100; ++i) {
+    request.rows.push_back({Value(i), Value("row-" + std::to_string(i)),
+                            i % 3 == 0 ? Value::Null() : Value(i * 0.5)});
+  }
+  RpcRequest out = RoundTripRequest(request);
+  ASSERT_EQ(out.rows.size(), request.rows.size());
+  for (size_t i = 0; i < request.rows.size(); ++i) {
+    EXPECT_EQ(out.rows[i], request.rows[i]) << "row " << i;
+  }
+}
+
+TEST(NetCodecTest, ApplyDumpRequestCarriesTableDump) {
+  RpcRequest request;
+  request.type = RpcType::kApplyDump;
+  request.db_name = "shop";
+  request.dump = MakeDump();
+  RpcRequest out = RoundTripRequest(request);
+  ExpectDumpsEqual(out.dump, request.dump);
+}
+
+// --- response round trips ---
+
+TEST(NetCodecTest, EveryStatusCodeRoundTrips) {
+  for (int raw = 0; raw <= static_cast<int>(StatusCode::kResourceExhausted);
+       ++raw) {
+    RpcResponse response;
+    response.code = static_cast<StatusCode>(raw);
+    response.message = raw == 0 ? "" : "error " + std::to_string(raw);
+    RpcResponse out = RoundTripResponse(response);
+    EXPECT_EQ(out.code, response.code);
+    EXPECT_EQ(out.message, response.message);
+  }
+}
+
+TEST(NetCodecTest, QueryResultRoundTripsIncludingEmpty) {
+  RpcResponse empty;
+  empty.result.columns = {"a", "b"};
+  empty.result.affected_rows = 0;
+  RpcResponse out = RoundTripResponse(empty);
+  EXPECT_EQ(out.result.columns, empty.result.columns);
+  EXPECT_TRUE(out.result.rows.empty());
+
+  RpcResponse full;
+  full.result.columns = {"i_id", "i_title", "i_cost"};
+  full.result.affected_rows = 2;
+  full.result.rows.push_back({Value(int64_t{1}), Value("x"), Value(1.25)});
+  full.result.rows.push_back({Value::Null(), Value::Null(), Value::Null()});
+  out = RoundTripResponse(full);
+  EXPECT_EQ(out.result.columns, full.result.columns);
+  EXPECT_EQ(out.result.affected_rows, full.result.affected_rows);
+  ASSERT_EQ(out.result.rows.size(), full.result.rows.size());
+  for (size_t i = 0; i < full.result.rows.size(); ++i) {
+    EXPECT_EQ(out.result.rows[i], full.result.rows[i]);
+  }
+}
+
+TEST(NetCodecTest, LargeRowsRoundTrip) {
+  RpcResponse response;
+  response.result.columns = {"blob"};
+  std::string big(1 << 20, 'x');  // 1 MiB value
+  for (int i = 0; i < 8; ++i) {
+    big[static_cast<size_t>(i) * 1000] = static_cast<char>(i);
+    response.result.rows.push_back({Value(big)});
+  }
+  RpcResponse out = RoundTripResponse(response);
+  ASSERT_EQ(out.result.rows.size(), response.result.rows.size());
+  EXPECT_EQ(out.result.rows.back()[0].AsString(), big);
+}
+
+TEST(NetCodecTest, DumpsTxnIdsAndNamesRoundTrip) {
+  RpcResponse response;
+  response.dumps.push_back(MakeDump());
+  response.dumps.push_back(TableDump{});  // empty dump must survive too
+  response.txn_ids = {1, 0xFFFFFFFFFFFFFFFFull, 42};
+  response.names = {"item", "orders", ""};
+  RpcResponse out = RoundTripResponse(response);
+  ASSERT_EQ(out.dumps.size(), 2u);
+  ExpectDumpsEqual(out.dumps[0], response.dumps[0]);
+  EXPECT_EQ(out.txn_ids, response.txn_ids);
+  EXPECT_EQ(out.names, response.names);
+}
+
+// --- robustness ---
+
+TEST(NetCodecTest, TruncatedRequestPayloadsAreRejected) {
+  RpcRequest request;
+  request.type = RpcType::kBulkLoad;
+  request.txn_id = 99;
+  request.db_name = "shop";
+  request.table = "item";
+  request.sql = "unused";
+  request.params = {Value(int64_t{5}), Value("s")};
+  request.rows = {{Value(int64_t{1}), Value("r")}};
+  request.dump = MakeDump();
+  std::string frame;
+  EncodeRequestFrame(request, &frame);
+  ExpectPrefixAndSuffixRejected(
+      frame, [](std::string_view payload) { return DecodeRequest(payload); });
+}
+
+TEST(NetCodecTest, TruncatedResponsePayloadsAreRejected) {
+  RpcResponse response;
+  response.code = StatusCode::kAborted;
+  response.message = "deadlock victim";
+  response.result.columns = {"a"};
+  response.result.rows = {{Value(int64_t{1})}, {Value::Null()}};
+  response.dumps.push_back(MakeDump());
+  response.txn_ids = {7, 8};
+  response.names = {"item"};
+  std::string frame;
+  EncodeResponseFrame(response, &frame);
+  ExpectPrefixAndSuffixRejected(
+      frame, [](std::string_view payload) { return DecodeResponse(payload); });
+}
+
+TEST(NetCodecTest, IncompleteFramesWaitForMoreBytes) {
+  RpcRequest request;
+  request.type = RpcType::kHealth;
+  std::string frame;
+  EncodeRequestFrame(request, &frame);
+  for (size_t len = 0; len < frame.size(); ++len) {
+    size_t frame_size = 0;
+    Status error;
+    auto payload =
+        ExtractFrame(std::string_view(frame.data(), len), &frame_size, &error);
+    EXPECT_FALSE(payload.has_value()) << "prefix of length " << len;
+    EXPECT_TRUE(error.ok());
+  }
+}
+
+TEST(NetCodecTest, OversizedFrameLengthIsCorrupt) {
+  std::string buffer(4, '\0');
+  uint32_t huge = kMaxFrameBytes + 1;
+  std::memcpy(buffer.data(), &huge, sizeof(huge));
+  buffer += "xxxx";
+  size_t frame_size = 0;
+  Status error;
+  auto payload = ExtractFrame(buffer, &frame_size, &error);
+  EXPECT_FALSE(payload.has_value());
+  EXPECT_FALSE(error.ok());
+}
+
+TEST(NetCodecTest, WrongDirectionTagAndBadEnumsAreRejected) {
+  RpcRequest request;
+  request.type = RpcType::kHealth;
+  std::string frame;
+  EncodeRequestFrame(request, &frame);
+  std::string payload(PayloadOf(frame));
+  // A request payload is not a response payload.
+  EXPECT_FALSE(DecodeResponse(payload).ok());
+  // Corrupt the RpcType byte (payload[1]) to an out-of-range value.
+  std::string bad_type = payload;
+  bad_type[1] = static_cast<char>(0x7F);
+  EXPECT_FALSE(DecodeRequest(bad_type).ok());
+  // Corrupt the direction tag.
+  std::string bad_tag = payload;
+  bad_tag[0] = static_cast<char>(0x55);
+  EXPECT_FALSE(DecodeRequest(bad_tag).ok());
+}
+
+}  // namespace
+}  // namespace mtdb::net

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "src/analysis/invariants.h"
 #include "src/cluster/strand.h"
 #include "src/common/random.h"
 #include "src/storage/buffer_cache.h"
@@ -56,6 +58,50 @@ TEST(StrandTest, DestructorDrainsQueue) {
     }
   }
   EXPECT_EQ(done, 20);
+}
+
+TEST(StrandTest, DetachedTaskExceptionSurfacesAsViolation) {
+  std::vector<analysis::InvariantViolation> violations;
+  {
+    analysis::ScopedViolationRecorder recorder(&violations);
+    Strand strand;
+    std::atomic<int> done{0};
+    strand.SubmitDetached([] { throw std::runtime_error("task boom"); });
+    // The strand survives the throw and keeps executing later tasks in
+    // order (the exception must not kill the worker or skip the queue).
+    strand.SubmitDetached([&done] { done++; });
+    strand.Drain();
+    EXPECT_EQ(done, 1);
+  }
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].checker, "strand");
+  EXPECT_NE(violations[0].detail.find("task boom"), std::string::npos);
+}
+
+TEST(StrandTest, ThrowingSubmitStillResolvesItsFuture) {
+  std::vector<analysis::InvariantViolation> violations;
+  {
+    analysis::ScopedViolationRecorder recorder(&violations);
+    Strand strand;
+    auto future = strand.Submit([] { throw std::runtime_error("sync boom"); });
+    // Must not hang: the promise resolves even though the task threw.
+    future.wait();
+    strand.Drain();
+  }
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].detail.find("sync boom"), std::string::npos);
+}
+
+TEST(StrandTest, NonStdExceptionIsReportedToo) {
+  std::vector<analysis::InvariantViolation> violations;
+  {
+    analysis::ScopedViolationRecorder recorder(&violations);
+    Strand strand;
+    strand.SubmitDetached([] { throw 42; });  // NOLINT
+    strand.Drain();
+  }
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].detail.find("non-std"), std::string::npos);
 }
 
 TEST(StrandTest, ConcurrentSubmittersAllExecute) {

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the TCP transport: start one mtdbd on an
+# ephemeral port, run one TPC-W-style transaction against it over real
+# sockets, and shut the daemon down cleanly.
+#
+# usage: tools/mtdbd_smoke.sh path/to/mtdbd
+set -euo pipefail
+
+MTDBD="${1:?usage: mtdbd_smoke.sh path/to/mtdbd}"
+LOG="$(mktemp)"
+trap 'kill "${SERVER_PID:-}" 2>/dev/null || true; rm -f "$LOG"' EXIT
+
+"$MTDBD" --port 0 > "$LOG" &
+SERVER_PID=$!
+
+# Wait for the daemon to print the kernel-assigned port.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^mtdbd listening on port \([0-9]*\)$/\1/p' "$LOG")"
+  [ -n "$PORT" ] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "mtdbd died during startup:" >&2
+    cat "$LOG" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$PORT" ]; then
+  echo "mtdbd never reported its port" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+echo "mtdbd up on port $PORT (pid $SERVER_PID)"
+
+"$MTDBD" --client "127.0.0.1:$PORT"
+
+# Clean shutdown: SIGTERM, wait, check the daemon exited 0.
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+STATUS=$?
+SERVER_PID=""
+if [ "$STATUS" -ne 0 ]; then
+  echo "mtdbd exited with status $STATUS" >&2
+  exit "$STATUS"
+fi
+grep -q "mtdbd stopped" "$LOG"
+echo "smoke test passed"
