@@ -1,0 +1,268 @@
+// Microbenchmark for the split SQL path (parse → plan → execute).
+//
+// Three sections, all written to BENCH_micro_sql.json (override the path
+// with MTDB_BENCH_JSON) and printed as a table:
+//
+//  1. Stage breakdown — ns/statement spent in parse, plan, and execute for a
+//     TPC-W-style point SELECT, measured by timing parse alone, then
+//     parse+plan, then the full prepared execution.
+//  2. Engine throughput — statements/second for the same statement executed
+//     (a) unprepared: Parse + PlanBorrowed + ExecutePlan on every call,
+//     (b) text-cached: ExecuteSql with a '?' statement (plan-cache hit), and
+//     (c) prepared: ExecutePrepared against a statement handle.
+//  3. Cluster round trip — a TPC-W home-interaction transaction driven over
+//     the in-proc RPC path, unprepared (SQL text shipped and re-parsed at
+//     the controller for routing on every call) vs prepared (handles only).
+//     The machine latency model is zeroed so the SQL-path cost dominates.
+//
+// Exits non-zero if prepared throughput is not strictly above unprepared in
+// either comparison — CI runs this as a smoke test of the plan cache.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/cluster/cluster_controller.h"
+#include "src/common/clock.h"
+#include "src/common/random.h"
+#include "src/sql/executor.h"
+#include "src/sql/parser.h"
+#include "src/sql/planner.h"
+#include "src/storage/engine.h"
+#include "src/workload/tpcw.h"
+
+namespace mtdb::bench {
+namespace {
+
+constexpr int64_t kItems = 1000;
+const char* kPointSelect =
+    "SELECT i_title, i_cost FROM item WHERE i_id = ?";
+
+std::unique_ptr<Engine> MakeLoadedEngine() {
+  auto engine = std::make_unique<Engine>("bench");
+  (void)engine->CreateDatabase("db");
+  (void)engine->CreateTable(
+      "db", TableSchema("item",
+                        {{"i_id", ColumnType::kInt64, true},
+                         {"i_title", ColumnType::kString, false},
+                         {"i_cost", ColumnType::kInt64, false}},
+                        0));
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < kItems; ++i) {
+    rows.push_back({Value(i), Value("title_" + std::to_string(i)),
+                    Value(i % 100)});
+  }
+  (void)engine->BulkInsert("db", "item", rows);
+  return engine;
+}
+
+// Runs `op` repeatedly for ~duration_ms and returns ops/second.
+template <typename Op>
+double MeasureThroughput(int64_t duration_ms, Op op) {
+  Stopwatch watch;
+  int64_t ops = 0;
+  while (watch.ElapsedMicros() < duration_ms * 1000) {
+    op(ops);
+    ++ops;
+  }
+  return static_cast<double>(ops) / watch.ElapsedSeconds();
+}
+
+// Average wall time of `op` in nanoseconds over ~duration_ms.
+template <typename Op>
+double MeasureNs(int64_t duration_ms, Op op) {
+  Stopwatch watch;
+  int64_t ops = 0;
+  while (watch.ElapsedMicros() < duration_ms * 1000) {
+    op(ops);
+    ++ops;
+  }
+  return watch.ElapsedSeconds() * 1e9 / static_cast<double>(ops);
+}
+
+struct ClusterPair {
+  double unprepared_tps = 0;
+  double prepared_tps = 0;
+};
+
+// One TPC-W home-interaction-shaped transaction (customer row + item row),
+// driven over the in-proc RPC path with and without prepared statements.
+ClusterPair MeasureClusterRoundTrip(int64_t duration_ms) {
+  ClusterControllerOptions options;
+  options.default_replicas = 2;
+  auto controller = std::make_unique<ClusterController>(options);
+  for (int i = 0; i < 3; ++i) {
+    // Zero latency model: measure the SQL path, not the simulated disk.
+    controller->AddMachine(MachineOptions{});
+  }
+  if (!controller->CreateDatabase("shop", 2).ok()) return {};
+  if (!workload::CreateTpcwSchema(controller.get(), "shop").ok()) return {};
+  workload::TpcwScale scale;
+  scale.items = 100;
+  scale.customers = 100;
+  scale.initial_orders = 20;
+  if (!workload::LoadTpcwData(controller.get(), "shop", scale).ok()) {
+    return {};
+  }
+
+  auto conn = controller->Connect("shop");
+  const std::string customer_sql =
+      "SELECT c_id, c_uname, c_discount FROM customer WHERE c_id = ?";
+  const std::string item_sql =
+      "SELECT i_id, i_title, i_cost FROM item WHERE i_id = ?";
+  Random rng(7);
+  ClusterPair pair;
+
+  // Best-of-3 trials per variant to shave scheduler noise off the short runs.
+  for (int trial = 0; trial < 3; ++trial) {
+    double tps = MeasureThroughput(duration_ms, [&](int64_t) {
+      Value customer(static_cast<int64_t>(rng.Uniform(scale.customers)) + 1);
+      Value item(static_cast<int64_t>(rng.Uniform(scale.items)) + 1);
+      (void)conn->Begin();
+      (void)conn->Execute(customer_sql, {customer});
+      (void)conn->Execute(item_sql, {item});
+      (void)conn->Commit();
+    });
+    pair.unprepared_tps = std::max(pair.unprepared_tps, tps);
+  }
+
+  auto customer_stmt = conn->Prepare(customer_sql);
+  auto item_stmt = conn->Prepare(item_sql);
+  if (!customer_stmt.ok() || !item_stmt.ok()) return pair;
+  for (int trial = 0; trial < 3; ++trial) {
+    double tps = MeasureThroughput(duration_ms, [&](int64_t) {
+      Value customer(static_cast<int64_t>(rng.Uniform(scale.customers)) + 1);
+      Value item(static_cast<int64_t>(rng.Uniform(scale.items)) + 1);
+      (void)conn->Begin();
+      (void)conn->ExecutePrepared(*customer_stmt, {customer});
+      (void)conn->ExecutePrepared(*item_stmt, {item});
+      (void)conn->Commit();
+    });
+    pair.prepared_tps = std::max(pair.prepared_tps, tps);
+  }
+  return pair;
+}
+
+int Run() {
+  const char* env = std::getenv("MTDB_BENCH_MS");
+  int64_t duration_ms = env != nullptr ? atoll(env) : 300;
+  const char* json_env = std::getenv("MTDB_BENCH_JSON");
+  std::string json_path =
+      json_env != nullptr ? json_env : "BENCH_micro_sql.json";
+
+  auto engine = MakeLoadedEngine();
+  sql::SqlExecutor executor(engine.get());
+  sql::Planner planner(engine.get());
+  Random rng(1);
+  uint64_t txn = 1;
+  auto draw = [&rng] {
+    return Value(static_cast<int64_t>(rng.Uniform(kItems)));
+  };
+
+  // --- Section 1: stage breakdown ---
+  PrintHeader("micro_sql", "SQL path stage breakdown and throughput");
+  double parse_ns = MeasureNs(duration_ms, [&](int64_t) {
+    auto stmt = sql::Parse(kPointSelect);
+    if (!stmt.ok()) std::abort();
+  });
+  double parse_plan_ns = MeasureNs(duration_ms, [&](int64_t) {
+    auto stmt = sql::Parse(kPointSelect);
+    if (!stmt.ok()) std::abort();
+    auto plan = planner.PlanBorrowed("db", *stmt);
+    if (!plan.ok()) std::abort();
+  });
+  auto handle = engine->PrepareStatement("db", kPointSelect);
+  if (!handle.ok()) {
+    std::fprintf(stderr, "prepare failed: %s\n",
+                 handle.status().ToString().c_str());
+    return 1;
+  }
+  double execute_ns = MeasureNs(duration_ms, [&](int64_t) {
+    (void)engine->Begin(txn);
+    (void)engine->ExecutePrepared(txn, *handle, {draw()});
+    (void)engine->Commit(txn);
+    ++txn;
+  });
+  double plan_ns = parse_plan_ns - parse_ns;
+  PrintRow({"stage", "ns/stmt"});
+  PrintRow({"parse", Fmt(parse_ns, 0)});
+  PrintRow({"plan", Fmt(plan_ns, 0)});
+  PrintRow({"execute (prepared)", Fmt(execute_ns, 0)});
+
+  // --- Section 2: engine throughput ---
+  double unprepared = MeasureThroughput(duration_ms, [&](int64_t) {
+    (void)engine->Begin(txn);
+    auto stmt = sql::Parse(kPointSelect);
+    auto plan = planner.PlanBorrowed("db", *stmt);
+    (void)executor.ExecutePlan(txn, "db", **plan, {draw()});
+    (void)engine->Commit(txn);
+    ++txn;
+  });
+  double text_cached = MeasureThroughput(duration_ms, [&](int64_t) {
+    (void)engine->Begin(txn);
+    (void)executor.ExecuteSql(txn, "db", kPointSelect, {draw()});
+    (void)engine->Commit(txn);
+    ++txn;
+  });
+  double prepared = MeasureThroughput(duration_ms, [&](int64_t) {
+    (void)engine->Begin(txn);
+    (void)engine->ExecutePrepared(txn, *handle, {draw()});
+    (void)engine->Commit(txn);
+    ++txn;
+  });
+  PrintRow({"engine variant", "stmts/sec"});
+  PrintRow({"unprepared (parse+plan+execute)", Fmt(unprepared, 0)});
+  PrintRow({"text-cached (plan-cache hit)", Fmt(text_cached, 0)});
+  PrintRow({"prepared (handle)", Fmt(prepared, 0)});
+
+  // --- Section 3: cluster round trip ---
+  ClusterPair cluster = MeasureClusterRoundTrip(duration_ms);
+  PrintRow({"cluster variant", "txns/sec"});
+  PrintRow({"unprepared (SQL text over RPC)", Fmt(cluster.unprepared_tps, 0)});
+  PrintRow({"prepared (handles over RPC)", Fmt(cluster.prepared_tps, 0)});
+
+  FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json != nullptr) {
+    std::fprintf(
+        json,
+        "{\n"
+        "  \"experiment\": \"micro_sql\",\n"
+        "  \"duration_ms_per_measurement\": %lld,\n"
+        "  \"stage_ns_per_stmt\": {\"parse\": %.0f, \"plan\": %.0f, "
+        "\"execute_prepared\": %.0f},\n"
+        "  \"engine_stmts_per_sec\": {\"unprepared\": %.0f, "
+        "\"text_cached\": %.0f, \"prepared\": %.0f},\n"
+        "  \"cluster_txns_per_sec\": {\"unprepared\": %.0f, "
+        "\"prepared\": %.0f},\n"
+        "  \"speedup\": {\"engine_prepared_over_unprepared\": %.2f, "
+        "\"cluster_prepared_over_unprepared\": %.2f}\n"
+        "}\n",
+        static_cast<long long>(duration_ms), parse_ns, plan_ns, execute_ns,
+        unprepared, text_cached, prepared, cluster.unprepared_tps,
+        cluster.prepared_tps,
+        unprepared > 0 ? prepared / unprepared : 0,
+        cluster.unprepared_tps > 0
+            ? cluster.prepared_tps / cluster.unprepared_tps
+            : 0);
+    std::fclose(json);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  // CI gate: preparing must pay. The engine comparison eliminates parse+plan
+  // per call; the cluster comparison eliminates the controller-side routing
+  // parse and ships a u64 handle instead of SQL text.
+  bool ok = prepared > unprepared && cluster.prepared_tps > cluster.unprepared_tps;
+  std::printf("gate: prepared > unprepared (engine %.2fx, cluster %.2fx): %s\n",
+              unprepared > 0 ? prepared / unprepared : 0,
+              cluster.unprepared_tps > 0
+                  ? cluster.prepared_tps / cluster.unprepared_tps
+                  : 0,
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace mtdb::bench
+
+int main() { return mtdb::bench::Run(); }

@@ -207,6 +207,12 @@ Status ClusterController::DropDatabase(const std::string& db_name) {
   for (int id : replicas) {
     (void)client_->DropDatabase(id, db_name);
   }
+  {
+    std::lock_guard<std::mutex> lock(stmt_mu_);
+    std::erase_if(prepared_stmts_, [&db_name](const auto& entry) {
+      return entry.first.first == db_name;
+    });
+  }
   return Status::OK();
 }
 
@@ -258,11 +264,76 @@ std::unique_ptr<Connection> ClusterController::Connect(
       new Connection(this, db_name, epoch_.load()));
 }
 
+// --- Prepared statements ---
+
+Result<std::shared_ptr<PreparedStatement>> ClusterController::PrepareStatement(
+    const std::string& db_name, const std::string& sql) {
+  {
+    std::lock_guard<std::mutex> lock(stmt_mu_);
+    auto it = prepared_stmts_.find({db_name, sql});
+    if (it != prepared_stmts_.end()) return it->second;
+  }
+  // Parse locally for routing facts only (read vs. write, target table); the
+  // machines parse and plan for themselves when their handle is minted.
+  MTDB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
+  if (stmt.explain) {
+    return Status::InvalidArgument("cannot prepare an EXPLAIN statement");
+  }
+  bool is_read = IsReadStatement(stmt);
+  std::string write_table;
+  if (!is_read) {
+    const std::string* table = WriteTargetTable(stmt);
+    if (table == nullptr) {
+      return Status::InvalidArgument(
+          "only SELECT and DML statements can be prepared");
+    }
+    write_table = *table;
+  }
+  auto prepared = std::shared_ptr<PreparedStatement>(new PreparedStatement(
+      db_name, sql, is_read, std::move(write_table)));
+  std::lock_guard<std::mutex> lock(stmt_mu_);
+  // Racing preparers of the same text share whichever instance won.
+  auto [it, inserted] =
+      prepared_stmts_.emplace(std::make_pair(db_name, sql), prepared);
+  return it->second;
+}
+
+Result<uint64_t> ClusterController::HandleOn(PreparedStatement* stmt,
+                                             int machine_id) {
+  {
+    std::lock_guard<std::mutex> lock(stmt->mu_);
+    auto it = stmt->machine_handles_.find(machine_id);
+    if (it != stmt->machine_handles_.end()) return it->second;
+  }
+  MTDB_ASSIGN_OR_RETURN(
+      uint64_t handle,
+      client_->PrepareStatement(machine_id, stmt->db_name_, stmt->sql_));
+  std::lock_guard<std::mutex> lock(stmt->mu_);
+  stmt->machine_handles_[machine_id] = handle;
+  return handle;
+}
+
+void ClusterController::DropHandle(PreparedStatement* stmt, int machine_id) {
+  std::lock_guard<std::mutex> lock(stmt->mu_);
+  stmt->machine_handles_.erase(machine_id);
+}
+
+void ClusterController::InvalidateHandles(int machine_id) {
+  std::lock_guard<std::mutex> lock(stmt_mu_);
+  for (auto& [key, stmt] : prepared_stmts_) {
+    std::lock_guard<std::mutex> stmt_lock(stmt->mu_);
+    stmt->machine_handles_.erase(machine_id);
+  }
+}
+
 // --- Failure & copy coordination ---
 
 void ClusterController::FailMachine(int machine_id) {
   Machine* m = machine(machine_id);
   if (m != nullptr) m->Fail();
+  // Statement handles are engine-local; whatever replaces this machine will
+  // not know them, so force re-preparation on the next use.
+  InvalidateHandles(machine_id);
 }
 
 Status ClusterController::BeginCopy(const std::string& db_name,
@@ -308,19 +379,26 @@ Status ClusterController::MarkTableCopied(const std::string& db_name,
 }
 
 Status ClusterController::CompleteCopy(const std::string& db_name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = databases_.find(db_name);
-  if (it == databases_.end()) return Status::NotFound("database " + db_name);
-  DbState& db = *it->second;
-  if (!db.copy.active) {
-    return Status::FailedPrecondition("no active copy for " + db_name);
+  int target = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = databases_.find(db_name);
+    if (it == databases_.end()) return Status::NotFound("database " + db_name);
+    DbState& db = *it->second;
+    if (!db.copy.active) {
+      return Status::FailedPrecondition("no active copy for " + db_name);
+    }
+    target = db.copy.target_machine;
+    db.replicas.push_back(db.copy.target_machine);
+    // Failed machines have been replaced; drop them from the replica map.
+    std::erase_if(db.replicas,
+                  [this](int id) { return machines_[id]->failed(); });
+    db.copy = CopyState{};
+    backup_.replica_map[db_name] = db.replicas;
   }
-  db.replicas.push_back(db.copy.target_machine);
-  // Failed machines have been replaced; drop them from the replica map.
-  std::erase_if(db.replicas,
-                [this](int id) { return machines_[id]->failed(); });
-  db.copy = CopyState{};
-  backup_.replica_map[db_name] = db.replicas;
+  // The target may be a restarted process behind a stable endpoint; any
+  // handle minted against its previous incarnation is stale.
+  InvalidateHandles(target);
   return Status::OK();
 }
 
@@ -646,7 +724,9 @@ Result<sql::QueryResult> Connection::ExecuteInTxn(
     return Status::Aborted("transaction poisoned: " + poison.ToString());
   }
 
-  if (IsReadStatement(stmt)) {
+  // EXPLAIN never mutates — whatever statement it wraps, only the plan text
+  // comes back — so it routes like a read.
+  if (stmt.explain || IsReadStatement(stmt)) {
     return ExecuteRead(sql, params);
   }
   const std::string* table = WriteTargetTable(stmt);
@@ -718,45 +798,52 @@ Result<sql::QueryResult> Connection::ExecuteWrite(
 
   auto pending = std::make_shared<PendingWrite>();
   pending->outstanding = static_cast<int>(targets.size());
-  ClusterController* controller = controller_;
-  std::string inflight_db = db_name_;
-  std::string inflight_table = table;
+  net::ResponseHandler handler = MakeWriteHandler(pending, table);
 
   for (int machine_id : targets) {
     EnsureBegun(machine_id);
     int64_t inject =
         controller_->InjectedLatency(label_, /*is_write=*/true, machine_id);
-    // The MachineClient guarantees this handler fires exactly once (reply or
-    // deadline), so the inflight-write accounting cannot leak.
     SessionFor(machine_id)
-        ->ExecuteAsync(
-            txn_id_, db_name_, sql, params, inject,
-            [pending, controller, inflight_db,
-             inflight_table](net::RpcResponse response) {
-              Status status = response.ToStatus();
-              bool last = false;
-              {
-                std::lock_guard<std::mutex> lock(pending->mu);
-                pending->outstanding--;
-                last = pending->outstanding == 0;
-                if (status.ok()) {
-                  if (!pending->have_first) {
-                    pending->have_first = true;
-                    pending->first_result = std::move(response.result);
-                  }
-                  pending->succeeded++;
-                } else if (status.code() == StatusCode::kUnavailable) {
-                  pending->unavailable++;
-                } else if (pending->first_error.ok()) {
-                  pending->first_error = status;
-                }
-                pending->cv.notify_all();
-              }
-              if (last) controller->EndInflightWrite(inflight_db,
-                                                     inflight_table);
-            });
+        ->ExecuteAsync(txn_id_, db_name_, sql, params, inject, handler);
   }
+  return FinishWrite(std::move(pending));
+}
 
+net::ResponseHandler Connection::MakeWriteHandler(
+    std::shared_ptr<PendingWrite> pending, std::string table) {
+  // The MachineClient guarantees this handler fires exactly once per call
+  // (reply or deadline), so the inflight-write accounting cannot leak.
+  ClusterController* controller = controller_;
+  std::string inflight_db = db_name_;
+  return [pending = std::move(pending), controller,
+          inflight_db = std::move(inflight_db),
+          inflight_table = std::move(table)](net::RpcResponse response) {
+    Status status = response.ToStatus();
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(pending->mu);
+      pending->outstanding--;
+      last = pending->outstanding == 0;
+      if (status.ok()) {
+        if (!pending->have_first) {
+          pending->have_first = true;
+          pending->first_result = std::move(response.result);
+        }
+        pending->succeeded++;
+      } else if (status.code() == StatusCode::kUnavailable) {
+        pending->unavailable++;
+      } else if (pending->first_error.ok()) {
+        pending->first_error = status;
+      }
+      pending->cv.notify_all();
+    }
+    if (last) controller->EndInflightWrite(inflight_db, inflight_table);
+  };
+}
+
+Result<sql::QueryResult> Connection::FinishWrite(
+    std::shared_ptr<PendingWrite> pending) {
   std::unique_lock<std::mutex> lock(pending->mu);
   if (controller_->options().write_policy == WriteAckPolicy::kConservative) {
     // Wait for *all* replicas before acknowledging (Theorem 2).
@@ -799,6 +886,151 @@ Result<sql::QueryResult> Connection::ExecuteWrite(
   lock.unlock();
   Poison(error);
   return error;
+}
+
+Result<std::shared_ptr<PreparedStatement>> Connection::Prepare(
+    const std::string& sql) {
+  return controller_->PrepareStatement(db_name_, sql);
+}
+
+Result<sql::QueryResult> Connection::ExecutePrepared(
+    const std::shared_ptr<PreparedStatement>& stmt,
+    const std::vector<Value>& params) {
+  if (stmt == nullptr) {
+    return Status::InvalidArgument("null prepared statement");
+  }
+  if (stmt->db_name_ != db_name_) {
+    return Status::InvalidArgument("prepared statement belongs to database " +
+                                   stmt->db_name_);
+  }
+  if (!active_) {
+    // Autocommit, exactly like Execute.
+    MTDB_RETURN_IF_ERROR(BeginInternal());
+    auto result = ExecutePreparedInTxn(*stmt, params);
+    if (!result.ok()) {
+      (void)AbortInternal(result.status());
+      return result;
+    }
+    Status commit_status = CommitInternal();
+    if (!commit_status.ok()) return commit_status;
+    return result;
+  }
+  return ExecutePreparedInTxn(*stmt, params);
+}
+
+Result<sql::QueryResult> Connection::ExecutePreparedInTxn(
+    PreparedStatement& stmt, const std::vector<Value>& params) {
+  if (epoch_ != controller_->epoch()) {
+    return Status::Unavailable("connection lost: controller failover");
+  }
+  Status poison = poison_status();
+  if (!poison.ok()) {
+    return Status::Aborted("transaction poisoned: " + poison.ToString());
+  }
+  return stmt.is_read_ ? ExecutePreparedRead(stmt, params)
+                       : ExecutePreparedWrite(stmt, params);
+}
+
+Result<sql::QueryResult> Connection::ExecutePreparedRead(
+    PreparedStatement& stmt, const std::vector<Value>& params) {
+  // Mirrors ExecuteRead, with two extra moves per attempt: acquire the
+  // machine-local handle (cached after the first use) before touching the
+  // machine, and re-prepare once if the machine reports the handle unknown
+  // (its process restarted and lost the handle table).
+  size_t attempts = controller_->machine_count() + 2;
+  Status last = Status::Unavailable("no replica tried");
+  for (size_t attempt = 0; attempt < attempts; ++attempt) {
+    MTDB_ASSIGN_OR_RETURN(
+        int machine_id,
+        controller_->PickReadMachine(db_name_, sticky_read_machine_));
+    if (controller_->options().read_option ==
+        ReadRoutingOption::kPerTransaction) {
+      sticky_read_machine_ = machine_id;
+    }
+    auto handle_or = controller_->HandleOn(&stmt, machine_id);
+    if (!handle_or.ok()) {
+      Status status = handle_or.status();
+      if (status.code() == StatusCode::kUnavailable) {
+        begun_machines_.erase(machine_id);
+        if (sticky_read_machine_ == machine_id) sticky_read_machine_ = -1;
+        last = status;
+        continue;  // pick another replica
+      }
+      Poison(status);
+      return status;
+    }
+    EnsureBegun(machine_id);
+
+    int64_t inject =
+        controller_->InjectedLatency(label_, /*is_write=*/false, machine_id);
+    auto done = std::make_shared<std::promise<net::RpcResponse>>();
+    auto future = done->get_future();
+    SessionFor(machine_id)
+        ->ExecutePreparedAsync(txn_id_, db_name_, *handle_or, params, inject,
+                               [done](net::RpcResponse response) {
+                                 done->set_value(std::move(response));
+                               });
+    net::RpcResponse response = future.get();
+    if (response.ok()) return std::move(response.result);
+    Status status = response.ToStatus();
+    if (status.code() == StatusCode::kUnavailable) {
+      begun_machines_.erase(machine_id);
+      if (sticky_read_machine_ == machine_id) sticky_read_machine_ = -1;
+      last = status;
+      continue;  // pick another replica
+    }
+    if (status.code() == StatusCode::kFailedPrecondition &&
+        status.message().find("unknown statement handle") !=
+            std::string::npos) {
+      controller_->DropHandle(&stmt, machine_id);
+      last = status;
+      continue;  // re-prepare on the next attempt
+    }
+    Poison(status);
+    return status;
+  }
+  Poison(last);
+  return last;
+}
+
+Result<sql::QueryResult> Connection::ExecutePreparedWrite(
+    PreparedStatement& stmt, const std::vector<Value>& params) {
+  const std::string& table = stmt.write_table_;
+  auto targets_or = controller_->WriteTargets(db_name_, table);
+  if (!targets_or.ok()) {
+    // Algorithm 1 line 11: reject the operation and abort the transaction.
+    if (targets_or.status().code() == StatusCode::kRejected) {
+      (void)AbortInternal(targets_or.status());
+    } else {
+      Poison(targets_or.status());
+    }
+    return targets_or.status();
+  }
+  const std::vector<int>& targets = *targets_or;
+  wrote_ = true;
+  controller_->BeginInflightWrite(db_name_, table);
+
+  auto pending = std::make_shared<PendingWrite>();
+  pending->outstanding = static_cast<int>(targets.size());
+  net::ResponseHandler handler = MakeWriteHandler(pending, table);
+
+  for (int machine_id : targets) {
+    // A replica we cannot mint a handle on counts as a failed replica RPC:
+    // feed the status through the shared handler so the PendingWrite (and
+    // the inflight-write accounting) stays balanced.
+    auto handle_or = controller_->HandleOn(&stmt, machine_id);
+    if (!handle_or.ok()) {
+      handler(net::RpcResponse::FromStatus(handle_or.status()));
+      continue;
+    }
+    EnsureBegun(machine_id);
+    int64_t inject =
+        controller_->InjectedLatency(label_, /*is_write=*/true, machine_id);
+    SessionFor(machine_id)
+        ->ExecutePreparedAsync(txn_id_, db_name_, *handle_or, params, inject,
+                               handler);
+  }
+  return FinishWrite(std::move(pending));
 }
 
 Status Connection::WaitOutstandingWrites() {

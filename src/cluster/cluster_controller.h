@@ -57,6 +57,47 @@ struct ClusterControllerOptions {
 };
 
 class ClusterController;
+class Connection;
+
+// A cluster-level prepared statement: one SQL text plus the routing facts the
+// controller derived from it once (read vs. write, which table a write
+// touches), plus a lazily-filled cache of machine-local statement handles
+// minted through kPrepareStatement RPCs. Machines keep the parsed + planned
+// form in their engine plan cache, so executing a handle skips parse and plan
+// entirely on the hot path; DDL bumps the engine's schema version and the
+// next execution re-plans transparently.
+//
+// Instances are shared (one per distinct (database, sql) pair, handed out as
+// shared_ptr by ClusterController::PrepareStatement) and thread-safe.
+class PreparedStatement {
+ public:
+  const std::string& database() const { return db_name_; }
+  const std::string& sql() const { return sql_; }
+  bool is_read() const { return is_read_; }
+
+  PreparedStatement(const PreparedStatement&) = delete;
+  PreparedStatement& operator=(const PreparedStatement&) = delete;
+
+ private:
+  friend class ClusterController;
+  friend class Connection;
+
+  PreparedStatement(std::string db_name, std::string sql, bool is_read,
+                    std::string write_table)
+      : db_name_(std::move(db_name)), sql_(std::move(sql)), is_read_(is_read),
+        write_table_(std::move(write_table)) {}
+
+  std::string db_name_;
+  std::string sql_;
+  bool is_read_;
+  std::string write_table_;  // empty for reads
+
+  std::mutex mu_;
+  // machine id -> engine-local statement handle. Entries are dropped when a
+  // machine fails (handles do not survive recovery) or when a machine
+  // reports the handle unknown (process restart behind a stable endpoint).
+  std::map<int, uint64_t> machine_handles_;
+};
 
 // A client database connection, handed out by the cluster controller (which
 // is the connection manager: clients never talk to machines directly).
@@ -76,6 +117,15 @@ class Connection {
   Status Begin();
   Result<sql::QueryResult> Execute(const std::string& sql,
                                    const std::vector<Value>& params = {});
+  // Plan-once/execute-many: prepares `sql` (shared registry — preparing the
+  // same text twice returns the same statement) for later ExecutePrepared.
+  Result<std::shared_ptr<PreparedStatement>> Prepare(const std::string& sql);
+  // Runs a prepared statement with `params` bound to its '?' markers.
+  // Follows the same routing/replication/autocommit rules as Execute, but
+  // ships a machine-local statement handle instead of SQL text.
+  Result<sql::QueryResult> ExecutePrepared(
+      const std::shared_ptr<PreparedStatement>& stmt,
+      const std::vector<Value>& params = {});
   Status Commit();
   Status Abort();
   bool in_transaction() const { return active_; }
@@ -117,6 +167,17 @@ class Connection {
   Result<sql::QueryResult> ExecuteWrite(const std::string& sql,
                                         const std::string& table,
                                         const std::vector<Value>& params);
+  Result<sql::QueryResult> ExecutePreparedInTxn(
+      PreparedStatement& stmt, const std::vector<Value>& params);
+  Result<sql::QueryResult> ExecutePreparedRead(
+      PreparedStatement& stmt, const std::vector<Value>& params);
+  Result<sql::QueryResult> ExecutePreparedWrite(
+      PreparedStatement& stmt, const std::vector<Value>& params);
+  // Replica-fanout plumbing shared by ExecuteWrite / ExecutePreparedWrite:
+  // the exactly-once completion handler and the policy-dependent wait.
+  net::ResponseHandler MakeWriteHandler(std::shared_ptr<PendingWrite> pending,
+                                        std::string table);
+  Result<sql::QueryResult> FinishWrite(std::shared_ptr<PendingWrite> pending);
   // Waits for all asynchronously outstanding writes (aggressive mode).
   Status WaitOutstandingWrites();
   Status CommitInternal();
@@ -202,6 +263,15 @@ class ClusterController {
 
   // --- Connections ---
   std::unique_ptr<Connection> Connect(const std::string& db_name);
+
+  // --- Prepared statements ---
+  // Parses `sql` once for routing facts and registers it in the shared
+  // (database, sql) -> PreparedStatement registry. Machine-local handles are
+  // minted lazily, per replica, on first execution. Only SELECT and DML can
+  // be prepared (DDL goes through ExecuteDdl; EXPLAIN is rejected because
+  // its output is the plan, not data).
+  Result<std::shared_ptr<PreparedStatement>> PrepareStatement(
+      const std::string& db_name, const std::string& sql);
 
   // --- Failure handling & copy coordination (Algorithm 1) ---
   void FailMachine(int machine_id);
@@ -289,6 +359,13 @@ class ClusterController {
   Result<int> PickReadMachine(const std::string& db_name, int sticky);
   void LogCommitDecision(uint64_t txn_id);
   void ForgetCommitDecision(uint64_t txn_id);
+  // Returns the machine-local handle for `stmt` on machine_id, minting it
+  // with a kPrepareStatement control RPC on first use.
+  Result<uint64_t> HandleOn(PreparedStatement* stmt, int machine_id);
+  // Forgets one cached handle (the machine reported it unknown).
+  void DropHandle(PreparedStatement* stmt, int machine_id);
+  // Forgets every handle cached for machine_id (machine failed/replaced).
+  void InvalidateHandles(int machine_id);
   // In-flight replicated-write accounting (see WaitForQuiescentWrites).
   void BeginInflightWrite(const std::string& db_name,
                           const std::string& table);
@@ -317,6 +394,14 @@ class ClusterController {
 
   mutable std::mutex injector_mu_;
   LatencyInjector latency_injector_;
+
+  // Prepared-statement registry: one shared PreparedStatement per distinct
+  // (database, sql) text. Lock order: stmt_mu_ before any
+  // PreparedStatement::mu_, never the reverse.
+  mutable std::mutex stmt_mu_;
+  std::map<std::pair<std::string, std::string>,
+           std::shared_ptr<PreparedStatement>>
+      prepared_stmts_;
 
   mutable std::mutex inflight_mu_;
   std::condition_variable inflight_cv_;

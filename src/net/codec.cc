@@ -235,6 +235,8 @@ std::string_view RpcTypeName(RpcType type) {
     case RpcType::kListPrepared: return "ListPrepared";
     case RpcType::kListActive: return "ListActive";
     case RpcType::kListTables: return "ListTables";
+    case RpcType::kPrepareStatement: return "PrepareStatement";
+    case RpcType::kExecutePrepared: return "ExecutePrepared";
   }
   return "?";
 }
@@ -255,6 +257,7 @@ void EncodeRequestFrame(const RpcRequest& request, std::string* out) {
   AppendTableDump(out, request.dump);
   AppendU64(out, static_cast<uint64_t>(request.per_row_delay_us));
   AppendU64(out, static_cast<uint64_t>(request.debug_delay_us));
+  AppendU64(out, request.stmt_handle);
   uint32_t payload = static_cast<uint32_t>(out->size() - frame_start - 4);
   for (int i = 0; i < 4; ++i) {
     (*out)[frame_start + i] = static_cast<char>((payload >> (8 * i)) & 0xff);
@@ -274,6 +277,7 @@ void EncodeResponseFrame(const RpcResponse& response, std::string* out) {
   for (uint64_t id : response.txn_ids) AppendU64(out, id);
   AppendU32(out, static_cast<uint32_t>(response.names.size()));
   for (const std::string& name : response.names) AppendString(out, name);
+  AppendU64(out, response.stmt_handle);
   uint32_t payload = static_cast<uint32_t>(out->size() - frame_start - 4);
   for (int i = 0; i < 4; ++i) {
     (*out)[frame_start + i] = static_cast<char>((payload >> (8 * i)) & 0xff);
@@ -307,7 +311,7 @@ Result<RpcRequest> DecodeRequest(std::string_view payload) {
   RpcRequest request;
   uint8_t type = in.ReadU8();
   if (type < static_cast<uint8_t>(RpcType::kHealth) ||
-      type > static_cast<uint8_t>(RpcType::kListTables)) {
+      type > static_cast<uint8_t>(RpcType::kExecutePrepared)) {
     return Status::InvalidArgument("unknown request type " +
                                    std::to_string(type));
   }
@@ -329,6 +333,7 @@ Result<RpcRequest> DecodeRequest(std::string_view payload) {
   request.dump = ReadTableDump(&in);
   request.per_row_delay_us = static_cast<int64_t>(in.ReadU64());
   request.debug_delay_us = static_cast<int64_t>(in.ReadU64());
+  request.stmt_handle = in.ReadU64();
   if (!in.ok()) return Status::InvalidArgument("truncated request frame");
   if (in.remaining() != 0) {
     return Status::InvalidArgument("trailing bytes after request frame");
@@ -365,6 +370,7 @@ Result<RpcResponse> DecodeResponse(std::string_view payload) {
   for (uint32_t i = 0; i < names && in.ok(); ++i) {
     response.names.push_back(in.ReadString());
   }
+  response.stmt_handle = in.ReadU64();
   if (!in.ok()) return Status::InvalidArgument("truncated response frame");
   if (in.remaining() != 0) {
     return Status::InvalidArgument("trailing bytes after response frame");

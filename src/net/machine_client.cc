@@ -64,6 +64,21 @@ void MachineClient::Session::ExecuteAsync(uint64_t txn_id,
                             std::move(done));
 }
 
+void MachineClient::Session::ExecutePreparedAsync(
+    uint64_t txn_id, const std::string& db_name, uint64_t stmt_handle,
+    const std::vector<Value>& params, int64_t debug_delay_us,
+    ResponseHandler done) {
+  RpcRequest request;
+  request.type = RpcType::kExecutePrepared;
+  request.txn_id = txn_id;
+  request.db_name = db_name;
+  request.stmt_handle = stmt_handle;
+  request.params = params;
+  request.debug_delay_us = debug_delay_us;
+  client_->CallWithDeadline(channel_.get(), machine_id_, request,
+                            std::move(done));
+}
+
 void MachineClient::Session::PrepareAsync(uint64_t txn_id,
                                           ResponseHandler done) {
   RpcRequest request;
@@ -165,6 +180,18 @@ Status MachineClient::ExecuteDdl(int machine_id, const std::string& db_name,
   request.db_name = db_name;
   request.sql = sql;
   return ControlCall(machine_id, request).ToStatus();
+}
+
+Result<uint64_t> MachineClient::PrepareStatement(int machine_id,
+                                                 const std::string& db_name,
+                                                 const std::string& sql) {
+  RpcRequest request;
+  request.type = RpcType::kPrepareStatement;
+  request.db_name = db_name;
+  request.sql = sql;
+  RpcResponse response = ControlCall(machine_id, request);
+  if (!response.ok()) return response.ToStatus();
+  return response.stmt_handle;
 }
 
 Status MachineClient::BulkLoad(int machine_id, const std::string& db_name,

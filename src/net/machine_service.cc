@@ -18,6 +18,7 @@ bool IsTransactional(RpcType type) {
   switch (type) {
     case RpcType::kBegin:
     case RpcType::kExecute:
+    case RpcType::kExecutePrepared:
     case RpcType::kPrepare:
     case RpcType::kCommit:
     case RpcType::kCommitPrepared:
@@ -60,8 +61,10 @@ RpcResponse MachineService::DispatchTransactional(const RpcRequest& request) {
     case RpcType::kBegin:
       return RpcResponse::FromStatus(engine->Begin(request.txn_id));
     case RpcType::kExecute: {
-      auto stmt_or = ParseCached(request.sql);
-      if (!stmt_or.ok()) return RpcResponse::FromStatus(stmt_or.status());
+      // Parse+plan (or plan-cache hit) happens before the latency model so
+      // cached statements skip straight to the op slot.
+      auto plan_or = engine->GetPlan(request.db_name, request.sql);
+      if (!plan_or.ok()) return RpcResponse::FromStatus(plan_or.status());
       // Test-only injected latency is applied *before* taking an op slot,
       // matching the pre-RPC execution path so Table 1 anomaly schedules
       // stay deterministic.
@@ -69,9 +72,20 @@ RpcResponse MachineService::DispatchTransactional(const RpcRequest& request) {
       SemaphoreGuard guard(machine_->op_semaphore());
       SleepMicros(machine_->base_op_latency_us());
       sql::SqlExecutor executor(engine.get());
-      auto result =
-          executor.Execute(request.txn_id, request.db_name, **stmt_or,
-                           request.params);
+      auto result = executor.ExecutePlan(request.txn_id, request.db_name,
+                                         **plan_or, request.params);
+      if (!result.ok()) return RpcResponse::FromStatus(result.status());
+      RpcResponse response;
+      response.result = std::move(*result);
+      return response;
+    }
+    case RpcType::kExecutePrepared: {
+      SleepMicros(request.debug_delay_us);
+      SemaphoreGuard guard(machine_->op_semaphore());
+      SleepMicros(machine_->base_op_latency_us());
+      auto result = engine->ExecutePrepared(request.txn_id,
+                                            request.stmt_handle,
+                                            request.params);
       if (!result.ok()) return RpcResponse::FromStatus(result.status());
       RpcResponse response;
       response.result = std::move(*result);
@@ -111,6 +125,13 @@ RpcResponse MachineService::DispatchControl(const RpcRequest& request) {
       if (!result.ok()) return RpcResponse::FromStatus(result.status());
       RpcResponse response;
       response.result = std::move(*result);
+      return response;
+    }
+    case RpcType::kPrepareStatement: {
+      auto handle_or = engine->PrepareStatement(request.db_name, request.sql);
+      if (!handle_or.ok()) return RpcResponse::FromStatus(handle_or.status());
+      RpcResponse response;
+      response.stmt_handle = *handle_or;
       return response;
     }
     case RpcType::kBulkLoad:
@@ -164,25 +185,6 @@ RpcResponse MachineService::DispatchControl(const RpcRequest& request) {
           "unhandled rpc type " +
           std::to_string(static_cast<int>(request.type))));
   }
-}
-
-Result<std::shared_ptr<const sql::Statement>> MachineService::ParseCached(
-    const std::string& sql) {
-  bool cacheable = sql.find('?') != std::string::npos;
-  if (cacheable) {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    auto it = stmt_cache_.find(sql);
-    if (it != stmt_cache_.end()) return it->second;
-  }
-  auto stmt_or = sql::Parse(sql);
-  if (!stmt_or.ok()) return stmt_or.status();
-  auto stmt = std::make_shared<const sql::Statement>(std::move(*stmt_or));
-  if (cacheable) {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    if (stmt_cache_.size() >= kMaxCachedStatements) stmt_cache_.clear();
-    stmt_cache_.emplace(sql, stmt);
-  }
-  return stmt;
 }
 
 }  // namespace mtdb::net

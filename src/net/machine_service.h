@@ -1,14 +1,7 @@
 #ifndef MTDB_NET_MACHINE_SERVICE_H_
 #define MTDB_NET_MACHINE_SERVICE_H_
 
-#include <cstddef>
-#include <map>
-#include <memory>
-#include <mutex>
-#include <string>
-
 #include "src/net/message.h"
-#include "src/sql/ast.h"
 
 namespace mtdb {
 class Machine;
@@ -18,8 +11,8 @@ namespace mtdb::net {
 
 // The machine-side RPC endpoint: turns one decoded RpcRequest into one
 // RpcResponse by dispatching onto the Machine's engine through the existing
-// semaphore/latency machinery. Stateless across requests apart from a
-// bounded cache of parsed '?'-parameterized statements, so any transport
+// semaphore/latency machinery. Stateless across requests — statement caching
+// lives in the engine's plan cache (Engine::GetPlan), so any transport
 // (in-process strand, TCP connection thread) can call Dispatch concurrently.
 class MachineService {
  public:
@@ -38,17 +31,7 @@ class MachineService {
   RpcResponse DispatchTransactional(const RpcRequest& request);
   RpcResponse DispatchControl(const RpcRequest& request);
 
-  // Parses `sql`, caching the AST when the statement is '?'-parameterized
-  // (TPC-W-style prepared statements). Literal-embedding SQL is parsed
-  // fresh each time — caching it would grow without bound.
-  Result<std::shared_ptr<const sql::Statement>> ParseCached(
-      const std::string& sql);
-
-  static constexpr size_t kMaxCachedStatements = 512;
-
   Machine* machine_;
-  std::mutex cache_mu_;
-  std::map<std::string, std::shared_ptr<const sql::Statement>> stmt_cache_;
 };
 
 }  // namespace mtdb::net

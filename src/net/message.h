@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "src/common/status.h"
-#include "src/sql/executor.h"
+#include "src/sql/query_result.h"
 #include "src/storage/dump.h"
 #include "src/storage/value.h"
 
@@ -35,6 +35,8 @@ enum class RpcType : uint8_t {
   kListPrepared = 16,  // prepared txn ids (process-pair takeover)
   kListActive = 17,    // active txn ids (process-pair takeover)
   kListTables = 18,    // table names of one database (recovery work list)
+  kPrepareStatement = 19,  // prepare SQL once, reply with a statement handle
+  kExecutePrepared = 20,   // run a prepared handle inside txn_id
 };
 
 std::string_view RpcTypeName(RpcType type);
@@ -46,8 +48,9 @@ struct RpcRequest {
   uint64_t txn_id = 0;            // transactional ops, kDumpTable (dump txn)
   std::string db_name;            // everything except kHealth/kList*
   std::string table;              // kBulkLoad / kDumpTable
-  std::string sql;                // kExecute / kExecuteDdl
-  std::vector<Value> params;      // kExecute ('?' binding)
+  std::string sql;                // kExecute / kExecuteDdl / kPrepareStatement
+  std::vector<Value> params;      // kExecute / kExecutePrepared ('?' binding)
+  uint64_t stmt_handle = 0;       // kExecutePrepared
   std::vector<Row> rows;          // kBulkLoad
   TableDump dump;                 // kApplyDump
   int64_t per_row_delay_us = 0;   // kDumpTable / kDumpDatabase copy-cost model
@@ -66,6 +69,7 @@ struct RpcResponse {
   std::vector<TableDump> dumps;    // kDumpTable (one) / kDumpDatabase (all)
   std::vector<uint64_t> txn_ids;   // kListPrepared / kListActive
   std::vector<std::string> names;  // kListTables
+  uint64_t stmt_handle = 0;        // kPrepareStatement
 
   bool ok() const { return code == StatusCode::kOk; }
   Status ToStatus() const {

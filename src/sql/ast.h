@@ -145,7 +145,10 @@ enum class StatementKind {
 };
 
 struct Statement {
-  StatementKind kind;
+  StatementKind kind = StatementKind::kSelect;
+  // EXPLAIN <stmt>: plan the statement and return the plan tree as text
+  // instead of executing it.
+  bool explain = false;
   SelectStatement select;
   InsertStatement insert;
   UpdateStatement update;

@@ -2,45 +2,12 @@
 
 #include <algorithm>
 #include <map>
-
-#include "src/sql/parser.h"
+#include <optional>
+#include <utility>
 
 namespace mtdb::sql {
 
 namespace {
-
-// Flattens an AND tree into conjuncts.
-void SplitConjuncts(const Expr* expr, std::vector<const Expr*>* out) {
-  if (expr == nullptr) return;
-  if (expr->kind == ExprKind::kBinary && expr->op == "AND") {
-    SplitConjuncts(expr->children[0].get(), out);
-    SplitConjuncts(expr->children[1].get(), out);
-    return;
-  }
-  out->push_back(expr);
-}
-
-// True if the expression references no columns at all (literals, params,
-// arithmetic over them) — i.e. it can be evaluated before any row is read.
-bool IsRowIndependent(const Expr& expr) {
-  if (expr.kind == ExprKind::kColumnRef) return false;
-  if (expr.kind == ExprKind::kFunction) return false;
-  for (const ExprPtr& child : expr.children) {
-    if (child && !IsRowIndependent(*child)) return false;
-  }
-  return true;
-}
-
-// True if every column reference in `expr` resolves in `layout`.
-bool ResolvesInLayout(const Expr& expr, const RowLayout& layout) {
-  if (expr.kind == ExprKind::kColumnRef) {
-    return layout.Resolve(expr.table, expr.column).ok();
-  }
-  for (const ExprPtr& child : expr.children) {
-    if (child && !ResolvesInLayout(*child, layout)) return false;
-  }
-  return true;
-}
 
 // Evaluates a row-independent expression.
 Result<Value> EvalConst(const Expr& expr, const std::vector<Value>& params) {
@@ -48,29 +15,6 @@ Result<Value> EvalConst(const Expr& expr, const std::vector<Value>& params) {
   ExprEvaluator evaluator(&empty, &params);
   Row no_row;
   return evaluator.Eval(expr, no_row);
-}
-
-// Default output column name for a select expression.
-std::string DeriveAlias(const Expr& expr) {
-  switch (expr.kind) {
-    case ExprKind::kColumnRef:
-      return expr.column;
-    case ExprKind::kFunction:
-      return expr.function + (expr.star ? "(*)" : "(...)");
-    default:
-      return "expr";
-  }
-}
-
-// Collects aggregate function nodes in an expression tree.
-void CollectAggregates(const Expr& expr, std::vector<const Expr*>* out) {
-  if (expr.kind == ExprKind::kFunction && IsAggregateFunction(expr.function)) {
-    out->push_back(&expr);
-    return;  // nested aggregates not supported
-  }
-  for (const ExprPtr& child : expr.children) {
-    if (child) CollectAggregates(*child, out);
-  }
 }
 
 std::string GroupKeyOf(const std::vector<Value>& values) {
@@ -88,23 +32,61 @@ Result<QueryResult> SqlExecutor::ExecuteSql(uint64_t txn_id,
                                             const std::string& db_name,
                                             const std::string& sql,
                                             const std::vector<Value>& params) {
-  MTDB_ASSIGN_OR_RETURN(Statement stmt, Parse(sql));
-  return Execute(txn_id, db_name, stmt, params);
+  MTDB_ASSIGN_OR_RETURN(std::shared_ptr<const PlannedStatement> plan,
+                        engine_->GetPlan(db_name, sql));
+  return ExecutePlan(txn_id, db_name, *plan, params);
 }
 
 Result<QueryResult> SqlExecutor::Execute(uint64_t txn_id,
                                          const std::string& db_name,
                                          const Statement& stmt,
                                          const std::vector<Value>& params) {
-  switch (stmt.kind) {
+  Planner planner(engine_);
+  MTDB_ASSIGN_OR_RETURN(std::unique_ptr<const PlannedStatement> plan,
+                        planner.PlanBorrowed(db_name, stmt));
+  return ExecutePlan(txn_id, db_name, *plan, params);
+}
+
+Result<QueryResult> SqlExecutor::ExecutePlan(uint64_t txn_id,
+                                             const std::string& db_name,
+                                             const PlannedStatement& plan,
+                                             const std::vector<Value>& params) {
+  if (plan.explain) {
+    QueryResult result;
+    result.columns.push_back("plan");
+    const std::string text = plan.Explain();
+    size_t start = 0;
+    while (start <= text.size()) {
+      size_t end = text.find('\n', start);
+      if (end == std::string::npos) end = text.size();
+      result.rows.push_back(Row{Value(text.substr(start, end - start))});
+      if (end == text.size()) break;
+      start = end + 1;
+    }
+    return result;
+  }
+  switch (plan.kind) {
     case StatementKind::kSelect:
-      return ExecSelect(txn_id, db_name, stmt.select, params);
+      return ExecSelect(txn_id, db_name, plan.select, params);
     case StatementKind::kInsert:
-      return ExecInsert(txn_id, db_name, stmt.insert, params);
+      return ExecInsert(txn_id, db_name, plan, params);
     case StatementKind::kUpdate:
-      return ExecUpdate(txn_id, db_name, stmt.update, params);
+      return ExecMutate(txn_id, db_name, plan.update, /*is_update=*/true,
+                        params);
     case StatementKind::kDelete:
-      return ExecDelete(txn_id, db_name, stmt.del, params);
+      return ExecMutate(txn_id, db_name, plan.del, /*is_update=*/false,
+                        params);
+    case StatementKind::kCreateTable:
+    case StatementKind::kCreateIndex:
+    case StatementKind::kDropTable:
+      return ExecDdl(db_name, *plan.stmt);
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<QueryResult> SqlExecutor::ExecDdl(const std::string& db_name,
+                                         const Statement& stmt) {
+  switch (stmt.kind) {
     case StatementKind::kCreateTable: {
       MTDB_RETURN_IF_ERROR(
           engine_->CreateTable(db_name, stmt.create_table.schema));
@@ -119,220 +101,104 @@ Result<QueryResult> SqlExecutor::Execute(uint64_t txn_id,
       return result;
     }
     case StatementKind::kDropTable: {
-      Database* db = engine_->GetDatabase(db_name);
-      if (db == nullptr) return Status::NotFound("database " + db_name);
-      MTDB_RETURN_IF_ERROR(db->DropTable(stmt.drop_table.table));
+      MTDB_RETURN_IF_ERROR(engine_->DropTable(db_name, stmt.drop_table.table));
       QueryResult result;
       return result;
     }
+    default:
+      return Status::Internal("not a DDL statement");
   }
-  return Status::Internal("unhandled statement kind");
 }
 
-// --- Access-path selection & row fetching ---
+// --- Access paths ---
 
-Result<std::vector<Row>> SqlExecutor::FetchTableRows(
-    uint64_t txn_id, const std::string& db_name, const Source& source,
-    const std::vector<const Expr*>& conjuncts,
+Result<std::vector<Row>> SqlExecutor::ExecScan(
+    uint64_t txn_id, const std::string& db_name, const ScanNode& scan,
     const std::vector<Value>& params) {
-  const TableSchema& schema = *source.schema;
-  int pk = schema.primary_key_index();
-
-  auto column_of_source = [&](const Expr& e) -> int {
-    if (e.kind != ExprKind::kColumnRef) return -1;
-    if (!e.table.empty() && e.table != source.alias) return -1;
-    return schema.ColumnIndex(e.column);
-  };
-
-  // Scan the conjuncts for usable constraints on this table.
-  std::optional<Value> point_key;
-  std::optional<std::pair<std::string, Value>> index_probe;  // column, key
-  std::optional<Value> range_lo, range_hi;
-  for (const Expr* conjunct : conjuncts) {
-    if (conjunct->kind != ExprKind::kBinary) continue;
-    const std::string& op = conjunct->op;
-    if (op != "=" && op != "<" && op != "<=" && op != ">" && op != ">=") {
-      continue;
-    }
-    const Expr* lhs = conjunct->children[0].get();
-    const Expr* rhs = conjunct->children[1].get();
-    int column = column_of_source(*lhs);
-    const Expr* const_side = rhs;
-    std::string effective_op = op;
-    if (column < 0) {
-      column = column_of_source(*rhs);
-      const_side = lhs;
-      // Flip the comparison when the column is on the right.
-      if (op == "<") effective_op = ">";
-      else if (op == "<=") effective_op = ">=";
-      else if (op == ">") effective_op = "<";
-      else if (op == ">=") effective_op = "<=";
-    }
-    if (column < 0 || !IsRowIndependent(*const_side)) continue;
-    MTDB_ASSIGN_OR_RETURN(Value constant, EvalConst(*const_side, params));
-    if (effective_op == "=") {
-      if (column == pk) {
-        point_key = constant;
-        break;  // best possible path
-      }
-      if (!index_probe.has_value() &&
-          schema.IndexOnColumn(column) != nullptr) {
-        index_probe = {schema.columns()[column].name, constant};
-      }
-    } else if (column == pk) {
-      // Inclusive bounds; strict comparisons are tightened by the residual
-      // WHERE filter applied later.
-      if (effective_op == ">" || effective_op == ">=") {
-        if (!range_lo || constant > *range_lo) range_lo = constant;
-      } else {
-        if (!range_hi || constant < *range_hi) range_hi = constant;
-      }
-    }
-  }
-
   std::vector<Row> rows;
-  if (point_key.has_value()) {
-    MTDB_ASSIGN_OR_RETURN(
-        std::optional<Row> row,
-        engine_->Read(txn_id, db_name, source.table_name, *point_key));
-    if (row.has_value()) rows.push_back(std::move(*row));
-    return rows;
-  }
-  if (index_probe.has_value()) {
-    MTDB_ASSIGN_OR_RETURN(
-        std::vector<Value> pks,
-        engine_->IndexLookup(txn_id, db_name, source.table_name,
-                             index_probe->first, index_probe->second));
-    for (const Value& key : pks) {
-      MTDB_ASSIGN_OR_RETURN(
-          std::optional<Row> row,
-          engine_->Read(txn_id, db_name, source.table_name, key));
+  switch (scan.path) {
+    case AccessPathKind::kPkPoint: {
+      MTDB_ASSIGN_OR_RETURN(Value key, EvalConst(*scan.key, params));
+      MTDB_ASSIGN_OR_RETURN(std::optional<Row> row,
+                            engine_->Read(txn_id, db_name, scan.table, key));
       if (row.has_value()) rows.push_back(std::move(*row));
+      return rows;
     }
-    return rows;
+    case AccessPathKind::kIndexProbe: {
+      MTDB_ASSIGN_OR_RETURN(Value key, EvalConst(*scan.key, params));
+      MTDB_ASSIGN_OR_RETURN(std::vector<Value> pks,
+                            engine_->IndexLookup(txn_id, db_name, scan.table,
+                                                 scan.index_column, key));
+      for (const Value& pk : pks) {
+        MTDB_ASSIGN_OR_RETURN(std::optional<Row> row,
+                              engine_->Read(txn_id, db_name, scan.table, pk));
+        if (row.has_value()) rows.push_back(std::move(*row));
+      }
+      return rows;
+    }
+    case AccessPathKind::kPkRange: {
+      // Keep the tightest of the (inclusive) bounds; strict comparisons are
+      // re-applied by the residual WHERE filter.
+      std::optional<Value> range_lo, range_hi;
+      for (const Expr* bound : scan.lo) {
+        MTDB_ASSIGN_OR_RETURN(Value v, EvalConst(*bound, params));
+        if (!range_lo || v > *range_lo) range_lo = std::move(v);
+      }
+      for (const Expr* bound : scan.hi) {
+        MTDB_ASSIGN_OR_RETURN(Value v, EvalConst(*bound, params));
+        if (!range_hi || v < *range_hi) range_hi = std::move(v);
+      }
+      MTDB_ASSIGN_OR_RETURN(auto scanned,
+                            engine_->ScanRange(txn_id, db_name, scan.table,
+                                               range_lo, range_hi));
+      for (auto& [key, row] : scanned) rows.push_back(std::move(row));
+      return rows;
+    }
+    case AccessPathKind::kFullScan: {
+      MTDB_ASSIGN_OR_RETURN(auto scanned,
+                            engine_->ScanTable(txn_id, db_name, scan.table));
+      for (auto& [key, row] : scanned) rows.push_back(std::move(row));
+      return rows;
+    }
   }
-  if (range_lo.has_value() || range_hi.has_value()) {
-    MTDB_ASSIGN_OR_RETURN(
-        auto scanned, engine_->ScanRange(txn_id, db_name, source.table_name,
-                                         range_lo, range_hi));
-    for (auto& [key, row] : scanned) rows.push_back(std::move(row));
-    return rows;
-  }
-  MTDB_ASSIGN_OR_RETURN(auto scanned,
-                        engine_->ScanTable(txn_id, db_name, source.table_name));
-  for (auto& [key, row] : scanned) rows.push_back(std::move(row));
-  return rows;
+  return Status::Internal("unhandled access path");
 }
 
 // --- SELECT ---
 
 Result<QueryResult> SqlExecutor::ExecSelect(uint64_t txn_id,
                                             const std::string& db_name,
-                                            const SelectStatement& select,
+                                            const SelectPlan& plan,
                                             const std::vector<Value>& params) {
-  if (select.from.empty()) {
-    return Status::InvalidArgument("SELECT requires a FROM clause");
-  }
-  Database* db = engine_->GetDatabase(db_name);
-  if (db == nullptr) return Status::NotFound("database " + db_name);
+  MTDB_ASSIGN_OR_RETURN(std::vector<Row> combined,
+                        ExecScan(txn_id, db_name, plan.driver, params));
 
-  // Resolve sources: FROM entries (cross) then JOIN entries (with ON).
-  std::vector<Source> sources;
-  for (const TableRef& ref : select.from) {
-    Table* table = db->GetTable(ref.table);
-    if (table == nullptr) return Status::NotFound("table " + ref.table);
-    sources.push_back(
-        Source{ref.EffectiveName(), ref.table, &table->schema(), nullptr});
-  }
-  for (const JoinClause& join : select.joins) {
-    Table* table = db->GetTable(join.table.table);
-    if (table == nullptr) {
-      return Status::NotFound("table " + join.table.table);
-    }
-    sources.push_back(Source{join.table.EffectiveName(), join.table.table,
-                             &table->schema(), join.on.get()});
-  }
-
-  std::vector<const Expr*> where_conjuncts;
-  SplitConjuncts(select.where.get(), &where_conjuncts);
-
-  // Seed with the first source, choosing its access path from WHERE.
-  RowLayout layout;
-  layout.Append(sources[0].alias, *sources[0].schema);
-  MTDB_ASSIGN_OR_RETURN(
-      std::vector<Row> combined,
-      FetchTableRows(txn_id, db_name, sources[0], where_conjuncts, params));
-
-  // Fold in each remaining source with a nested-loop (index-assisted when
-  // possible) join.
-  for (size_t s = 1; s < sources.size(); ++s) {
-    const Source& source = sources[s];
-    RowLayout outer_layout = layout;
-    layout.Append(source.alias, *source.schema);
-
-    std::vector<const Expr*> on_conjuncts;
-    SplitConjuncts(source.on, &on_conjuncts);
-
-    // Look for inner.col = f(outer) to drive an index/PK lookup per outer
-    // row.
-    const TableSchema& schema = *source.schema;
-    int pk = schema.primary_key_index();
-    int probe_column = -1;
-    const Expr* probe_expr = nullptr;
-    for (const Expr* conjunct : on_conjuncts) {
-      if (conjunct->kind != ExprKind::kBinary || conjunct->op != "=") continue;
-      for (int side = 0; side < 2; ++side) {
-        const Expr* col_side = conjunct->children[side].get();
-        const Expr* other = conjunct->children[1 - side].get();
-        if (col_side->kind != ExprKind::kColumnRef) continue;
-        if (!col_side->table.empty() && col_side->table != source.alias) {
-          continue;
-        }
-        int column = schema.ColumnIndex(col_side->column);
-        if (column < 0) continue;
-        // Qualified-name collision guard: an unqualified column that also
-        // resolves in the outer layout is ambiguous; skip the fast path.
-        if (col_side->table.empty() &&
-            outer_layout.Resolve("", col_side->column).ok()) {
-          continue;
-        }
-        if (!ResolvesInLayout(*other, outer_layout)) continue;
-        if (column == pk ||
-            schema.IndexOnColumn(column) != nullptr) {
-          // Prefer PK probes over secondary-index probes.
-          if (probe_column < 0 || column == pk) {
-            probe_column = column;
-            probe_expr = other;
-            if (column == pk) break;
-          }
-        }
-      }
-      if (probe_column == pk && probe_expr != nullptr) break;
-    }
-
-    ExprEvaluator outer_eval(&outer_layout, &params);
+  // Fold in each join, probing the inner side per outer row when the plan
+  // chose a probe strategy.
+  for (const JoinNode& join : plan.joins) {
+    ExprEvaluator outer_eval(&join.outer_layout, &params);
     std::vector<Row> next;
 
-    if (probe_expr != nullptr) {
-      const std::string& probe_name = schema.columns()[probe_column].name;
+    if (join.strategy != JoinStrategy::kScan) {
       for (const Row& outer_row : combined) {
-        MTDB_ASSIGN_OR_RETURN(Value key, outer_eval.Eval(*probe_expr, outer_row));
+        MTDB_ASSIGN_OR_RETURN(Value key,
+                              outer_eval.Eval(*join.probe_key, outer_row));
         if (key.is_null()) continue;
         std::vector<Row> inner_rows;
-        if (probe_column == pk) {
+        if (join.strategy == JoinStrategy::kPkProbe) {
           MTDB_ASSIGN_OR_RETURN(
               std::optional<Row> row,
-              engine_->Read(txn_id, db_name, source.table_name, key));
+              engine_->Read(txn_id, db_name, join.table, key));
           if (row.has_value()) inner_rows.push_back(std::move(*row));
         } else {
           MTDB_ASSIGN_OR_RETURN(std::vector<Value> pks,
                                 engine_->IndexLookup(txn_id, db_name,
-                                                     source.table_name,
-                                                     probe_name, key));
+                                                     join.table,
+                                                     join.probe_column, key));
           for (const Value& inner_pk : pks) {
             MTDB_ASSIGN_OR_RETURN(
                 std::optional<Row> row,
-                engine_->Read(txn_id, db_name, source.table_name, inner_pk));
+                engine_->Read(txn_id, db_name, join.table, inner_pk));
             if (row.has_value()) inner_rows.push_back(std::move(*row));
           }
         }
@@ -344,9 +210,11 @@ Result<QueryResult> SqlExecutor::ExecSelect(uint64_t txn_id,
       }
     } else {
       // Full scan of the inner side, fetched once.
-      MTDB_ASSIGN_OR_RETURN(
-          std::vector<Row> inner_rows,
-          FetchTableRows(txn_id, db_name, source, {}, params));
+      ScanNode inner_scan;
+      inner_scan.alias = join.alias;
+      inner_scan.table = join.table;
+      MTDB_ASSIGN_OR_RETURN(std::vector<Row> inner_rows,
+                            ExecScan(txn_id, db_name, inner_scan, params));
       for (const Row& outer_row : combined) {
         for (const Row& inner : inner_rows) {
           Row joined = outer_row;
@@ -357,11 +225,12 @@ Result<QueryResult> SqlExecutor::ExecSelect(uint64_t txn_id,
     }
 
     // Apply the full ON condition as a residual filter.
-    if (source.on != nullptr) {
-      ExprEvaluator joined_eval(&layout, &params);
+    if (join.residual != nullptr) {
+      ExprEvaluator joined_eval(&join.post_layout, &params);
       std::vector<Row> filtered;
       for (Row& row : next) {
-        MTDB_ASSIGN_OR_RETURN(Value keep, joined_eval.Eval(*source.on, row));
+        MTDB_ASSIGN_OR_RETURN(Value keep,
+                              joined_eval.Eval(*join.residual, row));
         if (ExprEvaluator::IsTruthy(keep)) filtered.push_back(std::move(row));
       }
       next = std::move(filtered);
@@ -370,47 +239,20 @@ Result<QueryResult> SqlExecutor::ExecSelect(uint64_t txn_id,
   }
 
   // Residual WHERE over the full layout.
-  ExprEvaluator evaluator(&layout, &params);
-  if (select.where != nullptr) {
+  ExprEvaluator evaluator(&plan.layout, &params);
+  if (plan.where != nullptr) {
     std::vector<Row> filtered;
     for (Row& row : combined) {
-      MTDB_ASSIGN_OR_RETURN(Value keep, evaluator.Eval(*select.where, row));
+      MTDB_ASSIGN_OR_RETURN(Value keep, evaluator.Eval(*plan.where, row));
       if (ExprEvaluator::IsTruthy(keep)) filtered.push_back(std::move(row));
     }
     combined = std::move(filtered);
   }
 
-  // Expand the projection list (stars) and name output columns.
-  struct OutputColumn {
-    const Expr* expr = nullptr;  // null => direct slot copy
-    int slot = -1;
-    std::string name;
-  };
-  std::vector<OutputColumn> outputs;
-  std::vector<ExprPtr> owned_exprs;  // keeps desugared exprs alive
-  bool any_aggregate = false;
-  for (const SelectItem& item : select.items) {
-    if (item.star) {
-      for (size_t i = 0; i < layout.size(); ++i) {
-        if (!item.star_table.empty() &&
-            layout.qualifier_at(i) != item.star_table) {
-          continue;
-        }
-        outputs.push_back(
-            OutputColumn{nullptr, static_cast<int>(i), layout.name_at(i)});
-      }
-      continue;
-    }
-    if (item.expr->ContainsAggregate()) any_aggregate = true;
-    outputs.push_back(OutputColumn{
-        item.expr.get(), -1,
-        item.alias.empty() ? DeriveAlias(*item.expr) : item.alias});
-  }
-  bool aggregating = any_aggregate || !select.group_by.empty() ||
-                     (select.having != nullptr);
-
   QueryResult result;
-  for (const OutputColumn& out : outputs) result.columns.push_back(out.name);
+  for (const OutputColumn& out : plan.outputs) {
+    result.columns.push_back(out.name);
+  }
 
   // Rows paired with their pre-projection source row (for ORDER BY on
   // non-projected columns). For aggregating queries, produced_aggregates[i]
@@ -418,11 +260,11 @@ Result<QueryResult> SqlExecutor::ExecSelect(uint64_t txn_id,
   std::vector<std::pair<Row, Row>> produced;  // (projected, source/rep row)
   std::vector<std::map<std::string, Value>> produced_aggregates;
 
-  if (!aggregating) {
+  if (!plan.aggregating) {
     for (Row& row : combined) {
       Row projected;
-      projected.reserve(outputs.size());
-      for (const OutputColumn& out : outputs) {
+      projected.reserve(plan.outputs.size());
+      for (const OutputColumn& out : plan.outputs) {
         if (out.expr == nullptr) {
           projected.push_back(row[out.slot]);
         } else {
@@ -436,13 +278,13 @@ Result<QueryResult> SqlExecutor::ExecSelect(uint64_t txn_id,
     // Group rows.
     std::map<std::string, std::vector<Row>> groups;
     std::vector<std::string> group_order;
-    if (select.group_by.empty()) {
+    if (plan.group_by.empty()) {
       groups[""] = std::move(combined);
       group_order.push_back("");
     } else {
       for (Row& row : combined) {
         std::vector<Value> key_values;
-        for (const ExprPtr& key_expr : select.group_by) {
+        for (const Expr* key_expr : plan.group_by) {
           MTDB_ASSIGN_OR_RETURN(Value v, evaluator.Eval(*key_expr, row));
           key_values.push_back(std::move(v));
         }
@@ -452,23 +294,11 @@ Result<QueryResult> SqlExecutor::ExecSelect(uint64_t txn_id,
       }
     }
 
-    // Aggregates needed anywhere in the statement.
-    std::vector<const Expr*> agg_nodes;
-    for (const OutputColumn& out : outputs) {
-      if (out.expr != nullptr) CollectAggregates(*out.expr, &agg_nodes);
-    }
-    if (select.having != nullptr) {
-      CollectAggregates(*select.having, &agg_nodes);
-    }
-    for (const OrderByItem& item : select.order_by) {
-      CollectAggregates(*item.expr, &agg_nodes);
-    }
-
     for (const std::string& key : group_order) {
       std::vector<Row>& group_rows = groups[key];
-      if (group_rows.empty() && !select.group_by.empty()) continue;
+      if (group_rows.empty() && !plan.group_by.empty()) continue;
       std::map<std::string, Value> aggregates;
-      for (const Expr* agg : agg_nodes) {
+      for (const Expr* agg : plan.agg_nodes) {
         std::string fingerprint = agg->Fingerprint();
         if (aggregates.count(fingerprint) > 0) continue;
         // COUNT(*) / COUNT(e) / SUM / AVG / MIN / MAX
@@ -513,17 +343,18 @@ Result<QueryResult> SqlExecutor::ExecSelect(uint64_t txn_id,
         }
       }
 
-      Row representative = group_rows.empty() ? Row(layout.size(), Value())
-                                              : group_rows.front();
-      if (select.having != nullptr) {
+      Row representative = group_rows.empty()
+                               ? Row(plan.layout.size(), Value())
+                               : group_rows.front();
+      if (plan.having != nullptr) {
         MTDB_ASSIGN_OR_RETURN(
-            Value keep, evaluator.EvalWithAggregates(*select.having,
+            Value keep, evaluator.EvalWithAggregates(*plan.having,
                                                      representative,
                                                      aggregates));
         if (!ExprEvaluator::IsTruthy(keep)) continue;
       }
       Row projected;
-      for (const OutputColumn& out : outputs) {
+      for (const OutputColumn& out : plan.outputs) {
         if (out.expr == nullptr) {
           projected.push_back(representative[out.slot]);
         } else {
@@ -533,18 +364,15 @@ Result<QueryResult> SqlExecutor::ExecSelect(uint64_t txn_id,
           projected.push_back(std::move(v));
         }
       }
-      // Stash the aggregate map alongside via representative row for ORDER BY
-      // evaluation below: we sort using projected values when the ORDER BY
-      // expression matches an output alias, otherwise re-evaluate with this
-      // group's aggregates. To keep that possible we sort aggregating queries
-      // immediately here by deferring: store representative and aggregates.
+      // Store the representative row and aggregate map alongside so ORDER BY
+      // can re-evaluate expressions against this group below.
       produced.emplace_back(std::move(projected), std::move(representative));
       produced_aggregates.push_back(std::move(aggregates));
     }
   }
 
   // ORDER BY.
-  if (!select.order_by.empty()) {
+  if (!plan.order_by.empty()) {
     // Precompute sort keys.
     struct Keyed {
       std::vector<Value> keys;
@@ -554,21 +382,10 @@ Result<QueryResult> SqlExecutor::ExecSelect(uint64_t txn_id,
     keyed.reserve(produced.size());
     for (size_t i = 0; i < produced.size(); ++i) {
       std::vector<Value> keys;
-      for (const OrderByItem& item : select.order_by) {
-        // Alias reference into the projected row?
-        int alias_slot = -1;
-        if (item.expr->kind == ExprKind::kColumnRef &&
-            item.expr->table.empty()) {
-          for (size_t c = 0; c < outputs.size(); ++c) {
-            if (outputs[c].name == item.expr->column) {
-              alias_slot = static_cast<int>(c);
-              break;
-            }
-          }
-        }
-        if (alias_slot >= 0) {
-          keys.push_back(produced[i].first[alias_slot]);
-        } else if (aggregating) {
+      for (const OrderKey& item : plan.order_by) {
+        if (item.alias_slot >= 0) {
+          keys.push_back(produced[i].first[item.alias_slot]);
+        } else if (plan.aggregating) {
           MTDB_ASSIGN_OR_RETURN(
               Value v, evaluator.EvalWithAggregates(*item.expr,
                                                     produced[i].second,
@@ -583,12 +400,12 @@ Result<QueryResult> SqlExecutor::ExecSelect(uint64_t txn_id,
       keyed.push_back(Keyed{std::move(keys), i});
     }
     std::stable_sort(keyed.begin(), keyed.end(),
-                     [&select](const Keyed& a, const Keyed& b) {
+                     [&plan](const Keyed& a, const Keyed& b) {
                        for (size_t k = 0; k < a.keys.size(); ++k) {
                          int cmp = a.keys[k].Compare(b.keys[k]);
                          if (cmp != 0) {
-                           return select.order_by[k].descending ? cmp > 0
-                                                                : cmp < 0;
+                           return plan.order_by[k].descending ? cmp > 0
+                                                              : cmp < 0;
                          }
                        }
                        return false;
@@ -600,9 +417,9 @@ Result<QueryResult> SqlExecutor::ExecSelect(uint64_t txn_id,
   }
 
   // LIMIT + emit.
-  int64_t limit = select.limit < 0
+  int64_t limit = plan.limit < 0
                       ? static_cast<int64_t>(produced.size())
-                      : std::min<int64_t>(select.limit, produced.size());
+                      : std::min<int64_t>(plan.limit, produced.size());
   result.rows.reserve(limit);
   for (int64_t i = 0; i < limit; ++i) {
     result.rows.push_back(std::move(produced[i].first));
@@ -614,37 +431,20 @@ Result<QueryResult> SqlExecutor::ExecSelect(uint64_t txn_id,
 
 Result<QueryResult> SqlExecutor::ExecInsert(uint64_t txn_id,
                                             const std::string& db_name,
-                                            const InsertStatement& insert,
+                                            const PlannedStatement& plan,
                                             const std::vector<Value>& params) {
-  Database* db = engine_->GetDatabase(db_name);
-  if (db == nullptr) return Status::NotFound("database " + db_name);
-  Table* table = db->GetTable(insert.table);
-  if (table == nullptr) return Status::NotFound("table " + insert.table);
-  const TableSchema& schema = table->schema();
-
-  // Map of value position -> schema column index.
-  std::vector<int> column_map;
-  if (insert.columns.empty()) {
-    for (size_t i = 0; i < schema.num_columns(); ++i) {
-      column_map.push_back(static_cast<int>(i));
-    }
-  } else {
-    for (const std::string& name : insert.columns) {
-      int index = schema.ColumnIndex(name);
-      if (index < 0) return Status::InvalidArgument("unknown column " + name);
-      column_map.push_back(index);
-    }
-  }
+  const InsertPlan& insert = plan.insert;
+  const InsertStatement& stmt = plan.stmt->insert;
 
   QueryResult result;
-  for (const std::vector<ExprPtr>& value_exprs : insert.rows) {
-    if (value_exprs.size() != column_map.size()) {
+  for (const std::vector<ExprPtr>& value_exprs : stmt.rows) {
+    if (value_exprs.size() != insert.column_map.size()) {
       return Status::InvalidArgument("VALUES arity mismatch");
     }
-    Row row(schema.num_columns(), Value());
+    Row row(insert.row_width, Value());
     for (size_t i = 0; i < value_exprs.size(); ++i) {
       MTDB_ASSIGN_OR_RETURN(Value v, EvalConst(*value_exprs[i], params));
-      row[column_map[i]] = std::move(v);
+      row[insert.column_map[i]] = std::move(v);
     }
     MTDB_RETURN_IF_ERROR(engine_->Insert(txn_id, db_name, insert.table, row));
     result.affected_rows++;
@@ -652,127 +452,42 @@ Result<QueryResult> SqlExecutor::ExecInsert(uint64_t txn_id,
   return result;
 }
 
-Result<QueryResult> SqlExecutor::ExecUpdate(uint64_t txn_id,
+Result<QueryResult> SqlExecutor::ExecMutate(uint64_t txn_id,
                                             const std::string& db_name,
-                                            const UpdateStatement& update,
+                                            const MutatePlan& plan,
+                                            bool is_update,
                                             const std::vector<Value>& params) {
-  Database* db = engine_->GetDatabase(db_name);
-  if (db == nullptr) return Status::NotFound("database " + db_name);
-  Table* table = db->GetTable(update.table);
-  if (table == nullptr) return Status::NotFound("table " + update.table);
-  const TableSchema& schema = table->schema();
+  ExprEvaluator evaluator(&plan.layout, &params);
 
-  RowLayout layout;
-  layout.Append(update.table, schema);
-  ExprEvaluator evaluator(&layout, &params);
-
-  // Resolve assignment targets once.
-  std::vector<std::pair<int, const Expr*>> assignments;
-  for (const auto& [column, expr] : update.assignments) {
-    int index = schema.ColumnIndex(column);
-    if (index < 0) return Status::InvalidArgument("unknown column " + column);
-    assignments.emplace_back(index, expr.get());
-  }
-
-  std::vector<const Expr*> conjuncts;
-  SplitConjuncts(update.where.get(), &conjuncts);
-
-  Source source{update.table, update.table, &schema, nullptr};
-  // Detect the PK point path; anything else escalates to a table X lock
-  // before scanning (the executor's simple, correct protocol for predicate
-  // writes — see DESIGN.md).
-  bool pk_point = false;
-  int pk = schema.primary_key_index();
-  for (const Expr* conjunct : conjuncts) {
-    if (conjunct->kind == ExprKind::kBinary && conjunct->op == "=") {
-      for (int side = 0; side < 2; ++side) {
-        const Expr* col = conjunct->children[side].get();
-        const Expr* other = conjunct->children[1 - side].get();
-        if (col->kind == ExprKind::kColumnRef &&
-            schema.ColumnIndex(col->column) == pk &&
-            IsRowIndependent(*other)) {
-          pk_point = true;
-        }
-      }
-    }
-  }
-  if (!pk_point) {
+  // Anything but a provable PK point escalates to a table X lock before
+  // scanning (the executor's simple, correct protocol for predicate writes —
+  // see DESIGN.md).
+  if (!plan.pk_point) {
     MTDB_RETURN_IF_ERROR(
-        engine_->LockTableExclusive(txn_id, db_name, update.table));
+        engine_->LockTableExclusive(txn_id, db_name, plan.table));
   }
 
-  MTDB_ASSIGN_OR_RETURN(
-      std::vector<Row> candidates,
-      FetchTableRows(txn_id, db_name, source, conjuncts, params));
+  MTDB_ASSIGN_OR_RETURN(std::vector<Row> candidates,
+                        ExecScan(txn_id, db_name, plan.scan, params));
 
   QueryResult result;
   for (const Row& old_row : candidates) {
-    if (update.where != nullptr) {
-      MTDB_ASSIGN_OR_RETURN(Value keep, evaluator.Eval(*update.where, old_row));
+    if (plan.where != nullptr) {
+      MTDB_ASSIGN_OR_RETURN(Value keep, evaluator.Eval(*plan.where, old_row));
       if (!ExprEvaluator::IsTruthy(keep)) continue;
     }
-    Row new_row = old_row;
-    for (const auto& [index, expr] : assignments) {
-      MTDB_ASSIGN_OR_RETURN(Value v, evaluator.Eval(*expr, old_row));
-      new_row[index] = std::move(v);
-    }
-    MTDB_RETURN_IF_ERROR(
-        engine_->Update(txn_id, db_name, update.table, old_row[pk], new_row));
-    result.affected_rows++;
-  }
-  return result;
-}
-
-Result<QueryResult> SqlExecutor::ExecDelete(uint64_t txn_id,
-                                            const std::string& db_name,
-                                            const DeleteStatement& del,
-                                            const std::vector<Value>& params) {
-  Database* db = engine_->GetDatabase(db_name);
-  if (db == nullptr) return Status::NotFound("database " + db_name);
-  Table* table = db->GetTable(del.table);
-  if (table == nullptr) return Status::NotFound("table " + del.table);
-  const TableSchema& schema = table->schema();
-
-  RowLayout layout;
-  layout.Append(del.table, schema);
-  ExprEvaluator evaluator(&layout, &params);
-
-  std::vector<const Expr*> conjuncts;
-  SplitConjuncts(del.where.get(), &conjuncts);
-
-  Source source{del.table, del.table, &schema, nullptr};
-  int pk = schema.primary_key_index();
-  bool pk_point = false;
-  for (const Expr* conjunct : conjuncts) {
-    if (conjunct->kind == ExprKind::kBinary && conjunct->op == "=") {
-      for (int side = 0; side < 2; ++side) {
-        const Expr* col = conjunct->children[side].get();
-        const Expr* other = conjunct->children[1 - side].get();
-        if (col->kind == ExprKind::kColumnRef &&
-            schema.ColumnIndex(col->column) == pk &&
-            IsRowIndependent(*other)) {
-          pk_point = true;
-        }
+    if (is_update) {
+      Row new_row = old_row;
+      for (const auto& [index, expr] : plan.assignments) {
+        MTDB_ASSIGN_OR_RETURN(Value v, evaluator.Eval(*expr, old_row));
+        new_row[index] = std::move(v);
       }
+      MTDB_RETURN_IF_ERROR(engine_->Update(txn_id, db_name, plan.table,
+                                           old_row[plan.pk], new_row));
+    } else {
+      MTDB_RETURN_IF_ERROR(
+          engine_->Delete(txn_id, db_name, plan.table, old_row[plan.pk]));
     }
-  }
-  if (!pk_point) {
-    MTDB_RETURN_IF_ERROR(
-        engine_->LockTableExclusive(txn_id, db_name, del.table));
-  }
-
-  MTDB_ASSIGN_OR_RETURN(
-      std::vector<Row> candidates,
-      FetchTableRows(txn_id, db_name, source, conjuncts, params));
-
-  QueryResult result;
-  for (const Row& row : candidates) {
-    if (del.where != nullptr) {
-      MTDB_ASSIGN_OR_RETURN(Value keep, evaluator.Eval(*del.where, row));
-      if (!ExprEvaluator::IsTruthy(keep)) continue;
-    }
-    MTDB_RETURN_IF_ERROR(
-        engine_->Delete(txn_id, db_name, del.table, row[pk]));
     result.affected_rows++;
   }
   return result;

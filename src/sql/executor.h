@@ -1,35 +1,25 @@
 #ifndef MTDB_SQL_EXECUTOR_H_
 #define MTDB_SQL_EXECUTOR_H_
 
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/common/result.h"
 #include "src/sql/ast.h"
 #include "src/sql/expression.h"
+#include "src/sql/planner.h"
+#include "src/sql/query_result.h"
 #include "src/storage/engine.h"
 
 namespace mtdb::sql {
 
-// Result of executing one statement: a relation for queries, an affected-row
-// count for DML/DDL.
-struct QueryResult {
-  std::vector<std::string> columns;
-  std::vector<Row> rows;
-  int64_t affected_rows = 0;
-
-  // Convenience accessors for single-valued results.
-  bool empty() const { return rows.empty(); }
-  const Value& at(size_t row, size_t col) const { return rows[row][col]; }
-};
-
-// Executes parsed statements against an Engine within a caller-managed
-// transaction. Performs its own lightweight planning:
-//  * single-table access paths: PK point lookup, PK range scan, secondary
+// Executes physical plans against an Engine within a caller-managed
+// transaction. Planning lives in Planner (src/sql/planner.h); this class
+// only walks plan trees:
+//  * ScanNode access paths: PK point lookup, PK range scan, secondary
 //    index lookup, full scan;
-//  * left-deep nested-loop joins, using index lookups on the inner side when
-//    the ON clause allows;
+//  * left-deep nested-loop joins, probing the inner side by PK or
+//    secondary index when the plan says so;
 //  * grouping/aggregation, HAVING, ORDER BY, LIMIT.
 //
 // Locking is delegated to the engine: point reads take row S locks, scans
@@ -39,42 +29,42 @@ class SqlExecutor {
  public:
   explicit SqlExecutor(Engine* engine) : engine_(engine) {}
 
+  // Plans (borrowing `stmt`) and executes in one step.
   Result<QueryResult> Execute(uint64_t txn_id, const std::string& db_name,
                               const Statement& stmt,
                               const std::vector<Value>& params = {});
 
-  // Parses and executes in one step.
+  // Parses, plans (through the engine's plan cache) and executes in one
+  // step.
   Result<QueryResult> ExecuteSql(uint64_t txn_id, const std::string& db_name,
                                  const std::string& sql,
                                  const std::vector<Value>& params = {});
 
- private:
-  struct Source {
-    std::string alias;
-    std::string table_name;
-    const TableSchema* schema;
-    const Expr* on = nullptr;  // join condition (null for FROM list entries)
-  };
+  // Walks an already-planned statement. EXPLAIN plans return their operator
+  // tree as a one-column relation instead of executing.
+  Result<QueryResult> ExecutePlan(uint64_t txn_id, const std::string& db_name,
+                                  const PlannedStatement& plan,
+                                  const std::vector<Value>& params = {});
 
+ private:
   Result<QueryResult> ExecSelect(uint64_t txn_id, const std::string& db_name,
-                                 const SelectStatement& select,
+                                 const SelectPlan& plan,
                                  const std::vector<Value>& params);
   Result<QueryResult> ExecInsert(uint64_t txn_id, const std::string& db_name,
-                                 const InsertStatement& insert,
+                                 const PlannedStatement& plan,
                                  const std::vector<Value>& params);
-  Result<QueryResult> ExecUpdate(uint64_t txn_id, const std::string& db_name,
-                                 const UpdateStatement& update,
+  Result<QueryResult> ExecMutate(uint64_t txn_id, const std::string& db_name,
+                                 const MutatePlan& plan, bool is_update,
                                  const std::vector<Value>& params);
-  Result<QueryResult> ExecDelete(uint64_t txn_id, const std::string& db_name,
-                                 const DeleteStatement& del,
-                                 const std::vector<Value>& params);
+  Result<QueryResult> ExecDdl(const std::string& db_name,
+                              const Statement& stmt);
 
-  // Fetches the rows of one table using the best access path the predicate
-  // conjuncts allow. Rows come back as full table rows.
-  Result<std::vector<Row>> FetchTableRows(
-      uint64_t txn_id, const std::string& db_name, const Source& source,
-      const std::vector<const Expr*>& conjuncts,
-      const std::vector<Value>& params);
+  // Fetches the rows of one table along the plan's access path. Rows come
+  // back as full table rows.
+  Result<std::vector<Row>> ExecScan(uint64_t txn_id,
+                                    const std::string& db_name,
+                                    const ScanNode& scan,
+                                    const std::vector<Value>& params);
 
   Engine* engine_;
 };

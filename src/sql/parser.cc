@@ -21,6 +21,7 @@ class Parser {
 
   Result<Statement> ParseStatement() {
     Statement stmt;
+    if (Accept("EXPLAIN")) stmt.explain = true;
     if (Accept("SELECT")) {
       stmt.kind = StatementKind::kSelect;
       MTDB_RETURN_IF_ERROR(ParseSelect(&stmt.select));

@@ -22,6 +22,7 @@ namespace mtdb::sql {
 //                       [, PRIMARY KEY (col)])
 //   CREATE INDEX name ON table (col)
 //   DROP TABLE table
+//   EXPLAIN stmt            (any of the above; returns the physical plan)
 //
 // Expressions: OR / AND / NOT, comparisons (= <> < <= > >=, LIKE, IN (...),
 // IS [NOT] NULL, BETWEEN a AND b), + - * / %, unary -, literals, ?, column

@@ -1,0 +1,165 @@
+#ifndef MTDB_SQL_PLANNER_H_
+#define MTDB_SQL_PLANNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/sql/ast.h"
+#include "src/sql/expression.h"
+
+namespace mtdb {
+class Engine;
+}  // namespace mtdb
+
+namespace mtdb::sql {
+
+// ---- Physical plan nodes ----
+//
+// A plan is derived once from an AST plus a schema snapshot and can then be
+// executed many times with different `?` parameters. Plans hold raw `const
+// Expr*` pointers into the statement AST (owned by or outliving the
+// PlannedStatement) and *copies* of everything schema-derived — names,
+// column indexes, row layouts — so a cached plan never dangles after DDL;
+// staleness is handled by the engine's schema-version check, and a dropped
+// table surfaces as kNotFound from the row operations at execution time.
+
+// How one table's rows are fetched.
+enum class AccessPathKind {
+  kPkPoint,     // PK = const: single Read
+  kIndexProbe,  // indexed col = const: IndexLookup + Read per pk
+  kPkRange,     // PK range: ScanRange with inclusive bounds
+  kFullScan,    // ScanTable
+};
+
+struct ScanNode {
+  std::string alias;
+  std::string table;
+  AccessPathKind path = AccessPathKind::kFullScan;
+  const Expr* key = nullptr;      // kPkPoint / kIndexProbe: constant-side expr
+  std::string index_column;       // kIndexProbe: indexed column name
+  // kPkRange: all usable bound expressions; the executor evaluates each and
+  // keeps the tightest (inclusive — strict comparisons are re-applied by the
+  // residual WHERE filter).
+  std::vector<const Expr*> lo;
+  std::vector<const Expr*> hi;
+};
+
+// How the inner side of one nested-loop join is matched per outer row.
+enum class JoinStrategy {
+  kPkProbe,     // inner.pk = f(outer): Read per outer row
+  kIndexProbe,  // inner.indexed = f(outer): IndexLookup per outer row
+  kScan,        // no usable equi-condition: scan inner once, cross product
+};
+
+struct JoinNode {
+  std::string alias;
+  std::string table;
+  JoinStrategy strategy = JoinStrategy::kScan;
+  const Expr* probe_key = nullptr;  // evaluated against the outer row
+  std::string probe_column;         // kIndexProbe: indexed column name
+  const Expr* residual = nullptr;   // full ON clause, re-checked after joining
+  RowLayout outer_layout;           // layout before this join (probe scope)
+  RowLayout post_layout;            // layout after appending the inner table
+};
+
+struct OutputColumn {
+  const Expr* expr = nullptr;  // null => direct slot copy (star expansion)
+  int slot = -1;
+  std::string name;
+};
+
+struct OrderKey {
+  const Expr* expr = nullptr;
+  bool descending = false;
+  int alias_slot = -1;  // >= 0: sort on this projected output column
+};
+
+struct SelectPlan {
+  ScanNode driver;              // first FROM entry, access path from WHERE
+  std::vector<JoinNode> joins;  // remaining sources, left-deep
+  RowLayout layout;             // final joined layout
+  const Expr* where = nullptr;  // residual filter over the full layout
+  std::vector<OutputColumn> outputs;
+  bool aggregating = false;
+  std::vector<const Expr*> agg_nodes;  // every aggregate call in the stmt
+  std::vector<const Expr*> group_by;
+  const Expr* having = nullptr;
+  std::vector<OrderKey> order_by;
+  int64_t limit = -1;
+};
+
+struct InsertPlan {
+  std::string table;
+  std::vector<int> column_map;  // value position -> schema column index
+  size_t row_width = 0;         // schema.num_columns()
+};
+
+// UPDATE / DELETE share a shape: pick rows, filter, mutate by PK.
+struct MutatePlan {
+  std::string table;
+  ScanNode scan;
+  // False => the statement cannot be proven to touch a single PK point, so
+  // the executor escalates to a table X lock before fetching.
+  bool pk_point = false;
+  int pk = -1;
+  const Expr* where = nullptr;
+  RowLayout layout;
+  // Resolved SET targets (UPDATE only): schema column index + value expr.
+  std::vector<std::pair<int, const Expr*>> assignments;
+};
+
+// A planned statement: the physical plan plus the AST it points into. When
+// produced by Planner::Plan the AST is owned (`owned_stmt`); when produced by
+// PlanBorrowed it borrows the caller's AST, which must outlive execution.
+// Immutable after planning — safe to execute from many threads at once via
+// shared_ptr<const PlannedStatement> (the engine plan cache does exactly
+// that).
+struct PlannedStatement {
+  Statement owned_stmt;
+  const Statement* stmt = nullptr;  // always valid; == &owned_stmt when owned
+
+  StatementKind kind = StatementKind::kSelect;
+  bool explain = false;
+  SelectPlan select;
+  InsertPlan insert;
+  MutatePlan update;
+  MutatePlan del;
+
+  // One line per operator, two-space indented under the statement head; the
+  // text EXPLAIN returns.
+  std::string Explain() const;
+};
+
+// Turns an AST plus the engine's current catalog into a physical plan.
+// Resolution errors (unknown database/table/column, missing FROM) surface
+// here with the same status codes and messages the monolithic executor used
+// to produce at execution time.
+class Planner {
+ public:
+  explicit Planner(Engine* engine) : engine_(engine) {}
+
+  // Takes ownership of the AST; the result is self-contained and cacheable.
+  Result<std::shared_ptr<const PlannedStatement>> Plan(
+      const std::string& db_name, Statement stmt);
+
+  // Borrows the caller's AST (which must outlive the returned plan) — the
+  // one-shot path used when a statement is executed directly from an AST.
+  Result<std::unique_ptr<const PlannedStatement>> PlanBorrowed(
+      const std::string& db_name, const Statement& stmt);
+
+ private:
+  Status PlanInto(const std::string& db_name, const Statement& stmt,
+                  PlannedStatement* plan);
+
+  Engine* engine_;
+};
+
+// Debug rendering of an expression tree (used by EXPLAIN).
+std::string ExprToString(const Expr& expr);
+
+}  // namespace mtdb::sql
+
+#endif  // MTDB_SQL_PLANNER_H_

@@ -1,0 +1,28 @@
+#ifndef MTDB_SQL_QUERY_RESULT_H_
+#define MTDB_SQL_QUERY_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/storage/value.h"
+
+namespace mtdb::sql {
+
+// Result of executing one statement: a relation for queries, an affected-row
+// count for DML/DDL. Lives in its own header so layers that only ship results
+// around (the wire codec, the engine's prepared-statement API) need not pull
+// in the executor.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  int64_t affected_rows = 0;
+
+  // Convenience accessors for single-valued results.
+  bool empty() const { return rows.empty(); }
+  const Value& at(size_t row, size_t col) const { return rows[row][col]; }
+};
+
+}  // namespace mtdb::sql
+
+#endif  // MTDB_SQL_QUERY_RESULT_H_

@@ -5,10 +5,18 @@
 #include <thread>
 
 #include "src/common/logging.h"
+#include "src/sql/executor.h"
+#include "src/sql/parser.h"
+#include "src/sql/planner.h"
 
 namespace mtdb {
 
 namespace {
+
+// Clear-when-full bound on the plan cache (same policy and size the old
+// MachineService parse cache used; a TPC-W-style fixed statement set fits
+// with a wide margin).
+constexpr size_t kMaxCachedPlans = 512;
 
 // The engine, not the raw lock-manager defaults, decides the audit config:
 // auditing follows EngineOptions::invariant_checks, and the sanctioned
@@ -67,6 +75,7 @@ Status Engine::CreateDatabase(const std::string& db_name) {
     MTDB_RETURN_IF_ERROR(
         wal_->AppendDdl(WalRecordType::kCreateDatabase, db_name, "", ""));
   }
+  BumpSchemaVersion(db_name);
   return Status::OK();
 }
 
@@ -75,6 +84,7 @@ Status Engine::DropDatabase(const std::string& db_name) {
   if (databases_.erase(db_name) == 0) {
     return Status::NotFound("database " + db_name);
   }
+  BumpSchemaVersion(db_name);
   return Status::OK();
 }
 
@@ -107,6 +117,7 @@ Status Engine::CreateTable(const std::string& db_name, TableSchema schema) {
     MTDB_RETURN_IF_ERROR(wal_->AppendDdl(WalRecordType::kCreateTable, db_name,
                                          table_name, encoded));
   }
+  BumpSchemaVersion(db_name);
   return Status::OK();
 }
 
@@ -121,7 +132,118 @@ Status Engine::CreateIndex(const std::string& db_name,
                                          table_name,
                                          index_name + ":" + column_name));
   }
+  BumpSchemaVersion(db_name);
   return Status::OK();
+}
+
+Status Engine::DropTable(const std::string& db_name,
+                         const std::string& table_name) {
+  // Like DropDatabase, drops are not WAL-logged (no drop record types); a
+  // recovered engine may resurrect a dropped table, which the re-copy path
+  // overwrites anyway.
+  Database* db = GetDatabase(db_name);
+  if (db == nullptr) return Status::NotFound("database " + db_name);
+  MTDB_RETURN_IF_ERROR(db->DropTable(table_name));
+  BumpSchemaVersion(db_name);
+  return Status::OK();
+}
+
+// --- SQL planning & prepared statements ---
+
+void Engine::BumpSchemaVersion(const std::string& db_name) {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  schema_versions_[db_name] = ++schema_epoch_;
+  // Evict eagerly so dropped databases don't pin dead plans; the version
+  // check in GetPlan covers any plan that slips back in concurrently.
+  for (auto it = plan_cache_.begin(); it != plan_cache_.end();) {
+    if (it->first.first == db_name) {
+      it = plan_cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+uint64_t Engine::SchemaVersion(const std::string& db_name) const {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  auto it = schema_versions_.find(db_name);
+  return it == schema_versions_.end() ? 0 : it->second;
+}
+
+size_t Engine::plan_cache_size() const {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  return plan_cache_.size();
+}
+
+Result<std::shared_ptr<const sql::PlannedStatement>> Engine::GetPlan(
+    const std::string& db_name, const std::string& sql) {
+  const bool cacheable = sql.find('?') != std::string::npos;
+  uint64_t version = 0;
+  if (cacheable) {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    auto vit = schema_versions_.find(db_name);
+    version = vit == schema_versions_.end() ? 0 : vit->second;
+    auto it = plan_cache_.find({db_name, sql});
+    if (it != plan_cache_.end() && it->second.schema_version == version) {
+      plan_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second.plan;
+    }
+  }
+  plan_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  MTDB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
+  const bool explain = stmt.explain;
+  sql::Planner planner(this);
+  MTDB_ASSIGN_OR_RETURN(std::shared_ptr<const sql::PlannedStatement> plan,
+                        planner.Plan(db_name, std::move(stmt)));
+  if (cacheable && !explain) {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    auto vit = schema_versions_.find(db_name);
+    uint64_t now = vit == schema_versions_.end() ? 0 : vit->second;
+    // Don't cache a plan that raced a DDL: it was planned against a catalog
+    // that no longer matches any version we could tag it with.
+    if (now == version) {
+      if (plan_cache_.size() >= kMaxCachedPlans) plan_cache_.clear();
+      plan_cache_[{db_name, sql}] = CachedPlan{version, plan};
+    }
+  }
+  return plan;
+}
+
+Result<Engine::StatementHandle> Engine::PrepareStatement(
+    const std::string& db_name, const std::string& sql) {
+  // Plan eagerly: parse/resolution errors surface at prepare time and the
+  // plan is warm in the cache for the first execution.
+  MTDB_ASSIGN_OR_RETURN(std::shared_ptr<const sql::PlannedStatement> plan,
+                        GetPlan(db_name, sql));
+  if (plan->explain) {
+    return Status::InvalidArgument("cannot prepare an EXPLAIN statement");
+  }
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  StatementHandle handle = next_stmt_handle_++;
+  prepared_stmts_[handle] = PreparedStmt{db_name, sql};
+  return handle;
+}
+
+Result<sql::QueryResult> Engine::ExecutePrepared(
+    uint64_t txn_id, StatementHandle handle,
+    const std::vector<Value>& params) {
+  std::string db_name, sql;
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    auto it = prepared_stmts_.find(handle);
+    if (it == prepared_stmts_.end()) {
+      return Status::FailedPrecondition("unknown statement handle " +
+                                        std::to_string(handle));
+    }
+    db_name = it->second.db_name;
+    sql = it->second.sql;
+  }
+  // The cache serves the hot path; after DDL this re-plans, and a dropped
+  // table surfaces as kNotFound rather than a stale plan.
+  MTDB_ASSIGN_OR_RETURN(std::shared_ptr<const sql::PlannedStatement> plan,
+                        GetPlan(db_name, sql));
+  sql::SqlExecutor executor(this);
+  return executor.ExecutePlan(txn_id, db_name, *plan, params);
 }
 
 Result<Table*> Engine::ResolveTable(const std::string& db_name,

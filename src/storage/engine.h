@@ -12,11 +12,16 @@
 
 #include "src/analysis/two_phase.h"
 #include "src/common/result.h"
+#include "src/sql/query_result.h"
 #include "src/storage/buffer_cache.h"
 #include "src/storage/database.h"
 #include "src/storage/lock_manager.h"
 #include "src/storage/transaction.h"
 #include "src/storage/wal.h"
+
+namespace mtdb::sql {
+struct PlannedStatement;
+}  // namespace mtdb::sql
 
 namespace mtdb {
 
@@ -82,6 +87,44 @@ class Engine {
   Status CreateIndex(const std::string& db_name, const std::string& table_name,
                      const std::string& index_name,
                      const std::string& column_name);
+  Status DropTable(const std::string& db_name, const std::string& table_name);
+
+  // --- SQL planning & prepared statements (DESIGN.md §9) ---
+  // Monotone per-database schema version, bumped by every DDL (CREATE
+  // TABLE/INDEX, DROP). Versions are drawn from one engine-wide counter so a
+  // dropped-and-recreated database never repeats a version. 0 = unknown db.
+  uint64_t SchemaVersion(const std::string& db_name) const;
+
+  // Parses + plans `sql` against `db_name`, serving repeated calls from a
+  // bounded plan cache keyed (db, sql text) and validated against the
+  // database's schema version — any DDL invalidates. Only '?'-parameterized,
+  // non-EXPLAIN statements are cached (the same cacheability rule the old
+  // MachineService parse cache used; literal-bearing one-shot statements
+  // would only churn the cache).
+  Result<std::shared_ptr<const sql::PlannedStatement>> GetPlan(
+      const std::string& db_name, const std::string& sql);
+
+  // Server-side prepared statements: Prepare parses + plans eagerly (errors
+  // surface here, and the plan is warm in the cache) and returns a handle;
+  // ExecutePrepared runs the handle's statement inside `txn_id`, re-planning
+  // transparently after DDL. An unknown handle is kFailedPrecondition; a
+  // handle whose table was dropped returns kNotFound. Named PrepareStatement
+  // because Prepare(uint64_t) is the 2PC participant vote.
+  using StatementHandle = uint64_t;
+  Result<StatementHandle> PrepareStatement(const std::string& db_name,
+                                           const std::string& sql);
+  Result<sql::QueryResult> ExecutePrepared(uint64_t txn_id,
+                                           StatementHandle handle,
+                                           const std::vector<Value>& params);
+
+  // Plan-cache observability (tests + bench).
+  size_t plan_cache_size() const;
+  int64_t plan_cache_hits() const {
+    return plan_cache_hits_.load(std::memory_order_relaxed);
+  }
+  int64_t plan_cache_misses() const {
+    return plan_cache_misses_.load(std::memory_order_relaxed);
+  }
 
   // --- Transaction lifecycle ---
   // txn_id is assigned by the coordinator and must be unique engine-wide.
@@ -184,6 +227,28 @@ class Engine {
   // 2PC participant state checker; null unless options_.invariant_checks.
   // All notifications happen under txn_mu_.
   std::unique_ptr<analysis::TwoPhaseCommitChecker> txn_checker_;
+
+  // --- Plan cache & prepared statements ---
+  struct CachedPlan {
+    uint64_t schema_version = 0;
+    std::shared_ptr<const sql::PlannedStatement> plan;
+  };
+  struct PreparedStmt {
+    std::string db_name;
+    std::string sql;
+  };
+  // Bumps the db's schema version and evicts its cached plans. Called by
+  // every successful DDL.
+  void BumpSchemaVersion(const std::string& db_name);
+
+  mutable std::mutex plan_mu_;
+  std::map<std::string, uint64_t> schema_versions_;
+  uint64_t schema_epoch_ = 0;  // engine-wide; versions never repeat
+  std::map<std::pair<std::string, std::string>, CachedPlan> plan_cache_;
+  std::map<StatementHandle, PreparedStmt> prepared_stmts_;
+  StatementHandle next_stmt_handle_ = 1;
+  std::atomic<int64_t> plan_cache_hits_{0};
+  std::atomic<int64_t> plan_cache_misses_{0};
 
   mutable std::mutex history_mu_;
   std::vector<CommittedTxnRecord> history_;

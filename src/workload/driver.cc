@@ -52,12 +52,20 @@ WorkloadStats RunSession(ClusterController* controller,
   WorkloadStats stats;
   Random rng(session_seed);
   auto conn = controller->Connect(db_name);
+  // Prepare the fixed statement set once per session; every interaction then
+  // ships (handle, params) over the wire instead of SQL text.
+  auto stmts_or = PrepareTpcwStatements(conn.get());
+  if (!stmts_or.ok()) {
+    ClassifyFailure(stmts_or.status(), &stats);
+    return stats;
+  }
+  const TpcwStatements& stmts = *stmts_or;
   Stopwatch watch;
   while (watch.ElapsedMicros() < options.duration_ms * 1000) {
     Interaction interaction = DrawInteraction(options.mix, &rng);
     Stopwatch txn_watch;
     InteractionResult result =
-        RunInteraction(conn.get(), interaction, scale, &rng);
+        RunInteraction(conn.get(), stmts, interaction, scale, &rng);
     if (result.status.ok()) {
       stats.committed++;
       if (result.was_write) stats.write_committed++;

@@ -188,118 +188,160 @@ Interaction DrawInteraction(TpcwMix mix, Random* rng) {
   return kBrowseSide[5];
 }
 
+Result<TpcwStatements> PrepareTpcwStatements(Connection* conn) {
+  TpcwStatements s;
+  struct Entry {
+    std::shared_ptr<PreparedStatement>* slot;
+    const char* sql;
+  };
+  const Entry kEntries[] = {
+      {&s.home_customer,
+       "SELECT c_fname, c_lname FROM customer WHERE c_id = ?"},
+      {&s.home_item, "SELECT i_title, i_cost FROM item WHERE i_id = ?"},
+      {&s.new_products,
+       "SELECT i_id, i_title, i_pub_date FROM item WHERE i_subject = ? "
+       "ORDER BY i_pub_date DESC LIMIT 20"},
+      {&s.best_sellers,
+       "SELECT ol_i_id, SUM(ol_qty) AS sold FROM order_line WHERE ol_id < ? "
+       "GROUP BY ol_i_id ORDER BY sold DESC LIMIT 10"},
+      {&s.product_detail,
+       "SELECT i.i_title, i.i_cost, i.i_stock, a.a_fname, a.a_lname "
+       "FROM item i JOIN author a ON i.i_a_id = a.a_id WHERE i.i_id = ?"},
+      {&s.search_subject,
+       "SELECT i_id, i_title FROM item WHERE i_subject = ? "
+       "ORDER BY i_title LIMIT 50"},
+      {&s.search_title,
+       "SELECT i_id, i_title FROM item WHERE i_title LIKE ? LIMIT 50"},
+      {&s.cart_get, "SELECT sc_id FROM shopping_cart WHERE sc_id = ?"},
+      {&s.cart_insert, "INSERT INTO shopping_cart VALUES (?, 0, 0.0)"},
+      {&s.cart_line_get,
+       "SELECT scl_qty FROM shopping_cart_line WHERE scl_id = ?"},
+      {&s.cart_line_insert,
+       "INSERT INTO shopping_cart_line VALUES (?, ?, ?, 1)"},
+      {&s.cart_line_update,
+       "UPDATE shopping_cart_line SET scl_qty = scl_qty + 1 "
+       "WHERE scl_id = ?"},
+      {&s.buy_stock, "SELECT i_stock, i_cost FROM item WHERE i_id = ?"},
+      {&s.buy_update_item,
+       "UPDATE item SET i_stock = i_stock - ? + (i_stock < 10) * 21, "
+       "i_total_sold = i_total_sold + ? WHERE i_id = ?"},
+      {&s.buy_insert_line,
+       "INSERT INTO order_line VALUES (?, ?, ?, ?, 0.0)"},
+      {&s.buy_insert_order,
+       "INSERT INTO orders VALUES (?, ?, 0, ?, 'PENDING')"},
+      {&s.buy_insert_cc, "INSERT INTO cc_xacts VALUES (?, 'VISA', ?, 0)"},
+      {&s.buy_update_customer,
+       "UPDATE customer SET c_balance = c_balance + ?, "
+       "c_ytd_pmt = c_ytd_pmt + ? WHERE c_id = ?"},
+      {&s.order_last,
+       "SELECT o_id, o_total, o_status FROM orders WHERE o_c_id = ? "
+       "ORDER BY o_id DESC LIMIT 1"},
+      {&s.order_lines,
+       "SELECT ol_i_id, ol_qty FROM order_line WHERE ol_o_id = ?"},
+      {&s.admin_update,
+       "UPDATE item SET i_cost = i_cost * 1.01, i_pub_date = i_pub_date + 1 "
+       "WHERE i_id = ?"},
+  };
+  for (const Entry& entry : kEntries) {
+    MTDB_ASSIGN_OR_RETURN(*entry.slot, conn->Prepare(entry.sql));
+  }
+  return s;
+}
+
 namespace {
 
-// Helpers returning Status; the transaction wrapper handles abort.
+// Helpers returning Status; the transaction wrapper handles abort. Every
+// statement is a prepared handle: the plan is cached engine-side and the
+// wire carries (handle, params), not SQL text.
 
-Status Home(Connection* conn, const TpcwScale& scale, Random* rng) {
+Status Home(Connection* conn, const TpcwStatements& stmts,
+            const TpcwScale& scale, Random* rng) {
   int64_t customer = static_cast<int64_t>(rng->Uniform(scale.customers));
   MTDB_RETURN_IF_ERROR(
-      conn->Execute("SELECT c_fname, c_lname FROM customer WHERE c_id = ?",
-                    {Value(customer)})
-          .status());
+      conn->ExecutePrepared(stmts.home_customer, {Value(customer)}).status());
   // Promotional items.
   for (int i = 0; i < 5; ++i) {
     int64_t item = static_cast<int64_t>(rng->Uniform(scale.items));
     MTDB_RETURN_IF_ERROR(
-        conn->Execute("SELECT i_title, i_cost FROM item WHERE i_id = ?",
-                      {Value(item)})
-            .status());
+        conn->ExecutePrepared(stmts.home_item, {Value(item)}).status());
   }
   return Status::OK();
 }
 
-Status NewProducts(Connection* conn, const TpcwScale& scale, Random* rng) {
-  (void)scale;
+Status NewProducts(Connection* conn, const TpcwStatements& stmts,
+                   Random* rng) {
   MTDB_RETURN_IF_ERROR(
-      conn->Execute("SELECT i_id, i_title, i_pub_date FROM item "
-                    "WHERE i_subject = ? ORDER BY i_pub_date DESC LIMIT 20",
-                    {Value(Subject(rng))})
+      conn->ExecutePrepared(stmts.new_products, {Value(Subject(rng))})
           .status());
   return Status::OK();
 }
 
-Status BestSellers(Connection* conn, const TpcwScale& scale, Random* rng) {
-  (void)rng;
+Status BestSellers(Connection* conn, const TpcwStatements& stmts,
+                   const TpcwScale& scale) {
   // Restrict to a bounded window of order lines (as TPC-W restricts best
   // sellers to the last 3333 orders) via a PK range on order_line, so the
   // scan cost does not grow with the run.
   int64_t window = std::max<int64_t>(scale.initial_orders * 3, 150);
   MTDB_RETURN_IF_ERROR(
-      conn->Execute("SELECT ol_i_id, SUM(ol_qty) AS sold FROM order_line "
-                    "WHERE ol_id < ? GROUP BY ol_i_id "
-                    "ORDER BY sold DESC LIMIT 10",
-                    {Value(window)})
-          .status());
+      conn->ExecutePrepared(stmts.best_sellers, {Value(window)}).status());
   return Status::OK();
 }
 
-Status ProductDetail(Connection* conn, const TpcwScale& scale, Random* rng) {
+Status ProductDetail(Connection* conn, const TpcwStatements& stmts,
+                     const TpcwScale& scale, Random* rng) {
   int64_t item = static_cast<int64_t>(rng->Uniform(scale.items));
   MTDB_RETURN_IF_ERROR(
-      conn->Execute("SELECT i.i_title, i.i_cost, i.i_stock, a.a_fname, "
-                    "a.a_lname FROM item i JOIN author a ON i.i_a_id = a.a_id "
-                    "WHERE i.i_id = ?",
-                    {Value(item)})
-          .status());
+      conn->ExecutePrepared(stmts.product_detail, {Value(item)}).status());
   return Status::OK();
 }
 
-Status SearchBySubject(Connection* conn, const TpcwScale& scale, Random* rng) {
-  (void)scale;
+Status SearchBySubject(Connection* conn, const TpcwStatements& stmts,
+                       Random* rng) {
   MTDB_RETURN_IF_ERROR(
-      conn->Execute("SELECT i_id, i_title FROM item WHERE i_subject = ? "
-                    "ORDER BY i_title LIMIT 50",
-                    {Value(Subject(rng))})
+      conn->ExecutePrepared(stmts.search_subject, {Value(Subject(rng))})
           .status());
   return Status::OK();
 }
 
-Status SearchByTitle(Connection* conn, const TpcwScale& scale, Random* rng) {
-  (void)scale;
-  std::string prefix = std::string("title_") + static_cast<char>('a' + rng->Uniform(26));
+Status SearchByTitle(Connection* conn, const TpcwStatements& stmts,
+                     Random* rng) {
+  std::string prefix =
+      std::string("title_") + static_cast<char>('a' + rng->Uniform(26));
   MTDB_RETURN_IF_ERROR(
-      conn->Execute("SELECT i_id, i_title FROM item WHERE i_title LIKE ? "
-                    "LIMIT 50",
-                    {Value(prefix + "%")})
+      conn->ExecutePrepared(stmts.search_title, {Value(prefix + "%")})
           .status());
   return Status::OK();
 }
 
-Status ShoppingCartAdd(Connection* conn, const TpcwScale& scale, Random* rng) {
+Status ShoppingCartAdd(Connection* conn, const TpcwStatements& stmts,
+                       const TpcwScale& scale, Random* rng) {
   // Create or reuse a cart keyed by a random id, then add a line.
   int64_t cart = static_cast<int64_t>(rng->Uniform(scale.customers * 4));
-  auto existing = conn->Execute(
-      "SELECT sc_id FROM shopping_cart WHERE sc_id = ?", {Value(cart)});
+  auto existing = conn->ExecutePrepared(stmts.cart_get, {Value(cart)});
   MTDB_RETURN_IF_ERROR(existing.status());
   if (existing->rows.empty()) {
     MTDB_RETURN_IF_ERROR(
-        conn->Execute("INSERT INTO shopping_cart VALUES (?, 0, 0.0)",
-                      {Value(cart)})
-            .status());
+        conn->ExecutePrepared(stmts.cart_insert, {Value(cart)}).status());
   }
   int64_t item = static_cast<int64_t>(rng->Uniform(scale.items));
   int64_t line = cart * 100 + static_cast<int64_t>(rng->Uniform(100));
-  auto line_row = conn->Execute(
-      "SELECT scl_qty FROM shopping_cart_line WHERE scl_id = ?",
-      {Value(line)});
+  auto line_row = conn->ExecutePrepared(stmts.cart_line_get, {Value(line)});
   MTDB_RETURN_IF_ERROR(line_row.status());
   if (line_row->rows.empty()) {
     MTDB_RETURN_IF_ERROR(
-        conn->Execute("INSERT INTO shopping_cart_line VALUES (?, ?, ?, 1)",
-                      {Value(line), Value(cart), Value(item)})
+        conn->ExecutePrepared(stmts.cart_line_insert,
+                              {Value(line), Value(cart), Value(item)})
             .status());
   } else {
     MTDB_RETURN_IF_ERROR(
-        conn->Execute("UPDATE shopping_cart_line SET scl_qty = scl_qty + 1 "
-                      "WHERE scl_id = ?",
-                      {Value(line)})
+        conn->ExecutePrepared(stmts.cart_line_update, {Value(line)})
             .status());
   }
   return Status::OK();
 }
 
-Status BuyConfirm(Connection* conn, const TpcwScale& scale, Random* rng) {
+Status BuyConfirm(Connection* conn, const TpcwStatements& stmts,
+                  const TpcwScale& scale, Random* rng) {
   // The heavyweight multi-table write transaction: decrement stock for a
   // few items, create the order with its lines and the credit-card record.
   int64_t customer = static_cast<int64_t>(rng->Uniform(scale.customers));
@@ -309,71 +351,62 @@ Status BuyConfirm(Connection* conn, const TpcwScale& scale, Random* rng) {
   double total = 0;
   for (int64_t l = 0; l < lines; ++l) {
     int64_t item = static_cast<int64_t>(rng->Uniform(scale.items));
-    auto stock = conn->Execute(
-        "SELECT i_stock, i_cost FROM item WHERE i_id = ?", {Value(item)});
+    auto stock = conn->ExecutePrepared(stmts.buy_stock, {Value(item)});
     MTDB_RETURN_IF_ERROR(stock.status());
     if (stock->rows.empty()) continue;
     int64_t qty = 1 + static_cast<int64_t>(rng->Uniform(3));
     total += stock->at(0, 1).AsDouble() * static_cast<double>(qty);
     // Restock when low, as TPC-W's buy-confirm does.
     MTDB_RETURN_IF_ERROR(
-        conn->Execute("UPDATE item SET i_stock = i_stock - ? + "
-                      "(i_stock < 10) * 21, i_total_sold = i_total_sold + ? "
-                      "WHERE i_id = ?",
-                      {Value(qty), Value(qty), Value(item)})
+        conn->ExecutePrepared(stmts.buy_update_item,
+                              {Value(qty), Value(qty), Value(item)})
             .status());
     MTDB_RETURN_IF_ERROR(
-        conn->Execute("INSERT INTO order_line VALUES (?, ?, ?, ?, 0.0)",
-                      {Value(order_id * 10 + l), Value(order_id),
-                       Value(item), Value(qty)})
+        conn->ExecutePrepared(stmts.buy_insert_line,
+                              {Value(order_id * 10 + l), Value(order_id),
+                               Value(item), Value(qty)})
             .status());
   }
   MTDB_RETURN_IF_ERROR(
-      conn->Execute("INSERT INTO orders VALUES (?, ?, 0, ?, 'PENDING')",
-                    {Value(order_id), Value(customer), Value(total)})
+      conn->ExecutePrepared(stmts.buy_insert_order,
+                            {Value(order_id), Value(customer), Value(total)})
           .status());
   MTDB_RETURN_IF_ERROR(
-      conn->Execute("INSERT INTO cc_xacts VALUES (?, 'VISA', ?, 0)",
-                    {Value(order_id), Value(total)})
+      conn->ExecutePrepared(stmts.buy_insert_cc,
+                            {Value(order_id), Value(total)})
           .status());
   MTDB_RETURN_IF_ERROR(
-      conn->Execute("UPDATE customer SET c_balance = c_balance + ?, "
-                    "c_ytd_pmt = c_ytd_pmt + ? WHERE c_id = ?",
-                    {Value(total), Value(total), Value(customer)})
+      conn->ExecutePrepared(stmts.buy_update_customer,
+                            {Value(total), Value(total), Value(customer)})
           .status());
   return Status::OK();
 }
 
-Status OrderInquiry(Connection* conn, const TpcwScale& scale, Random* rng) {
+Status OrderInquiry(Connection* conn, const TpcwStatements& stmts,
+                    const TpcwScale& scale, Random* rng) {
   int64_t customer = static_cast<int64_t>(rng->Uniform(scale.customers));
-  auto order = conn->Execute(
-      "SELECT o_id, o_total, o_status FROM orders WHERE o_c_id = ? "
-      "ORDER BY o_id DESC LIMIT 1",
-      {Value(customer)});
+  auto order = conn->ExecutePrepared(stmts.order_last, {Value(customer)});
   MTDB_RETURN_IF_ERROR(order.status());
   if (!order->rows.empty()) {
     MTDB_RETURN_IF_ERROR(
-        conn->Execute("SELECT ol_i_id, ol_qty FROM order_line "
-                      "WHERE ol_o_id = ?",
-                      {order->at(0, 0)})
-            .status());
+        conn->ExecutePrepared(stmts.order_lines, {order->at(0, 0)}).status());
   }
   return Status::OK();
 }
 
-Status AdminUpdate(Connection* conn, const TpcwScale& scale, Random* rng) {
+Status AdminUpdate(Connection* conn, const TpcwStatements& stmts,
+                   const TpcwScale& scale, Random* rng) {
   int64_t item = static_cast<int64_t>(rng->Uniform(scale.items));
   MTDB_RETURN_IF_ERROR(
-      conn->Execute("UPDATE item SET i_cost = i_cost * 1.01, i_pub_date = "
-                    "i_pub_date + 1 WHERE i_id = ?",
-                    {Value(item)})
-          .status());
+      conn->ExecutePrepared(stmts.admin_update, {Value(item)}).status());
   return Status::OK();
 }
 
 }  // namespace
 
-InteractionResult RunInteraction(Connection* conn, Interaction interaction,
+InteractionResult RunInteraction(Connection* conn,
+                                 const TpcwStatements& statements,
+                                 Interaction interaction,
                                  const TpcwScale& scale, Random* rng) {
   InteractionResult result;
   result.was_write = IsWriteInteraction(interaction);
@@ -384,34 +417,34 @@ InteractionResult RunInteraction(Connection* conn, Interaction interaction,
   }
   switch (interaction) {
     case Interaction::kHome:
-      status = Home(conn, scale, rng);
+      status = Home(conn, statements, scale, rng);
       break;
     case Interaction::kNewProducts:
-      status = NewProducts(conn, scale, rng);
+      status = NewProducts(conn, statements, rng);
       break;
     case Interaction::kBestSellers:
-      status = BestSellers(conn, scale, rng);
+      status = BestSellers(conn, statements, scale);
       break;
     case Interaction::kProductDetail:
-      status = ProductDetail(conn, scale, rng);
+      status = ProductDetail(conn, statements, scale, rng);
       break;
     case Interaction::kSearchBySubject:
-      status = SearchBySubject(conn, scale, rng);
+      status = SearchBySubject(conn, statements, rng);
       break;
     case Interaction::kSearchByTitle:
-      status = SearchByTitle(conn, scale, rng);
+      status = SearchByTitle(conn, statements, rng);
       break;
     case Interaction::kShoppingCartAdd:
-      status = ShoppingCartAdd(conn, scale, rng);
+      status = ShoppingCartAdd(conn, statements, scale, rng);
       break;
     case Interaction::kBuyConfirm:
-      status = BuyConfirm(conn, scale, rng);
+      status = BuyConfirm(conn, statements, scale, rng);
       break;
     case Interaction::kOrderInquiry:
-      status = OrderInquiry(conn, scale, rng);
+      status = OrderInquiry(conn, statements, scale, rng);
       break;
     case Interaction::kAdminUpdate:
-      status = AdminUpdate(conn, scale, rng);
+      status = AdminUpdate(conn, statements, scale, rng);
       break;
   }
   if (status.ok()) {
@@ -421,6 +454,20 @@ InteractionResult RunInteraction(Connection* conn, Interaction interaction,
     result.status = status;
   }
   return result;
+}
+
+InteractionResult RunInteraction(Connection* conn, Interaction interaction,
+                                 const TpcwScale& scale, Random* rng) {
+  // The statement set lives in the controller's shared registry, so this
+  // fetch is a handful of map lookups after the first call.
+  auto stmts_or = PrepareTpcwStatements(conn);
+  if (!stmts_or.ok()) {
+    InteractionResult result;
+    result.status = stmts_or.status();
+    result.was_write = IsWriteInteraction(interaction);
+    return result;
+  }
+  return RunInteraction(conn, *stmts_or, interaction, scale, rng);
 }
 
 }  // namespace mtdb::workload

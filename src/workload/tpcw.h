@@ -1,6 +1,7 @@
 #ifndef MTDB_WORKLOAD_TPCW_H_
 #define MTDB_WORKLOAD_TPCW_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -62,8 +63,48 @@ struct InteractionResult {
   bool was_write = false;
 };
 
-// Runs one interaction as a single transaction on the connection. On error
-// the transaction has already been rolled back.
+// The fixed statement set behind the TPC-W interactions, prepared once and
+// executed many times with bound parameters (plan-once/execute-many). The
+// members are shared registry entries, so copying this struct is cheap and
+// every session driving the same database reuses the same plans.
+struct TpcwStatements {
+  std::shared_ptr<PreparedStatement> home_customer;
+  std::shared_ptr<PreparedStatement> home_item;
+  std::shared_ptr<PreparedStatement> new_products;
+  std::shared_ptr<PreparedStatement> best_sellers;
+  std::shared_ptr<PreparedStatement> product_detail;
+  std::shared_ptr<PreparedStatement> search_subject;
+  std::shared_ptr<PreparedStatement> search_title;
+  std::shared_ptr<PreparedStatement> cart_get;
+  std::shared_ptr<PreparedStatement> cart_insert;
+  std::shared_ptr<PreparedStatement> cart_line_get;
+  std::shared_ptr<PreparedStatement> cart_line_insert;
+  std::shared_ptr<PreparedStatement> cart_line_update;
+  std::shared_ptr<PreparedStatement> buy_stock;
+  std::shared_ptr<PreparedStatement> buy_update_item;
+  std::shared_ptr<PreparedStatement> buy_insert_line;
+  std::shared_ptr<PreparedStatement> buy_insert_order;
+  std::shared_ptr<PreparedStatement> buy_insert_cc;
+  std::shared_ptr<PreparedStatement> buy_update_customer;
+  std::shared_ptr<PreparedStatement> order_last;
+  std::shared_ptr<PreparedStatement> order_lines;
+  std::shared_ptr<PreparedStatement> admin_update;
+};
+
+// Prepares the full TPC-W statement set through `conn`.
+Result<TpcwStatements> PrepareTpcwStatements(Connection* conn);
+
+// Runs one interaction as a single transaction on the connection, executing
+// the prepared statement set. On error the transaction has already been
+// rolled back.
+InteractionResult RunInteraction(Connection* conn,
+                                 const TpcwStatements& statements,
+                                 Interaction interaction,
+                                 const TpcwScale& scale, Random* rng);
+
+// Convenience overload that fetches the statement set from the controller's
+// shared registry first (cheap after the first call). Long-running drivers
+// should prepare once and use the overload above.
 InteractionResult RunInteraction(Connection* conn, Interaction interaction,
                                  const TpcwScale& scale, Random* rng);
 

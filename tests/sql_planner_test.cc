@@ -1,0 +1,296 @@
+// Planner and plan-cache tests (DESIGN.md §9).
+//
+// Covers the split of the SQL path into parse → plan → execute:
+//  * EXPLAIN goldens proving access-path and join-strategy selection (PK
+//    probe over scan, index-assisted joins, lock scope of mutations);
+//  * the engine plan cache: hit/miss accounting, the size bound, and
+//    schema-version invalidation (CREATE INDEX re-plans a cached full scan
+//    into an index probe; DROP TABLE surfaces kNotFound, not a crash);
+//  * the prepared-statement surface (PrepareStatement / ExecutePrepared).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sql/executor.h"
+#include "src/sql/planner.h"
+
+namespace mtdb::sql {
+namespace {
+
+class SqlPlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_ = std::make_unique<Engine>("site");
+    executor_ = std::make_unique<SqlExecutor>(engine_.get());
+    ASSERT_TRUE(engine_->CreateDatabase("app").ok());
+    Exec("CREATE TABLE item (i_id INT PRIMARY KEY, i_title VARCHAR(40), "
+         "i_subject VARCHAR(20), i_a_id INT, i_cost DOUBLE)");
+    Exec("CREATE TABLE author (a_id INT PRIMARY KEY, a_name VARCHAR(40))");
+    Exec("INSERT INTO author VALUES (1, 'knuth'), (2, 'lamport')");
+    Exec("INSERT INTO item VALUES "
+         "(1, 'taocp', 'CS', 1, 100.0), "
+         "(2, 'paxos', 'CS', 2, 20.0), "
+         "(3, 'cooking', 'FOOD', 2, 15.0)");
+  }
+
+  QueryResult Exec(const std::string& sql,
+                   const std::vector<Value>& params = {}) {
+    uint64_t txn = next_txn_++;
+    EXPECT_TRUE(engine_->Begin(txn).ok());
+    auto result = executor_->ExecuteSql(txn, "app", sql, params);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+    EXPECT_TRUE(engine_->Commit(txn).ok());
+    return result.ok() ? *result : QueryResult{};
+  }
+
+  // Runs EXPLAIN <sql> and joins the one-line-per-operator result rows.
+  std::string Explain(const std::string& sql) {
+    QueryResult r = Exec("EXPLAIN " + sql);
+    EXPECT_EQ(r.columns, std::vector<std::string>{"plan"});
+    std::string text;
+    for (const Row& row : r.rows) {
+      if (!text.empty()) text += "\n";
+      text += row.at(0).AsString();
+    }
+    return text;
+  }
+
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<SqlExecutor> executor_;
+  uint64_t next_txn_ = 1;
+};
+
+// --- EXPLAIN goldens: access-path selection ---
+
+TEST_F(SqlPlannerTest, ExplainPicksPkPointOverScan) {
+  std::string plan = Explain("SELECT i_title FROM item WHERE i_id = 2");
+  EXPECT_NE(plan.find("scan item [pk-point]"), std::string::npos) << plan;
+  EXPECT_EQ(plan.find("full-scan"), std::string::npos) << plan;
+}
+
+TEST_F(SqlPlannerTest, ExplainFallsBackToFullScanWithoutIndex) {
+  std::string plan = Explain("SELECT * FROM item WHERE i_subject = 'CS'");
+  EXPECT_NE(plan.find("scan item [full-scan]"), std::string::npos) << plan;
+}
+
+TEST_F(SqlPlannerTest, ExplainUsesIndexProbeWhenIndexExists) {
+  Exec("CREATE INDEX idx_subject ON item (i_subject)");
+  std::string plan = Explain("SELECT * FROM item WHERE i_subject = 'CS'");
+  EXPECT_NE(plan.find("scan item [index-probe(i_subject)]"),
+            std::string::npos)
+      << plan;
+}
+
+TEST_F(SqlPlannerTest, ExplainUsesPkRangeForInequalities) {
+  std::string plan = Explain("SELECT * FROM item WHERE i_id < 3");
+  EXPECT_NE(plan.find("scan item [pk-range]"), std::string::npos) << plan;
+}
+
+TEST_F(SqlPlannerTest, ExplainShowsFilterSortAndLimit) {
+  std::string plan = Explain(
+      "SELECT i_title FROM item WHERE i_cost > 10.0 "
+      "ORDER BY i_cost DESC LIMIT 2");
+  EXPECT_NE(plan.find("filter"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("sort i_cost desc"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("limit 2"), std::string::npos) << plan;
+}
+
+// --- EXPLAIN goldens: join strategies ---
+
+TEST_F(SqlPlannerTest, ExplainJoinProbesInnerPrimaryKey) {
+  std::string plan = Explain(
+      "SELECT i.i_title, a.a_name FROM item i "
+      "JOIN author a ON i.i_a_id = a.a_id WHERE i.i_id = 1");
+  EXPECT_NE(plan.find("join author as a [pk-probe]"), std::string::npos)
+      << plan;
+}
+
+TEST_F(SqlPlannerTest, ExplainJoinUsesIndexWhenInnerHasOne) {
+  Exec("CREATE INDEX idx_a_id ON item (i_a_id)");
+  std::string plan = Explain(
+      "SELECT a.a_name, i.i_title FROM author a "
+      "JOIN item i ON i.i_a_id = a.a_id");
+  EXPECT_NE(plan.find("join item as i [index-probe(i_a_id)]"),
+            std::string::npos)
+      << plan;
+}
+
+TEST_F(SqlPlannerTest, ExplainJoinDegradesToNestedLoopWithoutKeys) {
+  std::string plan = Explain(
+      "SELECT i.i_title FROM item i JOIN author a ON i.i_cost > a.a_id");
+  EXPECT_NE(plan.find("join author as a [nested-loop-scan]"),
+            std::string::npos)
+      << plan;
+}
+
+// --- EXPLAIN goldens: mutation lock scope ---
+
+TEST_F(SqlPlannerTest, ExplainUpdateByPkAvoidsTableLock) {
+  std::string plan = Explain("UPDATE item SET i_cost = 1.0 WHERE i_id = 2");
+  EXPECT_NE(plan.find("update item [pk-point]"), std::string::npos) << plan;
+  EXPECT_EQ(plan.find("table-x-lock"), std::string::npos) << plan;
+}
+
+TEST_F(SqlPlannerTest, ExplainNonKeyedUpdateTakesTableLock) {
+  std::string plan =
+      Explain("UPDATE item SET i_cost = 1.0 WHERE i_subject = 'CS'");
+  EXPECT_NE(plan.find("update item [full-scan] [table-x-lock]"),
+            std::string::npos)
+      << plan;
+}
+
+TEST_F(SqlPlannerTest, ExplainDeleteByPk) {
+  std::string plan = Explain("DELETE FROM item WHERE i_id = 3");
+  EXPECT_NE(plan.find("delete item [pk-point]"), std::string::npos) << plan;
+}
+
+// --- Plan cache ---
+
+TEST_F(SqlPlannerTest, ParameterizedStatementsHitThePlanCache) {
+  const std::string sql = "SELECT i_title FROM item WHERE i_id = ?";
+  int64_t misses_before = engine_->plan_cache_misses();
+  Exec(sql, {Value(int64_t{1})});
+  Exec(sql, {Value(int64_t{2})});
+  Exec(sql, {Value(int64_t{3})});
+  EXPECT_EQ(engine_->plan_cache_misses() - misses_before, 1);
+  EXPECT_GE(engine_->plan_cache_hits(), 2);
+}
+
+TEST_F(SqlPlannerTest, UnparameterizedStatementsAreNotCached) {
+  size_t size_before = engine_->plan_cache_size();
+  Exec("SELECT i_title FROM item WHERE i_id = 1");
+  Exec("SELECT i_title FROM item WHERE i_id = 1");
+  EXPECT_EQ(engine_->plan_cache_size(), size_before);
+}
+
+TEST_F(SqlPlannerTest, CachedPlansAreSharedObjects) {
+  const std::string sql = "SELECT i_title FROM item WHERE i_id = ?";
+  auto first = engine_->GetPlan("app", sql);
+  auto second = engine_->GetPlan("app", sql);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(first->get(), second->get());
+}
+
+TEST_F(SqlPlannerTest, PlanCacheIsBounded) {
+  // The MachineService statement cache this subsumes was bounded at 512
+  // entries; the engine plan cache keeps that bound.
+  for (int i = 0; i < 600; ++i) {
+    auto plan = engine_->GetPlan(
+        "app",
+        "SELECT i_title FROM item WHERE i_id = ? AND i_cost < " +
+            std::to_string(i));
+    ASSERT_TRUE(plan.ok());
+  }
+  EXPECT_LE(engine_->plan_cache_size(), 512u);
+  EXPECT_GT(engine_->plan_cache_size(), 0u);
+}
+
+TEST_F(SqlPlannerTest, CreateIndexRePlansCachedFullScan) {
+  const std::string sql = "SELECT i_title FROM item WHERE i_subject = ?";
+  auto before = engine_->GetPlan("app", sql);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ((*before)->select.driver.path, AccessPathKind::kFullScan);
+
+  Exec("CREATE INDEX idx_subject ON item (i_subject)");
+
+  auto after = engine_->GetPlan("app", sql);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ((*after)->select.driver.path, AccessPathKind::kIndexProbe);
+  EXPECT_EQ((*after)->select.driver.index_column, "i_subject");
+  // And the re-planned statement still returns correct data.
+  QueryResult r = Exec(sql, {Value("CS")});
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(SqlPlannerTest, DropTableInvalidatesCachedPlan) {
+  const std::string sql = "SELECT i_title FROM item WHERE i_id = ?";
+  ASSERT_TRUE(engine_->GetPlan("app", sql).ok());
+  Exec("DROP TABLE item");
+  auto plan = engine_->GetPlan("app", sql);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kNotFound);
+}
+
+// --- Prepared statements (engine surface) ---
+
+TEST_F(SqlPlannerTest, PreparedStatementMatchesDirectExecution) {
+  const std::string sql = "SELECT i_title, i_cost FROM item WHERE i_id = ?";
+  auto handle = engine_->PrepareStatement("app", sql);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+
+  uint64_t txn = next_txn_++;
+  ASSERT_TRUE(engine_->Begin(txn).ok());
+  auto prepared =
+      engine_->ExecutePrepared(txn, *handle, {Value(int64_t{2})});
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  ASSERT_TRUE(engine_->Commit(txn).ok());
+
+  QueryResult direct = Exec(sql, {Value(int64_t{2})});
+  ASSERT_EQ(prepared->rows.size(), direct.rows.size());
+  EXPECT_EQ(prepared->at(0, 0).AsString(), direct.at(0, 0).AsString());
+  EXPECT_EQ(prepared->columns, direct.columns);
+}
+
+TEST_F(SqlPlannerTest, ExecutePreparedRejectsUnknownHandle) {
+  uint64_t txn = next_txn_++;
+  ASSERT_TRUE(engine_->Begin(txn).ok());
+  auto result = engine_->ExecutePrepared(txn, 424242, {});
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(engine_->Abort(txn).ok());
+}
+
+TEST_F(SqlPlannerTest, PrepareRejectsExplain) {
+  auto handle =
+      engine_->PrepareStatement("app", "EXPLAIN SELECT * FROM item");
+  EXPECT_EQ(handle.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SqlPlannerTest, PrepareSurfacesPlanningErrors) {
+  auto handle =
+      engine_->PrepareStatement("app", "SELECT * FROM no_such_table");
+  EXPECT_EQ(handle.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SqlPlannerTest, DroppedTableSurfacesNotFoundThroughPreparedHandle) {
+  auto handle =
+      engine_->PrepareStatement("app", "SELECT i_title FROM item "
+                                       "WHERE i_id = ?");
+  ASSERT_TRUE(handle.ok());
+  Exec("DROP TABLE item");
+  uint64_t txn = next_txn_++;
+  ASSERT_TRUE(engine_->Begin(txn).ok());
+  auto result = engine_->ExecutePrepared(txn, *handle, {Value(int64_t{1})});
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(engine_->Abort(txn).ok());
+}
+
+TEST_F(SqlPlannerTest, CreateIndexUpgradesPreparedStatementPlan) {
+  const std::string sql = "SELECT i_title FROM item WHERE i_subject = ?";
+  auto handle = engine_->PrepareStatement("app", sql);
+  ASSERT_TRUE(handle.ok());
+
+  uint64_t txn = next_txn_++;
+  ASSERT_TRUE(engine_->Begin(txn).ok());
+  auto before = engine_->ExecutePrepared(txn, *handle, {Value("CS")});
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(engine_->Commit(txn).ok());
+
+  Exec("CREATE INDEX idx_subject ON item (i_subject)");
+  // The handle survives the DDL; the plan behind it was re-derived.
+  auto plan = engine_->GetPlan("app", sql);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->select.driver.path, AccessPathKind::kIndexProbe);
+
+  txn = next_txn_++;
+  ASSERT_TRUE(engine_->Begin(txn).ok());
+  auto after = engine_->ExecutePrepared(txn, *handle, {Value("CS")});
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  ASSERT_TRUE(engine_->Commit(txn).ok());
+  EXPECT_EQ(after->rows.size(), before->rows.size());
+}
+
+}  // namespace
+}  // namespace mtdb::sql
