@@ -1,10 +1,22 @@
 // Microbenchmarks (google-benchmark) for the substrate components: lock
 // manager, storage engine row operations, SQL parsing/execution, zipfian
 // generation, and the serializability checker.
+//
+// After the benchmarks, main() runs a metrics-overhead gate: engine
+// transaction throughput with the metrics registry enabled must stay within
+// 5% of throughput with recording disabled, enforced by the exit code (CI
+// fails if instrumenting the hot path got expensive). Set
+// MTDB_SKIP_METRICS_GATE=1 to skip it.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
 #include "src/cluster/serializability.h"
+#include "src/common/clock.h"
 #include "src/common/random.h"
+#include "src/obs/metrics.h"
 #include "src/sql/executor.h"
 #include "src/sql/parser.h"
 #include "src/storage/engine.h"
@@ -147,6 +159,74 @@ void BM_SerializabilityCheck(benchmark::State& state) {
 BENCHMARK(BM_SerializabilityCheck)->Arg(100)->Arg(1000);
 
 }  // namespace
+
+// Read-modify-write transactions per second against a loaded engine for
+// ~duration_ms. The loop body is the instrumented hot path: txn begin/commit
+// counters, lock-wait accounting, buffer-cache touches.
+static double MeasureEngineTps(Engine* engine, int64_t duration_ms) {
+  Random rng(42);
+  static uint64_t txn = 1'000'000;  // away from benchmark txn ids
+  Stopwatch watch;
+  int64_t ops = 0;
+  while (watch.ElapsedMicros() < duration_ms * 1000) {
+    int64_t id = static_cast<int64_t>(rng.Uniform(1000));
+    (void)engine->Begin(txn);
+    (void)engine->Read(txn, "db", "t", Value(id));
+    (void)engine->Update(txn, "db", "t", Value(id),
+                         {Value(id), Value("gated"), Value(id)});
+    (void)engine->Commit(txn);
+    ++txn;
+    ++ops;
+  }
+  return static_cast<double>(ops) / watch.ElapsedSeconds();
+}
+
+int RunMetricsOverheadGate() {
+  if (std::getenv("MTDB_SKIP_METRICS_GATE") != nullptr) {
+    std::printf("metrics overhead gate: skipped (MTDB_SKIP_METRICS_GATE)\n");
+    return 0;
+  }
+#if defined(MTDB_NO_METRICS)
+  // Recording is compiled out: both variants run identical code and the
+  // comparison would only measure machine noise.
+  std::printf("metrics overhead gate: skipped (MTDB_NO_METRICS build)\n");
+  return 0;
+#endif
+  const char* env = std::getenv("MTDB_BENCH_MS");
+  int64_t duration_ms = env != nullptr ? atoll(env) : 300;
+
+  auto engine = MakeLoadedEngine(1000);
+  (void)MeasureEngineTps(engine.get(), duration_ms);  // warm-up
+
+  // Interleave enabled/disabled trials and take the best of each so drift
+  // (thermal, scheduler) hits both variants evenly; compare the maxima.
+  double enabled_tps = 0;
+  double disabled_tps = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    obs::MetricsRegistry::SetEnabled(true);
+    enabled_tps =
+        std::max(enabled_tps, MeasureEngineTps(engine.get(), duration_ms));
+    obs::MetricsRegistry::SetEnabled(false);
+    disabled_tps =
+        std::max(disabled_tps, MeasureEngineTps(engine.get(), duration_ms));
+  }
+  obs::MetricsRegistry::SetEnabled(true);
+
+  double ratio = disabled_tps > 0 ? enabled_tps / disabled_tps : 1.0;
+  bool ok = enabled_tps >= 0.95 * disabled_tps;
+  std::printf(
+      "metrics overhead gate: enabled %.0f txn/s, disabled %.0f txn/s "
+      "(ratio %.3f, floor 0.950): %s\n",
+      enabled_tps, disabled_tps, ratio, ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 }  // namespace mtdb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return mtdb::RunMetricsOverheadGate();
+}

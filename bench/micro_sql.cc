@@ -26,6 +26,7 @@
 #include "src/cluster/cluster_controller.h"
 #include "src/common/clock.h"
 #include "src/common/random.h"
+#include "src/obs/metrics.h"
 #include "src/sql/executor.h"
 #include "src/sql/parser.h"
 #include "src/sql/planner.h"
@@ -151,6 +152,9 @@ int Run() {
   std::string json_path =
       json_env != nullptr ? json_env : "BENCH_micro_sql.json";
 
+  // Zero the registry so the counters reported below cover exactly this run.
+  obs::MetricsRegistry::Global().ResetForTest();
+
   auto engine = MakeLoadedEngine();
   sql::SqlExecutor executor(engine.get());
   sql::Planner planner(engine.get());
@@ -222,6 +226,29 @@ int Run() {
   PrintRow({"unprepared (SQL text over RPC)", Fmt(cluster.unprepared_tps, 0)});
   PrintRow({"prepared (handles over RPC)", Fmt(cluster.prepared_tps, 0)});
 
+  // --- Section 4: what the metrics registry saw across the whole run ---
+  // The plan-cache hit rate and the per-phase counters come straight from
+  // the instrumented SQL path, so the benchmark doubles as a check that the
+  // instrumentation is alive where the numbers above say it should be.
+  auto& registry = obs::MetricsRegistry::Global();
+  int64_t cache_hits = registry.SumCounter("mtdb_plan_cache_hit_total");
+  int64_t cache_misses = registry.SumCounter("mtdb_plan_cache_miss_total");
+  double hit_rate =
+      cache_hits + cache_misses > 0
+          ? static_cast<double>(cache_hits) /
+                static_cast<double>(cache_hits + cache_misses)
+          : 0;
+  int64_t parsed = registry.SumCounter("mtdb_sql_parse_total");
+  int64_t planned = registry.SumCounter("mtdb_sql_plan_total");
+  int64_t executed = registry.SumCounter("mtdb_sql_execute_total");
+  PrintRow({"registry counter", "value"});
+  PrintRow({"plan-cache hit rate",
+            Fmt(hit_rate * 100, 1) + "% (" + std::to_string(cache_hits) +
+                "/" + std::to_string(cache_hits + cache_misses) + ")"});
+  PrintRow({"statements parsed", std::to_string(parsed)});
+  PrintRow({"statements planned", std::to_string(planned)});
+  PrintRow({"plans executed", std::to_string(executed)});
+
   FILE* json = std::fopen(json_path.c_str(), "w");
   if (json != nullptr) {
     std::fprintf(
@@ -236,7 +263,11 @@ int Run() {
         "  \"cluster_txns_per_sec\": {\"unprepared\": %.0f, "
         "\"prepared\": %.0f},\n"
         "  \"speedup\": {\"engine_prepared_over_unprepared\": %.2f, "
-        "\"cluster_prepared_over_unprepared\": %.2f}\n"
+        "\"cluster_prepared_over_unprepared\": %.2f},\n"
+        "  \"plan_cache\": {\"hits\": %lld, \"misses\": %lld, "
+        "\"hit_rate\": %.4f},\n"
+        "  \"phase_counters\": {\"parse\": %lld, \"plan\": %lld, "
+        "\"execute\": %lld}\n"
         "}\n",
         static_cast<long long>(duration_ms), parse_ns, plan_ns, execute_ns,
         unprepared, text_cached, prepared, cluster.unprepared_tps,
@@ -244,7 +275,11 @@ int Run() {
         unprepared > 0 ? prepared / unprepared : 0,
         cluster.unprepared_tps > 0
             ? cluster.prepared_tps / cluster.unprepared_tps
-            : 0);
+            : 0,
+        static_cast<long long>(cache_hits),
+        static_cast<long long>(cache_misses), hit_rate,
+        static_cast<long long>(parsed), static_cast<long long>(planned),
+        static_cast<long long>(executed));
     std::fclose(json);
     std::printf("wrote %s\n", json_path.c_str());
   }

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <future>
 
+#include "src/common/clock.h"
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 #include "src/sql/parser.h"
 
 namespace mtdb {
@@ -72,6 +74,8 @@ ClusterController::ClusterController(ClusterControllerOptions options)
                        << " missed an rpc deadline; declaring it failed";
     FailMachine(machine_id);
   });
+  m_failover_ = obs::MetricsRegistry::Global().GetCounter(
+      "mtdb_machine_failover_total", {});
 }
 
 ClusterController::~ClusterController() = default;
@@ -330,6 +334,9 @@ void ClusterController::InvalidateHandles(int machine_id) {
 
 void ClusterController::FailMachine(int machine_id) {
   Machine* m = machine(machine_id);
+  // Count transitions, not calls: FailMachine is re-entered by every timed-out
+  // RPC against an already-failed machine.
+  if (m != nullptr && !m->failed()) obs::Increment(m_failover_);
   if (m != nullptr) m->Fail();
   // Statement handles are engine-local; whatever replaces this machine will
   // not know them, so force re-preparation on the next use.
@@ -629,7 +636,16 @@ int64_t ClusterController::InjectedLatency(const std::string& label,
 
 Connection::Connection(ClusterController* controller, std::string db_name,
                        uint64_t epoch)
-    : controller_(controller), db_name_(std::move(db_name)), epoch_(epoch) {}
+    : controller_(controller), db_name_(std::move(db_name)), epoch_(epoch) {
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::MetricLabels labels{.database = db_name_};
+  m_db_commit_ = registry.GetCounter("mtdb_txn_commit_total", labels);
+  m_db_abort_ = registry.GetCounter("mtdb_txn_abort_total", labels);
+  m_read_retry_ = registry.GetCounter("mtdb_read_retry_total", labels);
+  m_txn_latency_us_ = registry.GetHistogram("mtdb_txn_latency_us", labels);
+  m_2pc_prepare_us_ = registry.GetHistogram("mtdb_2pc_prepare_us", labels);
+  m_2pc_commit_us_ = registry.GetHistogram("mtdb_2pc_commit_us", labels);
+}
 
 Connection::~Connection() {
   if (active_) {
@@ -645,6 +661,8 @@ net::MachineClient::Session* Connection::SessionFor(int machine_id) {
              .emplace(machine_id,
                       controller_->client_->OpenSession(machine_id))
              .first;
+    // A session opened mid-transaction must carry the current trace id.
+    it->second->SetTraceId(trace_id_);
   }
   return it->second.get();
 }
@@ -680,7 +698,25 @@ Status Connection::BeginInternal() {
     std::lock_guard<std::mutex> lock(poison_mu_);
     poison_ = Status::OK();
   }
+  txn_start_us_ = NowMicros();
+  trace_id_ = obs::TraceCollector::Global().StartTrace(txn_id_);
+  for (auto& [machine_id, session] : sessions_) {
+    session->SetTraceId(trace_id_);
+  }
   return Status::OK();
+}
+
+void Connection::FinishTxnObservation(bool committed) {
+  int64_t latency_us = NowMicros() - txn_start_us_;
+  obs::Increment(committed ? m_db_commit_ : m_db_abort_);
+  obs::Observe(m_txn_latency_us_, latency_us);
+  controller_->load_monitor_.RecordTxn(db_name_, latency_us, wrote_,
+                                       committed);
+  obs::TraceCollector::Global().FinishTrace(trace_id_, committed);
+  trace_id_ = 0;
+  for (auto& [machine_id, session] : sessions_) {
+    session->SetTraceId(0);
+  }
 }
 
 void Connection::EnsureBegun(int machine_id) {
@@ -770,6 +806,7 @@ Result<sql::QueryResult> Connection::ExecuteRead(
       begun_machines_.erase(machine_id);
       if (sticky_read_machine_ == machine_id) sticky_read_machine_ = -1;
       last = status;
+      obs::Increment(m_read_retry_);
       continue;  // pick another replica
     }
     Poison(status);
@@ -954,6 +991,7 @@ Result<sql::QueryResult> Connection::ExecutePreparedRead(
         begun_machines_.erase(machine_id);
         if (sticky_read_machine_ == machine_id) sticky_read_machine_ = -1;
         last = status;
+        obs::Increment(m_read_retry_);
         continue;  // pick another replica
       }
       Poison(status);
@@ -977,6 +1015,7 @@ Result<sql::QueryResult> Connection::ExecutePreparedRead(
       begun_machines_.erase(machine_id);
       if (sticky_read_machine_ == machine_id) sticky_read_machine_ = -1;
       last = status;
+      obs::Increment(m_read_retry_);
       continue;  // pick another replica
     }
     if (status.code() == StatusCode::kFailedPrecondition &&
@@ -1088,6 +1127,7 @@ Status Connection::CommitInternal() {
     barrier->Wait();
     active_ = false;
     controller_->committed_.fetch_add(1, std::memory_order_relaxed);
+    FinishTxnObservation(/*committed=*/true);
     return Status::OK();
   }
 
@@ -1102,6 +1142,7 @@ Status Connection::CommitInternal() {
   };
   auto phase = std::make_shared<PhaseState>();
   {
+    int64_t prepare_start_us = NowMicros();
     auto barrier =
         std::make_shared<CallBarrier>(static_cast<int>(participants.size()));
     for (int machine_id : participants) {
@@ -1116,6 +1157,7 @@ Status Connection::CommitInternal() {
           });
     }
     barrier->Wait();
+    obs::Observe(m_2pc_prepare_us_, NowMicros() - prepare_start_us);
   }
   std::vector<int> prepared;
   Status veto = Status::OK();
@@ -1149,6 +1191,7 @@ Status Connection::CommitInternal() {
 
   // Phase 2: COMMIT on all prepared participants.
   {
+    int64_t commit_start_us = NowMicros();
     auto barrier =
         std::make_shared<CallBarrier>(static_cast<int>(prepared.size()));
     for (int machine_id : prepared) {
@@ -1157,10 +1200,12 @@ Status Connection::CommitInternal() {
               txn, [barrier](net::RpcResponse) { barrier->Done(); });
     }
     barrier->Wait();
+    obs::Observe(m_2pc_commit_us_, NowMicros() - commit_start_us);
   }
   controller_->ForgetCommitDecision(txn);
   active_ = false;
   controller_->committed_.fetch_add(1, std::memory_order_relaxed);
+  FinishTxnObservation(/*committed=*/true);
   return Status::OK();
 }
 
@@ -1184,6 +1229,7 @@ Status Connection::AbortInternal(Status reason) {
   barrier->Wait();
   active_ = false;
   controller_->aborted_.fetch_add(1, std::memory_order_relaxed);
+  FinishTxnObservation(/*committed=*/false);
   if (!reason.ok()) {
     return Status::Aborted("transaction aborted: " + reason.ToString());
   }

@@ -18,6 +18,8 @@
 #include "src/net/machine_client.h"
 #include "src/net/machine_service.h"
 #include "src/net/transport.h"
+#include "src/obs/load_monitor.h"
+#include "src/obs/metrics.h"
 #include "src/sql/executor.h"
 
 namespace mtdb {
@@ -189,6 +191,10 @@ class Connection {
   void Poison(const Status& status);
   Status poison_status() const;
 
+  // Closes the transaction observability-wise: per-db counters, latency,
+  // LoadMonitor feedback, and the trace record.
+  void FinishTxnObservation(bool committed);
+
   ClusterController* controller_;
   std::string db_name_;
   uint64_t epoch_;
@@ -197,6 +203,18 @@ class Connection {
   bool active_ = false;
   uint64_t txn_id_ = 0;
   bool wrote_ = false;
+  // Trace of the current transaction (0 outside transactions) and its start
+  // time for the per-database latency histogram.
+  uint64_t trace_id_ = 0;
+  int64_t txn_start_us_ = 0;
+  // Per-database metric series, resolved once at connection construction
+  // (a connection is bound to one database for life).
+  obs::Counter* m_db_commit_ = nullptr;
+  obs::Counter* m_db_abort_ = nullptr;
+  obs::Counter* m_read_retry_ = nullptr;
+  Histogram* m_txn_latency_us_ = nullptr;
+  Histogram* m_2pc_prepare_us_ = nullptr;
+  Histogram* m_2pc_commit_us_ = nullptr;
   int sticky_read_machine_ = -1;  // Option 2 anchor for the current txn
   std::set<int> begun_machines_;
   // One RPC session (= ordered channel) per machine this connection talks
@@ -312,6 +330,11 @@ class ClusterController {
   std::vector<std::vector<CommittedTxnRecord>> CollectHistories() const;
   SerializabilityReport CheckClusterSerializability() const;
 
+  // Live per-database load feedback: every finished connection transaction
+  // is reported here, and EstimateFor/DemandFor expose measured
+  // ResourceVectors to sla::Placement.
+  obs::LoadMonitor* load_monitor() { return &load_monitor_; }
+
   // Test hook: extra latency (us) applied per operation, keyed by the
   // connection label. `is_write` distinguishes read/write ops. Rides the
   // wire as RpcRequest::debug_delay_us so schedules are transport-agnostic.
@@ -394,6 +417,9 @@ class ClusterController {
 
   mutable std::mutex injector_mu_;
   LatencyInjector latency_injector_;
+
+  obs::LoadMonitor load_monitor_;
+  obs::Counter* m_failover_ = nullptr;
 
   // Prepared-statement registry: one shared PreparedStatement per distinct
   // (database, sql) text. Lock order: stmt_mu_ before any

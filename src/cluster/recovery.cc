@@ -7,6 +7,7 @@
 #include "src/common/clock.h"
 #include "src/common/logging.h"
 #include "src/net/machine_client.h"
+#include "src/obs/metrics.h"
 
 namespace mtdb {
 
@@ -62,6 +63,9 @@ RecoveryResult RecoveryManager::RecoverDatabase(const std::string& db_name,
                                                 target_machine)
                             .status;
   result.duration_us = watch.ElapsedMicros();
+  obs::Observe(obs::MetricsRegistry::Global().GetHistogram(
+                   "mtdb_recovery_copy_us", {.database = db_name}),
+               result.duration_us);
   return result;
 }
 

@@ -4,8 +4,21 @@
 #include <string>
 
 #include "src/analysis/invariants.h"
+#include "src/obs/metrics.h"
 
 namespace mtdb {
+
+namespace {
+
+// One gauge across all strands: the aggregate backlog is what signals an
+// overloaded cluster; per-strand depth is visible via pending().
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("mtdb_strand_queue_depth", {});
+  return gauge;
+}
+
+}  // namespace
 
 Strand::Strand() : thread_([this] { Run(); }) {}
 
@@ -31,6 +44,7 @@ void Strand::Run() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    obs::GaugeAdd(QueueDepthGauge(), -1);
     // A throwing detached task used to terminate the process with no
     // indication of where it came from. Route it through the violation
     // handler instead, which aborts loudly (or records it in tests).
@@ -69,6 +83,7 @@ void Strand::SubmitDetached(std::function<void()> task) {
     analysis::OrderedGuard lock(mu_);
     queue_.push_back(std::move(task));
   }
+  obs::GaugeAdd(QueueDepthGauge(), 1);
   cv_.notify_all();
 }
 

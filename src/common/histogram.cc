@@ -58,6 +58,16 @@ void Histogram::Record(int64_t value_us) {
 }
 
 void Histogram::Merge(const Histogram& other) {
+  if (this == &other) {
+    // Self-merge: locking mu_ and other.mu_ through scoped_lock would be
+    // undefined behaviour (same mutex twice). Doubling in place preserves
+    // the "add other's samples to mine" contract.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int64_t& bucket : buckets_) bucket *= 2;
+    count_ *= 2;
+    sum_ *= 2;
+    return;
+  }
   std::scoped_lock lock(mu_, other.mu_);
   for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
   if (other.count_ > 0) {
@@ -86,6 +96,10 @@ double Histogram::Mean() const {
 
 int64_t Histogram::Percentile(double p) const {
   std::lock_guard<std::mutex> lock(mu_);
+  return PercentileLocked(p);
+}
+
+int64_t Histogram::PercentileLocked(double p) const {
   if (count_ == 0) return 0;
   int64_t threshold = static_cast<int64_t>(std::ceil(count_ * p / 100.0));
   int64_t cumulative = 0;
@@ -96,6 +110,18 @@ int64_t Histogram::Percentile(double p) const {
     }
   }
   return max_;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramSnapshot snap;
+  snap.count = count_;
+  snap.mean = count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+  snap.p50 = PercentileLocked(50);
+  snap.p99 = PercentileLocked(99);
+  snap.min = min_;
+  snap.max = max_;
+  return snap;
 }
 
 int64_t Histogram::Min() const {

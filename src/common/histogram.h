@@ -8,6 +8,18 @@
 
 namespace mtdb {
 
+// Point-in-time summary of a Histogram, taken under a single lock
+// acquisition so the fields are mutually consistent even while other
+// threads keep recording.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  double mean = 0.0;
+  int64_t p50 = 0;
+  int64_t p99 = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+};
+
 // Thread-safe latency histogram with power-of-two-ish buckets. Records
 // microsecond values; reports count/mean/percentiles. Used by the workload
 // driver and the benchmark harnesses.
@@ -30,12 +42,18 @@ class Histogram {
   int64_t Min() const;
   int64_t Max() const;
 
+  // All summary fields under one lock acquisition; unlike calling count() /
+  // Mean() / Percentile() separately, the result is a consistent cut even
+  // with concurrent recorders.
+  HistogramSnapshot Snapshot() const;
+
   std::string ToString() const;
 
  private:
   static constexpr int kNumBuckets = 64;
   static int BucketFor(int64_t value);
   static int64_t BucketUpperBound(int bucket);
+  int64_t PercentileLocked(double p) const;
 
   mutable std::mutex mu_;
   std::vector<int64_t> buckets_;

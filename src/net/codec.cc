@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/obs/metrics.h"
+
 namespace mtdb::net {
 
 namespace {
@@ -237,9 +239,38 @@ std::string_view RpcTypeName(RpcType type) {
     case RpcType::kListTables: return "ListTables";
     case RpcType::kPrepareStatement: return "PrepareStatement";
     case RpcType::kExecutePrepared: return "ExecutePrepared";
+    case RpcType::kStats: return "Stats";
   }
   return "?";
 }
+
+namespace {
+
+constexpr int kNumRpcTypes = static_cast<int>(RpcType::kStats) + 1;
+
+// Per-type request byte counters, resolved once. Encoding is the one place
+// that sees every outbound request regardless of transport.
+obs::Counter* RequestBytesCounter(RpcType type) {
+  static obs::Counter** counters = [] {
+    auto** array = new obs::Counter*[kNumRpcTypes]();
+    for (int i = 1; i < kNumRpcTypes; ++i) {
+      array[i] = obs::MetricsRegistry::Global().GetCounter(
+          "mtdb_rpc_request_bytes_total",
+          {.operation = std::string(RpcTypeName(static_cast<RpcType>(i)))});
+    }
+    return array;
+  }();
+  int index = static_cast<int>(type);
+  return index > 0 && index < kNumRpcTypes ? counters[index] : nullptr;
+}
+
+obs::Counter* ResponseBytesCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "mtdb_rpc_response_bytes_total", {});
+  return counter;
+}
+
+}  // namespace
 
 void EncodeRequestFrame(const RpcRequest& request, std::string* out) {
   size_t frame_start = out->size();
@@ -258,10 +289,13 @@ void EncodeRequestFrame(const RpcRequest& request, std::string* out) {
   AppendU64(out, static_cast<uint64_t>(request.per_row_delay_us));
   AppendU64(out, static_cast<uint64_t>(request.debug_delay_us));
   AppendU64(out, request.stmt_handle);
+  AppendU64(out, request.trace_id);
   uint32_t payload = static_cast<uint32_t>(out->size() - frame_start - 4);
   for (int i = 0; i < 4; ++i) {
     (*out)[frame_start + i] = static_cast<char>((payload >> (8 * i)) & 0xff);
   }
+  obs::Increment(RequestBytesCounter(request.type),
+                 static_cast<int64_t>(payload) + 4);
 }
 
 void EncodeResponseFrame(const RpcResponse& response, std::string* out) {
@@ -278,10 +312,12 @@ void EncodeResponseFrame(const RpcResponse& response, std::string* out) {
   AppendU32(out, static_cast<uint32_t>(response.names.size()));
   for (const std::string& name : response.names) AppendString(out, name);
   AppendU64(out, response.stmt_handle);
+  AppendU64(out, static_cast<uint64_t>(response.server_duration_us));
   uint32_t payload = static_cast<uint32_t>(out->size() - frame_start - 4);
   for (int i = 0; i < 4; ++i) {
     (*out)[frame_start + i] = static_cast<char>((payload >> (8 * i)) & 0xff);
   }
+  obs::Increment(ResponseBytesCounter(), static_cast<int64_t>(payload) + 4);
 }
 
 std::optional<std::string_view> ExtractFrame(std::string_view buffer,
@@ -311,7 +347,7 @@ Result<RpcRequest> DecodeRequest(std::string_view payload) {
   RpcRequest request;
   uint8_t type = in.ReadU8();
   if (type < static_cast<uint8_t>(RpcType::kHealth) ||
-      type > static_cast<uint8_t>(RpcType::kExecutePrepared)) {
+      type > static_cast<uint8_t>(RpcType::kStats)) {
     return Status::InvalidArgument("unknown request type " +
                                    std::to_string(type));
   }
@@ -334,6 +370,7 @@ Result<RpcRequest> DecodeRequest(std::string_view payload) {
   request.per_row_delay_us = static_cast<int64_t>(in.ReadU64());
   request.debug_delay_us = static_cast<int64_t>(in.ReadU64());
   request.stmt_handle = in.ReadU64();
+  request.trace_id = in.ReadU64();
   if (!in.ok()) return Status::InvalidArgument("truncated request frame");
   if (in.remaining() != 0) {
     return Status::InvalidArgument("trailing bytes after request frame");
@@ -371,6 +408,7 @@ Result<RpcResponse> DecodeResponse(std::string_view payload) {
     response.names.push_back(in.ReadString());
   }
   response.stmt_handle = in.ReadU64();
+  response.server_duration_us = static_cast<int64_t>(in.ReadU64());
   if (!in.ok()) return Status::InvalidArgument("truncated response frame");
   if (in.remaining() != 0) {
     return Status::InvalidArgument("trailing bytes after response frame");

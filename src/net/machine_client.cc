@@ -3,9 +3,46 @@
 #include <future>
 #include <utility>
 
+#include "src/common/clock.h"
 #include "src/common/logging.h"
+#include "src/net/codec.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace mtdb::net {
+
+namespace {
+
+// Client-side per-RPC-type metrics, resolved once per process so the reply
+// path does no registry lookups.
+struct ClientRpcMetrics {
+  obs::Counter* calls = nullptr;
+  obs::Counter* timeouts = nullptr;
+  Histogram* latency_us = nullptr;
+};
+
+const ClientRpcMetrics& MetricsForType(RpcType type) {
+  constexpr int kNumTypes = static_cast<int>(RpcType::kStats) + 1;
+  static ClientRpcMetrics* table = [] {
+    auto* entries = new ClientRpcMetrics[kNumTypes];
+    auto& registry = obs::MetricsRegistry::Global();
+    for (int i = 1; i < kNumTypes; ++i) {
+      obs::MetricLabels labels{
+          .operation = std::string(RpcTypeName(static_cast<RpcType>(i)))};
+      entries[i].calls = registry.GetCounter("mtdb_rpc_total", labels);
+      entries[i].timeouts =
+          registry.GetCounter("mtdb_rpc_timeout_total", labels);
+      entries[i].latency_us =
+          registry.GetHistogram("mtdb_rpc_latency_us", labels);
+    }
+    return entries;
+  }();
+  int index = static_cast<int>(type);
+  static const ClientRpcMetrics kEmpty;
+  return index > 0 && index < kNumTypes ? table[index] : kEmpty;
+}
+
+}  // namespace
 
 MachineClient::MachineClient(Transport* transport, RpcOptions options)
     : transport_(transport), options_(options) {
@@ -43,6 +80,7 @@ void MachineClient::Session::BeginDetached(uint64_t txn_id,
   request.type = RpcType::kBegin;
   request.txn_id = txn_id;
   request.db_name = db_name;
+  request.trace_id = trace_id_.load(std::memory_order_relaxed);
   client_->CallWithDeadline(channel_.get(), machine_id_, request,
                             [](RpcResponse) {});
 }
@@ -60,6 +98,7 @@ void MachineClient::Session::ExecuteAsync(uint64_t txn_id,
   request.sql = sql;
   request.params = params;
   request.debug_delay_us = debug_delay_us;
+  request.trace_id = trace_id_.load(std::memory_order_relaxed);
   client_->CallWithDeadline(channel_.get(), machine_id_, request,
                             std::move(done));
 }
@@ -75,6 +114,7 @@ void MachineClient::Session::ExecutePreparedAsync(
   request.stmt_handle = stmt_handle;
   request.params = params;
   request.debug_delay_us = debug_delay_us;
+  request.trace_id = trace_id_.load(std::memory_order_relaxed);
   client_->CallWithDeadline(channel_.get(), machine_id_, request,
                             std::move(done));
 }
@@ -84,6 +124,7 @@ void MachineClient::Session::PrepareAsync(uint64_t txn_id,
   RpcRequest request;
   request.type = RpcType::kPrepare;
   request.txn_id = txn_id;
+  request.trace_id = trace_id_.load(std::memory_order_relaxed);
   client_->CallWithDeadline(channel_.get(), machine_id_, request,
                             std::move(done));
 }
@@ -93,6 +134,7 @@ void MachineClient::Session::CommitAsync(uint64_t txn_id,
   RpcRequest request;
   request.type = RpcType::kCommit;
   request.txn_id = txn_id;
+  request.trace_id = trace_id_.load(std::memory_order_relaxed);
   client_->CallWithDeadline(channel_.get(), machine_id_, request,
                             std::move(done));
 }
@@ -102,6 +144,7 @@ void MachineClient::Session::CommitPreparedAsync(uint64_t txn_id,
   RpcRequest request;
   request.type = RpcType::kCommitPrepared;
   request.txn_id = txn_id;
+  request.trace_id = trace_id_.load(std::memory_order_relaxed);
   client_->CallWithDeadline(channel_.get(), machine_id_, request,
                             std::move(done));
 }
@@ -110,6 +153,7 @@ void MachineClient::Session::AbortAsync(uint64_t txn_id, ResponseHandler done) {
   RpcRequest request;
   request.type = RpcType::kAbort;
   request.txn_id = txn_id;
+  request.trace_id = trace_id_.load(std::memory_order_relaxed);
   client_->CallWithDeadline(channel_.get(), machine_id_, request,
                             std::move(done));
 }
@@ -245,6 +289,14 @@ Status MachineClient::Abort(int machine_id, uint64_t txn_id) {
   return ControlCall(machine_id, request).ToStatus();
 }
 
+Result<std::string> MachineClient::Stats(int machine_id) {
+  RpcRequest request;
+  request.type = RpcType::kStats;
+  RpcResponse response = ControlCall(machine_id, request);
+  if (!response.ok()) return response.ToStatus();
+  return std::move(response.message);
+}
+
 Result<TableDump> MachineClient::DumpTable(int machine_id,
                                            const std::string& db_name,
                                            const std::string& table,
@@ -298,6 +350,9 @@ void MachineClient::CallWithDeadline(Channel* channel, int machine_id,
   auto state = std::make_shared<CallState>();
   state->handler = std::move(handler);
   state->machine_id = machine_id;
+  state->type = request.type;
+  state->trace_id = request.trace_id;
+  state->start_us = NowMicros();
 
   if (options_.call_timeout_us > 0) {
     auto deadline = std::chrono::steady_clock::now() +
@@ -316,6 +371,21 @@ void MachineClient::CallWithDeadline(Channel* channel, int machine_id,
       if (state->done) return;  // the deadline already answered
       state->done = true;
       handler = std::move(state->handler);
+    }
+    int64_t elapsed_us = NowMicros() - state->start_us;
+    const ClientRpcMetrics& metrics = MetricsForType(state->type);
+    obs::Increment(metrics.calls);
+    obs::Observe(metrics.latency_us, elapsed_us);
+    if (state->trace_id != 0) {
+      obs::TraceSpan span;
+      span.trace_id = state->trace_id;
+      span.machine_id = state->machine_id;
+      span.operation = std::string(RpcTypeName(state->type));
+      span.start_us = state->start_us;
+      span.client_duration_us = elapsed_us;
+      span.server_duration_us = response.server_duration_us;
+      span.code = response.code;
+      obs::TraceCollector::Global().RecordSpan(span);
     }
     handler(std::move(response));
   });
@@ -363,6 +433,19 @@ void MachineClient::WatchdogLoop() {
       }
       MTDB_LOG(kWarning) << "rpc to machine " << machine_id
                          << " missed its deadline; treating as failed";
+      const ClientRpcMetrics& metrics = MetricsForType(state->type);
+      obs::Increment(metrics.calls);
+      obs::Increment(metrics.timeouts);
+      if (state->trace_id != 0) {
+        obs::TraceSpan span;
+        span.trace_id = state->trace_id;
+        span.machine_id = machine_id;
+        span.operation = std::string(RpcTypeName(state->type));
+        span.start_us = state->start_us;
+        span.client_duration_us = NowMicros() - state->start_us;
+        span.code = StatusCode::kUnavailable;
+        obs::TraceCollector::Global().RecordSpan(span);
+      }
       handler(RpcResponse::FromStatus(Status::Unavailable(
           "rpc deadline exceeded (machine " + std::to_string(machine_id) +
           ")")));

@@ -1,6 +1,7 @@
 #ifndef MTDB_NET_MACHINE_CLIENT_H_
 #define MTDB_NET_MACHINE_CLIENT_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -54,6 +55,12 @@ class MachineClient {
    public:
     int machine_id() const { return machine_id_; }
 
+    // Trace id stamped on every subsequent request from this session (0
+    // disables). Set by the owning Connection at transaction boundaries.
+    void SetTraceId(uint64_t trace_id) {
+      trace_id_.store(trace_id, std::memory_order_relaxed);
+    }
+
     // Fire-and-forget Begin: later operations on this session queue behind
     // it, and its failure surfaces through them.
     void BeginDetached(uint64_t txn_id, const std::string& db_name);
@@ -83,6 +90,7 @@ class MachineClient {
     MachineClient* client_;
     int machine_id_;
     std::unique_ptr<Channel> channel_;
+    std::atomic<uint64_t> trace_id_{0};
   };
 
   std::unique_ptr<Session> OpenSession(int machine_id);
@@ -110,6 +118,10 @@ class MachineClient {
   Status CommitPrepared(int machine_id, uint64_t txn_id);
   Status Abort(int machine_id, uint64_t txn_id);
 
+  // Text-format metrics dump from the machine (kStats). Answered even by
+  // machines marked failed, like kHealth — stats are for diagnosis.
+  Result<std::string> Stats(int machine_id);
+
   // Copy-tool calls run on a transient channel of their own: a dump can
   // legitimately take seconds (per_row_delay_us models the paper's copy
   // cost) and must not head-of-line-block the control channel.
@@ -135,6 +147,9 @@ class MachineClient {
     bool done = false;
     ResponseHandler handler;
     int machine_id = -1;
+    RpcType type = RpcType::kHealth;
+    uint64_t trace_id = 0;
+    int64_t start_us = 0;  // send time, for the client-side latency metric
   };
 
   // Issues the call on `channel` with the deadline armed.

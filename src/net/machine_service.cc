@@ -6,6 +6,9 @@
 
 #include "src/cluster/machine.h"
 #include "src/cluster/strand.h"
+#include "src/common/clock.h"
+#include "src/net/codec.h"
+#include "src/obs/metrics.h"
 #include "src/sql/executor.h"
 #include "src/sql/parser.h"
 #include "src/storage/dump.h"
@@ -13,6 +16,22 @@
 namespace mtdb::net {
 
 namespace {
+
+// Server-side per-type service-time histograms, resolved once.
+Histogram* ServerLatencyFor(RpcType type) {
+  constexpr int kNumTypes = static_cast<int>(RpcType::kStats) + 1;
+  static Histogram** table = [] {
+    auto** entries = new Histogram*[kNumTypes]();
+    for (int i = 1; i < kNumTypes; ++i) {
+      entries[i] = obs::MetricsRegistry::Global().GetHistogram(
+          "mtdb_rpc_server_us",
+          {.operation = std::string(RpcTypeName(static_cast<RpcType>(i)))});
+    }
+    return entries;
+  }();
+  int index = static_cast<int>(type);
+  return index > 0 && index < kNumTypes ? table[index] : nullptr;
+}
 
 bool IsTransactional(RpcType type) {
   switch (type) {
@@ -46,13 +65,24 @@ RpcResponse MachineService::Dispatch(const RpcRequest& request) {
         machine_->failed() ? Status::Unavailable("machine failed")
                            : Status::OK());
   }
+  // Stats stay readable on failed machines too: post-mortem counters are
+  // exactly what an operator wants from a dead machine.
+  if (request.type == RpcType::kStats) {
+    RpcResponse response;
+    response.message = obs::MetricsRegistry::Global().TextDump();
+    return response;
+  }
   if (machine_->failed()) {
     return RpcResponse::FromStatus(Status::Unavailable("machine failed"));
   }
-  if (IsTransactional(request.type)) {
-    return DispatchTransactional(request);
-  }
-  return DispatchControl(request);
+  int64_t start_us = NowMicros();
+  RpcResponse response = IsTransactional(request.type)
+                             ? DispatchTransactional(request)
+                             : DispatchControl(request);
+  int64_t elapsed_us = NowMicros() - start_us;
+  response.server_duration_us = elapsed_us;
+  obs::Observe(ServerLatencyFor(request.type), elapsed_us);
+  return response;
 }
 
 RpcResponse MachineService::DispatchTransactional(const RpcRequest& request) {

@@ -37,6 +37,7 @@ enum class RpcType : uint8_t {
   kListTables = 18,    // table names of one database (recovery work list)
   kPrepareStatement = 19,  // prepare SQL once, reply with a statement handle
   kExecutePrepared = 20,   // run a prepared handle inside txn_id
+  kStats = 21,             // metrics dump (text exposition in the message)
 };
 
 std::string_view RpcTypeName(RpcType type);
@@ -58,6 +59,9 @@ struct RpcRequest {
   // controller's latency injector rides the wire so fault schedules stay
   // deterministic across transports).
   int64_t debug_delay_us = 0;
+  // Distributed-tracing correlation id minted by the issuing Connection;
+  // 0 means "not part of a traced transaction".
+  uint64_t trace_id = 0;
 };
 
 // A decoded response. `code`/`message` carry the operation Status; payload
@@ -70,6 +74,10 @@ struct RpcResponse {
   std::vector<uint64_t> txn_ids;   // kListPrepared / kListActive
   std::vector<std::string> names;  // kListTables
   uint64_t stmt_handle = 0;        // kPrepareStatement
+  // Service time measured machine-side (dispatch entry to reply), echoed to
+  // the client so traces can split client-observed latency into transport
+  // vs execution. -1 when the server predates the field or never measured.
+  int64_t server_duration_us = -1;
 
   bool ok() const { return code == StatusCode::kOk; }
   Status ToStatus() const {

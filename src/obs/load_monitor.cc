@@ -1,0 +1,93 @@
+#include "src/obs/load_monitor.h"
+
+#include <algorithm>
+
+#include "src/common/clock.h"
+
+namespace mtdb::obs {
+
+LoadMonitor::LoadMonitor(Options options) : options_(options) {}
+
+void LoadMonitor::RecordTxn(const std::string& db, int64_t latency_us,
+                            bool wrote, bool committed) {
+  (void)latency_us;
+  (void)wrote;
+  int64_t now = NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  Window& window = windows_[db];
+  if (window.first_seen_us == 0) window.first_seen_us = now;
+  window.samples.emplace_back(now, committed);
+  int64_t horizon = now - options_.window_us;
+  while (!window.samples.empty() && window.samples.front().first < horizon) {
+    window.samples.pop_front();
+  }
+}
+
+void LoadMonitor::SetSizeHint(const std::string& db, double size_mb) {
+  std::lock_guard<std::mutex> lock(mu_);
+  windows_[db].size_mb = size_mb;
+}
+
+double LoadMonitor::TpsLocked(const Window& window, int64_t now_us) const {
+  int64_t committed = 0;
+  int64_t horizon = now_us - options_.window_us;
+  for (const auto& [when, ok] : window.samples) {
+    if (when >= horizon && ok) ++committed;
+  }
+  if (committed == 0) return 0.0;
+  // Average over the observed span, not the full window: a database that
+  // came up 1s ago with 20 txns is doing 20 tps, not 20/window. Floor the
+  // span so a burst in the first milliseconds cannot explode the estimate.
+  int64_t span_us = now_us - std::max(window.first_seen_us, horizon);
+  span_us = std::max<int64_t>(span_us, 100'000);
+  return static_cast<double>(committed) * 1e6 / static_cast<double>(span_us);
+}
+
+double LoadMonitor::TpsFor(const std::string& db) const {
+  int64_t now = NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = windows_.find(db);
+  return it == windows_.end() ? 0.0 : TpsLocked(it->second, now);
+}
+
+ResourceVector LoadMonitor::EstimateFor(const std::string& db) const {
+  int64_t now = NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = windows_.find(db);
+  if (it == windows_.end()) {
+    return sla::EstimateRequirement(0.0, 0.0, options_.model);
+  }
+  return sla::EstimateRequirement(it->second.size_mb,
+                                  TpsLocked(it->second, now), options_.model);
+}
+
+sla::DatabaseDemand LoadMonitor::DemandFor(const std::string& db,
+                                           int replicas) const {
+  sla::DatabaseDemand demand;
+  demand.name = db;
+  demand.requirement = EstimateFor(db);
+  demand.replicas = replicas;
+  return demand;
+}
+
+std::vector<sla::DatabaseDemand> LoadMonitor::Demands(int replicas) const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    names.reserve(windows_.size());
+    for (const auto& [name, window] : windows_) names.push_back(name);
+  }
+  std::vector<sla::DatabaseDemand> demands;
+  demands.reserve(names.size());
+  for (const std::string& name : names) {
+    demands.push_back(DemandFor(name, replicas));
+  }
+  return demands;
+}
+
+void LoadMonitor::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  windows_.clear();
+}
+
+}  // namespace mtdb::obs

@@ -1,0 +1,81 @@
+#ifndef MTDB_OBS_LOAD_MONITOR_H_
+#define MTDB_OBS_LOAD_MONITOR_H_
+
+// Live per-database load feedback for SLA placement.
+//
+// The paper's placement machinery (Section 4) sizes replicas from a
+// resource requirement vector r[j]. The seed codebase derives r[j] once,
+// from a synthetic creation-time profile; this monitor instead derives it
+// continuously from the transactions the cluster actually commits: each
+// Connection reports its finished transactions, the monitor keeps a sliding
+// window per database, and EstimateFor() runs the observed throughput
+// through the same sla::ProfileModel the placer already uses — so measured
+// load and static profiles are directly comparable ResourceVectors.
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/resource.h"
+#include "src/sla/placement.h"
+#include "src/sla/sla.h"
+
+namespace mtdb::obs {
+
+class LoadMonitor {
+ public:
+  struct Options {
+    // Sliding window over which throughput is averaged.
+    int64_t window_us = 5'000'000;
+    // Coefficients mapping (size, tps) to a ResourceVector.
+    sla::ProfileModel model;
+  };
+
+  LoadMonitor() : LoadMonitor(Options{}) {}
+  explicit LoadMonitor(Options options);
+
+  // Reports one finished transaction against `db`. Called from connection
+  // commit/abort paths (txn granularity, so a mutex is cheap enough).
+  void RecordTxn(const std::string& db, int64_t latency_us, bool wrote,
+                 bool committed);
+
+  // On-disk size hint used for the memory/disk dimensions of the estimate.
+  // Typically fed from the catalog; defaults to 0 (pure-throughput terms).
+  void SetSizeHint(const std::string& db, double size_mb);
+
+  // Committed transactions per second over the window. Databases with no
+  // recent traffic decay to 0 as their window empties.
+  double TpsFor(const std::string& db) const;
+
+  // Measured-load requirement vector: sla::EstimateRequirement(size_hint,
+  // TpsFor(db), model). The live replacement for the creation-time profile.
+  ResourceVector EstimateFor(const std::string& db) const;
+
+  // Packaged for the placer: measured demand for one database.
+  sla::DatabaseDemand DemandFor(const std::string& db, int replicas) const;
+
+  // All databases with samples in the window, ready to feed FirstFitPlacer.
+  std::vector<sla::DatabaseDemand> Demands(int replicas) const;
+
+  void ResetForTest();
+
+ private:
+  struct Window {
+    // (completion time us, committed) per transaction, trimmed to window_us.
+    std::deque<std::pair<int64_t, bool>> samples;
+    int64_t first_seen_us = 0;
+    double size_mb = 0;
+  };
+
+  double TpsLocked(const Window& window, int64_t now_us) const;
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<std::string, Window> windows_;
+};
+
+}  // namespace mtdb::obs
+
+#endif  // MTDB_OBS_LOAD_MONITOR_H_

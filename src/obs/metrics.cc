@@ -1,0 +1,212 @@
+#include "src/obs/metrics.h"
+
+#include <sstream>
+
+namespace mtdb::obs {
+
+#if !defined(MTDB_NO_METRICS)
+std::atomic<bool> MetricsRegistry::enabled_{true};
+#endif
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: instrumented code may record during static
+  // destruction, and series pointers must outlive every caller.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+std::string MetricsRegistry::LabelKey(const MetricLabels& labels) {
+  std::string key;
+  key.reserve(labels.machine.size() + labels.database.size() +
+              labels.operation.size() + 2);
+  key.append(labels.machine);
+  key.push_back('\x1f');
+  key.append(labels.database);
+  key.push_back('\x1f');
+  key.append(labels.operation);
+  return key;
+}
+
+namespace {
+
+// Shared lookup-or-insert over the three family map shapes. Returns a
+// stable pointer; falls back to the family overflow series once the
+// cardinality bound is hit.
+template <typename FamilyMap, typename Series>
+Series* GetSeries(std::shared_mutex& mu, FamilyMap& families,
+                  const std::string& name, const MetricLabels& labels,
+                  const std::string& key) {
+  {
+    std::shared_lock<std::shared_mutex> read(mu);
+    auto family_it = families.find(name);
+    if (family_it != families.end()) {
+      auto series_it = family_it->second.series.find(key);
+      if (series_it != family_it->second.series.end()) {
+        return series_it->second.get();
+      }
+      if (family_it->second.series.size() >=
+          MetricsRegistry::kMaxSeriesPerFamily) {
+        return &family_it->second.overflow;
+      }
+    }
+  }
+  std::unique_lock<std::shared_mutex> write(mu);
+  auto& family = families[name];
+  auto series_it = family.series.find(key);
+  if (series_it != family.series.end()) return series_it->second.get();
+  if (family.series.size() >= MetricsRegistry::kMaxSeriesPerFamily) {
+    return &family.overflow;
+  }
+  auto inserted = family.series.emplace(key, std::make_unique<Series>());
+  family.labels.emplace(key, labels);
+  return inserted.first->second.get();
+}
+
+void AppendLabels(std::ostringstream& out, const MetricLabels& labels) {
+  bool any = false;
+  auto emit = [&](const char* label_name, const std::string& value) {
+    if (value.empty()) return;
+    out << (any ? "," : "{") << label_name << "=\"" << value << "\"";
+    any = true;
+  };
+  emit("machine", labels.machine);
+  emit("database", labels.database);
+  emit("operation", labels.operation);
+  if (any) out << "}";
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const MetricLabels& labels) {
+  return GetSeries<decltype(counters_), Counter>(mu_, counters_, name, labels,
+                                                 LabelKey(labels));
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const MetricLabels& labels) {
+  return GetSeries<decltype(gauges_), Gauge>(mu_, gauges_, name, labels,
+                                             LabelKey(labels));
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const MetricLabels& labels) {
+  return GetSeries<decltype(histograms_), Histogram>(mu_, histograms_, name,
+                                                     labels, LabelKey(labels));
+}
+
+int64_t MetricsRegistry::SumCounter(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> read(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) return 0;
+  int64_t total = it->second.overflow.Value();
+  for (const auto& [key, counter] : it->second.series) {
+    total += counter->Value();
+  }
+  return total;
+}
+
+int64_t MetricsRegistry::CounterValue(const std::string& name,
+                                      const MetricLabels& labels) const {
+  std::shared_lock<std::shared_mutex> read(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) return 0;
+  // The overflow series is addressable under the same pseudo-label the
+  // Snapshot/TextDump expositions use for it.
+  if (labels.machine.empty() && labels.database.empty() &&
+      labels.operation == "_overflow") {
+    return it->second.overflow.Value();
+  }
+  auto series_it = it->second.series.find(LabelKey(labels));
+  return series_it == it->second.series.end() ? 0
+                                              : series_it->second->Value();
+}
+
+int64_t MetricsRegistry::GaugeValue(const std::string& name,
+                                    const MetricLabels& labels) const {
+  std::shared_lock<std::shared_mutex> read(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) return 0;
+  auto series_it = it->second.series.find(LabelKey(labels));
+  return series_it == it->second.series.end() ? 0
+                                              : series_it->second->Value();
+}
+
+std::vector<SeriesSnapshot> MetricsRegistry::Snapshot() const {
+  std::vector<SeriesSnapshot> out;
+  std::shared_lock<std::shared_mutex> read(mu_);
+  for (const auto& [name, family] : counters_) {
+    for (const auto& [key, counter] : family.series) {
+      SeriesSnapshot snap;
+      snap.name = name;
+      snap.labels = family.labels.at(key);
+      snap.kind = SeriesSnapshot::Kind::kCounter;
+      snap.value = counter->Value();
+      out.push_back(std::move(snap));
+    }
+    if (int64_t spilled = family.overflow.Value(); spilled != 0) {
+      SeriesSnapshot snap;
+      snap.name = name;
+      snap.labels.operation = "_overflow";
+      snap.kind = SeriesSnapshot::Kind::kCounter;
+      snap.value = spilled;
+      out.push_back(std::move(snap));
+    }
+  }
+  for (const auto& [name, family] : gauges_) {
+    for (const auto& [key, gauge] : family.series) {
+      SeriesSnapshot snap;
+      snap.name = name;
+      snap.labels = family.labels.at(key);
+      snap.kind = SeriesSnapshot::Kind::kGauge;
+      snap.value = gauge->Value();
+      out.push_back(std::move(snap));
+    }
+  }
+  for (const auto& [name, family] : histograms_) {
+    for (const auto& [key, histogram] : family.series) {
+      SeriesSnapshot snap;
+      snap.name = name;
+      snap.labels = family.labels.at(key);
+      snap.kind = SeriesSnapshot::Kind::kHistogram;
+      snap.histogram = histogram->Snapshot();
+      out.push_back(std::move(snap));
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::TextDump() const {
+  std::ostringstream out;
+  for (const SeriesSnapshot& snap : Snapshot()) {
+    out << snap.name;
+    AppendLabels(out, snap.labels);
+    if (snap.kind == SeriesSnapshot::Kind::kHistogram) {
+      out << " count=" << snap.histogram.count << " mean=" << snap.histogram.mean
+          << " p50=" << snap.histogram.p50 << " p99=" << snap.histogram.p99
+          << " max=" << snap.histogram.max;
+    } else {
+      out << " " << snap.value;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::unique_lock<std::shared_mutex> write(mu_);
+  for (auto& [name, family] : counters_) {
+    family.overflow.Reset();
+    for (auto& [key, counter] : family.series) counter->Reset();
+  }
+  for (auto& [name, family] : gauges_) {
+    family.overflow.Reset();
+    for (auto& [key, gauge] : family.series) gauge->Reset();
+  }
+  for (auto& [name, family] : histograms_) {
+    family.overflow.Reset();
+    for (auto& [key, histogram] : family.series) histogram->Reset();
+  }
+}
+
+}  // namespace mtdb::obs

@@ -5,6 +5,8 @@
 #include <optional>
 #include <utility>
 
+#include "src/obs/metrics.h"
+
 namespace mtdb::sql {
 
 namespace {
@@ -51,6 +53,9 @@ Result<QueryResult> SqlExecutor::ExecutePlan(uint64_t txn_id,
                                              const std::string& db_name,
                                              const PlannedStatement& plan,
                                              const std::vector<Value>& params) {
+  static obs::Counter* execute_total =
+      obs::MetricsRegistry::Global().GetCounter("mtdb_sql_execute_total", {});
+  obs::Increment(execute_total);
   if (plan.explain) {
     QueryResult result;
     result.columns.push_back("plan");

@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "src/obs/metrics.h"
 #include "src/sql/lexer.h"
 
 namespace mtdb::sql {
@@ -553,6 +554,9 @@ class Parser {
 }  // namespace
 
 Result<Statement> Parse(const std::string& sql) {
+  static obs::Counter* parse_total =
+      obs::MetricsRegistry::Global().GetCounter("mtdb_sql_parse_total", {});
+  obs::Increment(parse_total);
   MTDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
   Parser parser(std::move(tokens));
   return parser.ParseStatement();

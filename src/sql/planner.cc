@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/obs/metrics.h"
 #include "src/storage/engine.h"
 
 namespace mtdb::sql {
@@ -570,8 +571,19 @@ Status Planner::PlanInto(const std::string& db_name, const Statement& stmt,
   }
 }
 
+namespace {
+
+void CountPlanned() {
+  static obs::Counter* plan_total =
+      obs::MetricsRegistry::Global().GetCounter("mtdb_sql_plan_total", {});
+  obs::Increment(plan_total);
+}
+
+}  // namespace
+
 Result<std::shared_ptr<const PlannedStatement>> Planner::Plan(
     const std::string& db_name, Statement stmt) {
+  CountPlanned();
   auto plan = std::make_shared<PlannedStatement>();
   plan->owned_stmt = std::move(stmt);
   plan->stmt = &plan->owned_stmt;
@@ -581,6 +593,7 @@ Result<std::shared_ptr<const PlannedStatement>> Planner::Plan(
 
 Result<std::unique_ptr<const PlannedStatement>> Planner::PlanBorrowed(
     const std::string& db_name, const Statement& stmt) {
+  CountPlanned();
   auto plan = std::make_unique<PlannedStatement>();
   plan->stmt = &stmt;
   MTDB_RETURN_IF_ERROR(PlanInto(db_name, stmt, plan.get()));

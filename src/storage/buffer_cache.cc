@@ -4,9 +4,17 @@ namespace mtdb {
 
 BufferCache::BufferCache(size_t capacity_pages) : capacity_(capacity_pages) {}
 
+void BufferCache::BindMetrics(const std::string& machine) {
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::MetricLabels labels{.machine = machine};
+  m_hits_ = registry.GetCounter("mtdb_buffer_cache_hit_total", labels);
+  m_misses_ = registry.GetCounter("mtdb_buffer_cache_miss_total", labels);
+}
+
 bool BufferCache::Touch(uint64_t page_id) {
   if (capacity_ == 0) {
     hits_.fetch_add(1, std::memory_order_relaxed);
+    obs::Increment(m_hits_);
     return true;
   }
   analysis::OrderedGuard lock(mu_);
@@ -14,9 +22,11 @@ bool BufferCache::Touch(uint64_t page_id) {
   if (it != map_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
     hits_.fetch_add(1, std::memory_order_relaxed);
+    obs::Increment(m_hits_);
     return true;
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  obs::Increment(m_misses_);
   lru_.push_front(page_id);
   map_[page_id] = lru_.begin();
   if (map_.size() > capacity_) {

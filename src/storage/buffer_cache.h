@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "src/analysis/lock_order.h"
+#include "src/obs/metrics.h"
 
 namespace mtdb {
 
@@ -28,6 +29,11 @@ class BufferCache {
   // the least recently used one when full.
   bool Touch(uint64_t page_id);
 
+  // Registers hit/miss counters under {machine}. Called by the owning
+  // engine once at construction; without it the cache only keeps its local
+  // atomics.
+  void BindMetrics(const std::string& machine);
+
   int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   double HitRate() const;
@@ -41,6 +47,8 @@ class BufferCache {
   std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
+  obs::Counter* m_hits_ = nullptr;
+  obs::Counter* m_misses_ = nullptr;
 };
 
 }  // namespace mtdb

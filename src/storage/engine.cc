@@ -21,11 +21,13 @@ constexpr size_t kMaxCachedPlans = 512;
 // The engine, not the raw lock-manager defaults, decides the audit config:
 // auditing follows EngineOptions::invariant_checks, and the sanctioned
 // PREPARE-time read-lock release follows release_read_locks_on_prepare.
-LockManagerOptions MakeLockOptions(const EngineOptions& options) {
+LockManagerOptions MakeLockOptions(const EngineOptions& options,
+                                   const std::string& site_name) {
   LockManagerOptions lock_options = options.lock_options;
   lock_options.audit_strict_2pl = options.invariant_checks;
   lock_options.allow_read_release_at_prepare =
       options.release_read_locks_on_prepare;
+  lock_options.metrics_label = site_name;
   return lock_options;
 }
 
@@ -34,10 +36,20 @@ LockManagerOptions MakeLockOptions(const EngineOptions& options) {
 Engine::Engine(std::string site_name, EngineOptions options)
     : site_name_(std::move(site_name)),
       options_(options),
-      lock_manager_(MakeLockOptions(options)),
+      lock_manager_(MakeLockOptions(options, site_name_)),
       buffer_cache_(options.buffer_pool_pages) {
   if (options_.invariant_checks) {
     txn_checker_ = std::make_unique<analysis::TwoPhaseCommitChecker>();
+  }
+  buffer_cache_.BindMetrics(site_name_);
+  {
+    auto& registry = obs::MetricsRegistry::Global();
+    obs::MetricLabels labels{.machine = site_name_};
+    m_txn_begin_ = registry.GetCounter("mtdb_txn_begin_total", labels);
+    m_txn_commit_ = registry.GetCounter("mtdb_txn_commit_total", labels);
+    m_txn_abort_ = registry.GetCounter("mtdb_txn_abort_total", labels);
+    m_plan_hit_ = registry.GetCounter("mtdb_plan_cache_hit_total", labels);
+    m_plan_miss_ = registry.GetCounter("mtdb_plan_cache_miss_total", labels);
   }
   if (!options_.wal_path.empty()) {
     WriteAheadLog::Options wal_options;
@@ -186,10 +198,12 @@ Result<std::shared_ptr<const sql::PlannedStatement>> Engine::GetPlan(
     auto it = plan_cache_.find({db_name, sql});
     if (it != plan_cache_.end() && it->second.schema_version == version) {
       plan_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      obs::Increment(m_plan_hit_);
       return it->second.plan;
     }
   }
   plan_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  obs::Increment(m_plan_miss_);
   MTDB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
   const bool explain = stmt.explain;
   sql::Planner planner(this);
@@ -269,6 +283,7 @@ Status Engine::Begin(uint64_t txn_id) {
   it->second = std::make_unique<Transaction>();
   it->second->id = txn_id;
   if (txn_checker_ != nullptr) txn_checker_->OnBegin(txn_id);
+  obs::Increment(m_txn_begin_);
   return Status::OK();
 }
 
@@ -314,6 +329,7 @@ void Engine::RecordCommit(Transaction* txn) {
     history_.push_back(CommittedTxnRecord{txn->id, txn->reads, txn->writes});
   }
   committed_.fetch_add(1, std::memory_order_relaxed);
+  obs::Increment(m_txn_commit_);
 }
 
 Status Engine::CommitPrepared(uint64_t txn_id) {
@@ -373,6 +389,7 @@ Status Engine::Abort(uint64_t txn_id) {
   }
   txn->state = TxnState::kAborted;
   aborted_.fetch_add(1, std::memory_order_relaxed);
+  obs::Increment(m_txn_abort_);
   lock_manager_.ReleaseAll(txn_id);
   std::lock_guard<std::mutex> lock(txn_mu_);
   if (txn_checker_ != nullptr) txn_checker_->OnAbort(txn_id);

@@ -12,6 +12,7 @@
 
 #include "src/analysis/two_phase.h"
 #include "src/common/result.h"
+#include "src/obs/metrics.h"
 #include "src/sql/query_result.h"
 #include "src/storage/buffer_cache.h"
 #include "src/storage/database.h"
@@ -255,6 +256,14 @@ class Engine {
 
   std::atomic<int64_t> committed_{0};
   std::atomic<int64_t> aborted_{0};
+
+  // Registry series labeled {machine=site_name_}, resolved once in the
+  // constructor so the hot paths just bump cached pointers.
+  obs::Counter* m_txn_begin_ = nullptr;
+  obs::Counter* m_txn_commit_ = nullptr;
+  obs::Counter* m_txn_abort_ = nullptr;
+  obs::Counter* m_plan_hit_ = nullptr;
+  obs::Counter* m_plan_miss_ = nullptr;
 
   std::unique_ptr<WriteAheadLog> wal_;  // null when WAL disabled
 };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "src/common/clock.h"
+
 namespace mtdb {
 
 std::string_view LockModeName(LockMode mode) {
@@ -32,7 +34,15 @@ analysis::TwoPhaseLockingAuditor::Options AuditorOptions(
 }  // namespace
 
 LockManager::LockManager(Options options)
-    : options_(options), auditor_(AuditorOptions(options)) {}
+    : options_(options), auditor_(AuditorOptions(options)) {
+  if (!options_.metrics_label.empty()) {
+    auto& registry = obs::MetricsRegistry::Global();
+    obs::MetricLabels labels{.machine = options_.metrics_label};
+    m_lock_wait_us_ = registry.GetHistogram("mtdb_lock_wait_us", labels);
+    m_deadlocks_ = registry.GetCounter("mtdb_deadlock_total", labels);
+    m_lock_timeouts_ = registry.GetCounter("mtdb_lock_timeout_total", labels);
+  }
+}
 
 bool LockManager::ModesCompatible(LockMode a, LockMode b) {
   // Standard multigranularity compatibility matrix.
@@ -169,6 +179,7 @@ Status LockManager::Acquire(uint64_t txn_id, const std::string& resource,
 
   if (WouldDeadlock(txn_id)) {
     deadlock_count_.fetch_add(1, std::memory_order_relaxed);
+    obs::Increment(m_deadlocks_);
     waiting_on_.erase(txn_id);
     auto it = std::find(state.waiters.begin(), state.waiters.end(), &request);
     if (it != state.waiters.end()) state.waiters.erase(it);
@@ -180,11 +191,16 @@ Status LockManager::Acquire(uint64_t txn_id, const std::string& resource,
 
   auto deadline = std::chrono::steady_clock::now() +
                   std::chrono::microseconds(options_.lock_timeout_us);
+  int64_t wait_start_us = NowMicros();
   bool granted = cv_.wait_until(lock, deadline,
                                 [&request] { return request.granted; });
+  // Charged only on the blocking path, so the histogram measures contention,
+  // not the fast-grant no-wait common case.
+  obs::Observe(m_lock_wait_us_, NowMicros() - wait_start_us);
   waiting_on_.erase(txn_id);
   if (!granted) {
     timeout_count_.fetch_add(1, std::memory_order_relaxed);
+    obs::Increment(m_lock_timeouts_);
     request.abandoned = true;
     auto it = std::find(state.waiters.begin(), state.waiters.end(), &request);
     if (it != state.waiters.end()) state.waiters.erase(it);

@@ -15,6 +15,7 @@
 #include "src/analysis/lock_order.h"
 #include "src/analysis/two_phase.h"
 #include "src/common/status.h"
+#include "src/obs/metrics.h"
 
 namespace mtdb {
 
@@ -55,6 +56,11 @@ struct LockManagerOptions {
   // transition rather than a 2PL violation. The engine sets this from
   // EngineOptions::release_read_locks_on_prepare.
   bool allow_read_release_at_prepare = true;
+
+  // Non-empty: register this lock manager's metrics (lock wait time,
+  // deadlocks, timeouts) under {machine=<metrics_label>}. The engine sets
+  // it to its site name; empty leaves the metrics unregistered.
+  std::string metrics_label;
 };
 
 class LockManager {
@@ -131,6 +137,12 @@ class LockManager {
   std::atomic<int64_t> deadlock_count_{0};
   std::atomic<int64_t> timeout_count_{0};
   std::atomic<int64_t> acquire_count_{0};
+
+  // Registry series (null when options_.metrics_label is empty). The wait
+  // histogram is only charged when a request actually blocks.
+  Histogram* m_lock_wait_us_ = nullptr;
+  obs::Counter* m_deadlocks_ = nullptr;
+  obs::Counter* m_lock_timeouts_ = nullptr;
 };
 
 }  // namespace mtdb

@@ -128,8 +128,7 @@ TEST(NetCodecTest, ExecuteRequestRoundTripsAllValueKinds) {
 }
 
 TEST(NetCodecTest, EveryRequestTypeRoundTrips) {
-  for (int raw = 1; raw <= static_cast<int>(RpcType::kExecutePrepared);
-       ++raw) {
+  for (int raw = 1; raw <= static_cast<int>(RpcType::kStats); ++raw) {
     RpcRequest request;
     request.type = static_cast<RpcType>(raw);
     request.txn_id = static_cast<uint64_t>(raw) << 40;
@@ -139,6 +138,7 @@ TEST(NetCodecTest, EveryRequestTypeRoundTrips) {
     request.per_row_delay_us = raw * 11;
     request.debug_delay_us = raw * 7;
     request.stmt_handle = static_cast<uint64_t>(raw) * 1'000'003;
+    request.trace_id = static_cast<uint64_t>(raw) * 999'983;
     RpcRequest out = RoundTripRequest(request);
     EXPECT_EQ(out.type, request.type) << RpcTypeName(request.type);
     EXPECT_EQ(out.txn_id, request.txn_id);
@@ -148,6 +148,7 @@ TEST(NetCodecTest, EveryRequestTypeRoundTrips) {
     EXPECT_EQ(out.per_row_delay_us, request.per_row_delay_us);
     EXPECT_EQ(out.debug_delay_us, request.debug_delay_us);
     EXPECT_EQ(out.stmt_handle, request.stmt_handle);
+    EXPECT_EQ(out.trace_id, request.trace_id);
   }
 }
 
@@ -254,6 +255,15 @@ TEST(NetCodecTest, DumpsTxnIdsAndNamesRoundTrip) {
   ExpectDumpsEqual(out.dumps[0], response.dumps[0]);
   EXPECT_EQ(out.txn_ids, response.txn_ids);
   EXPECT_EQ(out.names, response.names);
+}
+
+TEST(NetCodecTest, ServerDurationRoundTrips) {
+  RpcResponse response;
+  response.server_duration_us = 123'456;
+  EXPECT_EQ(RoundTripResponse(response).server_duration_us, 123'456);
+  // The "no reply measured" sentinel survives the u64 cast on the wire.
+  response.server_duration_us = -1;
+  EXPECT_EQ(RoundTripResponse(response).server_duration_us, -1);
 }
 
 // --- robustness ---

@@ -15,6 +15,7 @@
 #include "src/cluster/cluster_controller.h"
 #include "src/cluster/recovery.h"
 #include "src/net/inproc_transport.h"
+#include "src/obs/metrics.h"
 
 namespace mtdb {
 namespace {
@@ -133,6 +134,53 @@ TEST_F(NetTransportTest, PartitionedReplicaFailsOverForReads) {
   EXPECT_FALSE(controller_->machine(1)->failed());
 
   transport->HealMachine(0);
+}
+
+TEST_F(NetTransportTest, LostReplyIncrementsTimeoutAndFailoverCounters) {
+  // Same lost-PREPARE-ack scenario as above, but the assertion target is the
+  // observability layer: the deadline expiry must surface as an RPC timeout
+  // counter for the Prepare operation and as exactly one machine failover.
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::MetricLabels prepare{.operation = "Prepare"};
+  int64_t timeouts_before =
+      registry.CounterValue("mtdb_rpc_timeout_total", prepare);
+  int64_t failovers_before =
+      registry.CounterValue("mtdb_machine_failover_total", {});
+  int64_t prepares_before = registry.CounterValue("mtdb_rpc_total", prepare);
+
+  Build(ClusterControllerOptions{});
+  net::InProcTransport* transport = controller_->inproc_transport();
+  ASSERT_NE(transport, nullptr);
+  std::atomic<int> dropped{0};
+  transport->SetFaultHook(
+      [&dropped](int machine_id, const net::RpcRequest& request) {
+        if (machine_id == 1 && request.type == net::RpcType::kPrepare &&
+            dropped.fetch_add(1) == 0) {
+          return net::InProcTransport::Fault::kDropReply;
+        }
+        return net::InProcTransport::Fault::kDeliver;
+      });
+
+  auto conn = controller_->Connect("shop");
+  ASSERT_TRUE(conn->Begin().ok());
+  ASSERT_TRUE(conn->Execute("UPDATE item SET i_stock = i_stock - 1 "
+                            "WHERE i_id = 5")
+                  .ok());
+  Status commit = conn->Commit();
+  EXPECT_TRUE(commit.ok()) << commit.ToString();
+  transport->SetFaultHook(nullptr);
+
+  // The watchdog fired for the silent Prepare and converted it into
+  // kUnavailable; both the timeout and the total-call counters saw it.
+  EXPECT_EQ(registry.CounterValue("mtdb_rpc_timeout_total", prepare),
+            timeouts_before + 1);
+  EXPECT_GE(registry.CounterValue("mtdb_rpc_total", prepare),
+            prepares_before + 2);  // one answered, one timed out
+  // One machine transitioned to failed — transition-counted even though
+  // FailMachine can be re-entered by later timeouts against the same box.
+  EXPECT_EQ(registry.CounterValue("mtdb_machine_failover_total", {}),
+            failovers_before + 1);
+  EXPECT_TRUE(controller_->machine(1)->failed());
 }
 
 TEST_F(NetTransportTest, DroppedControlRequestSurfacesAsUnavailable) {

@@ -1,0 +1,270 @@
+// Tests for the metrics registry and the live load-feedback path.
+//
+// The concurrency tests here carry the "sanitizer"/"obs" ctest labels: the
+// sharded counter, the registry's shared_mutex fast path, and the histogram
+// Merge/Snapshot locking are exactly the code TSan must see under real
+// thread interleavings.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/cluster/cluster_controller.h"
+#include "src/common/histogram.h"
+#include "src/obs/load_monitor.h"
+#include "src/obs/metrics.h"
+#include "src/sla/sla.h"
+
+namespace mtdb {
+namespace {
+
+using obs::MetricLabels;
+using obs::MetricsRegistry;
+
+TEST(ObsMetricsTest, ConcurrentCountersSumExactly) {
+  auto& registry = MetricsRegistry::Global();
+  obs::Counter* counter =
+      registry.GetCounter("test_concurrent_total", {.machine = "m0"});
+  counter->Reset();
+
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([counter] {
+      for (int i = 0; i < kIncrements; ++i) obs::Increment(counter);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(counter->Value(), int64_t{kThreads} * kIncrements);
+  EXPECT_EQ(registry.CounterValue("test_concurrent_total", {.machine = "m0"}),
+            int64_t{kThreads} * kIncrements);
+}
+
+TEST(ObsMetricsTest, ConcurrentResolveAndRecordIsSafe) {
+  // Threads race GetCounter (registry insert path) against recording on
+  // already-resolved series; the same label tuple must map to one series.
+  auto& registry = MetricsRegistry::Global();
+  constexpr int kThreads = 8;
+  constexpr int kOps = 2'000;
+  registry.GetCounter("test_resolve_total", {.database = "db0"})->Reset();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, t] {
+      for (int i = 0; i < kOps; ++i) {
+        MetricLabels labels{.database = "db" + std::to_string(i % 4)};
+        obs::Increment(registry.GetCounter("test_resolve_total", labels));
+        (void)t;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  int64_t total = 0;
+  for (int d = 0; d < 4; ++d) {
+    total += registry.CounterValue("test_resolve_total",
+                                   {.database = "db" + std::to_string(d)});
+  }
+  EXPECT_EQ(total, int64_t{kThreads} * kOps);
+}
+
+TEST(ObsMetricsTest, CardinalityIsBoundedPerFamily) {
+  auto& registry = MetricsRegistry::Global();
+  // Resolve far more label tuples than the per-family cap; the registry must
+  // stop minting new series and fold the excess into the overflow series.
+  const size_t kAttempts = MetricsRegistry::kMaxSeriesPerFamily + 100;
+  for (size_t i = 0; i < kAttempts; ++i) {
+    MetricLabels labels{.operation = "op" + std::to_string(i)};
+    obs::Increment(registry.GetCounter("test_cardinality_total", labels));
+  }
+  // Past-the-cap tuples all landed on the shared overflow series.
+  int64_t overflow = registry.CounterValue("test_cardinality_total",
+                                           {.operation = "_overflow"});
+  EXPECT_EQ(overflow, 100);
+  // In-cap tuples kept their own series.
+  EXPECT_EQ(registry.CounterValue("test_cardinality_total",
+                                  {.operation = "op0"}),
+            1);
+}
+
+TEST(ObsMetricsTest, TextDumpFormatsLabelsAndHistograms) {
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("test_dump_total", {.machine = "m1", .database = "shop"})
+      ->Reset();
+  obs::Increment(
+      registry.GetCounter("test_dump_total",
+                          {.machine = "m1", .database = "shop"}),
+      42);
+  Histogram* hist = registry.GetHistogram("test_dump_us", {.operation = "Get"});
+  hist->Record(100);
+  hist->Record(300);
+
+  std::string dump = registry.TextDump();
+  EXPECT_NE(dump.find("test_dump_total{machine=\"m1\",database=\"shop\"} 42"),
+            std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("test_dump_us{operation=\"Get\"} count=2"),
+            std::string::npos)
+      << dump;
+}
+
+TEST(ObsMetricsTest, DisabledRegistryDropsRecordings) {
+  auto& registry = MetricsRegistry::Global();
+  obs::Counter* counter = registry.GetCounter("test_disabled_total", {});
+  counter->Reset();
+  MetricsRegistry::SetEnabled(false);
+  obs::Increment(counter);
+  MetricsRegistry::SetEnabled(true);
+#if defined(MTDB_NO_METRICS)
+  EXPECT_EQ(counter->Value(), 0);
+#else
+  EXPECT_EQ(counter->Value(), 0);
+  obs::Increment(counter);
+  EXPECT_EQ(counter->Value(), 1);
+#endif
+}
+
+// Regression: Histogram::Merge(self) used to lock the same mutex twice via
+// std::scoped_lock(mu_, other.mu_) — undefined behavior. Self-merge must
+// double the distribution in place.
+TEST(ObsMetricsTest, HistogramSelfMergeDoublesInPlace) {
+  Histogram h;
+  h.Record(10);
+  h.Record(1000);
+  h.Merge(h);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 4);
+  EXPECT_DOUBLE_EQ(snap.mean, (10.0 + 1000.0) / 2);
+}
+
+// TSan coverage for the histogram: concurrent Record, Merge (including
+// self-merge), and Snapshot must be free of lock-order inversions and races.
+TEST(ObsMetricsTest, HistogramConcurrentMergeAndRecord) {
+  Histogram a;
+  Histogram b;
+  std::vector<std::thread> workers;
+  workers.emplace_back([&a] {
+    for (int i = 0; i < 5'000; ++i) a.Record(i % 1'000);
+  });
+  workers.emplace_back([&b] {
+    for (int i = 0; i < 5'000; ++i) b.Record(i % 1'000);
+  });
+  // Few merge rounds on purpose: each merge roughly doubles the counts, so
+  // the iteration budget must keep count/sum far away from int64 overflow.
+  workers.emplace_back([&a, &b] {
+    // Merge in both directions: scoped_lock's deadlock-avoidance must hold
+    // even while both histograms take recordings.
+    for (int i = 0; i < 8; ++i) {
+      a.Merge(b);
+      b.Merge(a);
+    }
+  });
+  workers.emplace_back([&a] {
+    for (int i = 0; i < 8; ++i) {
+      a.Merge(a);
+      (void)a.Snapshot();
+    }
+  });
+  for (auto& w : workers) w.join();
+  EXPECT_GT(a.Snapshot().count, 0);
+  EXPECT_GT(b.Snapshot().count, 0);
+}
+
+TEST(ObsMetricsTest, ScopedTimerRecordsElapsed) {
+  auto& registry = MetricsRegistry::Global();
+  Histogram* hist = registry.GetHistogram("test_scoped_us", {});
+  int64_t before = hist->Snapshot().count;
+  { obs::ScopedTimer timer(hist); }
+  EXPECT_EQ(hist->Snapshot().count, before + 1);
+}
+
+// End-to-end: a TPC-W-style paced load over the in-proc RPC stack must leave
+// non-zero 2PC phase latencies and per-database commit counters behind, and
+// the LoadMonitor's throughput estimate must line up with the pace we drove.
+TEST(ObsMetricsTest, PacedLoadFeedsCountersAndLoadMonitor) {
+  auto& registry = MetricsRegistry::Global();
+  MetricLabels shop{.database = "shop"};
+  int64_t commits_before = registry.CounterValue("mtdb_txn_commit_total", shop);
+
+  ClusterController controller{ClusterControllerOptions{}};
+  controller.AddMachine();
+  controller.AddMachine();
+  ASSERT_TRUE(controller.CreateDatabaseOn("shop", {0, 1}).ok());
+  ASSERT_TRUE(controller
+                  .ExecuteDdl("shop",
+                              "CREATE TABLE item (i_id INT PRIMARY KEY, "
+                              "i_stock INT)")
+                  .ok());
+  std::vector<Row> rows;
+  for (int64_t i = 1; i <= 10; ++i) {
+    rows.push_back({Value(i), Value(int64_t{100})});
+  }
+  ASSERT_TRUE(controller.BulkLoad("shop", "item", rows).ok());
+
+  // ~20 committed write transactions/second for ~1.5 seconds.
+  constexpr int kTxns = 30;
+  constexpr auto kPeriod = std::chrono::milliseconds(50);
+  auto conn = controller.Connect("shop");
+  for (int i = 0; i < kTxns; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    ASSERT_TRUE(conn->Begin().ok());
+    ASSERT_TRUE(conn->Execute("UPDATE item SET i_stock = i_stock - 1 "
+                              "WHERE i_id = ?",
+                              {Value(int64_t{1 + i % 10})})
+                    .ok());
+    ASSERT_TRUE(conn->Commit().ok());
+    std::this_thread::sleep_until(start + kPeriod);
+  }
+
+  // Per-database commit counter advanced by exactly the committed count.
+  EXPECT_EQ(registry.CounterValue("mtdb_txn_commit_total", shop),
+            commits_before + kTxns);
+  // Both 2PC phases saw every write transaction and measured real time.
+  HistogramSnapshot prepare =
+      registry.GetHistogram("mtdb_2pc_prepare_us", shop)->Snapshot();
+  HistogramSnapshot commit =
+      registry.GetHistogram("mtdb_2pc_commit_us", shop)->Snapshot();
+  EXPECT_GE(prepare.count, kTxns);
+  EXPECT_GE(commit.count, kTxns);
+  EXPECT_GT(prepare.mean, 0.0);
+  EXPECT_GT(commit.mean, 0.0);
+
+  // The LoadMonitor measured the pace we drove: 20 tps nominal, with wide
+  // tolerance for scheduler jitter on loaded CI machines.
+  double tps = controller.load_monitor()->TpsFor("shop");
+  EXPECT_GE(tps, 8.0);
+  EXPECT_LE(tps, 40.0);
+
+  // And its requirement estimate is exactly the SLA model run at that
+  // throughput — measured load is directly comparable to static profiles.
+  controller.load_monitor()->SetSizeHint("shop", 10.0);
+  ResourceVector estimate = controller.load_monitor()->EstimateFor("shop");
+  ResourceVector expected = sla::EstimateRequirement(
+      10.0, controller.load_monitor()->TpsFor("shop"), sla::ProfileModel{});
+  EXPECT_NEAR(estimate.cpu, expected.cpu, expected.cpu * 0.5 + 1.0);
+  EXPECT_GT(estimate.cpu, sla::ProfileModel{}.cpu_base);
+  EXPECT_GT(estimate.memory_mb, 0.0);
+
+  // The demand vector is ready for the placer.
+  auto demands = controller.load_monitor()->Demands(/*replicas=*/2);
+  ASSERT_FALSE(demands.empty());
+  EXPECT_EQ(demands[0].name, "shop");
+}
+
+TEST(ObsMetricsTest, LoadMonitorWindowDecaysToZero) {
+  obs::LoadMonitor::Options options;
+  options.window_us = 100'000;  // 100 ms window
+  obs::LoadMonitor monitor(options);
+  for (int i = 0; i < 10; ++i) {
+    monitor.RecordTxn("db", /*latency_us=*/500, /*wrote=*/true,
+                      /*committed=*/true);
+  }
+  EXPECT_GT(monitor.TpsFor("db"), 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  EXPECT_DOUBLE_EQ(monitor.TpsFor("db"), 0.0);
+}
+
+}  // namespace
+}  // namespace mtdb

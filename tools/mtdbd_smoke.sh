@@ -3,10 +3,14 @@
 # ephemeral port, run one TPC-W-style transaction against it over real
 # sockets, and shut the daemon down cleanly.
 #
-# usage: tools/mtdbd_smoke.sh path/to/mtdbd
+# After the smoke transaction, mtdbstat (found next to mtdbd, or passed as
+# the second argument) must report non-zero commit counters from the daemon.
+#
+# usage: tools/mtdbd_smoke.sh path/to/mtdbd [path/to/mtdbstat]
 set -euo pipefail
 
-MTDBD="${1:?usage: mtdbd_smoke.sh path/to/mtdbd}"
+MTDBD="${1:?usage: mtdbd_smoke.sh path/to/mtdbd [path/to/mtdbstat]}"
+MTDBSTAT="${2:-$(dirname "$MTDBD")/mtdbstat}"
 LOG="$(mktemp)"
 trap 'kill "${SERVER_PID:-}" 2>/dev/null || true; rm -f "$LOG"' EXIT
 
@@ -33,6 +37,24 @@ fi
 echo "mtdbd up on port $PORT (pid $SERVER_PID)"
 
 "$MTDBD" --client "127.0.0.1:$PORT"
+
+# The smoke transaction must have left visible marks in the daemon's
+# metrics registry: at least one committed engine transaction.
+if [ -x "$MTDBSTAT" ]; then
+  STATS="$("$MTDBSTAT" "127.0.0.1:$PORT")"
+  COMMITS="$(printf '%s\n' "$STATS" \
+    | sed -n 's/^mtdb_txn_commit_total{[^}]*} \([0-9]*\)$/\1/p' \
+    | head -n 1)"
+  if [ -z "$COMMITS" ] || [ "$COMMITS" -eq 0 ]; then
+    echo "mtdbstat: no committed transactions in stats dump:" >&2
+    printf '%s\n' "$STATS" >&2
+    exit 1
+  fi
+  echo "mtdbstat reports $COMMITS committed transaction(s)"
+else
+  echo "mtdbstat binary not found at $MTDBSTAT" >&2
+  exit 1
+fi
 
 # Clean shutdown: SIGTERM, wait, check the daemon exited 0.
 kill -TERM "$SERVER_PID"

@@ -1,0 +1,51 @@
+// mtdbstat: dump the metrics registry of a running mtdbd.
+//
+//   mtdbstat HOST:PORT
+//
+// connects over TCP, issues one kStats RPC, and prints the machine's
+// metrics text dump to stdout. Exits 0 on success, 1 on any failure
+// (unreachable daemon, RPC error, empty dump). Used by
+// tools/mtdbd_smoke.sh and the CI smoke job to assert that the smoke
+// transaction left non-zero counters behind.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/net/machine_client.h"
+#include "src/net/tcp_transport.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s HOST:PORT\n", argv[0]);
+    return 2;
+  }
+  std::string target = argv[1];
+  size_t colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "usage: %s HOST:PORT\n", argv[0]);
+    return 2;
+  }
+  std::string host = target.substr(0, colon);
+  auto port = static_cast<uint16_t>(std::atoi(target.c_str() + colon + 1));
+
+  mtdb::net::TcpTransport transport;
+  transport.AddEndpoint(/*machine_id=*/0, host, port);
+  mtdb::net::RpcOptions options;
+  options.call_timeout_us = 10'000'000;
+  mtdb::net::MachineClient client(&transport, options);
+
+  auto dump = client.Stats(/*machine_id=*/0);
+  if (!dump.ok()) {
+    std::fprintf(stderr, "mtdbstat: %s\n", dump.status().ToString().c_str());
+    return 1;
+  }
+  if (dump->empty()) {
+    std::fprintf(stderr, "mtdbstat: empty stats dump from %s\n",
+                 target.c_str());
+    return 1;
+  }
+  std::fputs(dump->c_str(), stdout);
+  return 0;
+}
