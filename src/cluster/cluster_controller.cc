@@ -1,7 +1,10 @@
 #include "src/cluster/cluster_controller.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <future>
+#include <thread>
 
 #include "src/common/clock.h"
 #include "src/common/logging.h"
@@ -387,6 +390,8 @@ Status ClusterController::MarkTableCopied(const std::string& db_name,
 
 Status ClusterController::CompleteCopy(const std::string& db_name) {
   int target = -1;
+  qos::QuotaSpec quota;
+  bool push_quota = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = databases_.find(db_name);
@@ -402,10 +407,21 @@ Status ClusterController::CompleteCopy(const std::string& db_name) {
                   [this](int id) { return machines_[id]->failed(); });
     db.copy = CopyState{};
     backup_.replica_map[db_name] = db.replicas;
+    if (db.has_quota) {
+      quota = db.quota;
+      if (db.live_rate_tps > 0) quota.rate_tps = db.live_rate_tps;
+      push_quota = true;
+    }
   }
   // The target may be a restarted process behind a stable endpoint; any
   // handle minted against its previous incarnation is stale.
   InvalidateHandles(target);
+  // The quota follows the database: a freshly promoted replica must throttle
+  // the tenant exactly like the replicas it joined.
+  if (push_quota) {
+    (void)client_->SetQuota(target, db_name, quota.rate_tps, quota.burst,
+                            quota.weight);
+  }
   return Status::OK();
 }
 
@@ -415,6 +431,76 @@ Status ClusterController::AbandonCopy(const std::string& db_name) {
   if (it == databases_.end()) return Status::NotFound("database " + db_name);
   it->second->copy = CopyState{};
   return Status::OK();
+}
+
+// --- QoS / admission control ---
+
+Status ClusterController::SetDatabaseQuota(const std::string& db_name,
+                                           const qos::QuotaSpec& spec) {
+  std::vector<int> targets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = databases_.find(db_name);
+    if (it == databases_.end()) return Status::NotFound("database " + db_name);
+    DbState& db = *it->second;
+    db.quota = spec;
+    db.has_quota = true;
+    db.live_rate_tps = spec.rate_tps;
+    targets = AliveReplicasLocked(db);
+  }
+  // Push unlocked: kSetQuota is idempotent and a slow machine must not hold
+  // the replica map.
+  Status result = Status::OK();
+  for (int machine_id : targets) {
+    Status pushed = client_->SetQuota(machine_id, db_name, spec.rate_tps,
+                                      spec.burst, spec.weight);
+    if (!pushed.ok() && result.ok()) result = pushed;
+  }
+  return result;
+}
+
+qos::QuotaSpec ClusterController::DatabaseQuota(
+    const std::string& db_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = databases_.find(db_name);
+  if (it == databases_.end() || !it->second->has_quota) return {};
+  return it->second->quota;
+}
+
+int ClusterController::RefreshQuotasFromLoad(double headroom) {
+  // Snapshot quota-bearing databases under mu_, then measure and push
+  // unlocked.
+  struct Refresh {
+    std::string db_name;
+    qos::QuotaSpec spec;
+    std::vector<int> targets;
+  };
+  std::vector<Refresh> refreshes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [db_name, db] : databases_) {
+      if (!db->has_quota || db->quota.rate_tps <= 0) continue;
+      double measured = load_monitor_.TpsFor(db_name);
+      // Quotas only ever grow with observed demand; the SLA-derived base
+      // rate is the floor, so a quiet tenant keeps its full entitlement.
+      double rate = std::max(db->quota.rate_tps, measured * headroom);
+      double current = db->live_rate_tps > 0 ? db->live_rate_tps
+                                             : db->quota.rate_tps;
+      if (std::abs(rate - current) <= 0.01 * current) continue;
+      db->live_rate_tps = rate;
+      qos::QuotaSpec spec = db->quota;
+      spec.rate_tps = rate;
+      refreshes.push_back({db_name, spec, AliveReplicasLocked(*db)});
+    }
+  }
+  for (const Refresh& refresh : refreshes) {
+    for (int machine_id : refresh.targets) {
+      (void)client_->SetQuota(machine_id, refresh.db_name,
+                              refresh.spec.rate_tps, refresh.spec.burst,
+                              refresh.spec.weight);
+    }
+  }
+  return static_cast<int>(refreshes.size());
 }
 
 // --- Routing ---
@@ -642,6 +728,9 @@ Connection::Connection(ClusterController* controller, std::string db_name,
   m_db_commit_ = registry.GetCounter("mtdb_txn_commit_total", labels);
   m_db_abort_ = registry.GetCounter("mtdb_txn_abort_total", labels);
   m_read_retry_ = registry.GetCounter("mtdb_read_retry_total", labels);
+  m_backoff_ = registry.GetCounter("mtdb_qos_backoff_total", labels);
+  m_backoff_wait_us_ = registry.GetHistogram("mtdb_qos_backoff_wait_us",
+                                             labels);
   m_txn_latency_us_ = registry.GetHistogram("mtdb_txn_latency_us", labels);
   m_2pc_prepare_us_ = registry.GetHistogram("mtdb_2pc_prepare_us", labels);
   m_2pc_commit_us_ = registry.GetHistogram("mtdb_2pc_commit_us", labels);
@@ -719,12 +808,45 @@ void Connection::FinishTxnObservation(bool committed) {
   }
 }
 
-void Connection::EnsureBegun(int machine_id) {
-  if (begun_machines_.count(machine_id) > 0) return;
-  begun_machines_.insert(machine_id);
-  // Queued ahead of the operation that triggered it on the same session
-  // channel, so the engine sees Begin first.
-  SessionFor(machine_id)->BeginDetached(txn_id_, db_name_);
+Status Connection::EnsureBegun(int machine_id) {
+  if (begun_machines_.count(machine_id) > 0) return Status::OK();
+  const ThrottleRetryPolicy& policy = controller_->options().throttle_retry;
+  int64_t deadline_us = NowMicros() + std::max<int64_t>(policy.budget_us, 0);
+  int64_t backoff_us = std::max<int64_t>(policy.initial_backoff_us, 1);
+  for (;;) {
+    // Synchronous: the reply carries the QoS admission verdict, and an op
+    // must not be queued behind a Begin that may be bounced.
+    auto done = std::make_shared<std::promise<net::RpcResponse>>();
+    auto future = done->get_future();
+    SessionFor(machine_id)
+        ->BeginAsync(txn_id_, db_name_, [done](net::RpcResponse response) {
+          done->set_value(std::move(response));
+        });
+    net::RpcResponse response = future.get();
+    if (response.ok()) {
+      begun_machines_.insert(machine_id);
+      return Status::OK();
+    }
+    Status status = response.ToStatus();
+    if (status.code() != StatusCode::kResourceExhausted) return status;
+    // Throttled. The machine is alive and answering — this must never feed
+    // the failure/recovery path (failover would dogpile the tenant's load
+    // onto a replica). Honor the wire retry_after_us hint under a capped
+    // exponential backoff with jitter, against the SAME machine.
+    int64_t wait_us = std::max(response.retry_after_us, backoff_us);
+    wait_us = std::min(wait_us,
+                       std::max<int64_t>(policy.max_backoff_us, 1));
+    wait_us += static_cast<int64_t>(
+        rng_.Uniform(static_cast<uint64_t>(wait_us / 2 + 1)));
+    if (NowMicros() + wait_us > deadline_us) {
+      return status;  // budget exhausted: surface the throttle to the caller
+    }
+    obs::Increment(m_backoff_);
+    obs::Observe(m_backoff_wait_us_, wait_us);
+    std::this_thread::sleep_for(std::chrono::microseconds(wait_us));
+    backoff_us = std::min(backoff_us * 2,
+                          std::max<int64_t>(policy.max_backoff_us, 1));
+  }
 }
 
 Result<sql::QueryResult> Connection::Execute(const std::string& sql,
@@ -788,7 +910,21 @@ Result<sql::QueryResult> Connection::ExecuteRead(
         ReadRoutingOption::kPerTransaction) {
       sticky_read_machine_ = machine_id;
     }
-    EnsureBegun(machine_id);
+    Status begun = EnsureBegun(machine_id);
+    if (!begun.ok()) {
+      if (begun.code() == StatusCode::kUnavailable) {
+        begun_machines_.erase(machine_id);
+        if (sticky_read_machine_ == machine_id) sticky_read_machine_ = -1;
+        last = begun;
+        obs::Increment(m_read_retry_);
+        continue;  // pick another replica
+      }
+      // A throttled Begin (kResourceExhausted past the retry budget) is NOT
+      // replica failure: retrying elsewhere would route the over-quota
+      // tenant's load onto its other replicas. Surface it.
+      Poison(begun);
+      return begun;
+    }
 
     int64_t inject =
         controller_->InjectedLatency(label_, /*is_write=*/false, machine_id);
@@ -838,7 +974,14 @@ Result<sql::QueryResult> Connection::ExecuteWrite(
   net::ResponseHandler handler = MakeWriteHandler(pending, table);
 
   for (int machine_id : targets) {
-    EnsureBegun(machine_id);
+    // A replica that cannot be begun (dead, or throttled past the retry
+    // budget) counts as a failed replica RPC: feed the status through the
+    // shared handler so the PendingWrite stays balanced.
+    Status begun = EnsureBegun(machine_id);
+    if (!begun.ok()) {
+      handler(net::RpcResponse::FromStatus(begun));
+      continue;
+    }
     int64_t inject =
         controller_->InjectedLatency(label_, /*is_write=*/true, machine_id);
     SessionFor(machine_id)
@@ -997,7 +1140,19 @@ Result<sql::QueryResult> Connection::ExecutePreparedRead(
       Poison(status);
       return status;
     }
-    EnsureBegun(machine_id);
+    Status begun = EnsureBegun(machine_id);
+    if (!begun.ok()) {
+      if (begun.code() == StatusCode::kUnavailable) {
+        begun_machines_.erase(machine_id);
+        if (sticky_read_machine_ == machine_id) sticky_read_machine_ = -1;
+        last = begun;
+        obs::Increment(m_read_retry_);
+        continue;  // pick another replica
+      }
+      // Throttled ≠ failed: do not shift the tenant's reads to a replica.
+      Poison(begun);
+      return begun;
+    }
 
     int64_t inject =
         controller_->InjectedLatency(label_, /*is_write=*/false, machine_id);
@@ -1062,7 +1217,11 @@ Result<sql::QueryResult> Connection::ExecutePreparedWrite(
       handler(net::RpcResponse::FromStatus(handle_or.status()));
       continue;
     }
-    EnsureBegun(machine_id);
+    Status begun = EnsureBegun(machine_id);
+    if (!begun.ok()) {
+      handler(net::RpcResponse::FromStatus(begun));
+      continue;
+    }
     int64_t inject =
         controller_->InjectedLatency(label_, /*is_write=*/true, machine_id);
     SessionFor(machine_id)

@@ -13,6 +13,8 @@
 
 #include "src/cluster/machine.h"
 #include "src/cluster/serializability.h"
+#include "src/common/clock.h"
+#include "src/common/random.h"
 #include "src/common/result.h"
 #include "src/net/inproc_transport.h"
 #include "src/net/machine_client.h"
@@ -20,6 +22,7 @@
 #include "src/net/transport.h"
 #include "src/obs/load_monitor.h"
 #include "src/obs/metrics.h"
+#include "src/qos/qos.h"
 #include "src/sql/executor.h"
 
 namespace mtdb {
@@ -45,10 +48,24 @@ enum class WriteAckPolicy {
   kAggressive,
 };
 
+// Connection-side reaction to a throttled (kResourceExhausted) Begin: capped
+// exponential backoff with jitter against the SAME machine. A throttled
+// machine is alive and answering — it must not be failed over (that would
+// dogpile the load onto a replica) and must never reach FailMachine, which is
+// reserved for silence (RPC deadline expiry).
+struct ThrottleRetryPolicy {
+  int64_t initial_backoff_us = 1'000;
+  int64_t max_backoff_us = 100'000;
+  // Total time a transaction may spend backing off before the throttle
+  // status surfaces to the caller. <= 0 disables retries (fail fast).
+  int64_t budget_us = 2'000'000;
+};
+
 struct ClusterControllerOptions {
   ReadRoutingOption read_option = ReadRoutingOption::kPerDatabase;
   WriteAckPolicy write_policy = WriteAckPolicy::kConservative;
   int default_replicas = 2;
+  ThrottleRetryPolicy throttle_retry;
   // Transport carrying every controller->machine interaction. nullptr means
   // the controller owns a net::InProcTransport wired to the machines it
   // creates with AddMachine; pass a net::TcpTransport (with endpoints
@@ -184,9 +201,14 @@ class Connection {
   Status WaitOutstandingWrites();
   Status CommitInternal();
   Status AbortInternal(Status reason);
-  // Ensures the engine-side transaction exists on machine m (same session
-  // channel, so ordering with subsequent ops is guaranteed).
-  void EnsureBegun(int machine_id);
+  // Ensures the engine-side transaction exists on machine m. Synchronous:
+  // the Begin reply carries the QoS admission verdict, and a throttled
+  // (kResourceExhausted) verdict is retried against the same machine with
+  // capped exponential backoff + jitter, honoring the wire-carried
+  // retry_after_us hint, until the controller's throttle_retry budget runs
+  // out. Returns the final status; the machine joins begun_machines_ only on
+  // success, so later fan-outs and 2PC touch admitted machines only.
+  Status EnsureBegun(int machine_id);
   net::MachineClient::Session* SessionFor(int machine_id);
   void Poison(const Status& status);
   Status poison_status() const;
@@ -212,6 +234,8 @@ class Connection {
   obs::Counter* m_db_commit_ = nullptr;
   obs::Counter* m_db_abort_ = nullptr;
   obs::Counter* m_read_retry_ = nullptr;
+  obs::Counter* m_backoff_ = nullptr;
+  Histogram* m_backoff_wait_us_ = nullptr;
   Histogram* m_txn_latency_us_ = nullptr;
   Histogram* m_2pc_prepare_us_ = nullptr;
   Histogram* m_2pc_commit_us_ = nullptr;
@@ -225,6 +249,10 @@ class Connection {
 
   mutable std::mutex poison_mu_;
   Status poison_;
+  // Jitter source for throttle backoff (decorrelates retry storms across
+  // connections).
+  Random rng_{static_cast<uint64_t>(NowMicros()) ^
+              reinterpret_cast<uintptr_t>(this)};
 };
 
 // The fault-tolerant cluster controller of Sections 2–3: connection manager,
@@ -335,6 +363,22 @@ class ClusterController {
   // ResourceVectors to sla::Placement.
   obs::LoadMonitor* load_monitor() { return &load_monitor_; }
 
+  // --- QoS / admission control ---
+  // Records `spec` as db_name's admission quota and pushes it to every alive
+  // replica via kSetQuota. Newly promoted copy targets receive the quota in
+  // CompleteCopy, so the limit follows the database across machines.
+  Status SetDatabaseQuota(const std::string& db_name,
+                          const qos::QuotaSpec& spec);
+  // Returns the stored quota (zero-valued spec when none configured).
+  qos::QuotaSpec DatabaseQuota(const std::string& db_name) const;
+  // Re-derives each quota-bearing database's admission rate from measured
+  // LoadMonitor throughput: rate = max(stored base rate, measured *
+  // headroom), pushed only when it moves by more than 1%. Returns the number
+  // of databases whose quota was re-pushed. Call periodically (e.g. from the
+  // placement loop) to let quotas track organic load growth instead of
+  // throttling a tenant at a stale ceiling.
+  int RefreshQuotasFromLoad(double headroom = 1.25);
+
   // Test hook: extra latency (us) applied per operation, keyed by the
   // connection label. `is_write` distinguishes read/write ops. Rides the
   // wire as RpcRequest::debug_delay_us so schedules are transport-agnostic.
@@ -361,6 +405,15 @@ class ClusterController {
     int primary_offset = 0;
     CopyState copy;
     std::atomic<int64_t> rejected_writes{0};
+    // QoS admission quota + WDRR weight, pushed to every replica (and
+    // re-pushed to copy targets on promotion). has_quota distinguishes "no
+    // quota configured" from "explicitly unlimited". `quota` keeps the base
+    // (SLA-derived) spec; live_rate_tps is the last rate actually pushed,
+    // which RefreshQuotasFromLoad may raise above the base as measured load
+    // grows.
+    qos::QuotaSpec quota;
+    bool has_quota = false;
+    double live_rate_tps = 0;
   };
 
   // Hot-standby mirror of controller state (the process pair's backup).

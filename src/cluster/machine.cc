@@ -1,13 +1,27 @@
 #include "src/cluster/machine.h"
 
+#include "src/common/clock.h"
+
 namespace mtdb {
 
 Machine::Machine(int id, MachineOptions options)
     : id_(id), name_("m" + std::to_string(id)), options_(options) {
   engine_ = std::make_shared<Engine>(name_, options_.engine_options);
   if (options_.max_concurrent_ops > 0) {
-    op_semaphore_ = std::make_unique<Semaphore>(options_.max_concurrent_ops);
+    qos::WeightedFairQueue::Options queue_options;
+    queue_options.permits = options_.max_concurrent_ops;
+    queue_options.policy = options_.qos.queue_policy;
+    queue_options.machine = name_;
+    fair_queue_ = std::make_unique<qos::WeightedFairQueue>(queue_options);
   }
+  qos::AdmissionController::Options admission_options;
+  admission_options.default_quota = options_.qos.default_quota;
+  admission_options.machine = name_;
+  admission_ = std::make_unique<qos::AdmissionController>(admission_options);
+  overload_ =
+      std::make_unique<qos::OverloadDetector>(options_.qos.overload, name_);
+  m_shed_ = obs::MetricsRegistry::Global().GetCounter("mtdb_qos_shed_total",
+                                                      {.machine = name_});
 }
 
 std::shared_ptr<Engine> Machine::engine() const {
@@ -21,6 +35,28 @@ void Machine::Recover() {
   analysis::OrderedGuard lock(engine_mu_);
   engine_ = std::make_shared<Engine>(name_, options_.engine_options);
   failed_.store(false, std::memory_order_release);
+}
+
+qos::AdmitDecision Machine::AdmitBegin(const std::string& db) {
+  size_t depth = fair_queue_ != nullptr ? fair_queue_->queue_depth() : 0;
+  if (overload_->Evaluate(depth, NowMicros())) {
+    obs::Increment(m_shed_);
+    return {false, overload_->retry_after_us()};
+  }
+  return admission_->AdmitTxn(db, NowMicros());
+}
+
+void Machine::SetQuota(const std::string& db, const qos::QuotaSpec& spec) {
+  admission_->SetQuota(db, spec);
+  if (fair_queue_ != nullptr) fair_queue_->SetWeight(db, spec.weight);
+}
+
+qos::QuotaSpec Machine::GetQuota(const std::string& db) const {
+  return admission_->GetQuota(db);
+}
+
+void Machine::RecordExecuteLatency(int64_t latency_us) {
+  overload_->RecordExecute(latency_us);
 }
 
 }  // namespace mtdb

@@ -8,6 +8,10 @@
 #include "src/analysis/lock_order.h"
 #include "src/cluster/strand.h"
 #include "src/common/resource.h"
+#include "src/qos/admission.h"
+#include "src/qos/fair_queue.h"
+#include "src/qos/overload.h"
+#include "src/qos/qos.h"
 #include "src/storage/engine.h"
 
 namespace mtdb {
@@ -21,6 +25,21 @@ struct MachineOptions {
   int max_concurrent_ops = 0;
   // Fixed execution cost charged per operation (models per-query CPU).
   int64_t base_op_latency_us = 0;
+
+  // Runtime QoS configuration.
+  struct QosOptions {
+    // Admission quota for databases without an explicit kSetQuota;
+    // rate <= 0 (the default) means unlimited.
+    qos::QuotaSpec default_quota{};
+    // Scheduling discipline for the bounded worker pool. kWeightedFair is
+    // the default; kFifo reproduces the pre-QoS semaphore handoff (used by
+    // bench/noisy_neighbor as the "QoS off" configuration).
+    qos::WeightedFairQueue::Policy queue_policy =
+        qos::WeightedFairQueue::Policy::kWeightedFair;
+    // Overload detection thresholds; both default to 0 = shedding disabled.
+    qos::OverloadDetector::Options overload{};
+  };
+  QosOptions qos;
 };
 
 // One commodity database machine: an engine instance, a capacity vector, and
@@ -51,10 +70,28 @@ class Machine {
   // Brings the machine back with a fresh, empty engine.
   void Recover();
 
-  // Limits concurrent engine work on this machine (nullptr = unlimited).
-  Semaphore* op_semaphore() { return op_semaphore_.get(); }
+  // Bounded worker pool with per-database weighted fair queueing (nullptr =
+  // unlimited). Replaces the plain op semaphore: slots are granted WDRR
+  // across databases so one tenant's burst cannot monopolize the pool.
+  qos::WeightedFairQueue* fair_queue() { return fair_queue_.get(); }
 
   int64_t base_op_latency_us() const { return options_.base_op_latency_us; }
+
+  // QoS admission point for one transaction Begin on `db`: evaluates the
+  // overload detector against the current queue depth, then charges the
+  // database's token bucket. Called by MachineService before any engine
+  // work, so a denied transaction leaves no state behind.
+  qos::AdmitDecision AdmitBegin(const std::string& db);
+
+  // Installs or replaces the admission quota and WDRR weight for `db`
+  // (the kSetQuota handler).
+  void SetQuota(const std::string& db, const qos::QuotaSpec& spec);
+  qos::QuotaSpec GetQuota(const std::string& db) const;
+
+  // Feeds one execute latency sample to the overload detector.
+  void RecordExecuteLatency(int64_t latency_us);
+
+  bool shedding() const { return overload_->shedding(); }
 
  private:
   int id_;
@@ -63,7 +100,10 @@ class Machine {
   mutable analysis::OrderedMutex engine_mu_{"cluster/Machine::engine_mu"};
   std::shared_ptr<Engine> engine_;
   std::atomic<bool> failed_{false};
-  std::unique_ptr<Semaphore> op_semaphore_;
+  std::unique_ptr<qos::WeightedFairQueue> fair_queue_;
+  std::unique_ptr<qos::AdmissionController> admission_;
+  std::unique_ptr<qos::OverloadDetector> overload_;
+  obs::Counter* m_shed_ = nullptr;
 };
 
 }  // namespace mtdb

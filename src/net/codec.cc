@@ -240,13 +240,14 @@ std::string_view RpcTypeName(RpcType type) {
     case RpcType::kPrepareStatement: return "PrepareStatement";
     case RpcType::kExecutePrepared: return "ExecutePrepared";
     case RpcType::kStats: return "Stats";
+    case RpcType::kSetQuota: return "SetQuota";
   }
   return "?";
 }
 
 namespace {
 
-constexpr int kNumRpcTypes = static_cast<int>(RpcType::kStats) + 1;
+constexpr int kNumRpcTypes = static_cast<int>(RpcType::kSetQuota) + 1;
 
 // Per-type request byte counters, resolved once. Encoding is the one place
 // that sees every outbound request regardless of transport.
@@ -313,6 +314,7 @@ void EncodeResponseFrame(const RpcResponse& response, std::string* out) {
   for (const std::string& name : response.names) AppendString(out, name);
   AppendU64(out, response.stmt_handle);
   AppendU64(out, static_cast<uint64_t>(response.server_duration_us));
+  AppendU64(out, static_cast<uint64_t>(response.retry_after_us));
   uint32_t payload = static_cast<uint32_t>(out->size() - frame_start - 4);
   for (int i = 0; i < 4; ++i) {
     (*out)[frame_start + i] = static_cast<char>((payload >> (8 * i)) & 0xff);
@@ -347,7 +349,7 @@ Result<RpcRequest> DecodeRequest(std::string_view payload) {
   RpcRequest request;
   uint8_t type = in.ReadU8();
   if (type < static_cast<uint8_t>(RpcType::kHealth) ||
-      type > static_cast<uint8_t>(RpcType::kStats)) {
+      type > static_cast<uint8_t>(RpcType::kSetQuota)) {
     return Status::InvalidArgument("unknown request type " +
                                    std::to_string(type));
   }
@@ -409,6 +411,7 @@ Result<RpcResponse> DecodeResponse(std::string_view payload) {
   }
   response.stmt_handle = in.ReadU64();
   response.server_duration_us = static_cast<int64_t>(in.ReadU64());
+  response.retry_after_us = static_cast<int64_t>(in.ReadU64());
   if (!in.ok()) return Status::InvalidArgument("truncated response frame");
   if (in.remaining() != 0) {
     return Status::InvalidArgument("trailing bytes after response frame");

@@ -22,7 +22,7 @@ struct ClientRpcMetrics {
 };
 
 const ClientRpcMetrics& MetricsForType(RpcType type) {
-  constexpr int kNumTypes = static_cast<int>(RpcType::kStats) + 1;
+  constexpr int kNumTypes = static_cast<int>(RpcType::kSetQuota) + 1;
   static ClientRpcMetrics* table = [] {
     auto* entries = new ClientRpcMetrics[kNumTypes];
     auto& registry = obs::MetricsRegistry::Global();
@@ -74,15 +74,16 @@ std::unique_ptr<MachineClient::Session> MachineClient::OpenSession(
 
 // --- Session ---
 
-void MachineClient::Session::BeginDetached(uint64_t txn_id,
-                                           const std::string& db_name) {
+void MachineClient::Session::BeginAsync(uint64_t txn_id,
+                                        const std::string& db_name,
+                                        ResponseHandler done) {
   RpcRequest request;
   request.type = RpcType::kBegin;
   request.txn_id = txn_id;
   request.db_name = db_name;
   request.trace_id = trace_id_.load(std::memory_order_relaxed);
   client_->CallWithDeadline(channel_.get(), machine_id_, request,
-                            [](RpcResponse) {});
+                            std::move(done));
 }
 
 void MachineClient::Session::ExecuteAsync(uint64_t txn_id,
@@ -295,6 +296,16 @@ Result<std::string> MachineClient::Stats(int machine_id) {
   RpcResponse response = ControlCall(machine_id, request);
   if (!response.ok()) return response.ToStatus();
   return std::move(response.message);
+}
+
+Status MachineClient::SetQuota(int machine_id, const std::string& db_name,
+                               double rate_tps, double burst, int weight) {
+  RpcRequest request;
+  request.type = RpcType::kSetQuota;
+  request.db_name = db_name;
+  request.params = {Value(rate_tps), Value(burst),
+                    Value(static_cast<int64_t>(weight))};
+  return ControlCall(machine_id, request).ToStatus();
 }
 
 Result<TableDump> MachineClient::DumpTable(int machine_id,

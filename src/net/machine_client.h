@@ -61,9 +61,12 @@ class MachineClient {
       trace_id_.store(trace_id, std::memory_order_relaxed);
     }
 
-    // Fire-and-forget Begin: later operations on this session queue behind
-    // it, and its failure surfaces through them.
-    void BeginDetached(uint64_t txn_id, const std::string& db_name);
+    // Starts the engine-side transaction. The reply carries the QoS
+    // admission verdict: kResourceExhausted + retry_after_us when the
+    // tenant is over quota or the machine is shedding, so the caller can
+    // back off and retry the *same* machine instead of failing over.
+    void BeginAsync(uint64_t txn_id, const std::string& db_name,
+                    ResponseHandler done);
 
     void ExecuteAsync(uint64_t txn_id, const std::string& db_name,
                       const std::string& sql, const std::vector<Value>& params,
@@ -121,6 +124,11 @@ class MachineClient {
   // Text-format metrics dump from the machine (kStats). Answered even by
   // machines marked failed, like kHealth — stats are for diagnosis.
   Result<std::string> Stats(int machine_id);
+
+  // Installs the QoS admission quota and WDRR weight for db_name on the
+  // machine (kSetQuota). rate_tps <= 0 removes the rate limit.
+  Status SetQuota(int machine_id, const std::string& db_name, double rate_tps,
+                  double burst, int weight);
 
   // Copy-tool calls run on a transient channel of their own: a dump can
   // legitimately take seconds (per_row_delay_us models the paper's copy

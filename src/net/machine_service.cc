@@ -5,7 +5,6 @@
 #include <utility>
 
 #include "src/cluster/machine.h"
-#include "src/cluster/strand.h"
 #include "src/common/clock.h"
 #include "src/net/codec.h"
 #include "src/obs/metrics.h"
@@ -19,7 +18,7 @@ namespace {
 
 // Server-side per-type service-time histograms, resolved once.
 Histogram* ServerLatencyFor(RpcType type) {
-  constexpr int kNumTypes = static_cast<int>(RpcType::kStats) + 1;
+  constexpr int kNumTypes = static_cast<int>(RpcType::kSetQuota) + 1;
   static Histogram** table = [] {
     auto** entries = new Histogram*[kNumTypes]();
     for (int i = 1; i < kNumTypes; ++i) {
@@ -88,8 +87,24 @@ RpcResponse MachineService::Dispatch(const RpcRequest& request) {
 RpcResponse MachineService::DispatchTransactional(const RpcRequest& request) {
   auto engine = machine_->engine();
   switch (request.type) {
-    case RpcType::kBegin:
+    case RpcType::kBegin: {
+      // QoS admission gates the transaction here, before any engine state
+      // exists: an over-quota tenant or a shedding machine answers with a
+      // fast kResourceExhausted + retry_after_us instead of queueing work.
+      // Everything after Begin (executes, 2PC completions) belongs to an
+      // already-admitted transaction and is never throttled, so a quota can
+      // never cut a replicated write off on a subset of replicas.
+      qos::AdmitDecision decision = machine_->AdmitBegin(request.db_name);
+      if (!decision.admitted) {
+        RpcResponse response = RpcResponse::FromStatus(
+            Status::ResourceExhausted(
+                machine_->shedding() ? "machine overloaded, shedding load"
+                                     : "tenant over admission quota"));
+        response.retry_after_us = decision.retry_after_us;
+        return response;
+      }
       return RpcResponse::FromStatus(engine->Begin(request.txn_id));
+    }
     case RpcType::kExecute: {
       // Parse+plan (or plan-cache hit) happens before the latency model so
       // cached statements skip straight to the op slot.
@@ -99,11 +114,14 @@ RpcResponse MachineService::DispatchTransactional(const RpcRequest& request) {
       // matching the pre-RPC execution path so Table 1 anomaly schedules
       // stay deterministic.
       SleepMicros(request.debug_delay_us);
-      SemaphoreGuard guard(machine_->op_semaphore());
+      qos::WeightedFairQueue::Guard guard(machine_->fair_queue(),
+                                          request.db_name);
+      int64_t execute_start_us = NowMicros();
       SleepMicros(machine_->base_op_latency_us());
       sql::SqlExecutor executor(engine.get());
       auto result = executor.ExecutePlan(request.txn_id, request.db_name,
                                          **plan_or, request.params);
+      machine_->RecordExecuteLatency(NowMicros() - execute_start_us);
       if (!result.ok()) return RpcResponse::FromStatus(result.status());
       RpcResponse response;
       response.result = std::move(*result);
@@ -111,11 +129,14 @@ RpcResponse MachineService::DispatchTransactional(const RpcRequest& request) {
     }
     case RpcType::kExecutePrepared: {
       SleepMicros(request.debug_delay_us);
-      SemaphoreGuard guard(machine_->op_semaphore());
+      qos::WeightedFairQueue::Guard guard(machine_->fair_queue(),
+                                          request.db_name);
+      int64_t execute_start_us = NowMicros();
       SleepMicros(machine_->base_op_latency_us());
       auto result = engine->ExecutePrepared(request.txn_id,
                                             request.stmt_handle,
                                             request.params);
+      machine_->RecordExecuteLatency(NowMicros() - execute_start_us);
       if (!result.ok()) return RpcResponse::FromStatus(result.status());
       RpcResponse response;
       response.result = std::move(*result);
@@ -199,6 +220,23 @@ RpcResponse MachineService::DispatchControl(const RpcRequest& request) {
       RpcResponse response;
       response.txn_ids = engine->ActiveTxnIds();
       return response;
+    }
+    case RpcType::kSetQuota: {
+      // Quota triple rides the params vector:
+      // [rate_tps (double), burst (double), weight (int)].
+      if (request.params.size() != 3 || !request.params[0].is_numeric() ||
+          !request.params[1].is_numeric() || !request.params[2].is_numeric()) {
+        return RpcResponse::FromStatus(
+            Status::InvalidArgument("malformed quota params"));
+      }
+      qos::QuotaSpec spec;
+      spec.rate_tps = request.params[0].AsDouble();
+      spec.burst = request.params[1].AsDouble();
+      spec.weight = static_cast<int>(request.params[2].is_int()
+                                         ? request.params[2].AsInt()
+                                         : request.params[2].AsDouble());
+      machine_->SetQuota(request.db_name, spec);
+      return RpcResponse();
     }
     case RpcType::kListTables: {
       Database* db = engine->GetDatabase(request.db_name);

@@ -38,6 +38,7 @@ enum class RpcType : uint8_t {
   kPrepareStatement = 19,  // prepare SQL once, reply with a statement handle
   kExecutePrepared = 20,   // run a prepared handle inside txn_id
   kStats = 21,             // metrics dump (text exposition in the message)
+  kSetQuota = 22,          // install a QoS quota for db_name on the machine
 };
 
 std::string_view RpcTypeName(RpcType type);
@@ -50,7 +51,9 @@ struct RpcRequest {
   std::string db_name;            // everything except kHealth/kList*
   std::string table;              // kBulkLoad / kDumpTable
   std::string sql;                // kExecute / kExecuteDdl / kPrepareStatement
-  std::vector<Value> params;      // kExecute / kExecutePrepared ('?' binding)
+  // kExecute / kExecutePrepared ('?' binding); kSetQuota carries the quota
+  // triple [rate_tps (double), burst (double), weight (int)] here.
+  std::vector<Value> params;
   uint64_t stmt_handle = 0;       // kExecutePrepared
   std::vector<Row> rows;          // kBulkLoad
   TableDump dump;                 // kApplyDump
@@ -78,6 +81,11 @@ struct RpcResponse {
   // the client so traces can split client-observed latency into transport
   // vs execution. -1 when the server predates the field or never measured.
   int64_t server_duration_us = -1;
+  // Backoff hint accompanying a kResourceExhausted code: how long the
+  // caller should wait before retrying the same machine, in microseconds.
+  // 0 (the default, and the value on every non-throttled response) means
+  // "no hint". Always on the wire, like trace_id/server_duration_us.
+  int64_t retry_after_us = 0;
 
   bool ok() const { return code == StatusCode::kOk; }
   Status ToStatus() const {

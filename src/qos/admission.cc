@@ -1,0 +1,65 @@
+#include "src/qos/admission.h"
+
+namespace mtdb::qos {
+
+AdmissionController::AdmissionController(const Options& options)
+    : options_(options) {}
+
+AdmissionController::Entry& AdmissionController::EntryLocked(
+    const std::string& db) {
+  auto [it, inserted] = entries_.try_emplace(db);
+  Entry& entry = it->second;
+  if (inserted) {
+    entry.spec = options_.default_quota;
+    if (entry.spec.rate_tps > 0) {
+      entry.bucket = std::make_unique<TokenBucket>(entry.spec.rate_tps,
+                                                   entry.spec.burst);
+    }
+    if (!options_.machine.empty()) {
+      entry.throttled = obs::MetricsRegistry::Global().GetCounter(
+          "mtdb_qos_throttled_total",
+          {.machine = options_.machine, .database = db});
+    }
+  }
+  return entry;
+}
+
+void AdmissionController::SetQuota(const std::string& db,
+                                   const QuotaSpec& spec) {
+  analysis::OrderedGuard lock(mu_);
+  Entry& entry = EntryLocked(db);
+  entry.spec = spec;
+  if (spec.rate_tps <= 0) {
+    entry.bucket.reset();
+  } else if (entry.bucket != nullptr) {
+    entry.bucket->Configure(spec.rate_tps, spec.burst);
+  } else {
+    entry.bucket = std::make_unique<TokenBucket>(spec.rate_tps, spec.burst);
+  }
+}
+
+QuotaSpec AdmissionController::GetQuota(const std::string& db) const {
+  analysis::OrderedGuard lock(mu_);
+  auto it = entries_.find(db);
+  if (it == entries_.end()) return options_.default_quota;
+  return it->second.spec;
+}
+
+AdmitDecision AdmissionController::AdmitTxn(const std::string& db,
+                                            int64_t now_us) {
+  TokenBucket* bucket;
+  obs::Counter* throttled;
+  {
+    analysis::OrderedGuard lock(mu_);
+    Entry& entry = EntryLocked(db);
+    bucket = entry.bucket.get();
+    throttled = entry.throttled;
+  }
+  if (bucket == nullptr) return {};
+  AdmitDecision decision;
+  decision.admitted = bucket->TryAcquire(now_us, &decision.retry_after_us);
+  if (!decision.admitted) obs::Increment(throttled);
+  return decision;
+}
+
+}  // namespace mtdb::qos

@@ -1,0 +1,61 @@
+#ifndef MTDB_QOS_ADMISSION_H_
+#define MTDB_QOS_ADMISSION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/analysis/lock_order.h"
+#include "src/obs/metrics.h"
+#include "src/qos/qos.h"
+#include "src/qos/token_bucket.h"
+
+namespace mtdb::qos {
+
+// Per-{machine, database} admission control: one token bucket per co-located
+// database, charged once per transaction at Begin time. Charging at Begin —
+// not per operation — keeps replicated writes atomic with respect to
+// throttling: by the time a write fans out, every target machine has already
+// admitted the transaction, so a quota can never cut a write off on a subset
+// of replicas.
+//
+// Databases without an explicit quota fall back to `default_quota`
+// (rate <= 0 means unlimited, the out-of-the-box behavior).
+class AdmissionController {
+ public:
+  struct Options {
+    QuotaSpec default_quota{};
+    // Label for throttle counters; empty disables metrics.
+    std::string machine{};
+  };
+
+  explicit AdmissionController(const Options& options);
+
+  // Installs or replaces the quota for `db`. Live-reconfigures the existing
+  // bucket (current fill preserved) so a refresh never grants a free burst.
+  void SetQuota(const std::string& db, const QuotaSpec& spec);
+
+  QuotaSpec GetQuota(const std::string& db) const;
+
+  // Charges one transaction against `db`'s bucket. Unlimited databases are
+  // always admitted without charge.
+  AdmitDecision AdmitTxn(const std::string& db, int64_t now_us);
+
+ private:
+  struct Entry {
+    QuotaSpec spec{};
+    std::unique_ptr<TokenBucket> bucket;  // null when unlimited
+    obs::Counter* throttled = nullptr;
+  };
+
+  Entry& EntryLocked(const std::string& db);
+
+  const Options options_;
+  mutable analysis::OrderedMutex mu_{"qos/AdmissionController::mu"};
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace mtdb::qos
+
+#endif  // MTDB_QOS_ADMISSION_H_

@@ -1,0 +1,58 @@
+#include "src/qos/overload.h"
+
+namespace mtdb::qos {
+
+OverloadDetector::OverloadDetector(const Options& options,
+                                   const std::string& machine)
+    : options_(options) {
+  if (!machine.empty()) {
+    auto& registry = obs::MetricsRegistry::Global();
+    m_execute_us_ =
+        registry.GetHistogram("mtdb_qos_execute_us", {.machine = machine});
+    m_state_ = registry.GetGauge("mtdb_qos_shedding", {.machine = machine});
+  }
+}
+
+void OverloadDetector::RecordExecute(int64_t latency_us) {
+  obs::Observe(m_execute_us_, latency_us);
+  if (!enabled()) return;
+  analysis::OrderedGuard lock(mu_);
+  window_.Record(latency_us);
+}
+
+bool OverloadDetector::Evaluate(size_t queue_depth, int64_t now_us) {
+  if (!enabled()) return false;
+  bool currently = shedding();
+  {
+    analysis::OrderedGuard lock(mu_);
+    if (now_us - last_eval_us_ < options_.eval_interval_us) return currently;
+    last_eval_us_ = now_us;
+    int64_t p99_us = window_.count() > 0 ? window_.Percentile(99) : 0;
+    window_.Reset();
+
+    bool depth_hot = options_.max_queue_depth > 0 &&
+                     queue_depth > options_.max_queue_depth;
+    bool latency_hot = options_.max_p99_us > 0 && p99_us > options_.max_p99_us;
+    if (!currently) {
+      if (depth_hot || latency_hot) currently = true;
+    } else {
+      // Hysteresis: both signals must cool well below their thresholds.
+      bool depth_cool =
+          options_.max_queue_depth == 0 ||
+          queue_depth <= static_cast<size_t>(
+                             options_.exit_fraction *
+                             static_cast<double>(options_.max_queue_depth));
+      bool latency_cool =
+          options_.max_p99_us == 0 ||
+          p99_us <= static_cast<int64_t>(options_.exit_fraction *
+                                         static_cast<double>(
+                                             options_.max_p99_us));
+      if (depth_cool && latency_cool) currently = false;
+    }
+    shedding_.store(currently, std::memory_order_relaxed);
+  }
+  if (m_state_ != nullptr) m_state_->Set(currently ? 1 : 0);
+  return currently;
+}
+
+}  // namespace mtdb::qos

@@ -1,0 +1,74 @@
+#ifndef MTDB_QOS_OVERLOAD_H_
+#define MTDB_QOS_OVERLOAD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/analysis/lock_order.h"
+#include "src/common/histogram.h"
+#include "src/obs/metrics.h"
+
+namespace mtdb::qos {
+
+// Machine-level overload detector. Samples two signals — the fair queue's
+// parked-waiter depth and the p99 of execute latency over the most recent
+// evaluation window — and flips the machine into a *shedding* state when
+// either crosses its threshold. While shedding, MachineService admits only
+// operations of already-begun transactions and 2PC completions; new Begins
+// are rejected with kResourceExhausted + retry_after_us. Hysteresis: the
+// machine leaves the shedding state only once both signals fall below
+// exit_fraction of their thresholds, so it does not flap at the boundary.
+//
+// Both thresholds default to 0 = disabled, which keeps the detector inert
+// for machines that have not opted into overload protection.
+class OverloadDetector {
+ public:
+  struct Options {
+    // Park depth above which the machine sheds; 0 disables the signal.
+    size_t max_queue_depth = 0;
+    // Windowed p99 execute latency (µs) above which the machine sheds;
+    // 0 disables the signal.
+    int64_t max_p99_us = 0;
+    // Signals are re-evaluated at most this often; between evaluations the
+    // cached state is returned (one relaxed atomic load on the Begin path).
+    int64_t eval_interval_us = 20'000;
+    // Leave shedding once depth and p99 are below this fraction of their
+    // thresholds.
+    double exit_fraction = 0.5;
+    // Backoff hint handed to shed callers.
+    int64_t retry_after_us = 25'000;
+  };
+
+  OverloadDetector(const Options& options, const std::string& machine);
+
+  bool enabled() const {
+    return options_.max_queue_depth > 0 || options_.max_p99_us > 0;
+  }
+
+  // Feeds one execute-side latency sample into the evaluation window (and
+  // the mtdb_qos_execute_us registry family for observability).
+  void RecordExecute(int64_t latency_us);
+
+  // Re-evaluates the signals if the evaluation interval has elapsed, then
+  // returns the current shedding state.
+  bool Evaluate(size_t queue_depth, int64_t now_us);
+
+  bool shedding() const { return shedding_.load(std::memory_order_relaxed); }
+  int64_t retry_after_us() const { return options_.retry_after_us; }
+
+ private:
+  const Options options_;
+  std::atomic<bool> shedding_{false};
+
+  analysis::OrderedMutex mu_{"qos/OverloadDetector::mu"};
+  Histogram window_;  // execute latencies since the last evaluation
+  int64_t last_eval_us_ = 0;
+
+  Histogram* m_execute_us_ = nullptr;
+  obs::Gauge* m_state_ = nullptr;
+};
+
+}  // namespace mtdb::qos
+
+#endif  // MTDB_QOS_OVERLOAD_H_

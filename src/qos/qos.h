@@ -1,0 +1,35 @@
+#ifndef MTDB_QOS_QOS_H_
+#define MTDB_QOS_QOS_H_
+
+#include <cstdint>
+
+// Shared vocabulary types for the QoS subsystem. This header is
+// dependency-free so lower layers (sla) can produce QuotaSpecs without
+// pulling in the runtime machinery.
+namespace mtdb::qos {
+
+// Per-{machine, database} admission contract. Derived from the tenant's SLA
+// profile (sla::QuotaForSla) or set explicitly via the kSetQuota RPC.
+struct QuotaSpec {
+  // Token refill rate in transactions/second. <= 0 means unlimited: no
+  // token bucket is enforced for this database.
+  double rate_tps = 0;
+  // Bucket depth: how large a burst is admitted above the steady rate.
+  // <= 0 defaults to max(rate_tps, 1).
+  double burst = 0;
+  // Weighted deficit round-robin weight for the machine's worker-pool
+  // queue. Clamped to >= 1.
+  int weight = 1;
+};
+
+// Outcome of an admission check.
+struct AdmitDecision {
+  bool admitted = true;
+  // When !admitted: how long the caller should wait before retrying, in
+  // microseconds. 0 means "no hint".
+  int64_t retry_after_us = 0;
+};
+
+}  // namespace mtdb::qos
+
+#endif  // MTDB_QOS_QOS_H_

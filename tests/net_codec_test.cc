@@ -128,7 +128,7 @@ TEST(NetCodecTest, ExecuteRequestRoundTripsAllValueKinds) {
 }
 
 TEST(NetCodecTest, EveryRequestTypeRoundTrips) {
-  for (int raw = 1; raw <= static_cast<int>(RpcType::kStats); ++raw) {
+  for (int raw = 1; raw <= static_cast<int>(RpcType::kSetQuota); ++raw) {
     RpcRequest request;
     request.type = static_cast<RpcType>(raw);
     request.txn_id = static_cast<uint64_t>(raw) << 40;
@@ -266,6 +266,21 @@ TEST(NetCodecTest, ServerDurationRoundTrips) {
   EXPECT_EQ(RoundTripResponse(response).server_duration_us, -1);
 }
 
+TEST(NetCodecTest, RetryAfterRoundTrips) {
+  // The QoS throttle hint rides every response (0 = no hint), exactly like
+  // server_duration_us: always encoded, required at decode.
+  RpcResponse response;
+  response.code = StatusCode::kResourceExhausted;
+  response.message = "tenant over admission quota";
+  response.retry_after_us = 37'500;
+  RpcResponse out = RoundTripResponse(response);
+  EXPECT_EQ(out.code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(out.retry_after_us, 37'500);
+
+  RpcResponse unthrottled;
+  EXPECT_EQ(RoundTripResponse(unthrottled).retry_after_us, 0);
+}
+
 // --- robustness ---
 
 TEST(NetCodecTest, TruncatedRequestPayloadsAreRejected) {
@@ -293,6 +308,7 @@ TEST(NetCodecTest, TruncatedResponsePayloadsAreRejected) {
   response.dumps.push_back(MakeDump());
   response.txn_ids = {7, 8};
   response.names = {"item"};
+  response.retry_after_us = 12'345;  // trailing u64: every prefix must fail
   std::string frame;
   EncodeResponseFrame(response, &frame);
   ExpectPrefixAndSuffixRejected(

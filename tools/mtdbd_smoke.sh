@@ -51,6 +51,15 @@ if [ -x "$MTDBSTAT" ]; then
     exit 1
   fi
   echo "mtdbstat reports $COMMITS committed transaction(s)"
+
+  # Interval mode must parse its flags and emit exactly one delta window.
+  INTERVAL_OUT="$("$MTDBSTAT" --interval 0.2 --count 1 "127.0.0.1:$PORT")"
+  if ! printf '%s\n' "$INTERVAL_OUT" | grep -q '^--- window 1 '; then
+    echo "mtdbstat --interval produced no delta window:" >&2
+    printf '%s\n' "$INTERVAL_OUT" >&2
+    exit 1
+  fi
+  echo "mtdbstat --interval mode ok"
 else
   echo "mtdbstat binary not found at $MTDBSTAT" >&2
   exit 1

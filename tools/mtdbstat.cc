@@ -1,32 +1,86 @@
 // mtdbstat: dump the metrics registry of a running mtdbd.
 //
-//   mtdbstat HOST:PORT
+//   mtdbstat [--interval SECONDS [--count N]] HOST:PORT
 //
-// connects over TCP, issues one kStats RPC, and prints the machine's
-// metrics text dump to stdout. Exits 0 on success, 1 on any failure
-// (unreachable daemon, RPC error, empty dump). Used by
-// tools/mtdbd_smoke.sh and the CI smoke job to assert that the smoke
-// transaction left non-zero counters behind.
+// connects over TCP and issues kStats RPCs. Without flags it prints one
+// metrics text dump to stdout and exits. With --interval it keeps polling,
+// printing the per-window *delta* of every counter and gauge that moved
+// (vmstat-style), which is what an operator actually wants when watching a
+// live machine: rates, not lifetime totals. --count bounds the number of
+// windows (default: poll forever).
+//
+// Exits 0 on success, 1 on any failure (unreachable daemon, RPC error,
+// empty dump), 2 on usage errors. Used by tools/mtdbd_smoke.sh and the CI
+// smoke job.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
+#include <thread>
 
 #include "src/net/machine_client.h"
 #include "src/net/tcp_transport.h"
 
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--interval SECONDS [--count N]] HOST:PORT\n",
+               argv0);
+  return 2;
+}
+
+// Parses the counter/gauge lines of a metrics text dump:
+//   name{labels} VALUE
+// Histogram lines ("... count=N mean=..." ) are skipped — windowed deltas of
+// percentile summaries are not meaningful.
+std::map<std::string, long long> ParseScalars(const std::string& dump) {
+  std::map<std::string, long long> scalars;
+  size_t start = 0;
+  while (start < dump.size()) {
+    size_t end = dump.find('\n', start);
+    if (end == std::string::npos) end = dump.size();
+    std::string line = dump.substr(start, end - start);
+    start = end + 1;
+    size_t space = line.rfind(' ');
+    if (space == std::string::npos || space + 1 >= line.size()) continue;
+    const std::string value_str = line.substr(space + 1);
+    char* parse_end = nullptr;
+    long long value = std::strtoll(value_str.c_str(), &parse_end, 10);
+    if (parse_end == nullptr || *parse_end != '\0') continue;  // histogram etc.
+    if (value_str.find('=') != std::string::npos) continue;
+    scalars[line.substr(0, space)] = value;
+  }
+  return scalars;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s HOST:PORT\n", argv[0]);
-    return 2;
+  double interval_s = 0;
+  long long count = -1;  // -1 = forever
+  std::string target;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--interval") == 0 && i + 1 < argc) {
+      interval_s = std::atof(argv[++i]);
+      if (interval_s <= 0) return Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--count") == 0 && i + 1 < argc) {
+      count = std::atoll(argv[++i]);
+      if (count <= 0) return Usage(argv[0]);
+    } else if (argv[i][0] == '-') {
+      return Usage(argv[0]);
+    } else if (target.empty()) {
+      target = argv[i];
+    } else {
+      return Usage(argv[0]);
+    }
   }
-  std::string target = argv[1];
+  if (target.empty()) return Usage(argv[0]);
   size_t colon = target.rfind(':');
-  if (colon == std::string::npos) {
-    std::fprintf(stderr, "usage: %s HOST:PORT\n", argv[0]);
-    return 2;
-  }
+  if (colon == std::string::npos) return Usage(argv[0]);
   std::string host = target.substr(0, colon);
   auto port = static_cast<uint16_t>(std::atoi(target.c_str() + colon + 1));
 
@@ -36,16 +90,48 @@ int main(int argc, char** argv) {
   options.call_timeout_us = 10'000'000;
   mtdb::net::MachineClient client(&transport, options);
 
-  auto dump = client.Stats(/*machine_id=*/0);
-  if (!dump.ok()) {
-    std::fprintf(stderr, "mtdbstat: %s\n", dump.status().ToString().c_str());
+  auto fetch = [&]() -> mtdb::Result<std::string> {
+    auto dump = client.Stats(/*machine_id=*/0);
+    if (dump.ok() && dump->empty()) {
+      return mtdb::Status::Internal("empty stats dump from " + target);
+    }
+    return dump;
+  };
+
+  if (interval_s <= 0) {
+    auto dump = fetch();
+    if (!dump.ok()) {
+      std::fprintf(stderr, "mtdbstat: %s\n", dump.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(dump->c_str(), stdout);
+    return 0;
+  }
+
+  // Interval mode: baseline dump, then one delta report per window.
+  auto baseline = fetch();
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "mtdbstat: %s\n",
+                 baseline.status().ToString().c_str());
     return 1;
   }
-  if (dump->empty()) {
-    std::fprintf(stderr, "mtdbstat: empty stats dump from %s\n",
-                 target.c_str());
-    return 1;
+  std::map<std::string, long long> previous = ParseScalars(*baseline);
+  for (long long window = 1; count < 0 || window <= count; ++window) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+    auto dump = fetch();
+    if (!dump.ok()) {
+      std::fprintf(stderr, "mtdbstat: %s\n", dump.status().ToString().c_str());
+      return 1;
+    }
+    std::map<std::string, long long> current = ParseScalars(*dump);
+    std::printf("--- window %lld (%.3gs) ---\n", window, interval_s);
+    for (const auto& [key, value] : current) {
+      auto it = previous.find(key);
+      long long delta = value - (it == previous.end() ? 0 : it->second);
+      if (delta != 0) std::printf("%s %+lld\n", key.c_str(), delta);
+    }
+    std::fflush(stdout);
+    previous = std::move(current);
   }
-  std::fputs(dump->c_str(), stdout);
   return 0;
 }
