@@ -1,0 +1,207 @@
+#include "src/analysis/history.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace mtdb {
+namespace analysis {
+
+// --- HistoryRecorder ---
+
+void HistoryRecorder::RecordCommit(const Transaction& txn) {
+  CommittedTxnRecord record;
+  record.txn_id = txn.id;
+  record.reads = txn.reads;
+  record.writes = txn.writes;
+  platform::Guard lock(mu_);
+  history_.push_back(std::move(record));
+}
+
+std::vector<CommittedTxnRecord> HistoryRecorder::Snapshot() const {
+  platform::Guard lock(mu_);
+  return history_;
+}
+
+size_t HistoryRecorder::size() const {
+  platform::Guard lock(mu_);
+  return history_.size();
+}
+
+void HistoryRecorder::Clear() {
+  platform::Guard lock(mu_);
+  history_.clear();
+}
+
+// --- DSG auditor ---
+
+std::string_view DependencyTypeName(DependencyType type) {
+  switch (type) {
+    case DependencyType::kWriteWrite:
+      return "ww";
+    case DependencyType::kWriteRead:
+      return "wr";
+    case DependencyType::kReadWrite:
+      return "rw";
+  }
+  return "?";
+}
+
+std::string_view AnomalyClassName(AnomalyClass anomaly) {
+  switch (anomaly) {
+    case AnomalyClass::kNone:
+      return "none";
+    case AnomalyClass::kG1c:
+      return "G1c (circular information flow)";
+    case AnomalyClass::kG2:
+      return "G2 (anti-dependency cycle)";
+  }
+  return "?";
+}
+
+std::string DsgReport::ToString() const {
+  std::ostringstream out;
+  out << (serializable ? "SERIALIZABLE" : "NOT SERIALIZABLE") << " ("
+      << num_transactions << " txns, " << num_edges << " edges";
+  if (!cycle.empty()) {
+    out << "; anomaly " << AnomalyClassName(anomaly) << "; cycle:";
+    for (size_t i = 0; i < cycle.size(); ++i) {
+      out << " T" << cycle[i];
+      if (i < cycle_edges.size()) {
+        out << " -" << DependencyTypeName(cycle_edges[i].type) << "["
+            << cycle_edges[i].object_id << "]->";
+      }
+    }
+    out << " T" << cycle.front();
+  }
+  out << ")";
+  return out.str();
+}
+
+void DsgAuditor::AddEdge(uint64_t from, uint64_t to, DependencyType type,
+                         const std::string& object_id) {
+  if (from == to) return;
+  if (!seen_.emplace(from, to, type).second) return;
+  adjacency_[from].push_back(edge_list_.size());
+  edge_list_.push_back({from, to, type, object_id});
+}
+
+void DsgAuditor::AddHistory(const std::vector<CommittedTxnRecord>& history) {
+  // Per-object access index for this site. Versions are per-site, per-object
+  // monotonic, so "next version" is well defined within one site.
+  struct ObjectAccesses {
+    std::map<uint64_t, uint64_t> writers;  // version -> installer txn
+    std::vector<std::pair<uint64_t, uint64_t>> readers;  // (version, txn)
+  };
+  std::unordered_map<std::string, ObjectAccesses> objects;
+  for (const CommittedTxnRecord& txn : history) {
+    txns_.insert(txn.txn_id);
+    for (const VersionObservation& write : txn.writes) {
+      objects[write.object_id].writers[write.version] = txn.txn_id;
+    }
+    for (const VersionObservation& read : txn.reads) {
+      objects[read.object_id].readers.emplace_back(read.version, txn.txn_id);
+    }
+  }
+  for (const auto& [object_id, accesses] : objects) {
+    const auto& writers = accesses.writers;
+    // ww: consecutive version installs.
+    for (auto it = writers.begin(); it != writers.end(); ++it) {
+      auto next = std::next(it);
+      if (next != writers.end()) {
+        AddEdge(it->second, next->second, DependencyType::kWriteWrite,
+                object_id);
+      }
+    }
+    for (const auto& [version, reader] : accesses.readers) {
+      // wr: the installer of the version this reader observed.
+      auto writer_it = writers.find(version);
+      if (writer_it != writers.end()) {
+        AddEdge(writer_it->second, reader, DependencyType::kWriteRead,
+                object_id);
+      }
+      // rw: the installer of the next version overwrote what the reader
+      // saw, so the reader must serialize before it.
+      auto next_writer = writers.upper_bound(version);
+      if (next_writer != writers.end()) {
+        AddEdge(reader, next_writer->second, DependencyType::kReadWrite,
+                object_id);
+      }
+    }
+  }
+}
+
+DsgReport DsgAuditor::Audit() const {
+  DsgReport report;
+  report.num_transactions = txns_.size();
+  report.num_edges = edge_list_.size();
+
+  // Iterative three-color DFS; on a gray-hit, slice the gray path into the
+  // cycle witness and classify it by its edge types.
+  enum class Color { kWhite, kGray, kBlack };
+  std::unordered_map<uint64_t, Color> colors;
+  for (uint64_t txn : txns_) colors[txn] = Color::kWhite;
+
+  static const std::vector<size_t> kNoEdges;
+  auto out_edges = [this](uint64_t node) -> const std::vector<size_t>& {
+    auto it = adjacency_.find(node);
+    return it == adjacency_.end() ? kNoEdges : it->second;
+  };
+
+  for (uint64_t root : txns_) {
+    if (colors[root] != Color::kWhite) continue;
+    // Stack of (node, out-edge cursor); path holds (node, edge taken to
+    // reach the *next* path entry) for the gray chain.
+    std::vector<std::pair<uint64_t, size_t>> stack = {{root, 0}};
+    std::vector<std::pair<uint64_t, size_t>> path = {{root, 0}};
+    colors[root] = Color::kGray;
+    while (!stack.empty()) {
+      auto& [node, cursor] = stack.back();
+      const std::vector<size_t>& out = out_edges(node);
+      if (cursor >= out.size()) {
+        colors[node] = Color::kBlack;
+        stack.pop_back();
+        path.pop_back();
+        continue;
+      }
+      size_t edge_index = out[cursor++];
+      const DependencyEdge& edge = edge_list_[edge_index];
+      uint64_t next = edge.to;
+      auto color_it = colors.find(next);
+      if (color_it == colors.end()) continue;  // uncommitted reference
+      path.back().second = edge_index;  // edge currently being explored
+      if (color_it->second == Color::kGray) {
+        // Cycle: the gray path from `next` onward, closed by this edge.
+        auto start = std::find_if(
+            path.begin(), path.end(),
+            [next](const auto& entry) { return entry.first == next; });
+        bool has_rw = false;
+        for (auto it = start; it != path.end(); ++it) {
+          report.cycle.push_back(it->first);
+          const DependencyEdge& taken = edge_list_[it->second];
+          report.cycle_edges.push_back(taken);
+          if (taken.type == DependencyType::kReadWrite) has_rw = true;
+        }
+        report.serializable = false;
+        report.anomaly = has_rw ? AnomalyClass::kG2 : AnomalyClass::kG1c;
+        return report;
+      }
+      if (color_it->second == Color::kWhite) {
+        color_it->second = Color::kGray;
+        stack.emplace_back(next, 0);
+        path.emplace_back(next, 0);
+      }
+    }
+  }
+  return report;
+}
+
+DsgReport AuditHistories(
+    const std::vector<std::vector<CommittedTxnRecord>>& site_histories) {
+  DsgAuditor auditor;
+  for (const auto& history : site_histories) auditor.AddHistory(history);
+  return auditor.Audit();
+}
+
+}  // namespace analysis
+}  // namespace mtdb

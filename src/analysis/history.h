@@ -1,0 +1,162 @@
+#ifndef MTDB_ANALYSIS_HISTORY_H_
+#define MTDB_ANALYSIS_HISTORY_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/platform/mutex.h"
+#include "src/storage/transaction.h"
+
+namespace mtdb {
+namespace analysis {
+
+// --- History recording ---------------------------------------------------
+//
+// Thread-safe sink for committed transactions, in commit order. The engine
+// owns one and feeds it at commit time (when EngineOptions::record_history
+// is set); tests and the cluster controller snapshot it for the offline
+// auditor below. Commit order is the vector order: RecordCommit runs inside
+// the engine's commit path, so position in the log is the site's commit
+// order — the auditor relies on this for its version bookkeeping.
+class HistoryRecorder {
+ public:
+  HistoryRecorder() = default;
+
+  HistoryRecorder(const HistoryRecorder&) = delete;
+  HistoryRecorder& operator=(const HistoryRecorder&) = delete;
+
+  // Appends the transaction's read/write observations as one committed
+  // record. Called exactly once per committed transaction.
+  void RecordCommit(const Transaction& txn) MTDB_EXCLUDES(mu_);
+
+  std::vector<CommittedTxnRecord> Snapshot() const MTDB_EXCLUDES(mu_);
+  size_t size() const MTDB_EXCLUDES(mu_);
+  void Clear() MTDB_EXCLUDES(mu_);
+
+ private:
+  mutable platform::Mutex mu_{"analysis/HistoryRecorder::mu"};
+  std::vector<CommittedTxnRecord> history_ MTDB_GUARDED_BY(mu_);
+};
+
+// --- Offline dependency-serialization-graph (DSG) auditor ----------------
+//
+// Builds Adya's direct serialization graph from committed histories and
+// classifies any cycle:
+//
+//   ww (write dependency)      installer of version v -> installer of the
+//                              next version of the same object
+//   wr (read dependency)       installer of version v -> every committed
+//                              reader that observed v
+//   rw (anti-dependency)       reader that observed v -> installer of the
+//                              next version after v (the overwrite)
+//
+// A cycle of only ww/wr edges is phenomenon G1c (circular information
+// flow); a cycle containing at least one rw edge is G2 (anti-dependency
+// cycle — the class that contains write skew and lost update). A history
+// with an acyclic DSG is (conflict-)serializable.
+//
+// Multiple sites union their edges on transaction ids (read-one-write-all:
+// global one-copy serializability == acyclic union), which is exactly the
+// aggressive-controller anomaly check of the paper's Section 3.1.
+
+enum class DependencyType { kWriteWrite, kWriteRead, kReadWrite };
+
+std::string_view DependencyTypeName(DependencyType type);
+
+struct DependencyEdge {
+  uint64_t from = 0;
+  uint64_t to = 0;
+  DependencyType type = DependencyType::kWriteWrite;
+  // One object witnessing the conflict (an edge may have several; the
+  // first discovered is kept).
+  std::string object_id;
+};
+
+enum class AnomalyClass {
+  kNone,  // acyclic: serializable
+  kG1c,   // cycle of write/read dependencies only
+  kG2,    // cycle with at least one anti-dependency (write skew et al.)
+};
+
+std::string_view AnomalyClassName(AnomalyClass anomaly);
+
+struct DsgReport {
+  bool serializable = true;
+  AnomalyClass anomaly = AnomalyClass::kNone;
+  size_t num_transactions = 0;
+  size_t num_edges = 0;
+  // Cycle witness when not serializable: txn ids in cycle order, and the
+  // typed edge leaving each (cycle_edges[i] goes cycle[i] -> cycle[i+1],
+  // wrapping at the end).
+  std::vector<uint64_t> cycle;
+  std::vector<DependencyEdge> cycle_edges;
+
+  std::string ToString() const;
+};
+
+class DsgAuditor {
+ public:
+  DsgAuditor() = default;
+
+  // Folds one site's committed history (in commit order) into the graph.
+  // Call once per site; edges union on transaction ids.
+  void AddHistory(const std::vector<CommittedTxnRecord>& history);
+
+  // Runs cycle detection + classification over everything added so far.
+  DsgReport Audit() const;
+
+  // All distinct edges discovered (for tests and diagnostics).
+  const std::vector<DependencyEdge>& edges() const { return edge_list_; }
+
+ private:
+  void AddEdge(uint64_t from, uint64_t to, DependencyType type,
+               const std::string& object_id);
+
+  std::vector<DependencyEdge> edge_list_;
+  // Adjacency as indexes into edge_list_, keyed by `from`.
+  std::map<uint64_t, std::vector<size_t>> adjacency_;
+  std::set<uint64_t> txns_;
+  std::set<std::tuple<uint64_t, uint64_t, DependencyType>> seen_;
+};
+
+// Convenience: one-shot audit over per-site histories.
+DsgReport AuditHistories(
+    const std::vector<std::vector<CommittedTxnRecord>>& site_histories);
+
+// --- Test builder --------------------------------------------------------
+//
+// Fluent construction of CommittedTxnRecord histories for auditor tests:
+//
+//   auto h = HistoryBuilder()
+//                .Txn(1).Read("x", 0).Write("y", 1)
+//                .Txn(2).Read("y", 0).Write("x", 1)
+//                .Build();
+class HistoryBuilder {
+ public:
+  HistoryBuilder& Txn(uint64_t txn_id) {
+    history_.emplace_back();
+    history_.back().txn_id = txn_id;
+    return *this;
+  }
+  HistoryBuilder& Read(std::string object_id, uint64_t version) {
+    history_.back().reads.push_back({std::move(object_id), version});
+    return *this;
+  }
+  HistoryBuilder& Write(std::string object_id, uint64_t version) {
+    history_.back().writes.push_back({std::move(object_id), version});
+    return *this;
+  }
+  std::vector<CommittedTxnRecord> Build() { return std::move(history_); }
+
+ private:
+  std::vector<CommittedTxnRecord> history_;
+};
+
+}  // namespace analysis
+}  // namespace mtdb
+
+#endif  // MTDB_ANALYSIS_HISTORY_H_

@@ -14,10 +14,10 @@ namespace {
 
 std::atomic<int64_t> g_violation_count{0};
 
-// Guards g_handler. A plain std::mutex (not an OrderedMutex) on purpose:
+// Guards g_handler. A plain std::mutex (not a platform::Mutex) on purpose:
 // violations are reported from inside instrumented lock paths, and the
 // reporting machinery must not itself feed the lock-order graph.
-std::mutex g_handler_mu;
+std::mutex g_handler_mu;  // mtdblint: allow(raw-mutex)
 ViolationHandler g_handler;  // empty = default log-and-abort
 
 void DefaultHandler(const InvariantViolation& violation) {
@@ -33,7 +33,7 @@ void ReportViolation(std::string checker, std::string detail) {
   InvariantViolation violation{std::move(checker), std::move(detail)};
   ViolationHandler handler;
   {
-    std::lock_guard<std::mutex> lock(g_handler_mu);
+    std::lock_guard<std::mutex> lock(g_handler_mu);  // mtdblint: allow(raw-mutex)
     handler = g_handler;
   }
   if (handler) {
@@ -44,7 +44,7 @@ void ReportViolation(std::string checker, std::string detail) {
 }
 
 ViolationHandler SetViolationHandler(ViolationHandler handler) {
-  std::lock_guard<std::mutex> lock(g_handler_mu);
+  std::lock_guard<std::mutex> lock(g_handler_mu);  // mtdblint: allow(raw-mutex)
   ViolationHandler previous = std::move(g_handler);
   g_handler = std::move(handler);
   return previous;
@@ -62,7 +62,7 @@ ScopedViolationRecorder::ScopedViolationRecorder(
     std::vector<InvariantViolation>* sink)
     : sink_(sink),
       previous_(SetViolationHandler([this](const InvariantViolation& v) {
-        std::lock_guard<std::mutex> lock(mu_);
+        std::lock_guard<std::mutex> lock(mu_);  // mtdblint: allow(raw-mutex)
         sink_->push_back(v);
       })) {}
 

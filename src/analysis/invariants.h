@@ -63,7 +63,10 @@ class ScopedViolationRecorder {
   ScopedViolationRecorder& operator=(const ScopedViolationRecorder&) = delete;
 
  private:
-  std::mutex mu_;  // violations can arrive from multiple threads
+  // Violations can arrive from multiple threads. Raw on purpose: the
+  // handler runs inside instrumented lock paths and must not feed the
+  // lock-order graph. mtdblint: allow(raw-mutex)
+  std::mutex mu_;
   std::vector<InvariantViolation>* sink_;
   ViolationHandler previous_;
 };

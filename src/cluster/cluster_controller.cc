@@ -39,20 +39,20 @@ bool IsReadStatement(const sql::Statement& stmt) {
 // caller (never happens today, but cheap insurance) stays safe.
 struct CallBarrier {
   explicit CallBarrier(int n) : outstanding(n) {}
-  std::mutex mu;
-  std::condition_variable cv;
-  int outstanding;
+  platform::Mutex mu{"cluster/CallBarrier::mu"};
+  platform::CondVar cv;
+  int outstanding MTDB_GUARDED_BY(mu);
 
-  void Done() {
+  void Done() MTDB_EXCLUDES(mu) {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      platform::Guard lock(mu);
       --outstanding;
     }
-    cv.notify_all();
+    cv.NotifyAll();
   }
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [this] { return outstanding <= 0; });
+  void Wait() MTDB_EXCLUDES(mu) {
+    platform::UniqueLock lock(mu);
+    while (outstanding > 0) cv.Wait(lock);
   }
 };
 
@@ -87,7 +87,7 @@ int ClusterController::AddMachine(MachineOptions machine_options) {
   net::MachineService* service = nullptr;
   int id;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    platform::Guard lock(mu_);
     id = static_cast<int>(machines_.size());
     machines_.push_back(std::make_unique<Machine>(id, machine_options));
     services_.push_back(
@@ -99,18 +99,18 @@ int ClusterController::AddMachine(MachineOptions machine_options) {
 }
 
 size_t ClusterController::machine_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   return machines_.size();
 }
 
 Machine* ClusterController::machine(int id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   if (id < 0 || static_cast<size_t>(id) >= machines_.size()) return nullptr;
   return machines_[id].get();
 }
 
 std::vector<int> ClusterController::MachineIds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   std::vector<int> ids;
   for (const auto& m : machines_) ids.push_back(m->id());
   return ids;
@@ -121,7 +121,7 @@ Status ClusterController::CreateDatabase(const std::string& db_name,
   if (num_replicas <= 0) num_replicas = options_.default_replicas;
   std::vector<int> chosen;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    platform::Guard lock(mu_);
     if (databases_.count(db_name) > 0 || creating_.count(db_name) > 0) {
       return Status::AlreadyExists("database " + db_name);
     }
@@ -155,7 +155,7 @@ Status ClusterController::CreateDatabaseOn(const std::string& db_name,
     return Status::InvalidArgument("need at least one replica");
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    platform::Guard lock(mu_);
     if (databases_.count(db_name) > 0 || creating_.count(db_name) > 0) {
       return Status::AlreadyExists("database " + db_name);
     }
@@ -181,7 +181,7 @@ Status ClusterController::CreateDatabaseOn(const std::string& db_name,
     created.push_back(id);
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   creating_.erase(db_name);
   if (!status.ok()) {
     for (int id : created) (void)client_->DropDatabase(id, db_name);
@@ -202,7 +202,7 @@ Status ClusterController::CreateDatabaseOn(const std::string& db_name,
 Status ClusterController::DropDatabase(const std::string& db_name) {
   std::vector<int> replicas;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    platform::Guard lock(mu_);
     auto it = databases_.find(db_name);
     if (it == databases_.end()) return Status::NotFound("database " + db_name);
     for (int id : it->second->replicas) {
@@ -215,7 +215,7 @@ Status ClusterController::DropDatabase(const std::string& db_name) {
     (void)client_->DropDatabase(id, db_name);
   }
   {
-    std::lock_guard<std::mutex> lock(stmt_mu_);
+    platform::Guard lock(stmt_mu_);
     std::erase_if(prepared_stmts_, [&db_name](const auto& entry) {
       return entry.first.first == db_name;
     });
@@ -225,13 +225,13 @@ Status ClusterController::DropDatabase(const std::string& db_name) {
 
 std::vector<int> ClusterController::ReplicasOf(
     const std::string& db_name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   auto it = databases_.find(db_name);
   return it == databases_.end() ? std::vector<int>() : it->second->replicas;
 }
 
 std::vector<std::string> ClusterController::DatabaseNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   std::vector<std::string> names;
   for (const auto& [name, db] : databases_) names.push_back(name);
   return names;
@@ -276,7 +276,7 @@ std::unique_ptr<Connection> ClusterController::Connect(
 Result<std::shared_ptr<PreparedStatement>> ClusterController::PrepareStatement(
     const std::string& db_name, const std::string& sql) {
   {
-    std::lock_guard<std::mutex> lock(stmt_mu_);
+    platform::Guard lock(stmt_mu_);
     auto it = prepared_stmts_.find({db_name, sql});
     if (it != prepared_stmts_.end()) return it->second;
   }
@@ -298,7 +298,7 @@ Result<std::shared_ptr<PreparedStatement>> ClusterController::PrepareStatement(
   }
   auto prepared = std::shared_ptr<PreparedStatement>(new PreparedStatement(
       db_name, sql, is_read, std::move(write_table)));
-  std::lock_guard<std::mutex> lock(stmt_mu_);
+  platform::Guard lock(stmt_mu_);
   // Racing preparers of the same text share whichever instance won.
   auto [it, inserted] =
       prepared_stmts_.emplace(std::make_pair(db_name, sql), prepared);
@@ -308,27 +308,27 @@ Result<std::shared_ptr<PreparedStatement>> ClusterController::PrepareStatement(
 Result<uint64_t> ClusterController::HandleOn(PreparedStatement* stmt,
                                              int machine_id) {
   {
-    std::lock_guard<std::mutex> lock(stmt->mu_);
+    platform::Guard lock(stmt->mu_);
     auto it = stmt->machine_handles_.find(machine_id);
     if (it != stmt->machine_handles_.end()) return it->second;
   }
   MTDB_ASSIGN_OR_RETURN(
       uint64_t handle,
       client_->PrepareStatement(machine_id, stmt->db_name_, stmt->sql_));
-  std::lock_guard<std::mutex> lock(stmt->mu_);
+  platform::Guard lock(stmt->mu_);
   stmt->machine_handles_[machine_id] = handle;
   return handle;
 }
 
 void ClusterController::DropHandle(PreparedStatement* stmt, int machine_id) {
-  std::lock_guard<std::mutex> lock(stmt->mu_);
+  platform::Guard lock(stmt->mu_);
   stmt->machine_handles_.erase(machine_id);
 }
 
 void ClusterController::InvalidateHandles(int machine_id) {
-  std::lock_guard<std::mutex> lock(stmt_mu_);
+  platform::Guard lock(stmt_mu_);
   for (auto& [key, stmt] : prepared_stmts_) {
-    std::lock_guard<std::mutex> stmt_lock(stmt->mu_);
+    platform::Guard stmt_lock(stmt->mu_);
     stmt->machine_handles_.erase(machine_id);
   }
 }
@@ -348,7 +348,7 @@ void ClusterController::FailMachine(int machine_id) {
 
 Status ClusterController::BeginCopy(const std::string& db_name,
                                     int target_machine) {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   auto it = databases_.find(db_name);
   if (it == databases_.end()) return Status::NotFound("database " + db_name);
   DbState& db = *it->second;
@@ -364,7 +364,7 @@ Status ClusterController::BeginCopy(const std::string& db_name,
 
 Status ClusterController::SetCopyInProgress(const std::string& db_name,
                                             const std::string& table) {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   auto it = databases_.find(db_name);
   if (it == databases_.end()) return Status::NotFound("database " + db_name);
   if (!it->second->copy.active) {
@@ -376,7 +376,7 @@ Status ClusterController::SetCopyInProgress(const std::string& db_name,
 
 Status ClusterController::MarkTableCopied(const std::string& db_name,
                                           const std::string& table) {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   auto it = databases_.find(db_name);
   if (it == databases_.end()) return Status::NotFound("database " + db_name);
   CopyState& copy = it->second->copy;
@@ -393,7 +393,7 @@ Status ClusterController::CompleteCopy(const std::string& db_name) {
   qos::QuotaSpec quota;
   bool push_quota = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    platform::Guard lock(mu_);
     auto it = databases_.find(db_name);
     if (it == databases_.end()) return Status::NotFound("database " + db_name);
     DbState& db = *it->second;
@@ -426,7 +426,7 @@ Status ClusterController::CompleteCopy(const std::string& db_name) {
 }
 
 Status ClusterController::AbandonCopy(const std::string& db_name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   auto it = databases_.find(db_name);
   if (it == databases_.end()) return Status::NotFound("database " + db_name);
   it->second->copy = CopyState{};
@@ -439,7 +439,7 @@ Status ClusterController::SetDatabaseQuota(const std::string& db_name,
                                            const qos::QuotaSpec& spec) {
   std::vector<int> targets;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    platform::Guard lock(mu_);
     auto it = databases_.find(db_name);
     if (it == databases_.end()) return Status::NotFound("database " + db_name);
     DbState& db = *it->second;
@@ -461,7 +461,7 @@ Status ClusterController::SetDatabaseQuota(const std::string& db_name,
 
 qos::QuotaSpec ClusterController::DatabaseQuota(
     const std::string& db_name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   auto it = databases_.find(db_name);
   if (it == databases_.end() || !it->second->has_quota) return {};
   return it->second->quota;
@@ -477,7 +477,7 @@ int ClusterController::RefreshQuotasFromLoad(double headroom) {
   };
   std::vector<Refresh> refreshes;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    platform::Guard lock(mu_);
     for (auto& [db_name, db] : databases_) {
       if (!db->has_quota || db->quota.rate_tps <= 0) continue;
       double measured = load_monitor_.TpsFor(db_name);
@@ -516,7 +516,7 @@ std::vector<int> ClusterController::AliveReplicasLocked(
 
 Result<std::vector<int>> ClusterController::ReadTargets(
     const std::string& db_name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   auto it = databases_.find(db_name);
   if (it == databases_.end()) return Status::NotFound("database " + db_name);
   std::vector<int> targets = AliveReplicasLocked(*it->second);
@@ -531,7 +531,7 @@ Result<int> ClusterController::PickReadMachine(const std::string& db_name,
   MTDB_ASSIGN_OR_RETURN(std::vector<int> targets, ReadTargets(db_name));
   int primary_offset = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    platform::Guard lock(mu_);
     auto it = databases_.find(db_name);
     if (it != databases_.end()) primary_offset = it->second->primary_offset;
   }
@@ -555,7 +555,7 @@ Result<int> ClusterController::PickReadMachine(const std::string& db_name,
 
 Result<std::vector<int>> ClusterController::WriteTargets(
     const std::string& db_name, const std::string& table) {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   auto it = databases_.find(db_name);
   if (it == databases_.end()) return Status::NotFound("database " + db_name);
   DbState& db = *it->second;
@@ -583,7 +583,7 @@ Result<std::vector<int>> ClusterController::WriteTargets(
 
 void ClusterController::BeginInflightWrite(const std::string& db_name,
                                            const std::string& table) {
-  std::lock_guard<std::mutex> lock(inflight_mu_);
+  platform::Guard lock(inflight_mu_);
   inflight_writes_[db_name]++;
   inflight_writes_[db_name + "/" + table]++;
 }
@@ -591,30 +591,31 @@ void ClusterController::BeginInflightWrite(const std::string& db_name,
 void ClusterController::EndInflightWrite(const std::string& db_name,
                                          const std::string& table) {
   {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
+    platform::Guard lock(inflight_mu_);
     inflight_writes_[db_name]--;
     inflight_writes_[db_name + "/" + table]--;
   }
-  inflight_cv_.notify_all();
+  inflight_cv_.NotifyAll();
 }
 
 void ClusterController::WaitForQuiescentWrites(const std::string& db_name,
                                                const std::string& table) {
   std::string key = table == "*" ? db_name : db_name + "/" + table;
-  std::unique_lock<std::mutex> lock(inflight_mu_);
-  inflight_cv_.wait(lock, [this, &key] {
+  platform::UniqueLock lock(inflight_mu_);
+  for (;;) {
     auto it = inflight_writes_.find(key);
-    return it == inflight_writes_.end() || it->second == 0;
-  });
+    if (it == inflight_writes_.end() || it->second == 0) break;
+    inflight_cv_.Wait(lock);
+  }
 }
 
 void ClusterController::LogCommitDecision(uint64_t txn_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   backup_.commit_decisions.insert(txn_id);
 }
 
 void ClusterController::ForgetCommitDecision(uint64_t txn_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   backup_.commit_decisions.erase(txn_id);
 }
 
@@ -630,7 +631,7 @@ void ClusterController::SimulateControllerFailover() {
   std::vector<int> alive;
   std::set<uint64_t> decisions;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    platform::Guard lock(mu_);
     for (const auto& m : machines_) {
       if (!m->failed()) alive.push_back(m->id());
     }
@@ -659,7 +660,7 @@ void ClusterController::SimulateControllerFailover() {
 // --- Introspection ---
 
 int64_t ClusterController::rejected_writes(const std::string& db_name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   auto it = databases_.find(db_name);
   return it == databases_.end()
              ? 0
@@ -667,7 +668,7 @@ int64_t ClusterController::rejected_writes(const std::string& db_name) const {
 }
 
 int64_t ClusterController::total_rejected_writes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   int64_t total = 0;
   for (const auto& [name, db] : databases_) {
     total += db->rejected_writes.load(std::memory_order_relaxed);
@@ -676,7 +677,7 @@ int64_t ClusterController::total_rejected_writes() const {
 }
 
 int64_t ClusterController::total_deadlocks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   int64_t total = 0;
   for (const auto& m : machines_) {
     total += m->engine()->lock_manager().deadlock_count();
@@ -688,7 +689,7 @@ std::vector<std::vector<CommittedTxnRecord>>
 ClusterController::CollectHistories() const {
   std::vector<std::shared_ptr<Engine>> engines;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    platform::Guard lock(mu_);
     for (const auto& m : machines_) engines.push_back(m->engine());
   }
   std::vector<std::vector<CommittedTxnRecord>> histories;
@@ -703,7 +704,7 @@ SerializabilityReport ClusterController::CheckClusterSerializability() const {
 }
 
 void ClusterController::SetLatencyInjector(LatencyInjector injector) {
-  std::lock_guard<std::mutex> lock(injector_mu_);
+  platform::Guard lock(injector_mu_);
   latency_injector_ = std::move(injector);
 }
 
@@ -712,7 +713,7 @@ int64_t ClusterController::InjectedLatency(const std::string& label,
                                            int machine_id) const {
   LatencyInjector injector;
   {
-    std::lock_guard<std::mutex> lock(injector_mu_);
+    platform::Guard lock(injector_mu_);
     injector = latency_injector_;
   }
   return injector ? injector(label, is_write, machine_id) : 0;
@@ -757,12 +758,12 @@ net::MachineClient::Session* Connection::SessionFor(int machine_id) {
 }
 
 void Connection::Poison(const Status& status) {
-  std::lock_guard<std::mutex> lock(poison_mu_);
+  platform::Guard lock(poison_mu_);
   if (poison_.ok()) poison_ = status;
 }
 
 Status Connection::poison_status() const {
-  std::lock_guard<std::mutex> lock(poison_mu_);
+  platform::Guard lock(poison_mu_);
   return poison_;
 }
 
@@ -784,7 +785,7 @@ Status Connection::BeginInternal() {
   begun_machines_.clear();
   outstanding_.clear();
   {
-    std::lock_guard<std::mutex> lock(poison_mu_);
+    platform::Guard lock(poison_mu_);
     poison_ = Status::OK();
   }
   txn_start_us_ = NowMicros();
@@ -1002,7 +1003,7 @@ net::ResponseHandler Connection::MakeWriteHandler(
     Status status = response.ToStatus();
     bool last = false;
     {
-      std::lock_guard<std::mutex> lock(pending->mu);
+      platform::Guard lock(pending->mu);
       pending->outstanding--;
       last = pending->outstanding == 0;
       if (status.ok()) {
@@ -1016,7 +1017,7 @@ net::ResponseHandler Connection::MakeWriteHandler(
       } else if (pending->first_error.ok()) {
         pending->first_error = status;
       }
-      pending->cv.notify_all();
+      pending->cv.NotifyAll();
     }
     if (last) controller->EndInflightWrite(inflight_db, inflight_table);
   };
@@ -1024,10 +1025,10 @@ net::ResponseHandler Connection::MakeWriteHandler(
 
 Result<sql::QueryResult> Connection::FinishWrite(
     std::shared_ptr<PendingWrite> pending) {
-  std::unique_lock<std::mutex> lock(pending->mu);
+  platform::UniqueLock lock(pending->mu);
   if (controller_->options().write_policy == WriteAckPolicy::kConservative) {
     // Wait for *all* replicas before acknowledging (Theorem 2).
-    pending->cv.wait(lock, [&pending] { return pending->AllDone(); });
+    while (!pending->AllDone()) pending->cv.Wait(lock);
     if (!pending->first_error.ok()) {
       Status error = pending->first_error;
       lock.unlock();
@@ -1044,9 +1045,7 @@ Result<sql::QueryResult> Connection::FinishWrite(
   }
   // Aggressive: acknowledge as soon as one replica succeeds; keep tracking
   // the rest asynchronously (their failure poisons the transaction).
-  pending->cv.wait(lock, [&pending] {
-    return pending->have_first || pending->AllDone();
-  });
+  while (!pending->have_first && !pending->AllDone()) pending->cv.Wait(lock);
   if (pending->have_first) {
     sql::QueryResult result = pending->first_result;
     bool all_done = pending->AllDone();
@@ -1234,8 +1233,8 @@ Result<sql::QueryResult> Connection::ExecutePreparedWrite(
 Status Connection::WaitOutstandingWrites() {
   Status result = Status::OK();
   for (const auto& pending : outstanding_) {
-    std::unique_lock<std::mutex> lock(pending->mu);
-    pending->cv.wait(lock, [&pending] { return pending->AllDone(); });
+    platform::UniqueLock lock(pending->mu);
+    while (!pending->AllDone()) pending->cv.Wait(lock);
     if (!pending->first_error.ok() && result.ok()) {
       result = pending->first_error;
     }
@@ -1296,8 +1295,8 @@ Status Connection::CommitInternal() {
   // kUnavailable via the RPC deadline — a lost PREPARE reply cannot hang
   // the coordinator.
   struct PhaseState {
-    std::mutex mu;
-    std::vector<std::pair<int, Status>> results;
+    platform::Mutex mu{"cluster/PhaseState::mu"};
+    std::vector<std::pair<int, Status>> results MTDB_GUARDED_BY(mu);
   };
   auto phase = std::make_shared<PhaseState>();
   {
@@ -1309,7 +1308,7 @@ Status Connection::CommitInternal() {
           ->PrepareAsync(txn, [phase, barrier,
                                machine_id](net::RpcResponse response) {
             {
-              std::lock_guard<std::mutex> lock(phase->mu);
+              platform::Guard lock(phase->mu);
               phase->results.emplace_back(machine_id, response.ToStatus());
             }
             barrier->Done();
@@ -1320,11 +1319,16 @@ Status Connection::CommitInternal() {
   }
   std::vector<int> prepared;
   Status veto = Status::OK();
-  for (const auto& [machine_id, status] : phase->results) {
-    if (status.ok()) {
-      prepared.push_back(machine_id);
-    } else if (status.code() != StatusCode::kUnavailable && veto.ok()) {
-      veto = status;
+  {
+    // The barrier guarantees every handler has finished; the lock is for the
+    // thread-safety analysis (and pairs the read with the handlers' writes).
+    platform::Guard lock(phase->mu);
+    for (const auto& [machine_id, status] : phase->results) {
+      if (status.ok()) {
+        prepared.push_back(machine_id);
+      } else if (status.code() != StatusCode::kUnavailable && veto.ok()) {
+        veto = status;
+      }
     }
   }
   // PREPARE ran after every queued write on each session channel, so all

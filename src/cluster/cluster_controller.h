@@ -2,11 +2,9 @@
 #define MTDB_CLUSTER_CLUSTER_CONTROLLER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -22,6 +20,7 @@
 #include "src/net/transport.h"
 #include "src/obs/load_monitor.h"
 #include "src/obs/metrics.h"
+#include "src/platform/mutex.h"
 #include "src/qos/qos.h"
 #include "src/sql/executor.h"
 
@@ -111,11 +110,11 @@ class PreparedStatement {
   bool is_read_;
   std::string write_table_;  // empty for reads
 
-  std::mutex mu_;
+  platform::Mutex mu_{"cluster/PreparedStatement::mu"};
   // machine id -> engine-local statement handle. Entries are dropped when a
   // machine fails (handles do not survive recovery) or when a machine
   // reports the handle unknown (process restart behind a stable endpoint).
-  std::map<int, uint64_t> machine_handles_;
+  std::map<int, uint64_t> machine_handles_ MTDB_GUARDED_BY(mu_);
 };
 
 // A client database connection, handed out by the cluster controller (which
@@ -159,16 +158,18 @@ class Connection {
   // Result of one replicated write: completion latch shared by all replica
   // RPC handlers.
   struct PendingWrite {
-    std::mutex mu;
-    std::condition_variable cv;
-    int outstanding = 0;
-    int succeeded = 0;
-    int unavailable = 0;
-    bool have_first = false;
-    Status first_error;                 // first non-unavailable failure
-    sql::QueryResult first_result;      // result of the fastest success
+    platform::Mutex mu{"cluster/Connection::PendingWrite::mu"};
+    platform::CondVar cv;
+    int outstanding MTDB_GUARDED_BY(mu) = 0;
+    int succeeded MTDB_GUARDED_BY(mu) = 0;
+    int unavailable MTDB_GUARDED_BY(mu) = 0;
+    bool have_first MTDB_GUARDED_BY(mu) = false;
+    // first non-unavailable failure
+    Status first_error MTDB_GUARDED_BY(mu);
+    // result of the fastest success
+    sql::QueryResult first_result MTDB_GUARDED_BY(mu);
 
-    bool AllDone() const { return outstanding == 0; }
+    bool AllDone() const MTDB_REQUIRES(mu) { return outstanding == 0; }
   };
 
   Connection(ClusterController* controller, std::string db_name,
@@ -247,8 +248,8 @@ class Connection {
   std::map<int, std::unique_ptr<net::MachineClient::Session>> sessions_;
   std::vector<std::shared_ptr<PendingWrite>> outstanding_;
 
-  mutable std::mutex poison_mu_;
-  Status poison_;
+  mutable platform::Mutex poison_mu_{"cluster/Connection::poison_mu"};
+  Status poison_ MTDB_GUARDED_BY(poison_mu_);
   // Jitter source for throttle backoff (decorrelates retry storms across
   // connections).
   Random rng_{static_cast<uint64_t>(NowMicros()) ^
@@ -451,16 +452,18 @@ class ClusterController {
 
   ClusterControllerOptions options_;
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Machine>> machines_;
+  mutable platform::Mutex mu_{"cluster/ClusterController::mu"};
+  std::vector<std::unique_ptr<Machine>> machines_ MTDB_GUARDED_BY(mu_);
   // RPC endpoints for the local machines, registered with the transport
   // (no-op for remote transports: the server process hosts the service).
-  std::vector<std::unique_ptr<net::MachineService>> services_;
-  std::map<std::string, std::unique_ptr<DbState>> databases_;
+  std::vector<std::unique_ptr<net::MachineService>> services_
+      MTDB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<DbState>> databases_
+      MTDB_GUARDED_BY(mu_);
   // Databases mid-CreateDatabaseOn: reserved under mu_ while the replica
   // CreateDatabase RPCs run unlocked.
-  std::set<std::string> creating_;
-  BackupImage backup_;
+  std::set<std::string> creating_ MTDB_GUARDED_BY(mu_);
+  BackupImage backup_ MTDB_GUARDED_BY(mu_);
 
   std::atomic<uint64_t> next_txn_id_{1};
   std::atomic<uint64_t> epoch_{1};
@@ -468,8 +471,8 @@ class ClusterController {
   std::atomic<int64_t> committed_{0};
   std::atomic<int64_t> aborted_{0};
 
-  mutable std::mutex injector_mu_;
-  LatencyInjector latency_injector_;
+  mutable platform::Mutex injector_mu_{"cluster/ClusterController::injector_mu"};
+  LatencyInjector latency_injector_ MTDB_GUARDED_BY(injector_mu_);
 
   obs::LoadMonitor load_monitor_;
   obs::Counter* m_failover_ = nullptr;
@@ -477,15 +480,15 @@ class ClusterController {
   // Prepared-statement registry: one shared PreparedStatement per distinct
   // (database, sql) text. Lock order: stmt_mu_ before any
   // PreparedStatement::mu_, never the reverse.
-  mutable std::mutex stmt_mu_;
+  mutable platform::Mutex stmt_mu_{"cluster/ClusterController::stmt_mu"};
   std::map<std::pair<std::string, std::string>,
            std::shared_ptr<PreparedStatement>>
-      prepared_stmts_;
+      prepared_stmts_ MTDB_GUARDED_BY(stmt_mu_);
 
-  mutable std::mutex inflight_mu_;
-  std::condition_variable inflight_cv_;
+  mutable platform::Mutex inflight_mu_{"cluster/ClusterController::inflight_mu"};
+  platform::CondVar inflight_cv_;
   // Keys: "<db>" (all tables) and "<db>/<table>".
-  std::map<std::string, int64_t> inflight_writes_;
+  std::map<std::string, int64_t> inflight_writes_ MTDB_GUARDED_BY(inflight_mu_);
 
   // Owned transport when the options did not supply one.
   std::unique_ptr<net::InProcTransport> owned_transport_;

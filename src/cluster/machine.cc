@@ -25,14 +25,14 @@ Machine::Machine(int id, MachineOptions options)
 }
 
 std::shared_ptr<Engine> Machine::engine() const {
-  analysis::OrderedGuard lock(engine_mu_);
+  platform::Guard lock(engine_mu_);
   return engine_;
 }
 
 void Machine::Fail() { failed_.store(true, std::memory_order_release); }
 
 void Machine::Recover() {
-  analysis::OrderedGuard lock(engine_mu_);
+  platform::Guard lock(engine_mu_);
   engine_ = std::make_shared<Engine>(name_, options_.engine_options);
   failed_.store(false, std::memory_order_release);
 }

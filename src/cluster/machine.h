@@ -5,7 +5,7 @@
 #include <memory>
 #include <string>
 
-#include "src/analysis/lock_order.h"
+#include "src/platform/mutex.h"
 #include "src/cluster/strand.h"
 #include "src/common/resource.h"
 #include "src/qos/admission.h"
@@ -97,8 +97,8 @@ class Machine {
   int id_;
   std::string name_;
   MachineOptions options_;
-  mutable analysis::OrderedMutex engine_mu_{"cluster/Machine::engine_mu"};
-  std::shared_ptr<Engine> engine_;
+  mutable platform::Mutex engine_mu_{"cluster/Machine::engine_mu"};
+  std::shared_ptr<Engine> engine_ MTDB_GUARDED_BY(engine_mu_);
   std::atomic<bool> failed_{false};
   std::unique_ptr<qos::WeightedFairQueue> fair_queue_;
   std::unique_ptr<qos::AdmissionController> admission_;

@@ -1,13 +1,13 @@
 #include "src/cluster/recovery.h"
 
 #include <algorithm>
-#include <mutex>
 #include <thread>
 
 #include "src/common/clock.h"
 #include "src/common/logging.h"
 #include "src/net/machine_client.h"
 #include "src/obs/metrics.h"
+#include "src/platform/mutex.h"
 
 namespace mtdb {
 
@@ -183,7 +183,8 @@ std::vector<RecoveryResult> RecoveryManager::RecoverAll(int target_replicas) {
 
   std::vector<RecoveryResult> results(to_recover.size());
   std::atomic<size_t> next{0};
-  std::mutex target_mu;  // serializes target selection to avoid collisions
+  // Serializes target selection to avoid collisions.
+  platform::Mutex target_mu{"cluster/Recovery::target_mu"};
   auto worker = [&] {
     while (true) {
       size_t i = next.fetch_add(1);
@@ -191,7 +192,7 @@ std::vector<RecoveryResult> RecoveryManager::RecoverAll(int target_replicas) {
       const std::string& db_name = to_recover[i];
       int target = -1;
       {
-        std::lock_guard<std::mutex> lock(target_mu);
+        platform::Guard lock(target_mu);
         auto target_or = ChooseTarget(db_name);
         if (!target_or.ok()) {
           results[i].database = db_name;

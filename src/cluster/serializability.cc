@@ -1,9 +1,8 @@
 #include "src/cluster/serializability.h"
 
-#include <algorithm>
 #include <sstream>
-#include <unordered_map>
-#include <unordered_set>
+
+#include "src/analysis/history.h"
 
 namespace mtdb {
 
@@ -12,116 +11,23 @@ std::string SerializabilityReport::ToString() const {
   out << (serializable ? "SERIALIZABLE" : "NOT SERIALIZABLE") << " ("
       << num_transactions << " txns, " << num_edges << " edges";
   if (!cycle.empty()) {
-    out << "; cycle:";
+    out << "; anomaly " << analysis::AnomalyClassName(anomaly) << "; cycle:";
     for (uint64_t id : cycle) out << " T" << id;
   }
   out << ")";
   return out.str();
 }
 
-namespace {
-
-using EdgeSet = std::unordered_map<uint64_t, std::unordered_set<uint64_t>>;
-
-void AddEdge(EdgeSet* edges, uint64_t from, uint64_t to, size_t* count) {
-  if (from == to) return;
-  if ((*edges)[from].insert(to).second) ++(*count);
-}
-
-// Per-object, per-site access info.
-struct ObjectAccesses {
-  // version -> writer txn
-  std::map<uint64_t, uint64_t> writers;
-  // (version read, reader txn)
-  std::vector<std::pair<uint64_t, uint64_t>> readers;
-};
-
-}  // namespace
-
 SerializabilityReport CheckSerializability(
     const std::vector<std::vector<CommittedTxnRecord>>& site_histories) {
+  analysis::DsgReport dsg = analysis::AuditHistories(site_histories);
   SerializabilityReport report;
-  EdgeSet edges;
-  std::unordered_set<uint64_t> txns;
-
-  for (const std::vector<CommittedTxnRecord>& history : site_histories) {
-    std::unordered_map<std::string, ObjectAccesses> objects;
-    for (const CommittedTxnRecord& txn : history) {
-      txns.insert(txn.txn_id);
-      for (const VersionObservation& write : txn.writes) {
-        objects[write.object_id].writers[write.version] = txn.txn_id;
-      }
-      for (const VersionObservation& read : txn.reads) {
-        objects[read.object_id].readers.emplace_back(read.version,
-                                                     txn.txn_id);
-      }
-    }
-    for (const auto& [object_id, accesses] : objects) {
-      const auto& writers = accesses.writers;
-      // ww edges between consecutive versions.
-      for (auto it = writers.begin(); it != writers.end(); ++it) {
-        auto next = std::next(it);
-        if (next != writers.end()) {
-          AddEdge(&edges, it->second, next->second, &report.num_edges);
-        }
-      }
-      for (const auto& [version, reader] : accesses.readers) {
-        // wr: the writer that installed the version this reader saw.
-        auto writer_it = writers.find(version);
-        if (writer_it != writers.end()) {
-          AddEdge(&edges, writer_it->second, reader, &report.num_edges);
-        }
-        // rw: the writer that installed the next version overwrote what the
-        // reader saw, so the reader must precede it.
-        auto next_writer = writers.upper_bound(version);
-        if (next_writer != writers.end()) {
-          AddEdge(&edges, reader, next_writer->second, &report.num_edges);
-        }
-      }
-    }
-  }
-  report.num_transactions = txns.size();
-
-  // Iterative three-color DFS with cycle extraction.
-  enum class Color { kWhite, kGray, kBlack };
-  std::unordered_map<uint64_t, Color> colors;
-  for (uint64_t txn : txns) colors[txn] = Color::kWhite;
-
-  for (uint64_t root : txns) {
-    if (colors[root] != Color::kWhite) continue;
-    // Stack of (node, next-neighbor cursor); path tracks the gray chain.
-    std::vector<std::pair<uint64_t, size_t>> stack = {{root, 0}};
-    std::vector<uint64_t> path = {root};
-    colors[root] = Color::kGray;
-    while (!stack.empty()) {
-      auto& [node, cursor] = stack.back();
-      const auto edge_it = edges.find(node);
-      std::vector<uint64_t> neighbors;
-      if (edge_it != edges.end()) {
-        neighbors.assign(edge_it->second.begin(), edge_it->second.end());
-      }
-      if (cursor >= neighbors.size()) {
-        colors[node] = Color::kBlack;
-        stack.pop_back();
-        path.pop_back();
-        continue;
-      }
-      uint64_t next = neighbors[cursor++];
-      if (colors.find(next) == colors.end()) continue;  // uncommitted ref
-      if (colors[next] == Color::kGray) {
-        // Cycle found: slice the gray path from `next` onwards.
-        auto start = std::find(path.begin(), path.end(), next);
-        report.cycle.assign(start, path.end());
-        report.serializable = false;
-        return report;
-      }
-      if (colors[next] == Color::kWhite) {
-        colors[next] = Color::kGray;
-        stack.emplace_back(next, 0);
-        path.push_back(next);
-      }
-    }
-  }
+  report.serializable = dsg.serializable;
+  report.anomaly = dsg.anomaly;
+  report.num_transactions = dsg.num_transactions;
+  report.num_edges = dsg.num_edges;
+  report.cycle = std::move(dsg.cycle);
+  report.cycle_edges = std::move(dsg.cycle_edges);
   return report;
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/history.h"
 #include "src/storage/transaction.h"
 
 namespace mtdb {
@@ -14,10 +15,15 @@ namespace mtdb {
 // Result of a global-serialization-graph acyclicity check.
 struct SerializabilityReport {
   bool serializable = true;
+  // Adya phenomenon class of the witnessed cycle (kNone when serializable):
+  // G1c for a ww/wr-only cycle, G2 when an anti-dependency participates.
+  analysis::AnomalyClass anomaly = analysis::AnomalyClass::kNone;
   size_t num_transactions = 0;
   size_t num_edges = 0;
-  // A cycle witness (transaction ids, in order) when not serializable.
+  // A cycle witness (transaction ids, in order) when not serializable, plus
+  // the typed edge leaving each cycle node (wrapping at the end).
   std::vector<uint64_t> cycle;
+  std::vector<analysis::DependencyEdge> cycle_edges;
 
   std::string ToString() const;
 };
@@ -33,7 +39,8 @@ struct SerializabilityReport {
 //   rw: reader that observed v -> writer of the next version after v
 // Edges from all sites are unioned on transaction ids; a cycle in the union
 // is a global serializability violation (exactly the anomaly of the paper's
-// Section 3.1 example).
+// Section 3.1 example). Implemented on analysis::DsgAuditor, which also
+// classifies the cycle (G1c vs G2).
 SerializabilityReport CheckSerializability(
     const std::vector<std::vector<CommittedTxnRecord>>& site_histories);
 

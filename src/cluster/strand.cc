@@ -24,10 +24,10 @@ Strand::Strand() : thread_([this] { Run(); }) {}
 
 Strand::~Strand() {
   {
-    analysis::OrderedGuard lock(mu_);
+    platform::Guard lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
 }
 
@@ -35,8 +35,8 @@ void Strand::Run() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<analysis::OrderedMutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      platform::UniqueLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(lock);
       if (queue_.empty()) {
         if (stop_) return;
         continue;
@@ -57,7 +57,7 @@ void Strand::Run() {
       analysis::ReportViolation("strand",
                                 "strand task threw a non-std exception");
     }
-    cv_.notify_all();  // wake Drain() waiters
+    cv_.NotifyAll();  // wake Drain() waiters
   }
 }
 
@@ -80,11 +80,11 @@ std::future<void> Strand::Submit(std::function<void()> task) {
 
 void Strand::SubmitDetached(std::function<void()> task) {
   {
-    analysis::OrderedGuard lock(mu_);
+    platform::Guard lock(mu_);
     queue_.push_back(std::move(task));
   }
   obs::GaugeAdd(QueueDepthGauge(), 1);
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void Strand::Drain() {
@@ -93,7 +93,7 @@ void Strand::Drain() {
 }
 
 size_t Strand::pending() const {
-  analysis::OrderedGuard lock(mu_);
+  platform::Guard lock(mu_);
   return queue_.size();
 }
 

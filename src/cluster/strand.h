@@ -1,14 +1,12 @@
 #ifndef MTDB_CLUSTER_STRAND_H_
 #define MTDB_CLUSTER_STRAND_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 
-#include "src/analysis/lock_order.h"
+#include "src/platform/mutex.h"
 
 namespace mtdb {
 
@@ -31,20 +29,20 @@ class Strand {
   std::future<void> Submit(std::function<void()> task);
 
   // Enqueues a task without result tracking.
-  void SubmitDetached(std::function<void()> task);
+  void SubmitDetached(std::function<void()> task) MTDB_EXCLUDES(mu_);
 
   // Blocks until every task submitted so far has run.
   void Drain();
 
-  size_t pending() const;
+  size_t pending() const MTDB_EXCLUDES(mu_);
 
  private:
   void Run();
 
-  mutable analysis::OrderedMutex mu_{"cluster/Strand::mu"};
-  std::condition_variable_any cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  mutable platform::Mutex mu_{"cluster/Strand::mu"};
+  platform::CondVar cv_;
+  std::deque<std::function<void()>> queue_ MTDB_GUARDED_BY(mu_);
+  bool stop_ MTDB_GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 
@@ -54,24 +52,24 @@ class Semaphore {
  public:
   explicit Semaphore(int permits) : permits_(permits) {}
 
-  void Acquire() {
-    std::unique_lock<analysis::OrderedMutex> lock(mu_);
-    cv_.wait(lock, [this] { return permits_ > 0; });
+  void Acquire() MTDB_EXCLUDES(mu_) {
+    platform::UniqueLock lock(mu_);
+    while (permits_ <= 0) cv_.Wait(lock);
     --permits_;
   }
 
-  void Release() {
+  void Release() MTDB_EXCLUDES(mu_) {
     {
-      analysis::OrderedGuard lock(mu_);
+      platform::Guard lock(mu_);
       ++permits_;
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
 
  private:
-  analysis::OrderedMutex mu_{"cluster/Semaphore::mu"};
-  std::condition_variable_any cv_;
-  int permits_;
+  platform::Mutex mu_{"cluster/Semaphore::mu"};
+  platform::CondVar cv_;
+  int permits_ MTDB_GUARDED_BY(mu_);
 };
 
 // RAII permit holder.

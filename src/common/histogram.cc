@@ -9,7 +9,7 @@ namespace mtdb {
 Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
 
 Histogram::Histogram(const Histogram& other) : buckets_(kNumBuckets, 0) {
-  std::lock_guard<std::mutex> lock(other.mu_);
+  platform::Guard lock(other.mu_);
   buckets_ = other.buckets_;
   count_ = other.count_;
   sum_ = other.sum_;
@@ -19,7 +19,7 @@ Histogram::Histogram(const Histogram& other) : buckets_(kNumBuckets, 0) {
 
 Histogram& Histogram::operator=(const Histogram& other) {
   if (this == &other) return *this;
-  std::scoped_lock lock(mu_, other.mu_);
+  platform::DualGuard lock(mu_, other.mu_);
   buckets_ = other.buckets_;
   count_ = other.count_;
   sum_ = other.sum_;
@@ -45,7 +45,7 @@ int64_t Histogram::BucketUpperBound(int bucket) {
 }
 
 void Histogram::Record(int64_t value_us) {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   buckets_[BucketFor(value_us)]++;
   if (count_ == 0) {
     min_ = max_ = value_us;
@@ -62,13 +62,13 @@ void Histogram::Merge(const Histogram& other) {
     // Self-merge: locking mu_ and other.mu_ through scoped_lock would be
     // undefined behaviour (same mutex twice). Doubling in place preserves
     // the "add other's samples to mine" contract.
-    std::lock_guard<std::mutex> lock(mu_);
+    platform::Guard lock(mu_);
     for (int64_t& bucket : buckets_) bucket *= 2;
     count_ *= 2;
     sum_ *= 2;
     return;
   }
-  std::scoped_lock lock(mu_, other.mu_);
+  platform::DualGuard lock(mu_, other.mu_);
   for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
   if (other.count_ > 0) {
     min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
@@ -79,23 +79,23 @@ void Histogram::Merge(const Histogram& other) {
 }
 
 void Histogram::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = sum_ = min_ = max_ = 0;
 }
 
 int64_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   return count_;
 }
 
 double Histogram::Mean() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
 }
 
 int64_t Histogram::Percentile(double p) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   return PercentileLocked(p);
 }
 
@@ -113,7 +113,7 @@ int64_t Histogram::PercentileLocked(double p) const {
 }
 
 HistogramSnapshot Histogram::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   HistogramSnapshot snap;
   snap.count = count_;
   snap.mean = count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
@@ -125,12 +125,12 @@ HistogramSnapshot Histogram::Snapshot() const {
 }
 
 int64_t Histogram::Min() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   return min_;
 }
 
 int64_t Histogram::Max() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   return max_;
 }
 

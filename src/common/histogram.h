@@ -2,9 +2,10 @@
 #define MTDB_COMMON_HISTOGRAM_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/platform/mutex.h"
 
 namespace mtdb {
 
@@ -53,14 +54,19 @@ class Histogram {
   static constexpr int kNumBuckets = 64;
   static int BucketFor(int64_t value);
   static int64_t BucketUpperBound(int bucket);
-  int64_t PercentileLocked(double p) const;
+  int64_t PercentileLocked(double p) const MTDB_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<int64_t> buckets_;
-  int64_t count_ = 0;
-  int64_t sum_ = 0;
-  int64_t min_ = 0;
-  int64_t max_ = 0;
+  // Untracked by the lock-order graph (nullptr): histograms are hot-path
+  // leaves, and Merge/operator= lock two instances of this class pairwise,
+  // which the graph's same-class recursion check would (correctly for
+  // ordered classes, wrongly here) flag. std::lock in DualGuard makes the
+  // pairwise acquisition deadlock-free.
+  mutable platform::Mutex mu_{"common/Histogram::mu", nullptr};
+  std::vector<int64_t> buckets_ MTDB_GUARDED_BY(mu_);
+  int64_t count_ MTDB_GUARDED_BY(mu_) = 0;
+  int64_t sum_ MTDB_GUARDED_BY(mu_) = 0;
+  int64_t min_ MTDB_GUARDED_BY(mu_) = 0;
+  int64_t max_ MTDB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace mtdb

@@ -12,7 +12,7 @@ namespace mtdb {
 // Holds either a value of type T or a non-OK Status. The moral equivalent of
 // absl::StatusOr / arrow::Result, specialized for this codebase.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit construction from a value or an error status keeps call sites
   // terse: `return row;` or `return Status::NotFound(...)`.

@@ -43,7 +43,7 @@ std::string_view StatusCodeName(StatusCode code);
 
 // A lightweight success-or-error value. Copyable; the OK status carries no
 // allocation.
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)

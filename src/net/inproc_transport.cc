@@ -107,32 +107,32 @@ std::unique_ptr<Channel> InProcTransport::OpenChannel(int machine_id) {
 }
 
 void InProcTransport::AttachLocal(int machine_id, MachineService* service) {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   services_[machine_id] = service;
 }
 
 void InProcTransport::SetFaultHook(FaultHook hook) {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   fault_hook_ = std::move(hook);
 }
 
 void InProcTransport::SetLatencyHook(LatencyHook hook) {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   latency_hook_ = std::move(hook);
 }
 
 void InProcTransport::PartitionMachine(int machine_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   partitioned_.insert(machine_id);
 }
 
 void InProcTransport::HealMachine(int machine_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   partitioned_.erase(machine_id);
 }
 
 MachineService* InProcTransport::Lookup(int machine_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   auto it = services_.find(machine_id);
   return it == services_.end() ? nullptr : it->second;
 }
@@ -141,7 +141,7 @@ InProcTransport::Fault InProcTransport::EvaluateFault(
     int machine_id, const RpcRequest& request) const {
   FaultHook hook;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    platform::Guard lock(mu_);
     if (partitioned_.count(machine_id) > 0) return Fault::kDropRequest;
     hook = fault_hook_;
   }
@@ -152,7 +152,7 @@ int64_t InProcTransport::EvaluateLatency(int machine_id,
                                          const RpcRequest& request) const {
   LatencyHook hook;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    platform::Guard lock(mu_);
     hook = latency_hook_;
   }
   return hook ? hook(machine_id, request) : 0;

@@ -6,11 +6,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 
 #include "src/net/transport.h"
+#include "src/platform/mutex.h"
 
 namespace mtdb::net {
 
@@ -72,11 +72,11 @@ class InProcTransport : public Transport {
   Fault EvaluateFault(int machine_id, const RpcRequest& request) const;
   int64_t EvaluateLatency(int machine_id, const RpcRequest& request) const;
 
-  mutable std::mutex mu_;
-  std::map<int, MachineService*> services_;
-  std::set<int> partitioned_;
-  FaultHook fault_hook_;
-  LatencyHook latency_hook_;
+  mutable platform::Mutex mu_{"net/InProcTransport::mu"};
+  std::map<int, MachineService*> services_ MTDB_GUARDED_BY(mu_);
+  std::set<int> partitioned_ MTDB_GUARDED_BY(mu_);
+  FaultHook fault_hook_ MTDB_GUARDED_BY(mu_);
+  LatencyHook latency_hook_ MTDB_GUARDED_BY(mu_);
   std::atomic<int64_t> delivered_{0};
 };
 

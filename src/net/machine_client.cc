@@ -51,10 +51,10 @@ MachineClient::MachineClient(Transport* transport, RpcOptions options)
 
 MachineClient::~MachineClient() {
   {
-    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    platform::Guard lock(watchdog_mu_);
     watchdog_stop_ = true;
   }
-  watchdog_cv_.notify_all();
+  watchdog_cv_.NotifyAll();
   if (watchdog_.joinable()) watchdog_.join();
   // Control channels (and their transport threads) die before the transport:
   // the member order takes care of it, this is just explicit.
@@ -62,7 +62,7 @@ MachineClient::~MachineClient() {
 }
 
 void MachineClient::SetTimeoutListener(TimeoutListener listener) {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   timeout_listener_ = std::move(listener);
 }
 
@@ -162,7 +162,7 @@ void MachineClient::Session::AbortAsync(uint64_t txn_id, ResponseHandler done) {
 // --- Control plane ---
 
 Channel* MachineClient::ControlChannel(int machine_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   auto it = control_channels_.find(machine_id);
   if (it == control_channels_.end()) {
     it = control_channels_
@@ -175,7 +175,7 @@ Channel* MachineClient::ControlChannel(int machine_id) {
 void MachineClient::ResetControlChannel(int machine_id) {
   std::unique_ptr<Channel> dropped;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    platform::Guard lock(mu_);
     auto it = control_channels_.find(machine_id);
     if (it == control_channels_.end()) return;
     dropped = std::move(it->second);
@@ -369,16 +369,16 @@ void MachineClient::CallWithDeadline(Channel* channel, int machine_id,
     auto deadline = std::chrono::steady_clock::now() +
                     std::chrono::microseconds(options_.call_timeout_us);
     {
-      std::lock_guard<std::mutex> lock(watchdog_mu_);
+      platform::Guard lock(watchdog_mu_);
       deadlines_.emplace(deadline, state);
     }
-    watchdog_cv_.notify_all();
+    watchdog_cv_.NotifyAll();
   }
 
   channel->Call(request, [state](RpcResponse response) {
     ResponseHandler handler;
     {
-      std::lock_guard<std::mutex> lock(state->mu);
+      platform::Guard lock(state->mu);
       if (state->done) return;  // the deadline already answered
       state->done = true;
       handler = std::move(state->handler);
@@ -414,14 +414,14 @@ RpcResponse MachineClient::CallSync(Channel* channel, int machine_id,
 }
 
 void MachineClient::WatchdogLoop() {
-  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  platform::UniqueLock lock(watchdog_mu_);
   while (!watchdog_stop_) {
     if (deadlines_.empty()) {
-      watchdog_cv_.wait(lock);
+      watchdog_cv_.Wait(lock);
       continue;
     }
     auto next = deadlines_.begin()->first;
-    if (watchdog_cv_.wait_until(lock, next) == std::cv_status::no_timeout &&
+    if (watchdog_cv_.WaitUntil(lock, next) == std::cv_status::no_timeout &&
         watchdog_stop_) {
       break;
     }
@@ -437,7 +437,7 @@ void MachineClient::WatchdogLoop() {
       ResponseHandler handler;
       int machine_id = state->machine_id;
       {
-        std::lock_guard<std::mutex> state_lock(state->mu);
+        platform::Guard state_lock(state->mu);
         if (state->done) continue;  // reply arrived in time
         state->done = true;
         handler = std::move(state->handler);
@@ -469,7 +469,7 @@ void MachineClient::WatchdogLoop() {
 void MachineClient::OnTimeout(int machine_id) {
   TimeoutListener listener;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    platform::Guard lock(mu_);
     listener = timeout_listener_;
   }
   if (listener) listener(machine_id);

@@ -3,12 +3,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,6 +14,7 @@
 #include "src/common/result.h"
 #include "src/net/message.h"
 #include "src/net/transport.h"
+#include "src/platform/mutex.h"
 
 namespace mtdb::net {
 
@@ -151,9 +150,11 @@ class MachineClient {
   // Exactly-once completion record shared by the reply path and the
   // watchdog; whichever gets there first consumes the handler.
   struct CallState {
-    std::mutex mu;
-    bool done = false;
-    ResponseHandler handler;
+    // Guards the exactly-once consumption; the metadata below is written
+    // before the state is shared and read-only afterwards.
+    platform::Mutex mu{"net/MachineClient::CallState::mu"};
+    bool done MTDB_GUARDED_BY(mu) = false;
+    ResponseHandler handler MTDB_GUARDED_BY(mu);
     int machine_id = -1;
     RpcType type = RpcType::kHealth;
     uint64_t trace_id = 0;
@@ -175,16 +176,17 @@ class MachineClient {
   Transport* transport_;
   RpcOptions options_;
 
-  std::mutex mu_;
-  std::map<int, std::unique_ptr<Channel>> control_channels_;
-  TimeoutListener timeout_listener_;
+  platform::Mutex mu_{"net/MachineClient::mu"};
+  std::map<int, std::unique_ptr<Channel>> control_channels_
+      MTDB_GUARDED_BY(mu_);
+  TimeoutListener timeout_listener_ MTDB_GUARDED_BY(mu_);
 
-  std::mutex watchdog_mu_;
-  std::condition_variable watchdog_cv_;
+  platform::Mutex watchdog_mu_{"net/MachineClient::watchdog_mu"};
+  platform::CondVar watchdog_cv_;
   std::multimap<std::chrono::steady_clock::time_point,
                 std::shared_ptr<CallState>>
-      deadlines_;
-  bool watchdog_stop_ = false;
+      deadlines_ MTDB_GUARDED_BY(watchdog_mu_);
+  bool watchdog_stop_ MTDB_GUARDED_BY(watchdog_mu_) = false;
   std::thread watchdog_;
 };
 

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/platform/mutex.h"
 #include "src/net/codec.h"
 #include "src/net/machine_service.h"
 
@@ -151,7 +152,7 @@ void TcpServer::Stop() {
   }
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    platform::Guard lock(mu_);
     for (int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
     threads.swap(connection_threads_);
   }
@@ -167,7 +168,7 @@ void TcpServer::AcceptLoop() {
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    std::lock_guard<std::mutex> lock(mu_);
+    platform::Guard lock(mu_);
     if (stopping_.load()) {
       ::close(fd);
       break;
@@ -212,7 +213,7 @@ class TcpChannel : public Channel {
 
   ~TcpChannel() override {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      platform::Guard lock(mu_);
       dead_ = true;
       if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
     }
@@ -224,7 +225,7 @@ class TcpChannel : public Channel {
     std::string frame;
     EncodeRequestFrame(request, &frame);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      platform::Guard lock(mu_);
       if (!dead_) {
         // Handler enqueued under the same lock as the write keeps the FIFO
         // aligned with the byte stream.
@@ -245,7 +246,7 @@ class TcpChannel : public Channel {
     while (ReadFrame(fd_, &payload)) {
       ResponseHandler handler;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        platform::Guard lock(mu_);
         if (handlers_.empty()) {
           // Reply with no outstanding request: protocol violation.
           dead_ = true;
@@ -265,7 +266,7 @@ class TcpChannel : public Channel {
     // the shutdown fail at write time in Call.
     std::deque<ResponseHandler> orphans;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      platform::Guard lock(mu_);
       dead_ = true;
       orphans.swap(handlers_);
     }
@@ -278,9 +279,9 @@ class TcpChannel : public Channel {
 
   int machine_id_;
   int fd_;
-  std::mutex mu_;
-  bool dead_ = false;
-  std::deque<ResponseHandler> handlers_;
+  platform::Mutex mu_{"net/TcpChannel::mu"};
+  bool dead_ MTDB_GUARDED_BY(mu_) = false;
+  std::deque<ResponseHandler> handlers_ MTDB_GUARDED_BY(mu_);
   std::thread reader_;
 };
 
@@ -288,14 +289,14 @@ class TcpChannel : public Channel {
 
 void TcpTransport::AddEndpoint(int machine_id, const std::string& host,
                                uint16_t port) {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   endpoints_[machine_id] = Endpoint{host, port};
 }
 
 std::unique_ptr<Channel> TcpTransport::OpenChannel(int machine_id) {
   Endpoint endpoint;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    platform::Guard lock(mu_);
     auto it = endpoints_.find(machine_id);
     if (it == endpoints_.end()) {
       return std::make_unique<UnreachableChannel>(machine_id);

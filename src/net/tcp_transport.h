@@ -5,12 +5,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/net/transport.h"
+#include "src/platform/mutex.h"
 
 namespace mtdb::net {
 
@@ -46,9 +46,9 @@ class TcpServer {
   std::atomic<int> listen_fd_{-1};
   uint16_t port_ = 0;
   std::thread accept_thread_;
-  std::mutex mu_;
-  std::vector<std::thread> connection_threads_;
-  std::vector<int> connection_fds_;
+  platform::Mutex mu_{"net/TcpServer::mu"};
+  std::vector<std::thread> connection_threads_ MTDB_GUARDED_BY(mu_);
+  std::vector<int> connection_fds_ MTDB_GUARDED_BY(mu_);
 };
 
 // Client-side transport: one TCP connection per channel, pipelined. Call
@@ -74,8 +74,8 @@ class TcpTransport : public Transport {
     uint16_t port;
   };
 
-  std::mutex mu_;
-  std::map<int, Endpoint> endpoints_;
+  platform::Mutex mu_{"net/TcpTransport::mu"};
+  std::map<int, Endpoint> endpoints_ MTDB_GUARDED_BY(mu_);
 };
 
 }  // namespace mtdb::net

@@ -13,7 +13,7 @@ void LoadMonitor::RecordTxn(const std::string& db, int64_t latency_us,
   (void)latency_us;
   (void)wrote;
   int64_t now = NowMicros();
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   Window& window = windows_[db];
   if (window.first_seen_us == 0) window.first_seen_us = now;
   window.samples.emplace_back(now, committed);
@@ -24,7 +24,7 @@ void LoadMonitor::RecordTxn(const std::string& db, int64_t latency_us,
 }
 
 void LoadMonitor::SetSizeHint(const std::string& db, double size_mb) {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   windows_[db].size_mb = size_mb;
 }
 
@@ -45,14 +45,14 @@ double LoadMonitor::TpsLocked(const Window& window, int64_t now_us) const {
 
 double LoadMonitor::TpsFor(const std::string& db) const {
   int64_t now = NowMicros();
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   auto it = windows_.find(db);
   return it == windows_.end() ? 0.0 : TpsLocked(it->second, now);
 }
 
 ResourceVector LoadMonitor::EstimateFor(const std::string& db) const {
   int64_t now = NowMicros();
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   auto it = windows_.find(db);
   if (it == windows_.end()) {
     return sla::EstimateRequirement(0.0, 0.0, options_.model);
@@ -73,7 +73,7 @@ sla::DatabaseDemand LoadMonitor::DemandFor(const std::string& db,
 std::vector<sla::DatabaseDemand> LoadMonitor::Demands(int replicas) const {
   std::vector<std::string> names;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    platform::Guard lock(mu_);
     names.reserve(windows_.size());
     for (const auto& [name, window] : windows_) names.push_back(name);
   }
@@ -86,7 +86,7 @@ std::vector<sla::DatabaseDemand> LoadMonitor::Demands(int replicas) const {
 }
 
 void LoadMonitor::ResetForTest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   windows_.clear();
 }
 

@@ -14,11 +14,11 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/resource.h"
+#include "src/platform/mutex.h"
 #include "src/sla/placement.h"
 #include "src/sla/sla.h"
 
@@ -69,11 +69,12 @@ class LoadMonitor {
     double size_mb = 0;
   };
 
-  double TpsLocked(const Window& window, int64_t now_us) const;
+  double TpsLocked(const Window& window, int64_t now_us) const
+      MTDB_REQUIRES(mu_);
 
   Options options_;
-  mutable std::mutex mu_;
-  std::map<std::string, Window> windows_;
+  mutable platform::Mutex mu_{"obs/LoadMonitor::mu"};
+  std::map<std::string, Window> windows_ MTDB_GUARDED_BY(mu_);
 };
 
 }  // namespace mtdb::obs

@@ -33,11 +33,11 @@ namespace {
 // stable pointer; falls back to the family overflow series once the
 // cardinality bound is hit.
 template <typename FamilyMap, typename Series>
-Series* GetSeries(std::shared_mutex& mu, FamilyMap& families,
+Series* GetSeries(platform::SharedMutex& mu, FamilyMap& families,
                   const std::string& name, const MetricLabels& labels,
                   const std::string& key) {
   {
-    std::shared_lock<std::shared_mutex> read(mu);
+    platform::ReaderGuard read(mu);
     auto family_it = families.find(name);
     if (family_it != families.end()) {
       auto series_it = family_it->second.series.find(key);
@@ -50,7 +50,7 @@ Series* GetSeries(std::shared_mutex& mu, FamilyMap& families,
       }
     }
   }
-  std::unique_lock<std::shared_mutex> write(mu);
+  platform::WriterGuard write(mu);
   auto& family = families[name];
   auto series_it = family.series.find(key);
   if (series_it != family.series.end()) return series_it->second.get();
@@ -96,7 +96,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 int64_t MetricsRegistry::SumCounter(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> read(mu_);
+  platform::ReaderGuard read(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) return 0;
   int64_t total = it->second.overflow.Value();
@@ -108,7 +108,7 @@ int64_t MetricsRegistry::SumCounter(const std::string& name) const {
 
 int64_t MetricsRegistry::CounterValue(const std::string& name,
                                       const MetricLabels& labels) const {
-  std::shared_lock<std::shared_mutex> read(mu_);
+  platform::ReaderGuard read(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) return 0;
   // The overflow series is addressable under the same pseudo-label the
@@ -124,7 +124,7 @@ int64_t MetricsRegistry::CounterValue(const std::string& name,
 
 int64_t MetricsRegistry::GaugeValue(const std::string& name,
                                     const MetricLabels& labels) const {
-  std::shared_lock<std::shared_mutex> read(mu_);
+  platform::ReaderGuard read(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) return 0;
   auto series_it = it->second.series.find(LabelKey(labels));
@@ -134,7 +134,7 @@ int64_t MetricsRegistry::GaugeValue(const std::string& name,
 
 std::vector<SeriesSnapshot> MetricsRegistry::Snapshot() const {
   std::vector<SeriesSnapshot> out;
-  std::shared_lock<std::shared_mutex> read(mu_);
+  platform::ReaderGuard read(mu_);
   for (const auto& [name, family] : counters_) {
     for (const auto& [key, counter] : family.series) {
       SeriesSnapshot snap;
@@ -194,7 +194,7 @@ std::string MetricsRegistry::TextDump() const {
 }
 
 void MetricsRegistry::ResetForTest() {
-  std::unique_lock<std::shared_mutex> write(mu_);
+  platform::WriterGuard write(mu_);
   for (auto& [name, family] : counters_) {
     family.overflow.Reset();
     for (auto& [key, counter] : family.series) counter->Reset();

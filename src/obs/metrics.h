@@ -25,13 +25,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/common/clock.h"
 #include "src/common/histogram.h"
+#include "src/platform/mutex.h"
 
 namespace mtdb::obs {
 
@@ -169,10 +169,10 @@ class MetricsRegistry {
   static std::atomic<bool> enabled_;
 #endif
 
-  mutable std::shared_mutex mu_;
-  std::map<std::string, CounterFamily> counters_;
-  std::map<std::string, GaugeFamily> gauges_;
-  std::map<std::string, HistogramFamily> histograms_;
+  mutable platform::SharedMutex mu_{"obs/MetricsRegistry::mu"};
+  std::map<std::string, CounterFamily> counters_ MTDB_GUARDED_BY(mu_);
+  std::map<std::string, GaugeFamily> gauges_ MTDB_GUARDED_BY(mu_);
+  std::map<std::string, HistogramFamily> histograms_ MTDB_GUARDED_BY(mu_);
 };
 
 // Hot-path recording helpers: tolerate null series (instrumentation not yet

@@ -33,7 +33,7 @@ TraceCollector& TraceCollector::Global() {
 }
 
 uint64_t TraceCollector::StartTrace(uint64_t txn_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   uint64_t id = next_trace_id_++;
   // A leaked transaction (client that never commits or aborts) must not pin
   // memory forever: drop the oldest active record past the bound.
@@ -47,7 +47,7 @@ uint64_t TraceCollector::StartTrace(uint64_t txn_id) {
 
 void TraceCollector::RecordSpan(const TraceSpan& span) {
   if (span.trace_id == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   auto it = active_.find(span.trace_id);
   if (it == active_.end()) return;
   if (it->second.spans.size() >= kMaxSpansPerTrace) return;
@@ -59,7 +59,7 @@ void TraceCollector::FinishTrace(uint64_t trace_id, bool committed) {
   TraceRecord finished;
   bool slow = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    platform::Guard lock(mu_);
     auto it = active_.find(trace_id);
     if (it == active_.end()) return;
     finished = std::move(it->second);
@@ -80,29 +80,29 @@ void TraceCollector::FinishTrace(uint64_t trace_id, bool committed) {
 }
 
 void TraceCollector::set_slow_threshold_us(int64_t threshold_us) {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   slow_threshold_us_ = threshold_us;
 }
 
 int64_t TraceCollector::slow_threshold_us() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   return slow_threshold_us_;
 }
 
 std::vector<TraceRecord> TraceCollector::SlowTraces() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   return {slow_.begin(), slow_.end()};
 }
 
 bool TraceCollector::LastFinished(TraceRecord* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   if (!has_last_finished_) return false;
   *out = last_finished_;
   return true;
 }
 
 void TraceCollector::ResetForTest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   active_.clear();
   slow_.clear();
   has_last_finished_ = false;

@@ -14,11 +14,11 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/platform/mutex.h"
 
 namespace mtdb::obs {
 
@@ -82,13 +82,13 @@ class TraceCollector {
   static constexpr size_t kMaxSpansPerTrace = 64;
   static constexpr size_t kSlowRingCapacity = 128;
 
-  mutable std::mutex mu_;
-  uint64_t next_trace_id_ = 1;
-  int64_t slow_threshold_us_ = 1'000'000;
-  std::map<uint64_t, TraceRecord> active_;
-  std::deque<TraceRecord> slow_;
-  TraceRecord last_finished_;
-  bool has_last_finished_ = false;
+  mutable platform::Mutex mu_{"obs/TraceCollector::mu"};
+  uint64_t next_trace_id_ MTDB_GUARDED_BY(mu_) = 1;
+  int64_t slow_threshold_us_ MTDB_GUARDED_BY(mu_) = 1'000'000;
+  std::map<uint64_t, TraceRecord> active_ MTDB_GUARDED_BY(mu_);
+  std::deque<TraceRecord> slow_ MTDB_GUARDED_BY(mu_);
+  TraceRecord last_finished_ MTDB_GUARDED_BY(mu_);
+  bool has_last_finished_ MTDB_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace mtdb::obs

@@ -21,7 +21,7 @@ Colo::Colo(ColoOptions options)
     : options_(std::move(options)), free_pool_(options_.free_pool_machines) {}
 
 int Colo::AddCluster() {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   auto cluster =
       std::make_unique<ClusterController>(options_.cluster_options);
   for (int i = 0; i < options_.machines_per_cluster; ++i) {
@@ -32,13 +32,13 @@ int Colo::AddCluster() {
 }
 
 ClusterController* Colo::cluster(int id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   if (id < 0 || static_cast<size_t>(id) >= clusters_.size()) return nullptr;
   return clusters_[id].get();
 }
 
 size_t Colo::cluster_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   return clusters_.size();
 }
 
@@ -48,7 +48,7 @@ Status Colo::CreateDatabase(const std::string& db_name, int num_replicas) {
   int best = -1;
   size_t best_load = SIZE_MAX;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    platform::Guard lock(mu_);
     if (db_to_cluster_.count(db_name) > 0) {
       return Status::AlreadyExists("database " + db_name + " in colo " +
                                    name());
@@ -73,14 +73,14 @@ Status Colo::CreateDatabase(const std::string& db_name, int num_replicas) {
     status = target->CreateDatabase(db_name, num_replicas);
   }
   if (status.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    platform::Guard lock(mu_);
     db_to_cluster_[db_name] = best;
   }
   return status;
 }
 
 Result<ClusterController*> Colo::ClusterFor(const std::string& db_name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   auto it = db_to_cluster_.find(db_name);
   if (it == db_to_cluster_.end()) {
     return Status::NotFound("database " + db_name + " not in colo " + name());
@@ -89,12 +89,12 @@ Result<ClusterController*> Colo::ClusterFor(const std::string& db_name) const {
 }
 
 bool Colo::HostsDatabase(const std::string& db_name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   return db_to_cluster_.count(db_name) > 0;
 }
 
 std::vector<std::string> Colo::DatabaseNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   std::vector<std::string> names;
   for (const auto& [name, cluster] : db_to_cluster_) names.push_back(name);
   return names;

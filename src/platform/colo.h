@@ -4,11 +4,11 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/cluster/cluster_controller.h"
+#include "src/platform/mutex.h"
 
 namespace mtdb::platform {
 
@@ -78,9 +78,10 @@ class Colo {
 
  private:
   ColoOptions options_;
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<ClusterController>> clusters_;
-  std::map<std::string, int> db_to_cluster_;
+  mutable platform::Mutex mu_{"platform/Colo::mu"};
+  std::vector<std::unique_ptr<ClusterController>> clusters_
+      MTDB_GUARDED_BY(mu_);
+  std::map<std::string, int> db_to_cluster_ MTDB_GUARDED_BY(mu_);
   std::atomic<int> free_pool_;
   std::atomic<bool> failed_{false};
 };

@@ -1,4 +1,4 @@
-#include "src/analysis/lock_order.h"
+#include "src/platform/mutex.h"
 
 #include <algorithm>
 #include <deque>
@@ -6,7 +6,7 @@
 #include <utility>
 
 namespace mtdb {
-namespace analysis {
+namespace platform {
 
 namespace {
 
@@ -64,14 +64,15 @@ std::vector<std::string> LockOrderGraph::FindPath(
 void LockOrderGraph::OnAcquire(const std::string& name) {
   std::vector<HeldEntry>& held = TlsHeldStack();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(mu_);  // mtdblint: allow(raw-mutex)
     for (const HeldEntry& entry : held) {
       if (entry.graph != this) continue;
       if (entry.name == name) {
-        ReportViolation("lock-order",
-                        "recursive acquisition of lock class " + name +
-                            " on one thread (self-deadlock if the two "
-                            "acquisitions ever hit the same instance)");
+        analysis::ReportViolation(
+            "lock-order",
+            "recursive acquisition of lock class " + name +
+                " on one thread (self-deadlock if the two "
+                "acquisitions ever hit the same instance)");
         continue;
       }
       std::set<std::string>& out = edges_[entry.name];
@@ -83,10 +84,10 @@ void LockOrderGraph::OnAcquire(const std::string& name) {
         std::ostringstream cycle;
         cycle << entry.name;
         for (const std::string& node : path) cycle << " -> " << node;
-        ReportViolation("lock-order",
-                        "lock-order inversion: acquiring " + name +
-                            " while holding " + entry.name +
-                            " closes the cycle " + cycle.str());
+        analysis::ReportViolation(
+            "lock-order", "lock-order inversion: acquiring " + name +
+                              " while holding " + entry.name +
+                              " closes the cycle " + cycle.str());
       }
       // Record the edge either way so each inverted pair reports once.
       out.insert(name);
@@ -108,7 +109,7 @@ void LockOrderGraph::OnRelease(const std::string& name) {
 }
 
 size_t LockOrderGraph::EdgeCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);  // mtdblint: allow(raw-mutex)
   size_t count = 0;
   for (const auto& [node, out] : edges_) count += out.size();
   return count;
@@ -116,15 +117,15 @@ size_t LockOrderGraph::EdgeCount() const {
 
 bool LockOrderGraph::HasEdge(const std::string& from,
                              const std::string& to) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);  // mtdblint: allow(raw-mutex)
   auto it = edges_.find(from);
   return it != edges_.end() && it->second.count(to) > 0;
 }
 
 void LockOrderGraph::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);  // mtdblint: allow(raw-mutex)
   edges_.clear();
 }
 
-}  // namespace analysis
+}  // namespace platform
 }  // namespace mtdb

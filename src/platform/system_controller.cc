@@ -77,27 +77,27 @@ SystemController::SystemController(SystemOptions options)
 
 SystemController::~SystemController() {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    platform::Guard lock(queue_mu_);
     stop_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   if (shipper_.joinable()) shipper_.join();
 }
 
 int SystemController::AddColo(ColoOptions options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   colos_.push_back(std::make_unique<Colo>(std::move(options)));
   return static_cast<int>(colos_.size()) - 1;
 }
 
 Colo* SystemController::colo(int id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   if (id < 0 || static_cast<size_t>(id) >= colos_.size()) return nullptr;
   return colos_[id].get();
 }
 
 Colo* SystemController::colo(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   for (const auto& c : colos_) {
     if (c->name() == name) return c.get();
   }
@@ -105,7 +105,7 @@ Colo* SystemController::colo(const std::string& name) const {
 }
 
 size_t SystemController::colo_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   return colos_.size();
 }
 
@@ -118,7 +118,7 @@ Status SystemController::CreateDatabase(const std::string& db_name,
   // Rank alive colos by proximity to the owner.
   std::vector<Colo*> ranked;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    platform::Guard lock(mu_);
     if (routes_.count(db_name) > 0) {
       return Status::AlreadyExists("database " + db_name);
     }
@@ -141,14 +141,14 @@ Status SystemController::CreateDatabase(const std::string& db_name,
     Status status = secondary->CreateDatabase(db_name, replicas_per_colo);
     if (status.ok()) route.secondary_colo = secondary->name();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   routes_[db_name] = route;
   return Status::OK();
 }
 
 Result<std::string> SystemController::PrimaryColoOf(
     const std::string& db_name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   auto it = routes_.find(db_name);
   if (it == routes_.end()) return Status::NotFound("database " + db_name);
   return it->second.primary_colo;
@@ -156,7 +156,7 @@ Result<std::string> SystemController::PrimaryColoOf(
 
 Result<std::string> SystemController::SecondaryColoOf(
     const std::string& db_name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   auto it = routes_.find(db_name);
   if (it == routes_.end()) return Status::NotFound("database " + db_name);
   if (it->second.secondary_colo.empty()) {
@@ -170,7 +170,7 @@ Result<std::unique_ptr<PlatformConnection>> SystemController::Connect(
   (void)client_location;  // reads go to the primary for consistency
   DbRoute route;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    platform::Guard lock(mu_);
     auto it = routes_.find(db_name);
     if (it == routes_.end()) return Status::NotFound("database " + db_name);
     route = it->second;
@@ -199,7 +199,7 @@ Result<std::unique_ptr<PlatformConnection>> SystemController::Connect(
 }
 
 Status SystemController::FailoverDatabase(const std::string& db_name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   auto it = routes_.find(db_name);
   if (it == routes_.end()) return Status::NotFound("database " + db_name);
   if (it->second.secondary_colo.empty()) {
@@ -214,24 +214,24 @@ void SystemController::EnqueueShipment(
     std::vector<PlatformConnection::BufferedWrite> writes) {
   std::string target;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    platform::Guard lock(mu_);
     auto it = routes_.find(db_name);
     if (it == routes_.end() || it->second.secondary_colo.empty()) return;
     target = it->second.secondary_colo;
   }
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    platform::Guard lock(queue_mu_);
     queue_.push_back(ShipTask{db_name, target, std::move(writes)});
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
 }
 
 void SystemController::ShipperLoop() {
   while (true) {
     ShipTask task;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      platform::UniqueLock lock(queue_mu_);
+      while (!stop_ && queue_.empty()) queue_cv_.Wait(lock);
       if (queue_.empty()) {
         if (stop_) return;
         continue;
@@ -266,16 +266,16 @@ void SystemController::ShipperLoop() {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(queue_mu_);
+      platform::Guard lock(queue_mu_);
       in_flight_--;
     }
-    queue_cv_.notify_all();
+    queue_cv_.NotifyAll();
   }
 }
 
 void SystemController::DrainReplication() {
-  std::unique_lock<std::mutex> lock(queue_mu_);
-  queue_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  platform::UniqueLock lock(queue_mu_);
+  while (!queue_.empty() || in_flight_ != 0) queue_cv_.Wait(lock);
 }
 
 }  // namespace mtdb::platform

@@ -1,16 +1,15 @@
 #ifndef MTDB_PLATFORM_SYSTEM_CONTROLLER_H_
 #define MTDB_PLATFORM_SYSTEM_CONTROLLER_H_
 
-#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/platform/colo.h"
+#include "src/platform/mutex.h"
 
 namespace mtdb::platform {
 
@@ -115,15 +114,15 @@ class SystemController {
   void ShipperLoop();
 
   SystemOptions options_;
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Colo>> colos_;
-  std::map<std::string, DbRoute> routes_;
+  mutable platform::Mutex mu_{"platform/SystemController::mu"};
+  std::vector<std::unique_ptr<Colo>> colos_ MTDB_GUARDED_BY(mu_);
+  std::map<std::string, DbRoute> routes_ MTDB_GUARDED_BY(mu_);
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<ShipTask> queue_;
-  bool stop_ = false;
-  int64_t in_flight_ = 0;
+  platform::Mutex queue_mu_{"platform/SystemController::queue_mu"};
+  platform::CondVar queue_cv_;
+  std::deque<ShipTask> queue_ MTDB_GUARDED_BY(queue_mu_);
+  bool stop_ MTDB_GUARDED_BY(queue_mu_) = false;
+  int64_t in_flight_ MTDB_GUARDED_BY(queue_mu_) = 0;
   std::atomic<int64_t> shipped_{0};
   std::thread shipper_;
 };

@@ -1,0 +1,91 @@
+#ifndef MTDB_PLATFORM_THREAD_ANNOTATIONS_H_
+#define MTDB_PLATFORM_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis attribute macros (the GUARDED_BY / REQUIRES /
+// ACQUIRE family), spelled with an MTDB_ prefix so they cannot collide with
+// other libraries' unprefixed macros.
+//
+// Under Clang these expand to the __attribute__((...)) forms consumed by
+// -Wthread-safety, turning the locking discipline documented in headers into
+// compile-time proofs: every access to a MTDB_GUARDED_BY member is checked
+// against the capabilities the compiler can see held on that path. Under GCC
+// (which has no thread-safety analysis) they expand to nothing, so annotated
+// code builds identically everywhere.
+//
+// The CMake option MTDB_THREAD_SAFETY=ON adds -Werror=thread-safety (Clang
+// only) and is gated in CI; see DESIGN.md §12 "Static analysis & proofs".
+//
+// Annotation cheat sheet (all names below take the MTDB_ prefix):
+//   CAPABILITY("mutex")   class is a lockable capability (platform::Mutex)
+//   SCOPED_CAPABILITY     RAII class that acquires in ctor, releases in dtor
+//   GUARDED_BY(mu)        member may only be touched while mu is held
+//   PT_GUARDED_BY(mu)     pointee (not the pointer) is guarded by mu
+//   REQUIRES(mu)          caller must hold mu (private helper contract)
+//   REQUIRES_SHARED(mu)   caller must hold mu at least shared
+//   ACQUIRE(mu)/RELEASE(mu)        function acquires / releases mu
+//   ACQUIRE_SHARED/RELEASE_SHARED  shared (reader) flavors
+//   TRY_ACQUIRE(true, mu) returns true iff mu was acquired
+//   EXCLUDES(mu)          caller must NOT hold mu (self-deadlock proof)
+//   NO_THREAD_SAFETY_ANALYSIS      opt a function out (justify in a comment)
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define MTDB_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef MTDB_THREAD_ANNOTATION_
+#define MTDB_THREAD_ANNOTATION_(x)  // not Clang: annotations compile away
+#endif
+
+#define MTDB_CAPABILITY(x) MTDB_THREAD_ANNOTATION_(capability(x))
+
+#define MTDB_SCOPED_CAPABILITY MTDB_THREAD_ANNOTATION_(scoped_lockable)
+
+#define MTDB_GUARDED_BY(x) MTDB_THREAD_ANNOTATION_(guarded_by(x))
+
+#define MTDB_PT_GUARDED_BY(x) MTDB_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+#define MTDB_ACQUIRED_BEFORE(...) \
+  MTDB_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+#define MTDB_ACQUIRED_AFTER(...) \
+  MTDB_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+#define MTDB_REQUIRES(...) \
+  MTDB_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+#define MTDB_REQUIRES_SHARED(...) \
+  MTDB_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+#define MTDB_ACQUIRE(...) \
+  MTDB_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+#define MTDB_ACQUIRE_SHARED(...) \
+  MTDB_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+#define MTDB_RELEASE(...) \
+  MTDB_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+#define MTDB_RELEASE_SHARED(...) \
+  MTDB_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+#define MTDB_RELEASE_GENERIC(...) \
+  MTDB_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+#define MTDB_TRY_ACQUIRE(...) \
+  MTDB_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+#define MTDB_TRY_ACQUIRE_SHARED(...) \
+  MTDB_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+#define MTDB_EXCLUDES(...) MTDB_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+#define MTDB_ASSERT_CAPABILITY(x) \
+  MTDB_THREAD_ANNOTATION_(assert_capability(x))
+
+#define MTDB_RETURN_CAPABILITY(x) MTDB_THREAD_ANNOTATION_(lock_returned(x))
+
+#define MTDB_NO_THREAD_SAFETY_ANALYSIS \
+  MTDB_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // MTDB_PLATFORM_THREAD_ANNOTATIONS_H_

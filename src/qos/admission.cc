@@ -26,7 +26,7 @@ AdmissionController::Entry& AdmissionController::EntryLocked(
 
 void AdmissionController::SetQuota(const std::string& db,
                                    const QuotaSpec& spec) {
-  analysis::OrderedGuard lock(mu_);
+  platform::Guard lock(mu_);
   Entry& entry = EntryLocked(db);
   entry.spec = spec;
   if (spec.rate_tps <= 0) {
@@ -39,7 +39,7 @@ void AdmissionController::SetQuota(const std::string& db,
 }
 
 QuotaSpec AdmissionController::GetQuota(const std::string& db) const {
-  analysis::OrderedGuard lock(mu_);
+  platform::Guard lock(mu_);
   auto it = entries_.find(db);
   if (it == entries_.end()) return options_.default_quota;
   return it->second.spec;
@@ -50,7 +50,7 @@ AdmitDecision AdmissionController::AdmitTxn(const std::string& db,
   TokenBucket* bucket;
   obs::Counter* throttled;
   {
-    analysis::OrderedGuard lock(mu_);
+    platform::Guard lock(mu_);
     Entry& entry = EntryLocked(db);
     bucket = entry.bucket.get();
     throttled = entry.throttled;

@@ -6,7 +6,7 @@
 #include <memory>
 #include <string>
 
-#include "src/analysis/lock_order.h"
+#include "src/platform/mutex.h"
 #include "src/obs/metrics.h"
 #include "src/qos/qos.h"
 #include "src/qos/token_bucket.h"
@@ -49,11 +49,11 @@ class AdmissionController {
     obs::Counter* throttled = nullptr;
   };
 
-  Entry& EntryLocked(const std::string& db);
+  Entry& EntryLocked(const std::string& db) MTDB_REQUIRES(mu_);
 
   const Options options_;
-  mutable analysis::OrderedMutex mu_{"qos/AdmissionController::mu"};
-  std::map<std::string, Entry> entries_;
+  mutable platform::Mutex mu_{"qos/AdmissionController::mu"};
+  std::map<std::string, Entry> entries_ MTDB_GUARDED_BY(mu_);
 };
 
 }  // namespace mtdb::qos

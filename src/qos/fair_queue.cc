@@ -18,7 +18,7 @@ WeightedFairQueue::WeightedFairQueue(const Options& options)
 }
 
 uint64_t WeightedFairQueue::Enter(const std::string& db) {
-  std::unique_lock<analysis::OrderedMutex> lock(mu_);
+  platform::UniqueLock lock(mu_);
   uint64_t seq = next_seq_++;
   // Fast path: a free slot and nobody parked ahead of us.
   if (free_ > 0 && waiting_ == 0) {
@@ -45,8 +45,8 @@ uint64_t WeightedFairQueue::Enter(const std::string& db) {
   // Free slots can coexist with parked waiters (fairness keeps the fast
   // path from stealing ahead), so run a grant round before parking — and
   // wake any *other* waiter it may have granted.
-  if (GrantLocked()) cv_.notify_all();
-  cv_.wait(lock, [&waiter] { return waiter.granted; });
+  if (GrantLocked()) cv_.NotifyAll();
+  while (!waiter.granted) cv_.Wait(lock);
   obs::Observe(m_wait_us_, NowMicros() - parked_at_us);
   return seq;
 }
@@ -54,12 +54,12 @@ uint64_t WeightedFairQueue::Enter(const std::string& db) {
 void WeightedFairQueue::Leave() {
   bool granted;
   {
-    analysis::OrderedGuard lock(mu_);
+    platform::Guard lock(mu_);
     ++free_;
     --in_use_;
     granted = GrantLocked();
   }
-  if (granted) cv_.notify_all();
+  if (granted) cv_.NotifyAll();
 }
 
 bool WeightedFairQueue::GrantLocked() {
@@ -108,18 +108,18 @@ bool WeightedFairQueue::GrantLocked() {
 }
 
 void WeightedFairQueue::SetWeight(const std::string& db, int weight) {
-  analysis::OrderedGuard lock(mu_);
+  platform::Guard lock(mu_);
   if (options_.policy == Policy::kFifo) return;
   tenants_.try_emplace(db).first->second.weight = std::max(1, weight);
 }
 
 size_t WeightedFairQueue::queue_depth() const {
-  analysis::OrderedGuard lock(mu_);
+  platform::Guard lock(mu_);
   return waiting_;
 }
 
 int WeightedFairQueue::in_use() const {
-  analysis::OrderedGuard lock(mu_);
+  platform::Guard lock(mu_);
   return in_use_;
 }
 

@@ -1,14 +1,13 @@
 #ifndef MTDB_QOS_FAIR_QUEUE_H_
 #define MTDB_QOS_FAIR_QUEUE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <string>
 #include <vector>
 
-#include "src/analysis/lock_order.h"
+#include "src/platform/mutex.h"
 #include "src/obs/metrics.h"
 #include "src/qos/qos.h"
 
@@ -89,22 +88,22 @@ class WeightedFairQueue {
 
   // Hands out free slots to parked waiters; called with mu_ held. Returns
   // true if any waiter was granted (caller must notify).
-  bool GrantLocked();
+  bool GrantLocked() MTDB_REQUIRES(mu_);
 
   const Options options_;
-  mutable analysis::OrderedMutex mu_{"qos/WeightedFairQueue::mu"};
-  std::condition_variable_any cv_;
-  std::map<std::string, Tenant> tenants_;
+  mutable platform::Mutex mu_{"qos/WeightedFairQueue::mu"};
+  platform::CondVar cv_;
+  std::map<std::string, Tenant> tenants_ MTDB_GUARDED_BY(mu_);
   // Round-robin ring of database names with parked waiters.
-  std::vector<std::string> active_;
-  size_t rr_ = 0;
+  std::vector<std::string> active_ MTDB_GUARDED_BY(mu_);
+  size_t rr_ MTDB_GUARDED_BY(mu_) = 0;
   // True while the tenant at active_[rr_] holds unspent deficit from its
   // current visit (its replenish must not repeat when slots trickle back).
-  bool mid_visit_ = false;
-  int free_;
-  int in_use_ = 0;
-  size_t waiting_ = 0;
-  uint64_t next_seq_ = 0;
+  bool mid_visit_ MTDB_GUARDED_BY(mu_) = false;
+  int free_ MTDB_GUARDED_BY(mu_);
+  int in_use_ MTDB_GUARDED_BY(mu_) = 0;
+  size_t waiting_ MTDB_GUARDED_BY(mu_) = 0;
+  uint64_t next_seq_ MTDB_GUARDED_BY(mu_) = 0;
 
   obs::Gauge* m_depth_ = nullptr;
   Histogram* m_wait_us_ = nullptr;

@@ -16,7 +16,7 @@ OverloadDetector::OverloadDetector(const Options& options,
 void OverloadDetector::RecordExecute(int64_t latency_us) {
   obs::Observe(m_execute_us_, latency_us);
   if (!enabled()) return;
-  analysis::OrderedGuard lock(mu_);
+  platform::Guard lock(mu_);
   window_.Record(latency_us);
 }
 
@@ -24,7 +24,7 @@ bool OverloadDetector::Evaluate(size_t queue_depth, int64_t now_us) {
   if (!enabled()) return false;
   bool currently = shedding();
   {
-    analysis::OrderedGuard lock(mu_);
+    platform::Guard lock(mu_);
     if (now_us - last_eval_us_ < options_.eval_interval_us) return currently;
     last_eval_us_ = now_us;
     int64_t p99_us = window_.count() > 0 ? window_.Percentile(99) : 0;

@@ -5,7 +5,7 @@
 #include <cstdint>
 #include <string>
 
-#include "src/analysis/lock_order.h"
+#include "src/platform/mutex.h"
 #include "src/common/histogram.h"
 #include "src/obs/metrics.h"
 
@@ -61,9 +61,10 @@ class OverloadDetector {
   const Options options_;
   std::atomic<bool> shedding_{false};
 
-  analysis::OrderedMutex mu_{"qos/OverloadDetector::mu"};
-  Histogram window_;  // execute latencies since the last evaluation
-  int64_t last_eval_us_ = 0;
+  platform::Mutex mu_{"qos/OverloadDetector::mu"};
+  // Execute latencies since the last evaluation.
+  Histogram window_ MTDB_GUARDED_BY(mu_);
+  int64_t last_eval_us_ MTDB_GUARDED_BY(mu_) = 0;
 
   Histogram* m_execute_us_ = nullptr;
   obs::Gauge* m_state_ = nullptr;

@@ -26,7 +26,7 @@ void TokenBucket::RefillLocked(int64_t now_us) {
 }
 
 bool TokenBucket::TryAcquire(int64_t now_us, int64_t* retry_after_us) {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   RefillLocked(now_us);
   if (tokens_ >= 1.0) {
     tokens_ -= 1.0;
@@ -46,19 +46,19 @@ bool TokenBucket::TryAcquire(int64_t now_us, int64_t* retry_after_us) {
 }
 
 void TokenBucket::Configure(double rate_per_sec, double burst) {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   rate_per_sec_ = rate_per_sec;
   burst_ = EffectiveBurst(rate_per_sec, burst);
   tokens_ = std::min(tokens_, burst_);
 }
 
 double TokenBucket::rate_per_sec() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   return rate_per_sec_;
 }
 
 double TokenBucket::burst() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   return burst_;
 }
 

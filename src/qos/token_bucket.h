@@ -2,7 +2,8 @@
 #define MTDB_QOS_TOKEN_BUCKET_H_
 
 #include <cstdint>
-#include <mutex>
+
+#include "src/platform/mutex.h"
 
 namespace mtdb::qos {
 
@@ -32,13 +33,13 @@ class TokenBucket {
   double burst() const;
 
  private:
-  void RefillLocked(int64_t now_us);
+  void RefillLocked(int64_t now_us) MTDB_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  double rate_per_sec_;
-  double burst_;
-  double tokens_;
-  int64_t last_refill_us_ = 0;
+  mutable platform::Mutex mu_{"qos/TokenBucket::mu"};
+  double rate_per_sec_ MTDB_GUARDED_BY(mu_);
+  double burst_ MTDB_GUARDED_BY(mu_);
+  double tokens_ MTDB_GUARDED_BY(mu_);
+  int64_t last_refill_us_ MTDB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace mtdb::qos

@@ -17,7 +17,7 @@ bool BufferCache::Touch(uint64_t page_id) {
     obs::Increment(m_hits_);
     return true;
   }
-  analysis::OrderedGuard lock(mu_);
+  platform::Guard lock(mu_);
   auto it = map_.find(page_id);
   if (it != map_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
@@ -43,12 +43,12 @@ double BufferCache::HitRate() const {
 }
 
 size_t BufferCache::Size() const {
-  analysis::OrderedGuard lock(mu_);
+  platform::Guard lock(mu_);
   return map_.size();
 }
 
 void BufferCache::Clear() {
-  analysis::OrderedGuard lock(mu_);
+  platform::Guard lock(mu_);
   lru_.clear();
   map_.clear();
 }

@@ -7,8 +7,8 @@
 #include <string>
 #include <unordered_map>
 
-#include "src/analysis/lock_order.h"
 #include "src/obs/metrics.h"
+#include "src/platform/mutex.h"
 
 namespace mtdb {
 
@@ -42,9 +42,10 @@ class BufferCache {
 
  private:
   size_t capacity_;
-  mutable analysis::OrderedMutex mu_{"storage/BufferCache::mu"};
-  std::list<uint64_t> lru_;  // front = most recent
-  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
+  mutable platform::Mutex mu_{"storage/BufferCache::mu"};
+  std::list<uint64_t> lru_ MTDB_GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_
+      MTDB_GUARDED_BY(mu_);
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
   obs::Counter* m_hits_ = nullptr;

@@ -3,7 +3,7 @@
 namespace mtdb {
 
 Status Database::CreateTable(TableSchema schema) {
-  std::unique_lock lock(latch_);
+  platform::WriterGuard lock(latch_);
   std::string table_name = schema.name();
   auto [it, inserted] =
       tables_.try_emplace(table_name, std::make_unique<Table>(std::move(schema)));
@@ -15,7 +15,7 @@ Status Database::CreateTable(TableSchema schema) {
 }
 
 Status Database::DropTable(const std::string& table_name) {
-  std::unique_lock lock(latch_);
+  platform::WriterGuard lock(latch_);
   if (tables_.erase(table_name) == 0) {
     return Status::NotFound("table " + table_name + " in database " + name_);
   }
@@ -23,13 +23,13 @@ Status Database::DropTable(const std::string& table_name) {
 }
 
 Table* Database::GetTable(const std::string& table_name) const {
-  std::shared_lock lock(latch_);
+  platform::ReaderGuard lock(latch_);
   auto it = tables_.find(table_name);
   return it == tables_.end() ? nullptr : it->second.get();
 }
 
 std::vector<std::string> Database::TableNames() const {
-  std::shared_lock lock(latch_);
+  platform::ReaderGuard lock(latch_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, table] : tables_) names.push_back(name);
@@ -37,12 +37,12 @@ std::vector<std::string> Database::TableNames() const {
 }
 
 size_t Database::table_count() const {
-  std::shared_lock lock(latch_);
+  platform::ReaderGuard lock(latch_);
   return tables_.size();
 }
 
 size_t Database::ApproxByteSize() const {
-  std::shared_lock lock(latch_);
+  platform::ReaderGuard lock(latch_);
   size_t total = 0;
   for (const auto& [name, table] : tables_) total += table->byte_size();
   return total;

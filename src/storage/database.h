@@ -3,12 +3,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/platform/mutex.h"
 #include "src/storage/table.h"
 
 namespace mtdb {
@@ -38,8 +37,10 @@ class Database {
 
  private:
   std::string name_;
-  mutable std::shared_mutex latch_;
-  std::map<std::string, std::unique_ptr<Table>> tables_;
+  // Untracked like Table::latch_: a leaf latch held only for map lookups.
+  mutable platform::SharedMutex latch_{"storage/Database::latch", nullptr};
+  std::map<std::string, std::unique_ptr<Table>> tables_
+      MTDB_GUARDED_BY(latch_);
 };
 
 }  // namespace mtdb

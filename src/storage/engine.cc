@@ -79,7 +79,7 @@ std::string Engine::RowLockId(const std::string& db_name,
 // --- Catalog ---
 
 Status Engine::CreateDatabase(const std::string& db_name) {
-  std::unique_lock lock(catalog_latch_);
+  platform::WriterGuard lock(catalog_latch_);
   auto [it, inserted] =
       databases_.try_emplace(db_name, std::make_unique<Database>(db_name));
   if (!inserted) return Status::AlreadyExists("database " + db_name);
@@ -92,7 +92,7 @@ Status Engine::CreateDatabase(const std::string& db_name) {
 }
 
 Status Engine::DropDatabase(const std::string& db_name) {
-  std::unique_lock lock(catalog_latch_);
+  platform::WriterGuard lock(catalog_latch_);
   if (databases_.erase(db_name) == 0) {
     return Status::NotFound("database " + db_name);
   }
@@ -101,18 +101,18 @@ Status Engine::DropDatabase(const std::string& db_name) {
 }
 
 bool Engine::HasDatabase(const std::string& db_name) const {
-  std::shared_lock lock(catalog_latch_);
+  platform::ReaderGuard lock(catalog_latch_);
   return databases_.count(db_name) > 0;
 }
 
 Database* Engine::GetDatabase(const std::string& db_name) const {
-  std::shared_lock lock(catalog_latch_);
+  platform::ReaderGuard lock(catalog_latch_);
   auto it = databases_.find(db_name);
   return it == databases_.end() ? nullptr : it->second.get();
 }
 
 std::vector<std::string> Engine::DatabaseNames() const {
-  std::shared_lock lock(catalog_latch_);
+  platform::ReaderGuard lock(catalog_latch_);
   std::vector<std::string> names;
   for (const auto& [name, db] : databases_) names.push_back(name);
   return names;
@@ -163,7 +163,7 @@ Status Engine::DropTable(const std::string& db_name,
 // --- SQL planning & prepared statements ---
 
 void Engine::BumpSchemaVersion(const std::string& db_name) {
-  std::lock_guard<std::mutex> lock(plan_mu_);
+  platform::Guard lock(plan_mu_);
   schema_versions_[db_name] = ++schema_epoch_;
   // Evict eagerly so dropped databases don't pin dead plans; the version
   // check in GetPlan covers any plan that slips back in concurrently.
@@ -177,13 +177,13 @@ void Engine::BumpSchemaVersion(const std::string& db_name) {
 }
 
 uint64_t Engine::SchemaVersion(const std::string& db_name) const {
-  std::lock_guard<std::mutex> lock(plan_mu_);
+  platform::Guard lock(plan_mu_);
   auto it = schema_versions_.find(db_name);
   return it == schema_versions_.end() ? 0 : it->second;
 }
 
 size_t Engine::plan_cache_size() const {
-  std::lock_guard<std::mutex> lock(plan_mu_);
+  platform::Guard lock(plan_mu_);
   return plan_cache_.size();
 }
 
@@ -192,7 +192,7 @@ Result<std::shared_ptr<const sql::PlannedStatement>> Engine::GetPlan(
   const bool cacheable = sql.find('?') != std::string::npos;
   uint64_t version = 0;
   if (cacheable) {
-    std::lock_guard<std::mutex> lock(plan_mu_);
+    platform::Guard lock(plan_mu_);
     auto vit = schema_versions_.find(db_name);
     version = vit == schema_versions_.end() ? 0 : vit->second;
     auto it = plan_cache_.find({db_name, sql});
@@ -210,7 +210,7 @@ Result<std::shared_ptr<const sql::PlannedStatement>> Engine::GetPlan(
   MTDB_ASSIGN_OR_RETURN(std::shared_ptr<const sql::PlannedStatement> plan,
                         planner.Plan(db_name, std::move(stmt)));
   if (cacheable && !explain) {
-    std::lock_guard<std::mutex> lock(plan_mu_);
+    platform::Guard lock(plan_mu_);
     auto vit = schema_versions_.find(db_name);
     uint64_t now = vit == schema_versions_.end() ? 0 : vit->second;
     // Don't cache a plan that raced a DDL: it was planned against a catalog
@@ -232,7 +232,7 @@ Result<Engine::StatementHandle> Engine::PrepareStatement(
   if (plan->explain) {
     return Status::InvalidArgument("cannot prepare an EXPLAIN statement");
   }
-  std::lock_guard<std::mutex> lock(plan_mu_);
+  platform::Guard lock(plan_mu_);
   StatementHandle handle = next_stmt_handle_++;
   prepared_stmts_[handle] = PreparedStmt{db_name, sql};
   return handle;
@@ -243,7 +243,7 @@ Result<sql::QueryResult> Engine::ExecutePrepared(
     const std::vector<Value>& params) {
   std::string db_name, sql;
   {
-    std::lock_guard<std::mutex> lock(plan_mu_);
+    platform::Guard lock(plan_mu_);
     auto it = prepared_stmts_.find(handle);
     if (it == prepared_stmts_.end()) {
       return Status::FailedPrecondition("unknown statement handle " +
@@ -274,7 +274,7 @@ Result<Table*> Engine::ResolveTable(const std::string& db_name,
 // --- Transaction lifecycle ---
 
 Status Engine::Begin(uint64_t txn_id) {
-  std::lock_guard<std::mutex> lock(txn_mu_);
+  platform::Guard lock(txn_mu_);
   auto [it, inserted] = txns_.try_emplace(txn_id, nullptr);
   if (!inserted) {
     return Status::AlreadyExists("txn " + std::to_string(txn_id) +
@@ -288,7 +288,7 @@ Status Engine::Begin(uint64_t txn_id) {
 }
 
 Result<Transaction*> Engine::Find(uint64_t txn_id) const {
-  std::lock_guard<std::mutex> lock(txn_mu_);
+  platform::Guard lock(txn_mu_);
   auto it = txns_.find(txn_id);
   if (it == txns_.end()) {
     return Status::NotFound("txn " + std::to_string(txn_id) + " at " +
@@ -311,7 +311,7 @@ Status Engine::Prepare(uint64_t txn_id) {
   MTDB_ASSIGN_OR_RETURN(Transaction * txn, FindActive(txn_id));
   txn->state = TxnState::kPrepared;
   if (txn_checker_ != nullptr) {
-    std::lock_guard<std::mutex> lock(txn_mu_);
+    platform::Guard lock(txn_mu_);
     txn_checker_->OnPrepare(txn_id);
   }
   if (options_.release_read_locks_on_prepare) {
@@ -325,8 +325,7 @@ void Engine::RecordCommit(Transaction* txn) {
     (void)wal_->AppendDecision(WalRecordType::kCommit, txn->id);
   }
   if (options_.record_history) {
-    std::lock_guard<std::mutex> lock(history_mu_);
-    history_.push_back(CommittedTxnRecord{txn->id, txn->reads, txn->writes});
+    history_.RecordCommit(*txn);
   }
   committed_.fetch_add(1, std::memory_order_relaxed);
   obs::Increment(m_txn_commit_);
@@ -341,7 +340,7 @@ Status Engine::CommitPrepared(uint64_t txn_id) {
   txn->state = TxnState::kCommitted;
   RecordCommit(txn);
   lock_manager_.ReleaseAll(txn_id);
-  std::lock_guard<std::mutex> lock(txn_mu_);
+  platform::Guard lock(txn_mu_);
   if (txn_checker_ != nullptr) txn_checker_->OnCommitPrepared(txn_id);
   txns_.erase(txn_id);
   return Status::OK();
@@ -352,7 +351,7 @@ Status Engine::Commit(uint64_t txn_id) {
   txn->state = TxnState::kCommitted;
   RecordCommit(txn);
   lock_manager_.ReleaseAll(txn_id);
-  std::lock_guard<std::mutex> lock(txn_mu_);
+  platform::Guard lock(txn_mu_);
   if (txn_checker_ != nullptr) txn_checker_->OnCommit(txn_id);
   txns_.erase(txn_id);
   return Status::OK();
@@ -391,21 +390,21 @@ Status Engine::Abort(uint64_t txn_id) {
   aborted_.fetch_add(1, std::memory_order_relaxed);
   obs::Increment(m_txn_abort_);
   lock_manager_.ReleaseAll(txn_id);
-  std::lock_guard<std::mutex> lock(txn_mu_);
+  platform::Guard lock(txn_mu_);
   if (txn_checker_ != nullptr) txn_checker_->OnAbort(txn_id);
   txns_.erase(txn_id);
   return Status::OK();
 }
 
 std::optional<TxnState> Engine::GetTxnState(uint64_t txn_id) const {
-  std::lock_guard<std::mutex> lock(txn_mu_);
+  platform::Guard lock(txn_mu_);
   auto it = txns_.find(txn_id);
   if (it == txns_.end()) return std::nullopt;
   return it->second->state;
 }
 
 std::vector<uint64_t> Engine::PreparedTxnIds() const {
-  std::lock_guard<std::mutex> lock(txn_mu_);
+  platform::Guard lock(txn_mu_);
   std::vector<uint64_t> ids;
   for (const auto& [id, txn] : txns_) {
     if (txn->state == TxnState::kPrepared) ids.push_back(id);
@@ -414,7 +413,7 @@ std::vector<uint64_t> Engine::PreparedTxnIds() const {
 }
 
 std::vector<uint64_t> Engine::ActiveTxnIds() const {
-  std::lock_guard<std::mutex> lock(txn_mu_);
+  platform::Guard lock(txn_mu_);
   std::vector<uint64_t> ids;
   for (const auto& [id, txn] : txns_) {
     if (txn->state == TxnState::kActive) ids.push_back(id);
@@ -423,7 +422,7 @@ std::vector<uint64_t> Engine::ActiveTxnIds() const {
 }
 
 size_t Engine::ActiveTxnCount() const {
-  std::lock_guard<std::mutex> lock(txn_mu_);
+  platform::Guard lock(txn_mu_);
   return txns_.size();
 }
 
@@ -673,13 +672,9 @@ Status Engine::BulkInsertVersioned(
 // --- History ---
 
 std::vector<CommittedTxnRecord> Engine::GetHistory() const {
-  std::lock_guard<std::mutex> lock(history_mu_);
-  return history_;
+  return history_.Snapshot();
 }
 
-void Engine::ClearHistory() {
-  std::lock_guard<std::mutex> lock(history_mu_);
-  history_.clear();
-}
+void Engine::ClearHistory() { history_.Clear(); }
 
 }  // namespace mtdb

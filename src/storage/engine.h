@@ -5,12 +5,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "src/analysis/history.h"
 #include "src/analysis/two_phase.h"
+#include "src/platform/mutex.h"
 #include "src/common/result.h"
 #include "src/obs/metrics.h"
 #include "src/sql/query_result.h"
@@ -220,14 +221,20 @@ class Engine {
   LockManager lock_manager_;
   BufferCache buffer_cache_;
 
-  mutable std::shared_mutex catalog_latch_;
-  std::map<std::string, std::unique_ptr<Database>> databases_;
+  mutable platform::SharedMutex catalog_latch_{
+      "storage/Engine::catalog_latch"};
+  std::map<std::string, std::unique_ptr<Database>> databases_
+      MTDB_GUARDED_BY(catalog_latch_);
 
-  mutable std::mutex txn_mu_;
-  std::map<uint64_t, std::unique_ptr<Transaction>> txns_;
+  mutable platform::Mutex txn_mu_{"storage/Engine::txn_mu"};
+  std::map<uint64_t, std::unique_ptr<Transaction>> txns_
+      MTDB_GUARDED_BY(txn_mu_);
   // 2PC participant state checker; null unless options_.invariant_checks.
-  // All notifications happen under txn_mu_.
-  std::unique_ptr<analysis::TwoPhaseCommitChecker> txn_checker_;
+  // The pointer is set once in the constructor; the checker's state behind
+  // it is only touched under txn_mu_ (hence PT_GUARDED_BY, which lets the
+  // unlocked null checks stand while proving every notification is locked).
+  std::unique_ptr<analysis::TwoPhaseCommitChecker> txn_checker_
+      MTDB_PT_GUARDED_BY(txn_mu_);
 
   // --- Plan cache & prepared statements ---
   struct CachedPlan {
@@ -242,17 +249,21 @@ class Engine {
   // every successful DDL.
   void BumpSchemaVersion(const std::string& db_name);
 
-  mutable std::mutex plan_mu_;
-  std::map<std::string, uint64_t> schema_versions_;
-  uint64_t schema_epoch_ = 0;  // engine-wide; versions never repeat
-  std::map<std::pair<std::string, std::string>, CachedPlan> plan_cache_;
-  std::map<StatementHandle, PreparedStmt> prepared_stmts_;
-  StatementHandle next_stmt_handle_ = 1;
+  mutable platform::Mutex plan_mu_{"storage/Engine::plan_mu"};
+  std::map<std::string, uint64_t> schema_versions_ MTDB_GUARDED_BY(plan_mu_);
+  // engine-wide; versions never repeat
+  uint64_t schema_epoch_ MTDB_GUARDED_BY(plan_mu_) = 0;
+  std::map<std::pair<std::string, std::string>, CachedPlan> plan_cache_
+      MTDB_GUARDED_BY(plan_mu_);
+  std::map<StatementHandle, PreparedStmt> prepared_stmts_
+      MTDB_GUARDED_BY(plan_mu_);
+  StatementHandle next_stmt_handle_ MTDB_GUARDED_BY(plan_mu_) = 1;
   std::atomic<int64_t> plan_cache_hits_{0};
   std::atomic<int64_t> plan_cache_misses_{0};
 
-  mutable std::mutex history_mu_;
-  std::vector<CommittedTxnRecord> history_;
+  // Committed-transaction log for the offline DSG auditor (populated when
+  // options_.record_history is set); owns its own lock.
+  analysis::HistoryRecorder history_;
 
   std::atomic<int64_t> committed_{0};
   std::atomic<int64_t> aborted_{0};

@@ -148,7 +148,7 @@ bool LockManager::WouldDeadlock(uint64_t start_txn) const {
 
 Status LockManager::Acquire(uint64_t txn_id, const std::string& resource,
                             LockMode mode) {
-  std::unique_lock<analysis::OrderedMutex> lock(mu_);
+  platform::UniqueLock lock(mu_);
   acquire_count_.fetch_add(1, std::memory_order_relaxed);
   LockState& state = locks_[resource];
 
@@ -184,7 +184,7 @@ Status LockManager::Acquire(uint64_t txn_id, const std::string& resource,
     auto it = std::find(state.waiters.begin(), state.waiters.end(), &request);
     if (it != state.waiters.end()) state.waiters.erase(it);
     GrantWaiters(state);
-    cv_.notify_all();
+    cv_.NotifyAll();
     return Status::Deadlock("txn " + std::to_string(txn_id) +
                             " chosen as deadlock victim on " + resource);
   }
@@ -192,8 +192,10 @@ Status LockManager::Acquire(uint64_t txn_id, const std::string& resource,
   auto deadline = std::chrono::steady_clock::now() +
                   std::chrono::microseconds(options_.lock_timeout_us);
   int64_t wait_start_us = NowMicros();
-  bool granted = cv_.wait_until(lock, deadline,
-                                [&request] { return request.granted; });
+  while (!request.granted &&
+         cv_.WaitUntil(lock, deadline) != std::cv_status::timeout) {
+  }
+  bool granted = request.granted;  // final re-check, still under mu_
   // Charged only on the blocking path, so the histogram measures contention,
   // not the fast-grant no-wait common case.
   obs::Observe(m_lock_wait_us_, NowMicros() - wait_start_us);
@@ -205,7 +207,7 @@ Status LockManager::Acquire(uint64_t txn_id, const std::string& resource,
     auto it = std::find(state.waiters.begin(), state.waiters.end(), &request);
     if (it != state.waiters.end()) state.waiters.erase(it);
     GrantWaiters(state);
-    cv_.notify_all();
+    cv_.NotifyAll();
     return Status::LockTimeout("txn " + std::to_string(txn_id) +
                                " timed out waiting for " + resource);
   }
@@ -272,24 +274,24 @@ void LockManager::ReleaseLocked(uint64_t txn_id, bool read_locks_only) {
   } else {
     held_.erase(held_it);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void LockManager::ReleaseAll(uint64_t txn_id) {
-  analysis::OrderedGuard lock(mu_);
+  platform::Guard lock(mu_);
   if (options_.audit_strict_2pl) auditor_.OnReleaseAll(txn_id);
   ReleaseLocked(txn_id, /*read_locks_only=*/false);
 }
 
 void LockManager::ReleaseReadLocks(uint64_t txn_id) {
-  analysis::OrderedGuard lock(mu_);
+  platform::Guard lock(mu_);
   if (options_.audit_strict_2pl) auditor_.OnReleaseReadLocks(txn_id);
   ReleaseLocked(txn_id, /*read_locks_only=*/true);
 }
 
 bool LockManager::Holds(uint64_t txn_id, const std::string& resource,
                         LockMode mode) const {
-  analysis::OrderedGuard lock(mu_);
+  platform::Guard lock(mu_);
   auto lock_it = locks_.find(resource);
   if (lock_it == locks_.end()) return false;
   auto holder_it = lock_it->second.holders.find(txn_id);
@@ -298,7 +300,7 @@ bool LockManager::Holds(uint64_t txn_id, const std::string& resource,
 }
 
 size_t LockManager::ActiveLockCount() const {
-  analysis::OrderedGuard lock(mu_);
+  platform::Guard lock(mu_);
   return locks_.size();
 }
 

@@ -2,20 +2,18 @@
 #define MTDB_STORAGE_LOCK_MANAGER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
-#include "src/analysis/lock_order.h"
 #include "src/analysis/two_phase.h"
 #include "src/common/status.h"
 #include "src/obs/metrics.h"
+#include "src/platform/mutex.h"
 
 namespace mtdb {
 
@@ -75,22 +73,23 @@ class LockManager {
   // Blocks until granted, deadlock, or timeout. Re-entrant: a request covered
   // by a mode the transaction already holds returns immediately. Upgrades
   // (e.g. S -> X) bypass the FIFO queue to avoid upgrade starvation.
-  Status Acquire(uint64_t txn_id, const std::string& resource, LockMode mode);
+  Status Acquire(uint64_t txn_id, const std::string& resource, LockMode mode)
+      MTDB_EXCLUDES(mu_);
 
   // Releases every lock held by the transaction (commit/abort).
-  void ReleaseAll(uint64_t txn_id);
+  void ReleaseAll(uint64_t txn_id) MTDB_EXCLUDES(mu_);
 
   // Releases only S and IS locks (the PREPARE-time optimization).
-  void ReleaseReadLocks(uint64_t txn_id);
+  void ReleaseReadLocks(uint64_t txn_id) MTDB_EXCLUDES(mu_);
 
   // --- Introspection (tests, stats) ---
-  bool Holds(uint64_t txn_id, const std::string& resource,
-             LockMode mode) const;
+  bool Holds(uint64_t txn_id, const std::string& resource, LockMode mode) const
+      MTDB_EXCLUDES(mu_);
   int64_t deadlock_count() const { return deadlock_count_.load(); }
   int64_t timeout_count() const { return timeout_count_.load(); }
   int64_t acquire_count() const { return acquire_count_.load(); }
   // Number of distinct resources with at least one holder or waiter.
-  size_t ActiveLockCount() const;
+  size_t ActiveLockCount() const MTDB_EXCLUDES(mu_);
 
  private:
   struct WaitRequest {
@@ -114,25 +113,28 @@ class LockManager {
   // True when holding `held_mask` already grants `mode`.
   static bool MaskCovers(uint8_t held_mask, LockMode mode);
 
-  // All helpers below require mu_ held.
+  // All helpers below require mu_ held (compiler-checked via MTDB_REQUIRES).
   bool CanGrant(const LockState& state, uint64_t txn_id, LockMode mode,
-                bool is_upgrade) const;
-  void GrantWaiters(LockState& state);
-  bool WouldDeadlock(uint64_t start_txn) const;
+                bool is_upgrade) const MTDB_REQUIRES(mu_);
+  void GrantWaiters(LockState& state) MTDB_REQUIRES(mu_);
+  bool WouldDeadlock(uint64_t start_txn) const MTDB_REQUIRES(mu_);
   void CollectBlockers(const LockState& state, const WaitRequest& req,
-                       std::unordered_set<uint64_t>* blockers) const;
-  void ReleaseLocked(uint64_t txn_id, bool read_locks_only);
+                       std::unordered_set<uint64_t>* blockers) const
+      MTDB_REQUIRES(mu_);
+  void ReleaseLocked(uint64_t txn_id, bool read_locks_only)
+      MTDB_REQUIRES(mu_);
 
   Options options_;
-  mutable analysis::OrderedMutex mu_{"storage/LockManager::mu"};
-  std::condition_variable_any cv_;
+  mutable platform::Mutex mu_{"storage/LockManager::mu"};
+  platform::CondVar cv_;
   // Strict-2PL auditor; consulted under mu_ when options_.audit_strict_2pl.
-  analysis::TwoPhaseLockingAuditor auditor_;
-  std::unordered_map<std::string, LockState> locks_;
+  analysis::TwoPhaseLockingAuditor auditor_ MTDB_GUARDED_BY(mu_);
+  std::unordered_map<std::string, LockState> locks_ MTDB_GUARDED_BY(mu_);
   // txn -> resources it holds (for release).
-  std::unordered_map<uint64_t, std::unordered_set<std::string>> held_;
+  std::unordered_map<uint64_t, std::unordered_set<std::string>> held_
+      MTDB_GUARDED_BY(mu_);
   // txn -> resource it is currently blocked on (wait-for graph node data).
-  std::unordered_map<uint64_t, std::string> waiting_on_;
+  std::unordered_map<uint64_t, std::string> waiting_on_ MTDB_GUARDED_BY(mu_);
 
   std::atomic<int64_t> deadlock_count_{0};
   std::atomic<int64_t> timeout_count_{0};

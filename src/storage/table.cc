@@ -26,7 +26,7 @@ Table::Table(TableSchema schema) : schema_(std::move(schema)) {
 
 Status Table::AddIndex(const std::string& index_name,
                        const std::string& column_name) {
-  std::unique_lock lock(latch_);
+  platform::WriterGuard lock(latch_);
   MTDB_RETURN_IF_ERROR(schema_.AddIndex(index_name, column_name));
   // Backfill the new index from existing rows.
   const IndexDef& def = schema_.indexes().back();
@@ -39,7 +39,7 @@ Status Table::AddIndex(const std::string& index_name,
 }
 
 std::optional<StoredRow> Table::Get(const Value& pk) const {
-  std::shared_lock lock(latch_);
+  platform::ReaderGuard lock(latch_);
   auto it = rows_.find(pk);
   if (it == rows_.end()) return std::nullopt;
   return it->second;
@@ -65,7 +65,7 @@ void Table::IndexEraseLocked(const Value& pk, const Row& row) {
 }
 
 bool Table::Insert(const Row& row, uint64_t version) {
-  std::unique_lock lock(latch_);
+  platform::WriterGuard lock(latch_);
   const Value& pk = row[schema_.primary_key_index()];
   auto [it, inserted] = rows_.try_emplace(pk, StoredRow{row, version});
   if (!inserted) return false;
@@ -76,7 +76,7 @@ bool Table::Insert(const Row& row, uint64_t version) {
 }
 
 bool Table::Update(const Value& pk, const Row& row, uint64_t version) {
-  std::unique_lock lock(latch_);
+  platform::WriterGuard lock(latch_);
   auto it = rows_.find(pk);
   if (it == rows_.end()) return false;
   byte_size_.fetch_sub(RowBytes(it->second.values), std::memory_order_relaxed);
@@ -90,7 +90,7 @@ bool Table::Update(const Value& pk, const Row& row, uint64_t version) {
 }
 
 bool Table::Delete(const Value& pk, uint64_t tombstone_version) {
-  std::unique_lock lock(latch_);
+  platform::WriterGuard lock(latch_);
   auto it = rows_.find(pk);
   if (it == rows_.end()) return false;
   byte_size_.fetch_sub(RowBytes(it->second.values), std::memory_order_relaxed);
@@ -101,7 +101,7 @@ bool Table::Delete(const Value& pk, uint64_t tombstone_version) {
 }
 
 std::vector<std::pair<Value, StoredRow>> Table::ScanAll() const {
-  std::shared_lock lock(latch_);
+  platform::ReaderGuard lock(latch_);
   std::vector<std::pair<Value, StoredRow>> out;
   out.reserve(rows_.size());
   for (const auto& [pk, stored] : rows_) out.emplace_back(pk, stored);
@@ -110,7 +110,7 @@ std::vector<std::pair<Value, StoredRow>> Table::ScanAll() const {
 
 std::vector<std::pair<Value, StoredRow>> Table::ScanRange(
     const std::optional<Value>& lo, const std::optional<Value>& hi) const {
-  std::shared_lock lock(latch_);
+  platform::ReaderGuard lock(latch_);
   auto begin = lo.has_value() ? rows_.lower_bound(*lo) : rows_.begin();
   auto end = hi.has_value() ? rows_.upper_bound(*hi) : rows_.end();
   std::vector<std::pair<Value, StoredRow>> out;
@@ -120,7 +120,7 @@ std::vector<std::pair<Value, StoredRow>> Table::ScanRange(
 
 Result<std::vector<Value>> Table::IndexLookup(int column_index,
                                               const Value& key) const {
-  std::shared_lock lock(latch_);
+  platform::ReaderGuard lock(latch_);
   for (size_t i = 0; i < schema_.indexes().size(); ++i) {
     if (schema_.indexes()[i].column_index != column_index) continue;
     auto [lo, hi] = index_data_[i].equal_range(key);
@@ -133,13 +133,13 @@ Result<std::vector<Value>> Table::IndexLookup(int column_index,
 }
 
 uint64_t Table::LastVersion(const Value& pk) const {
-  std::shared_lock lock(latch_);
+  platform::ReaderGuard lock(latch_);
   auto it = last_versions_.find(pk);
   return it == last_versions_.end() ? 0 : it->second;
 }
 
 size_t Table::row_count() const {
-  std::shared_lock lock(latch_);
+  platform::ReaderGuard lock(latch_);
   return rows_.size();
 }
 
@@ -148,7 +148,7 @@ size_t Table::byte_size() const {
 }
 
 uint64_t Table::ContentFingerprint() const {
-  std::shared_lock lock(latch_);
+  platform::ReaderGuard lock(latch_);
   uint64_t total = 0;
   for (const auto& [pk, stored] : rows_) {
     uint64_t h = HashValue(pk);

@@ -6,12 +6,11 @@
 #include <functional>
 #include <map>
 #include <optional>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/platform/mutex.h"
 #include "src/storage/schema.h"
 #include "src/storage/value.h"
 
@@ -87,16 +86,21 @@ class Table {
   uint64_t ContentFingerprint() const;
 
  private:
-  void IndexInsertLocked(const Value& pk, const Row& row);
-  void IndexEraseLocked(const Value& pk, const Row& row);
+  void IndexInsertLocked(const Value& pk, const Row& row)
+      MTDB_REQUIRES(latch_);
+  void IndexEraseLocked(const Value& pk, const Row& row)
+      MTDB_REQUIRES(latch_);
 
   TableSchema schema_;
-  mutable std::shared_mutex latch_;
-  std::map<Value, StoredRow> rows_;
+  // Leaf latch on the hottest path (every row access): lock-order tracking
+  // is off (nullptr graph) because table latches never nest under anything
+  // and per-access lockdep bookkeeping would dominate sanitizer runs.
+  mutable platform::SharedMutex latch_{"storage/Table::latch", nullptr};
+  std::map<Value, StoredRow> rows_ MTDB_GUARDED_BY(latch_);
   // One multimap per secondary index, parallel to schema_.indexes().
-  std::vector<std::multimap<Value, Value>> index_data_;
+  std::vector<std::multimap<Value, Value>> index_data_ MTDB_GUARDED_BY(latch_);
   // pk -> last version consumed, surviving deletes.
-  std::map<Value, uint64_t> last_versions_;
+  std::map<Value, uint64_t> last_versions_ MTDB_GUARDED_BY(latch_);
   std::atomic<uint64_t> version_counter_{0};
   std::atomic<size_t> byte_size_{0};
 };

@@ -231,12 +231,12 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
 }
 
 Status WriteAheadLog::AppendLine(const std::string& line, bool sync) {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   if (std::fputs(line.c_str(), file_) == EOF ||
       std::fputc('\n', file_) == EOF) {
     return Status::Internal("WAL append failed for " + path_);
   }
-  ++records_written_;
+  records_written_.fetch_add(1, std::memory_order_relaxed);
   if (sync && std::fflush(file_) != 0) {
     return Status::Internal("WAL flush failed for " + path_);
   }
@@ -277,7 +277,7 @@ Status WriteAheadLog::AppendDecision(WalRecordType type, uint64_t txn_id) {
 }
 
 Status WriteAheadLog::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  platform::Guard lock(mu_);
   if (std::fflush(file_) != 0) {
     return Status::Internal("WAL flush failed for " + path_);
   }

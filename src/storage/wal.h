@@ -1,14 +1,15 @@
 #ifndef MTDB_STORAGE_WAL_H_
 #define MTDB_STORAGE_WAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/platform/mutex.h"
 #include "src/storage/schema.h"
 #include "src/storage/value.h"
 
@@ -77,7 +78,9 @@ class WriteAheadLog {
   Status AppendDecision(WalRecordType type, uint64_t txn_id);
   Status Sync();
 
-  int64_t records_written() const { return records_written_; }
+  int64_t records_written() const {
+    return records_written_.load(std::memory_order_relaxed);
+  }
 
   // Reads every well-formed record of a log file (a torn final line — the
   // classic crash artifact — is ignored).
@@ -97,13 +100,15 @@ class WriteAheadLog {
  private:
   WriteAheadLog(std::string path, std::FILE* file, Options options);
 
-  Status AppendLine(const std::string& line, bool sync);
+  Status AppendLine(const std::string& line, bool sync) MTDB_EXCLUDES(mu_);
 
   std::string path_;
-  std::FILE* file_;
+  // Guarded after construction; the destructor's unlocked flush+close is
+  // safe because no appender may outlive the log.
+  std::FILE* file_ MTDB_GUARDED_BY(mu_);
   Options options_;
-  std::mutex mu_;
-  int64_t records_written_ = 0;
+  platform::Mutex mu_{"storage/WriteAheadLog::mu"};
+  std::atomic<int64_t> records_written_{0};
 };
 
 }  // namespace mtdb

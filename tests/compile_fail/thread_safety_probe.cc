@@ -1,0 +1,34 @@
+// Mutation probe for the -Werror=thread-safety build (consumed by
+// tests/CMakeLists.txt via try_compile, only when MTDB_THREAD_SAFETY=ON).
+//
+// Compiled twice:
+//   - as-is: must compile cleanly (positive control — proves the probe is
+//     well-formed and the analysis flags are actually active);
+//   - with -DMTDB_MUTATION_DROP_LOCK, which deletes the Guard below: must
+//     FAIL to compile. If it compiles, the thread-safety analysis is not
+//     enforcing GUARDED_BY and the whole annotation scheme is decorative.
+
+#include "src/platform/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+#ifndef MTDB_MUTATION_DROP_LOCK
+    mtdb::platform::Guard lock(mu_);
+#endif
+    ++value_;
+  }
+
+ private:
+  mtdb::platform::Mutex mu_{"test/Counter::mu", nullptr};
+  long value_ MTDB_GUARDED_BY(mu_) = 0;
+};
+
+[[maybe_unused]] void Touch() {
+  Counter counter;
+  counter.Increment();
+}
+
+}  // namespace

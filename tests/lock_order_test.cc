@@ -1,7 +1,3 @@
-#include "src/analysis/lock_order.h"
-
-#include <condition_variable>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -9,10 +5,18 @@
 #include <gtest/gtest.h>
 
 #include "src/analysis/invariants.h"
+#include "src/platform/mutex.h"
 
 namespace mtdb {
-namespace analysis {
 namespace {
+
+using analysis::InvariantViolation;
+using analysis::ScopedViolationRecorder;
+using platform::CondVar;
+using platform::Guard;
+using platform::LockOrderGraph;
+using platform::Mutex;
+using platform::UniqueLock;
 
 // Each test runs a private graph so results are independent of the global
 // graph the production mutexes feed (active in Debug builds).
@@ -24,11 +28,11 @@ class LockOrderTest : public ::testing::Test {
 };
 
 TEST_F(LockOrderTest, ConsistentOrderIsClean) {
-  OrderedMutex a("A", &graph_);
-  OrderedMutex b("B", &graph_);
+  Mutex a("A", &graph_);
+  Mutex b("B", &graph_);
   for (int i = 0; i < 3; ++i) {
-    OrderedGuard ga(a);
-    OrderedGuard gb(b);
+    Guard ga(a);
+    Guard gb(b);
   }
   EXPECT_TRUE(violations_.empty());
   EXPECT_TRUE(graph_.HasEdge("A", "B"));
@@ -37,20 +41,20 @@ TEST_F(LockOrderTest, ConsistentOrderIsClean) {
 }
 
 TEST_F(LockOrderTest, DetectsSeededInversion) {
-  OrderedMutex a("A", &graph_);
-  OrderedMutex b("B", &graph_);
+  Mutex a("A", &graph_);
+  Mutex b("B", &graph_);
   {
     // Establish A -> B.
-    OrderedGuard ga(a);
-    OrderedGuard gb(b);
+    Guard ga(a);
+    Guard gb(b);
   }
   ASSERT_TRUE(violations_.empty());
   {
     // The deliberate B -> A inversion. Sequential execution cannot actually
     // deadlock, which is exactly why the graph check matters: it reports
     // the *potential* cycle the moment the second ordering appears.
-    OrderedGuard gb(b);
-    OrderedGuard ga(a);
+    Guard gb(b);
+    Guard ga(a);
   }
   ASSERT_EQ(violations_.size(), 1u);
   EXPECT_EQ(violations_[0].checker, "lock-order");
@@ -63,32 +67,32 @@ TEST_F(LockOrderTest, DetectsSeededInversion) {
 }
 
 TEST_F(LockOrderTest, InversionReportsOncePerPair) {
-  OrderedMutex a("A", &graph_);
-  OrderedMutex b("B", &graph_);
+  Mutex a("A", &graph_);
+  Mutex b("B", &graph_);
   {
-    OrderedGuard ga(a);
-    OrderedGuard gb(b);
+    Guard ga(a);
+    Guard gb(b);
   }
   for (int i = 0; i < 3; ++i) {
-    OrderedGuard gb(b);
-    OrderedGuard ga(a);
+    Guard gb(b);
+    Guard ga(a);
   }
   EXPECT_EQ(violations_.size(), 1u);
 }
 
 TEST_F(LockOrderTest, DetectsInversionAcrossThreads) {
-  OrderedMutex a("A", &graph_);
-  OrderedMutex b("B", &graph_);
+  Mutex a("A", &graph_);
+  Mutex b("B", &graph_);
   // Thread 1 teaches the graph A -> B; thread 2 (joined, so no actual
   // deadlock is possible) then takes B -> A.
   std::thread t1([&] {
-    OrderedGuard ga(a);
-    OrderedGuard gb(b);
+    Guard ga(a);
+    Guard gb(b);
   });
   t1.join();
   std::thread t2([&] {
-    OrderedGuard gb(b);
-    OrderedGuard ga(a);
+    Guard gb(b);
+    Guard ga(a);
   });
   t2.join();
   ASSERT_EQ(violations_.size(), 1u);
@@ -96,22 +100,22 @@ TEST_F(LockOrderTest, DetectsInversionAcrossThreads) {
 }
 
 TEST_F(LockOrderTest, DetectsLongerCycle) {
-  OrderedMutex a("A", &graph_);
-  OrderedMutex b("B", &graph_);
-  OrderedMutex c("C", &graph_);
+  Mutex a("A", &graph_);
+  Mutex b("B", &graph_);
+  Mutex c("C", &graph_);
   {
-    OrderedGuard ga(a);
-    OrderedGuard gb(b);
+    Guard ga(a);
+    Guard gb(b);
   }
   {
-    OrderedGuard gb(b);
-    OrderedGuard gc(c);
+    Guard gb(b);
+    Guard gc(c);
   }
   ASSERT_TRUE(violations_.empty());
   {
     // C -> A closes A -> B -> C -> A.
-    OrderedGuard gc(c);
-    OrderedGuard ga(a);
+    Guard gc(c);
+    Guard ga(a);
   }
   ASSERT_EQ(violations_.size(), 1u);
   EXPECT_NE(violations_[0].detail.find("C -> A -> B -> C"), std::string::npos)
@@ -119,11 +123,11 @@ TEST_F(LockOrderTest, DetectsLongerCycle) {
 }
 
 TEST_F(LockOrderTest, DetectsRecursiveAcquisitionOfSameClass) {
-  OrderedMutex outer("M", &graph_);
-  OrderedMutex inner("M", &graph_);  // same class, different instance
+  Mutex outer("M", &graph_);
+  Mutex inner("M", &graph_);  // same class, different instance
   {
-    OrderedGuard g1(outer);
-    OrderedGuard g2(inner);
+    Guard g1(outer);
+    Guard g2(inner);
   }
   ASSERT_EQ(violations_.size(), 1u);
   EXPECT_NE(violations_[0].detail.find("recursive acquisition"),
@@ -132,70 +136,76 @@ TEST_F(LockOrderTest, DetectsRecursiveAcquisitionOfSameClass) {
 }
 
 TEST_F(LockOrderTest, TryLockParticipatesInOrdering) {
-  OrderedMutex a("A", &graph_);
-  OrderedMutex b("B", &graph_);
+  Mutex a("A", &graph_);
+  Mutex b("B", &graph_);
   {
-    OrderedGuard ga(a);
-    ASSERT_TRUE(b.try_lock());
-    b.unlock();
+    Guard ga(a);
+    if (b.try_lock()) {
+      b.unlock();
+    } else {
+      FAIL() << "uncontended try_lock failed";
+    }
   }
   {
-    OrderedGuard gb(b);
-    ASSERT_TRUE(a.try_lock());
-    a.unlock();
+    Guard gb(b);
+    if (a.try_lock()) {
+      a.unlock();
+    } else {
+      FAIL() << "uncontended try_lock failed";
+    }
   }
   EXPECT_EQ(violations_.size(), 1u);
 }
 
 TEST_F(LockOrderTest, ClearForgetsEdges) {
-  OrderedMutex a("A", &graph_);
-  OrderedMutex b("B", &graph_);
+  Mutex a("A", &graph_);
+  Mutex b("B", &graph_);
   {
-    OrderedGuard ga(a);
-    OrderedGuard gb(b);
+    Guard ga(a);
+    Guard gb(b);
   }
   graph_.Clear();
   EXPECT_EQ(graph_.EdgeCount(), 0u);
   {
-    OrderedGuard gb(b);
-    OrderedGuard ga(a);
+    Guard gb(b);
+    Guard ga(a);
   }
   // With the A -> B edge gone, B -> A is just a fresh (legal) ordering.
   EXPECT_TRUE(violations_.empty());
 }
 
 TEST_F(LockOrderTest, ProductionMutexesFeedTheGlobalGraphWhenEnabled) {
-  // In invariant-checking builds, default-constructed OrderedMutexes track
-  // through LockOrderGraph::Global(); in release builds they are untracked.
-  OrderedMutex m("lock_order_test/global-probe");
+  // In invariant-checking builds, default-constructed platform::Mutexes
+  // track through LockOrderGraph::Global(); in release builds they are
+  // untracked.
+  Mutex m("lock_order_test/global-probe");
   {
-    std::lock_guard<OrderedMutex> g(m);
+    Guard g(m);
   }
   EXPECT_TRUE(violations_.empty());
-  if (!InvariantChecksEnabled()) {
+  if (!analysis::InvariantChecksEnabled()) {
     SUCCEED() << "tracking compiled out in this build type";
   }
 }
 
-// The condition_variable_any relock path must keep the TLS held-stack
-// balanced: a wait unlocks (pop) and relocks (push) the ordered mutex.
+// The CondVar relock path must keep the TLS held-stack balanced: a wait
+// unlocks (pop) and relocks (push) the instrumented mutex.
 TEST_F(LockOrderTest, ConditionVariableWaitKeepsStackBalanced) {
-  OrderedMutex m("CV", &graph_);
-  std::condition_variable_any cv;
+  Mutex m("CV", &graph_);
+  CondVar cv;
   bool ready = false;
   std::thread waiter([&] {
-    std::unique_lock<OrderedMutex> lock(m);
-    cv.wait(lock, [&] { return ready; });
+    UniqueLock lock(m);
+    while (!ready) cv.Wait(lock);
   });
   {
-    std::lock_guard<OrderedMutex> lock(m);
+    Guard lock(m);
     ready = true;
   }
-  cv.notify_one();
+  cv.NotifyOne();
   waiter.join();
   EXPECT_TRUE(violations_.empty());
 }
 
 }  // namespace
-}  // namespace analysis
 }  // namespace mtdb

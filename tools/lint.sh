@@ -1,17 +1,20 @@
 #!/usr/bin/env bash
-# clang-tidy gate over the mtdb sources.
+# Static-analysis gate over the mtdb sources: mtdblint (project rules),
+# then clang-tidy (.clang-tidy: bugprone-*, concurrency-*, performance-*).
 #
 # Usage: tools/lint.sh [build-dir] [paths...]
 #   build-dir  compile-commands directory (default: build; configured
 #              automatically because CMAKE_EXPORT_COMPILE_COMMANDS is ON)
-#   paths...   files or directories to lint (default: src)
+#   paths...   files or directories for clang-tidy (default: src bench
+#              tools examples). mtdblint always scans its fixed rule scope.
 #
-# Checks come from the repo-root .clang-tidy (bugprone-*, concurrency-*,
-# performance-*). Exit status is non-zero on any finding.
+# Exit status is non-zero on any finding from either tool.
 #
-# When clang-tidy is not installed the gate is skipped with exit 0 so local
-# workflows on minimal containers keep working; CI sets LINT_STRICT=1, which
-# turns a missing clang-tidy into a hard failure instead.
+# mtdblint is dependency-free and always runs (built on demand when the
+# CMake binary is absent). When clang-tidy is not installed that half is
+# skipped with exit 0 so local workflows on minimal containers keep
+# working; CI sets LINT_STRICT=1, which turns a missing clang-tidy into a
+# hard failure instead.
 set -u -o pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,16 +23,34 @@ BUILD_DIR="${1:-build}"
 shift 2>/dev/null || true
 PATHS=("$@")
 if [ "${#PATHS[@]}" -eq 0 ]; then
-  PATHS=(src)
+  PATHS=(src bench tools examples)
 fi
 
+STATUS=0
+
+# --- mtdblint: project rules (raw-mutex, rpc-coverage, detached-thread,
+# todo-tag). Hard gate: no external dependencies, so never skipped.
+MTDBLINT="${BUILD_DIR}/tools/mtdblint"
+if [ ! -x "${MTDBLINT}" ]; then
+  MTDBLINT="${BUILD_DIR}/mtdblint-boot"
+  if [ ! -x "${MTDBLINT}" ]; then
+    mkdir -p "${BUILD_DIR}"
+    echo "lint.sh: building mtdblint (${MTDBLINT})"
+    "${CXX:-c++}" -std=c++20 -O1 -Wall -Wextra tools/mtdblint.cc \
+      -o "${MTDBLINT}" || exit 1
+  fi
+fi
+echo "lint.sh: mtdblint"
+"${MTDBLINT}" . || STATUS=1
+
+# --- clang-tidy ---
 if ! command -v clang-tidy >/dev/null 2>&1; then
   if [ "${LINT_STRICT:-0}" = "1" ]; then
     echo "lint.sh: clang-tidy not found and LINT_STRICT=1" >&2
     exit 1
   fi
-  echo "lint.sh: clang-tidy not found; skipping lint gate" >&2
-  exit 0
+  echo "lint.sh: clang-tidy not found; skipping clang-tidy half" >&2
+  exit "${STATUS}"
 fi
 
 if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
@@ -45,12 +66,11 @@ if [ "${#FILES[@]}" -eq 0 ]; then
 fi
 
 echo "lint.sh: clang-tidy over ${#FILES[@]} files (${PATHS[*]})"
-STATUS=0
 for file in "${FILES[@]}"; do
   clang-tidy -p "${BUILD_DIR}" --quiet "${file}" || STATUS=1
 done
 
 if [ "${STATUS}" -ne 0 ]; then
-  echo "lint.sh: clang-tidy reported findings (see above)" >&2
+  echo "lint.sh: findings reported (see above)" >&2
 fi
 exit "${STATUS}"

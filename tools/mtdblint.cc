@@ -1,0 +1,251 @@
+// mtdblint: project-rule checker for the mtdb tree.
+//
+// Four rules, each encoding a convention the compiler cannot see:
+//
+//   raw-mutex        Outside src/platform, code must lock through the
+//                    annotated platform::Mutex/Guard vocabulary — a raw
+//                    std mutex/lock there bypasses both the thread-safety
+//                    annotations and the lock-order graph. Escape hatch for
+//                    the handful of deliberate uses (violation-reporting
+//                    paths that must not recurse into the instrumentation):
+//                    a comment `mtdblint: allow(raw-mutex)` on the line or
+//                    one of the three lines above it.
+//
+//   rpc-coverage     Every net::RpcType enumerator must be handled in both
+//                    src/net/codec.cc (name/validation) and
+//                    src/net/machine_service.cc (dispatch). Adding a message
+//                    type and forgetting one side otherwise only fails at
+//                    runtime, on the first use of the new RPC.
+//
+//   detached-thread  No `.detach()` anywhere: fire-and-forget threads
+//                    outlive scopes, race static destruction, and evade the
+//                    Strand/thread-join discipline. Escape:
+//                    `mtdblint: allow(detached-thread)`.
+//
+//   todo-tag         Every TODO must carry an issue tag — `TODO(#123)` —
+//                    so it is trackable; bare TODOs rot.
+//
+// Usage: mtdblint [repo-root]   (default: current directory)
+// Exit status: 0 clean, 1 findings, 2 usage/environment error.
+//
+// Deliberately textual (line-based, comment-aware) rather than AST-based:
+// the rules target idioms with stable spellings, and a dependency-free
+// scanner runs everywhere — including CI images without libclang.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string file;
+  int line;
+  std::string rule;
+  std::string message;
+};
+
+std::vector<Finding> g_findings;
+
+void Report(const std::string& file, int line, const std::string& rule,
+            const std::string& message) {
+  g_findings.push_back({file, line, rule, message});
+}
+
+// The std-locking tokens banned outside src/platform. Spelled via string
+// concatenation so this file does not itself contain the contiguous token.
+const char* const kRawMutexTokens[] = {
+    "std::"  "mutex",
+    "std::"  "shared_mutex",
+    "std::"  "recursive_mutex",
+    "std::"  "timed_mutex",
+    "std::"  "condition_variable",
+    "std::"  "lock_guard",
+    "std::"  "unique_lock",
+    "std::"  "shared_lock",
+    "std::"  "scoped_lock",
+};
+
+// Strips a trailing // comment (string literals are rare enough in lock
+// declarations that we accept the approximation).
+std::string CodePortion(const std::string& line) {
+  size_t pos = line.find("//");
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+bool HasEscape(const std::vector<std::string>& lines, size_t index,
+               const std::string& rule) {
+  const std::string needle = "mtdblint: allow(" + rule + ")";
+  size_t first = index >= 3 ? index - 3 : 0;
+  for (size_t i = first; i <= index; ++i) {
+    if (lines[i].find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> ReadLines(const fs::path& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+bool IsSourceFile(const fs::path& path) {
+  auto ext = path.extension().string();
+  return ext == ".cc" || ext == ".h";
+}
+
+// Paths are compared in generic (forward-slash) relative form.
+std::string RelPath(const fs::path& root, const fs::path& path) {
+  return fs::relative(path, root).generic_string();
+}
+
+bool InPlatform(const std::string& rel) {
+  return rel.rfind("src/platform/", 0) == 0;
+}
+
+void CheckFile(const fs::path& root, const fs::path& path) {
+  const std::string rel = RelPath(root, path);
+  const std::vector<std::string> lines = ReadLines(path);
+  // This file defines the rules; its own spellings are not uses.
+  const bool self = rel == "tools/mtdblint.cc";
+
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& raw = lines[i];
+    const std::string code = CodePortion(raw);
+    const int lineno = static_cast<int>(i) + 1;
+
+    if (!self && !InPlatform(rel)) {
+      for (const char* token : kRawMutexTokens) {
+        if (code.find(token) == std::string::npos) continue;
+        if (HasEscape(lines, i, "raw-mutex")) continue;
+        Report(rel, lineno, "raw-mutex",
+               std::string(token) +
+                   " outside src/platform; lock through platform::Mutex/"
+                   "Guard (src/platform/mutex.h) or add "
+                   "`mtdblint: allow(raw-mutex)` with a justification");
+        break;  // one finding per line is enough
+      }
+    }
+
+    if (!self && code.find(".detach()") != std::string::npos &&
+        !HasEscape(lines, i, "detached-thread")) {
+      Report(rel, lineno, "detached-thread",
+             "detached thread: join it (or route the work through a "
+             "cluster::Strand); `mtdblint: allow(detached-thread)` to "
+             "override");
+    }
+
+    size_t todo = raw.find("TODO");
+    if (!self && todo != std::string::npos &&
+        raw.compare(todo, 6, "TODO(#") != 0) {
+      Report(rel, lineno, "todo-tag",
+             "TODO without an issue tag; write TODO(#<issue>)");
+    }
+  }
+}
+
+// --- rpc-coverage ---
+
+std::vector<std::string> ParseRpcTypeEnumerators(const fs::path& header) {
+  std::vector<std::string> names;
+  bool in_enum = false;
+  for (const std::string& line : ReadLines(header)) {
+    if (!in_enum) {
+      if (line.find("enum class RpcType") != std::string::npos) {
+        in_enum = true;
+      }
+      continue;
+    }
+    if (line.find("};") != std::string::npos) break;
+    const std::string code = CodePortion(line);
+    size_t k = code.find('k');
+    if (k == std::string::npos) continue;
+    size_t end = k;
+    while (end < code.size() &&
+           (std::isalnum(static_cast<unsigned char>(code[end])) ||
+            code[end] == '_')) {
+      ++end;
+    }
+    if (end > k + 1) names.push_back(code.substr(k, end - k));
+  }
+  return names;
+}
+
+void CheckRpcCoverage(const fs::path& root) {
+  const fs::path header = root / "src/net/message.h";
+  const std::vector<std::string> enumerators = ParseRpcTypeEnumerators(header);
+  if (enumerators.empty()) {
+    Report("src/net/message.h", 1, "rpc-coverage",
+           "could not parse any enum class RpcType enumerators");
+    return;
+  }
+  const struct {
+    const char* file;
+    const char* role;
+  } sides[] = {
+      {"src/net/codec.cc", "codec (RpcTypeName / frame validation)"},
+      {"src/net/machine_service.cc", "MachineService dispatch"},
+  };
+  for (const auto& side : sides) {
+    std::ostringstream all;
+    for (const std::string& line : ReadLines(root / side.file)) {
+      all << line << '\n';
+    }
+    const std::string haystack = all.str();
+    for (const std::string& name : enumerators) {
+      if (haystack.find("RpcType::" + name) == std::string::npos) {
+        Report(side.file, 1, "rpc-coverage",
+               "RpcType::" + name + " is never handled in " + side.role +
+                   "; every message type needs a case on both sides");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 2) {
+    std::fprintf(stderr, "usage: mtdblint [repo-root]\n");
+    return 2;
+  }
+  const fs::path root = argc == 2 ? fs::path(argv[1]) : fs::current_path();
+  if (!fs::exists(root / "src")) {
+    std::fprintf(stderr, "mtdblint: %s does not look like the repo root\n",
+                 root.string().c_str());
+    return 2;
+  }
+
+  const char* kScanDirs[] = {"src", "bench", "tools", "examples"};
+  size_t files = 0;
+  for (const char* dir : kScanDirs) {
+    fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file() || !IsSourceFile(entry.path())) continue;
+      CheckFile(root, entry.path());
+      ++files;
+    }
+  }
+  CheckRpcCoverage(root);
+
+  for (const Finding& f : g_findings) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+  if (g_findings.empty()) {
+    std::printf("mtdblint: %zu files clean\n", files);
+    return 0;
+  }
+  std::fprintf(stderr, "mtdblint: %zu finding(s) across %zu files\n",
+               g_findings.size(), files);
+  return 1;
+}
