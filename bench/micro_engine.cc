@@ -150,8 +150,16 @@ void BM_SerializabilityCheck(benchmark::State& state) {
   // A chain history of N txns across 2 sites.
   std::vector<CommittedTxnRecord> site1, site2;
   for (uint64_t i = 1; i <= static_cast<uint64_t>(state.range(0)); ++i) {
-    site1.push_back({i, {{"x", i - 1}}, {{"x", i}}});
-    site2.push_back({i, {{"y", i - 1}}, {{"y", i}}});
+    CommittedTxnRecord t1;
+    t1.txn_id = i;
+    t1.reads = {{"x", i - 1}};
+    t1.writes = {{"x", i}};
+    site1.push_back(std::move(t1));
+    CommittedTxnRecord t2;
+    t2.txn_id = i;
+    t2.reads = {{"y", i - 1}};
+    t2.writes = {{"y", i}};
+    site2.push_back(std::move(t2));
   }
   for (auto _ : state) {
     benchmark::DoNotOptimize(CheckSerializability({site1, site2}));

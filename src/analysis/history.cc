@@ -12,6 +12,7 @@ namespace analysis {
 void HistoryRecorder::RecordCommit(const Transaction& txn) {
   CommittedTxnRecord record;
   record.txn_id = txn.id;
+  record.read_only = txn.read_only;
   record.reads = txn.reads;
   record.writes = txn.writes;
   platform::Guard lock(mu_);
@@ -73,6 +74,7 @@ std::string DsgReport::ToString() const {
       }
     }
     out << " T" << cycle.front();
+    if (read_only_in_cycle) out << "; cycle touches a read-only txn";
   }
   out << ")";
   return out.str();
@@ -96,6 +98,7 @@ void DsgAuditor::AddHistory(const std::vector<CommittedTxnRecord>& history) {
   std::unordered_map<std::string, ObjectAccesses> objects;
   for (const CommittedTxnRecord& txn : history) {
     txns_.insert(txn.txn_id);
+    if (txn.read_only) read_only_txns_.insert(txn.txn_id);
     for (const VersionObservation& write : txn.writes) {
       objects[write.object_id].writers[write.version] = txn.txn_id;
     }
@@ -181,6 +184,9 @@ DsgReport DsgAuditor::Audit() const {
           const DependencyEdge& taken = edge_list_[it->second];
           report.cycle_edges.push_back(taken);
           if (taken.type == DependencyType::kReadWrite) has_rw = true;
+          if (read_only_txns_.count(it->first) > 0) {
+            report.read_only_in_cycle = true;
+          }
         }
         report.serializable = false;
         report.anomaly = has_rw ? AnomalyClass::kG2 : AnomalyClass::kG1c;

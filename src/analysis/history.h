@@ -94,6 +94,12 @@ struct DsgReport {
   // wrapping at the end).
   std::vector<uint64_t> cycle;
   std::vector<DependencyEdge> cycle_edges;
+  // True when the witness cycle passes through a transaction that committed
+  // in read-only snapshot mode. Snapshot reads promise that declared
+  // read-only transactions are never *part* of an anomaly (a G2 cycle may
+  // still exist among writers — write skew — but it cannot route through a
+  // read-only participant); this flag is how tests assert the promise.
+  bool read_only_in_cycle = false;
 
   std::string ToString() const;
 };
@@ -120,6 +126,9 @@ class DsgAuditor {
   // Adjacency as indexes into edge_list_, keyed by `from`.
   std::map<uint64_t, std::vector<size_t>> adjacency_;
   std::set<uint64_t> txns_;
+  // Transactions that committed in read-only snapshot mode (union over all
+  // added histories; a txn id is read-only at every site or none).
+  std::set<uint64_t> read_only_txns_;
   std::set<std::tuple<uint64_t, uint64_t, DependencyType>> seen_;
 };
 
@@ -140,6 +149,11 @@ class HistoryBuilder {
   HistoryBuilder& Txn(uint64_t txn_id) {
     history_.emplace_back();
     history_.back().txn_id = txn_id;
+    return *this;
+  }
+  // Marks the current transaction as committed in read-only snapshot mode.
+  HistoryBuilder& ReadOnly() {
+    history_.back().read_only = true;
     return *this;
   }
   HistoryBuilder& Read(std::string object_id, uint64_t version) {

@@ -529,6 +529,15 @@ Result<std::vector<int>> ClusterController::ReadTargets(
 Result<int> ClusterController::PickReadMachine(const std::string& db_name,
                                                int sticky) {
   MTDB_ASSIGN_OR_RETURN(std::vector<int> targets, ReadTargets(db_name));
+  // An explicit pin overrides the routing policy. Option 2 sets one after
+  // its first read; snapshot transactions set one under EVERY policy,
+  // because their snapshot timestamp is engine-local — one read routed to a
+  // second replica would graft an unrelated snapshot onto the transaction
+  // (observable as a torn snapshot: a cycle entering and leaving the
+  // read-only txn through the same writer).
+  if (sticky >= 0 && std::count(targets.begin(), targets.end(), sticky) > 0) {
+    return sticky;
+  }
   int primary_offset = 0;
   {
     platform::Guard lock(mu_);
@@ -542,11 +551,6 @@ Result<int> ClusterController::PickReadMachine(const std::string& db_name,
       // concentrate all read load on a few machines.
       return targets[primary_offset % static_cast<int>(targets.size())];
     case ReadRoutingOption::kPerTransaction:
-      if (sticky >= 0 &&
-          std::count(targets.begin(), targets.end(), sticky) > 0) {
-        return sticky;
-      }
-      return targets[round_robin_.fetch_add(1) % targets.size()];
     case ReadRoutingOption::kPerOperation:
       return targets[round_robin_.fetch_add(1) % targets.size()];
   }
@@ -767,20 +771,23 @@ Status Connection::poison_status() const {
   return poison_;
 }
 
-Status Connection::Begin() {
+Status Connection::Begin(bool read_only) {
   if (active_) {
     return Status::FailedPrecondition("transaction already open");
   }
-  return BeginInternal();
+  return BeginInternal(read_only);
 }
 
-Status Connection::BeginInternal() {
+Status Connection::BeginInternal(bool read_only) {
   if (epoch_ != controller_->epoch()) {
     return Status::Unavailable("connection lost: controller failover");
   }
   txn_id_ = controller_->NextTxnId();
   active_ = true;
   wrote_ = false;
+  read_only_ = read_only;
+  snapshot_ts_ = 0;
+  snapshot_read_done_ = false;
   sticky_read_machine_ = -1;
   begun_machines_.clear();
   outstanding_.clear();
@@ -820,12 +827,14 @@ Status Connection::EnsureBegun(int machine_id) {
     auto done = std::make_shared<std::promise<net::RpcResponse>>();
     auto future = done->get_future();
     SessionFor(machine_id)
-        ->BeginAsync(txn_id_, db_name_, [done](net::RpcResponse response) {
-          done->set_value(std::move(response));
-        });
+        ->BeginAsync(txn_id_, db_name_, read_only_,
+                     [done](net::RpcResponse response) {
+                       done->set_value(std::move(response));
+                     });
     net::RpcResponse response = future.get();
     if (response.ok()) {
       begun_machines_.insert(machine_id);
+      if (read_only_) snapshot_ts_ = response.snapshot_ts;
       return Status::OK();
     }
     Status status = response.ToStatus();
@@ -907,8 +916,11 @@ Result<sql::QueryResult> Connection::ExecuteRead(
     MTDB_ASSIGN_OR_RETURN(
         int machine_id,
         controller_->PickReadMachine(db_name_, sticky_read_machine_));
-    if (controller_->options().read_option ==
-        ReadRoutingOption::kPerTransaction) {
+    // Snapshot transactions pin every read to one replica regardless of the
+    // configured read option: the snapshot timestamp is engine-local, so
+    // reads spread across replicas would observe unrelated snapshots.
+    if (read_only_ || controller_->options().read_option ==
+                          ReadRoutingOption::kPerTransaction) {
       sticky_read_machine_ = machine_id;
     }
     Status begun = EnsureBegun(machine_id);
@@ -937,11 +949,21 @@ Result<sql::QueryResult> Connection::ExecuteRead(
                          done->set_value(std::move(response));
                        });
     net::RpcResponse response = future.get();
-    if (response.ok()) return std::move(response.result);
+    if (response.ok()) {
+      snapshot_read_done_ = snapshot_read_done_ || read_only_;
+      return std::move(response.result);
+    }
     Status status = response.ToStatus();
     if (status.code() == StatusCode::kUnavailable) {
       begun_machines_.erase(machine_id);
       if (sticky_read_machine_ == machine_id) sticky_read_machine_ = -1;
+      if (read_only_ && snapshot_read_done_) {
+        // The pinned replica died mid-snapshot. Re-pinning to another
+        // replica would splice a second, unrelated snapshot onto reads
+        // already returned from the first — abort instead.
+        Poison(status);
+        return status;
+      }
       last = status;
       obs::Increment(m_read_retry_);
       continue;  // pick another replica
@@ -956,6 +978,12 @@ Result<sql::QueryResult> Connection::ExecuteRead(
 Result<sql::QueryResult> Connection::ExecuteWrite(
     const std::string& sql, const std::string& table,
     const std::vector<Value>& params) {
+  if (read_only_) {
+    Status status = Status::FailedPrecondition(
+        "read-only transaction cannot execute writes");
+    Poison(status);
+    return status;
+  }
   auto targets_or = controller_->WriteTargets(db_name_, table);
   if (!targets_or.ok()) {
     // Algorithm 1 line 11: reject the operation and abort the transaction.
@@ -1122,8 +1150,9 @@ Result<sql::QueryResult> Connection::ExecutePreparedRead(
     MTDB_ASSIGN_OR_RETURN(
         int machine_id,
         controller_->PickReadMachine(db_name_, sticky_read_machine_));
-    if (controller_->options().read_option ==
-        ReadRoutingOption::kPerTransaction) {
+    // Same snapshot pinning rule as ExecuteRead.
+    if (read_only_ || controller_->options().read_option ==
+                          ReadRoutingOption::kPerTransaction) {
       sticky_read_machine_ = machine_id;
     }
     auto handle_or = controller_->HandleOn(&stmt, machine_id);
@@ -1163,11 +1192,20 @@ Result<sql::QueryResult> Connection::ExecutePreparedRead(
                                  done->set_value(std::move(response));
                                });
     net::RpcResponse response = future.get();
-    if (response.ok()) return std::move(response.result);
+    if (response.ok()) {
+      snapshot_read_done_ = snapshot_read_done_ || read_only_;
+      return std::move(response.result);
+    }
     Status status = response.ToStatus();
     if (status.code() == StatusCode::kUnavailable) {
       begun_machines_.erase(machine_id);
       if (sticky_read_machine_ == machine_id) sticky_read_machine_ = -1;
+      if (read_only_ && snapshot_read_done_) {
+        // Pinned replica died mid-snapshot: abort rather than splice a
+        // second snapshot onto already-returned reads (see ExecuteRead).
+        Poison(status);
+        return status;
+      }
       last = status;
       obs::Increment(m_read_retry_);
       continue;  // pick another replica
@@ -1188,6 +1226,12 @@ Result<sql::QueryResult> Connection::ExecutePreparedRead(
 
 Result<sql::QueryResult> Connection::ExecutePreparedWrite(
     PreparedStatement& stmt, const std::vector<Value>& params) {
+  if (read_only_) {
+    Status status = Status::FailedPrecondition(
+        "read-only transaction cannot execute writes");
+    Poison(status);
+    return status;
+  }
   const std::string& table = stmt.write_table_;
   auto targets_or = controller_->WriteTargets(db_name_, table);
   if (!targets_or.ok()) {

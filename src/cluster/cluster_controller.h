@@ -132,7 +132,14 @@ class Connection {
 
   const std::string& database() const { return db_name_; }
 
-  Status Begin();
+  // `read_only` opens the transaction in MVCC snapshot mode: reads are
+  // served from a consistent snapshot without lock-manager traffic, every
+  // write statement is rejected, and all reads are pinned to ONE replica
+  // for the life of the transaction (snapshot timestamps are engine-local,
+  // so spreading reads across replicas could mix inconsistent snapshots).
+  // If the pinned replica dies after the first snapshot read, the
+  // transaction aborts instead of failing over.
+  Status Begin(bool read_only = false);
   Result<sql::QueryResult> Execute(const std::string& sql,
                                    const std::vector<Value>& params = {});
   // Plan-once/execute-many: prepares `sql` (shared registry — preparing the
@@ -148,6 +155,10 @@ class Connection {
   Status Abort();
   bool in_transaction() const { return active_; }
   uint64_t current_txn_id() const { return txn_id_; }
+  bool read_only() const { return read_only_; }
+  // Snapshot timestamp assigned by the pinned replica's engine (0 until the
+  // first operation of a read-only transaction reaches a machine).
+  uint64_t snapshot_ts() const { return snapshot_ts_; }
 
   // Label used by the latency-injection test hook.
   void SetLabel(std::string label) { label_ = std::move(label); }
@@ -175,7 +186,7 @@ class Connection {
   Connection(ClusterController* controller, std::string db_name,
              uint64_t epoch);
 
-  Status BeginInternal();
+  Status BeginInternal(bool read_only = false);
   // The statement is parsed once by the controller for routing decisions;
   // machines receive the SQL text (plus params) and parse it themselves,
   // exactly like a DBMS behind a wire protocol.
@@ -226,6 +237,12 @@ class Connection {
   bool active_ = false;
   uint64_t txn_id_ = 0;
   bool wrote_ = false;
+  // Snapshot mode (see Begin). snapshot_ts_ arrives with the pinned
+  // machine's Begin reply; snapshot_read_done_ flips on the first
+  // successful read, after which replica failover is forbidden.
+  bool read_only_ = false;
+  uint64_t snapshot_ts_ = 0;
+  bool snapshot_read_done_ = false;
   // Trace of the current transaction (0 outside transactions) and its start
   // time for the per-database latency histogram.
   uint64_t trace_id_ = 0;

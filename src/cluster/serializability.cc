@@ -28,6 +28,7 @@ SerializabilityReport CheckSerializability(
   report.num_edges = dsg.num_edges;
   report.cycle = std::move(dsg.cycle);
   report.cycle_edges = std::move(dsg.cycle_edges);
+  report.read_only_in_cycle = dsg.read_only_in_cycle;
   return report;
 }
 

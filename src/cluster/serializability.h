@@ -24,6 +24,10 @@ struct SerializabilityReport {
   // the typed edge leaving each cycle node (wrapping at the end).
   std::vector<uint64_t> cycle;
   std::vector<analysis::DependencyEdge> cycle_edges;
+  // The witness cycle passes through a transaction that committed in
+  // read-only snapshot mode (must stay false when snapshot reads honor
+  // their G2-freedom promise; see analysis::DsgReport).
+  bool read_only_in_cycle = false;
 
   std::string ToString() const;
 };

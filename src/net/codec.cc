@@ -291,6 +291,7 @@ void EncodeRequestFrame(const RpcRequest& request, std::string* out) {
   AppendU64(out, static_cast<uint64_t>(request.debug_delay_us));
   AppendU64(out, request.stmt_handle);
   AppendU64(out, request.trace_id);
+  AppendU8(out, request.read_only ? 1 : 0);
   uint32_t payload = static_cast<uint32_t>(out->size() - frame_start - 4);
   for (int i = 0; i < 4; ++i) {
     (*out)[frame_start + i] = static_cast<char>((payload >> (8 * i)) & 0xff);
@@ -315,6 +316,7 @@ void EncodeResponseFrame(const RpcResponse& response, std::string* out) {
   AppendU64(out, response.stmt_handle);
   AppendU64(out, static_cast<uint64_t>(response.server_duration_us));
   AppendU64(out, static_cast<uint64_t>(response.retry_after_us));
+  AppendU64(out, response.snapshot_ts);
   uint32_t payload = static_cast<uint32_t>(out->size() - frame_start - 4);
   for (int i = 0; i < 4; ++i) {
     (*out)[frame_start + i] = static_cast<char>((payload >> (8 * i)) & 0xff);
@@ -373,6 +375,7 @@ Result<RpcRequest> DecodeRequest(std::string_view payload) {
   request.debug_delay_us = static_cast<int64_t>(in.ReadU64());
   request.stmt_handle = in.ReadU64();
   request.trace_id = in.ReadU64();
+  request.read_only = in.ReadU8() != 0;
   if (!in.ok()) return Status::InvalidArgument("truncated request frame");
   if (in.remaining() != 0) {
     return Status::InvalidArgument("trailing bytes after request frame");
@@ -412,6 +415,7 @@ Result<RpcResponse> DecodeResponse(std::string_view payload) {
   response.stmt_handle = in.ReadU64();
   response.server_duration_us = static_cast<int64_t>(in.ReadU64());
   response.retry_after_us = static_cast<int64_t>(in.ReadU64());
+  response.snapshot_ts = in.ReadU64();
   if (!in.ok()) return Status::InvalidArgument("truncated response frame");
   if (in.remaining() != 0) {
     return Status::InvalidArgument("trailing bytes after response frame");

@@ -76,11 +76,12 @@ std::unique_ptr<MachineClient::Session> MachineClient::OpenSession(
 
 void MachineClient::Session::BeginAsync(uint64_t txn_id,
                                         const std::string& db_name,
-                                        ResponseHandler done) {
+                                        bool read_only, ResponseHandler done) {
   RpcRequest request;
   request.type = RpcType::kBegin;
   request.txn_id = txn_id;
   request.db_name = db_name;
+  request.read_only = read_only;
   request.trace_id = trace_id_.load(std::memory_order_relaxed);
   client_->CallWithDeadline(channel_.get(), machine_id_, request,
                             std::move(done));

@@ -64,8 +64,10 @@ class MachineClient {
     // admission verdict: kResourceExhausted + retry_after_us when the
     // tenant is over quota or the machine is shedding, so the caller can
     // back off and retry the *same* machine instead of failing over.
+    // `read_only` requests MVCC snapshot mode; the reply's snapshot_ts is
+    // the engine-local snapshot timestamp assigned to the transaction.
     void BeginAsync(uint64_t txn_id, const std::string& db_name,
-                    ResponseHandler done);
+                    bool read_only, ResponseHandler done);
 
     void ExecuteAsync(uint64_t txn_id, const std::string& db_name,
                       const std::string& sql, const std::vector<Value>& params,

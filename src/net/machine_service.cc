@@ -103,7 +103,11 @@ RpcResponse MachineService::DispatchTransactional(const RpcRequest& request) {
         response.retry_after_us = decision.retry_after_us;
         return response;
       }
-      return RpcResponse::FromStatus(engine->Begin(request.txn_id));
+      uint64_t snapshot_ts = 0;
+      RpcResponse response = RpcResponse::FromStatus(
+          engine->Begin(request.txn_id, request.read_only, &snapshot_ts));
+      response.snapshot_ts = snapshot_ts;
+      return response;
     }
     case RpcType::kExecute: {
       // Parse+plan (or plan-cache hit) happens before the latency model so

@@ -65,6 +65,10 @@ struct RpcRequest {
   // Distributed-tracing correlation id minted by the issuing Connection;
   // 0 means "not part of a traced transaction".
   uint64_t trace_id = 0;
+  // kBegin: start the transaction in read-only snapshot mode — reads come
+  // from the MVCC snapshot without lock-manager traffic, writes are
+  // rejected. Always on the wire; old-format frames fail decoding.
+  bool read_only = false;
 };
 
 // A decoded response. `code`/`message` carry the operation Status; payload
@@ -86,6 +90,10 @@ struct RpcResponse {
   // 0 (the default, and the value on every non-throttled response) means
   // "no hint". Always on the wire, like trace_id/server_duration_us.
   int64_t retry_after_us = 0;
+  // kBegin on a read-only transaction: the engine-local MVCC snapshot
+  // timestamp assigned to it (0 for read-write begins and every other
+  // response type). Always on the wire, like retry_after_us.
+  uint64_t snapshot_ts = 0;
 
   bool ok() const { return code == StatusCode::kOk; }
   Status ToStatus() const {

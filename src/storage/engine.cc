@@ -18,6 +18,21 @@ namespace {
 // with a wide margin).
 constexpr size_t kMaxCachedPlans = 512;
 
+// Amortized GC trigger: run a version-store prune once per this many
+// completed snapshot transactions (plus on-demand via Engine::MvccGc).
+constexpr uint64_t kMvccGcInterval = 64;
+
+// Gauge analogue of the obs::Increment/Observe helpers (null-safe,
+// kill-switch aware).
+void SetGauge(obs::Gauge* gauge, int64_t value) {
+#if !defined(MTDB_NO_METRICS)
+  if (gauge != nullptr && obs::MetricsRegistry::enabled()) gauge->Set(value);
+#else
+  (void)gauge;
+  (void)value;
+#endif
+}
+
 // The engine, not the raw lock-manager defaults, decides the audit config:
 // auditing follows EngineOptions::invariant_checks, and the sanctioned
 // PREPARE-time read-lock release follows release_read_locks_on_prepare.
@@ -50,6 +65,13 @@ Engine::Engine(std::string site_name, EngineOptions options)
     m_txn_abort_ = registry.GetCounter("mtdb_txn_abort_total", labels);
     m_plan_hit_ = registry.GetCounter("mtdb_plan_cache_hit_total", labels);
     m_plan_miss_ = registry.GetCounter("mtdb_plan_cache_miss_total", labels);
+    m_mvcc_snapshot_reads_ =
+        registry.GetCounter("mtdb_mvcc_snapshot_reads_total", labels);
+    m_mvcc_gc_pruned_ =
+        registry.GetCounter("mtdb_mvcc_gc_pruned_total", labels);
+    m_mvcc_versions_ = registry.GetGauge("mtdb_mvcc_versions_live", labels);
+    m_mvcc_snapshot_begin_ =
+        registry.GetHistogram("mtdb_mvcc_snapshot_begin_us", labels);
   }
   if (!options_.wal_path.empty()) {
     WriteAheadLog::Options wal_options;
@@ -273,7 +295,11 @@ Result<Table*> Engine::ResolveTable(const std::string& db_name,
 
 // --- Transaction lifecycle ---
 
-Status Engine::Begin(uint64_t txn_id) {
+Status Engine::Begin(uint64_t txn_id, bool read_only, uint64_t* snapshot_ts) {
+  // With the version store disabled, a read-only begin degrades to a plain
+  // strict-2PL transaction (the ablation baseline) — correct, just locked.
+  const bool snapshot = read_only && options_.enable_mvcc;
+  const int64_t start_us = snapshot ? NowMicros() : 0;
   platform::Guard lock(txn_mu_);
   auto [it, inserted] = txns_.try_emplace(txn_id, nullptr);
   if (!inserted) {
@@ -282,6 +308,12 @@ Status Engine::Begin(uint64_t txn_id) {
   }
   it->second = std::make_unique<Transaction>();
   it->second->id = txn_id;
+  if (snapshot) {
+    it->second->read_only = true;
+    it->second->snapshot_ts = oracle_.BeginSnapshot();
+    if (snapshot_ts != nullptr) *snapshot_ts = it->second->snapshot_ts;
+    obs::Observe(m_mvcc_snapshot_begin_, NowMicros() - start_us);
+  }
   if (txn_checker_ != nullptr) txn_checker_->OnBegin(txn_id);
   obs::Increment(m_txn_begin_);
   return Status::OK();
@@ -314,14 +346,20 @@ Status Engine::Prepare(uint64_t txn_id) {
     platform::Guard lock(txn_mu_);
     txn_checker_->OnPrepare(txn_id);
   }
-  if (options_.release_read_locks_on_prepare) {
+  if (options_.release_read_locks_on_prepare && !txn->read_only) {
     lock_manager_.ReleaseReadLocks(txn_id);
   }
   return Status::OK();
 }
 
 void Engine::RecordCommit(Transaction* txn) {
-  if (wal_ != nullptr) {
+  // Version publication happens here, the single funnel both Commit and
+  // CommitPrepared pass through *before* lock release: the txn still holds
+  // its X locks, so no competing writer can interleave with the append.
+  MvccPublish(txn);
+  // Read-only (and otherwise writeless) transactions logged no row ops, so
+  // a commit decision record would be recovery noise; skip the fsync.
+  if (wal_ != nullptr && !txn->undo_log.empty()) {
     (void)wal_->AppendDecision(WalRecordType::kCommit, txn->id);
   }
   if (options_.record_history) {
@@ -339,7 +377,10 @@ Status Engine::CommitPrepared(uint64_t txn_id) {
   }
   txn->state = TxnState::kCommitted;
   RecordCommit(txn);
-  lock_manager_.ReleaseAll(txn_id);
+  MvccEndSnapshot(txn);
+  if (!txn->read_only) {
+    lock_manager_.ReleaseAll(txn_id);
+  }
   platform::Guard lock(txn_mu_);
   if (txn_checker_ != nullptr) txn_checker_->OnCommitPrepared(txn_id);
   txns_.erase(txn_id);
@@ -350,7 +391,13 @@ Status Engine::Commit(uint64_t txn_id) {
   MTDB_ASSIGN_OR_RETURN(Transaction * txn, FindActive(txn_id));
   txn->state = TxnState::kCommitted;
   RecordCommit(txn);
-  lock_manager_.ReleaseAll(txn_id);
+  MvccEndSnapshot(txn);
+  // A snapshot transaction never acquired a lock, so there is nothing to
+  // release — and releasing would serialize read-only commits on the
+  // lock-manager mutex for nothing.
+  if (!txn->read_only) {
+    lock_manager_.ReleaseAll(txn_id);
+  }
   platform::Guard lock(txn_mu_);
   if (txn_checker_ != nullptr) txn_checker_->OnCommit(txn_id);
   txns_.erase(txn_id);
@@ -383,13 +430,16 @@ Status Engine::Abort(uint64_t txn_id) {
     return Status::FailedPrecondition("txn already committed");
   }
   ApplyUndo(txn);
-  if (wal_ != nullptr) {
+  if (wal_ != nullptr && !txn->undo_log.empty()) {
     (void)wal_->AppendDecision(WalRecordType::kAbort, txn_id);
   }
   txn->state = TxnState::kAborted;
   aborted_.fetch_add(1, std::memory_order_relaxed);
   obs::Increment(m_txn_abort_);
-  lock_manager_.ReleaseAll(txn_id);
+  MvccEndSnapshot(txn);
+  if (!txn->read_only) {
+    lock_manager_.ReleaseAll(txn_id);
+  }
   platform::Guard lock(txn_mu_);
   if (txn_checker_ != nullptr) txn_checker_->OnAbort(txn_id);
   txns_.erase(txn_id);
@@ -446,6 +496,7 @@ Result<std::optional<Row>> Engine::Read(uint64_t txn_id,
                                         const std::string& table_name,
                                         const Value& pk) {
   MTDB_ASSIGN_OR_RETURN(Transaction * txn, FindActive(txn_id));
+  if (txn->read_only) return SnapshotRead(txn, db_name, table_name, pk);
   MTDB_ASSIGN_OR_RETURN(Table * table, ResolveTable(db_name, table_name));
   MTDB_RETURN_IF_ERROR(lock_manager_.Acquire(
       txn_id, TableLockId(db_name, table_name), LockMode::kIntentionShared));
@@ -463,9 +514,47 @@ Result<std::optional<Row>> Engine::Read(uint64_t txn_id,
   return std::optional<Row>(std::move(stored->values));
 }
 
+Result<std::optional<Row>> Engine::SnapshotRead(Transaction* txn,
+                                                const std::string& db_name,
+                                                const std::string& table_name,
+                                                const Value& pk) {
+  MTDB_ASSIGN_OR_RETURN(Table * table, ResolveTable(db_name, table_name));
+  ChargeCacheAccess(db_name, table_name, pk);
+  txn->read_ops++;
+  obs::Increment(m_mvcc_snapshot_reads_);
+  // Live row first, chain second. The first writer of a key seeds its chain
+  // *before* the in-place table mutation, so finding no chain after this
+  // Get proves the value read was the committed (bulk-loaded) image; when a
+  // chain exists it is authoritative and the live row is ignored entirely.
+  std::optional<StoredRow> stored = table->Get(pk);
+  std::optional<mvcc::RowVersion> version =
+      versions_.Get(db_name, table_name, pk, txn->snapshot_ts);
+  std::optional<Row> visible;
+  uint64_t observed_version = 0;
+  if (version) {
+    visible = std::move(version->values);
+    observed_version = version->row_version;
+  } else if (stored) {
+    visible = std::move(stored->values);
+    observed_version = stored->version;
+  } else {
+    observed_version = table->LastVersion(pk);
+  }
+  if (options_.record_history) {
+    txn->reads.push_back(
+        {RowLockId(db_name, table_name, pk), observed_version});
+  }
+  return visible;
+}
+
 Status Engine::Insert(uint64_t txn_id, const std::string& db_name,
                       const std::string& table_name, const Row& row) {
   MTDB_ASSIGN_OR_RETURN(Transaction * txn, FindActive(txn_id));
+  if (txn->read_only) {
+    return Status::FailedPrecondition("read-only txn " +
+                                      std::to_string(txn_id) +
+                                      " cannot INSERT");
+  }
   MTDB_ASSIGN_OR_RETURN(Table * table, ResolveTable(db_name, table_name));
   MTDB_RETURN_IF_ERROR(table->schema().ValidateRow(row));
   const Value& pk = row[table->schema().primary_key_index()];
@@ -474,7 +563,15 @@ Status Engine::Insert(uint64_t txn_id, const std::string& db_name,
   MTDB_RETURN_IF_ERROR(lock_manager_.Acquire(
       txn_id, RowLockId(db_name, table_name, pk), LockMode::kExclusive));
   ChargeCacheAccess(db_name, table_name, pk);
+  // Existence check up front (safe under the X lock) so the version chain
+  // is only seeded for an insert that will actually apply.
+  std::optional<StoredRow> old = table->Get(pk);
+  if (old) {
+    return Status::AlreadyExists("duplicate primary key " + pk.ToString() +
+                                 " in " + db_name + "." + table_name);
+  }
   uint64_t version = table->NextVersion();
+  MvccStageWrite(txn, db_name, table_name, pk, old, row, version, table);
   if (!table->Insert(row, version)) {
     return Status::AlreadyExists("duplicate primary key " + pk.ToString() +
                                  " in " + db_name + "." + table_name);
@@ -496,6 +593,11 @@ Status Engine::Update(uint64_t txn_id, const std::string& db_name,
                       const std::string& table_name, const Value& pk,
                       const Row& row) {
   MTDB_ASSIGN_OR_RETURN(Transaction * txn, FindActive(txn_id));
+  if (txn->read_only) {
+    return Status::FailedPrecondition("read-only txn " +
+                                      std::to_string(txn_id) +
+                                      " cannot UPDATE");
+  }
   MTDB_ASSIGN_OR_RETURN(Table * table, ResolveTable(db_name, table_name));
   MTDB_RETURN_IF_ERROR(table->schema().ValidateRow(row));
   MTDB_RETURN_IF_ERROR(lock_manager_.Acquire(
@@ -509,6 +611,7 @@ Status Engine::Update(uint64_t txn_id, const std::string& db_name,
                             db_name + "." + table_name);
   }
   uint64_t version = table->NextVersion();
+  MvccStageWrite(txn, db_name, table_name, pk, old, row, version, table);
   table->Update(pk, row, version);
   txn->write_ops++;
   txn->undo_log.push_back(UndoRecord{UndoRecord::Type::kUpdate, db_name,
@@ -527,6 +630,11 @@ Status Engine::Update(uint64_t txn_id, const std::string& db_name,
 Status Engine::Delete(uint64_t txn_id, const std::string& db_name,
                       const std::string& table_name, const Value& pk) {
   MTDB_ASSIGN_OR_RETURN(Transaction * txn, FindActive(txn_id));
+  if (txn->read_only) {
+    return Status::FailedPrecondition("read-only txn " +
+                                      std::to_string(txn_id) +
+                                      " cannot DELETE");
+  }
   MTDB_ASSIGN_OR_RETURN(Table * table, ResolveTable(db_name, table_name));
   MTDB_RETURN_IF_ERROR(lock_manager_.Acquire(
       txn_id, TableLockId(db_name, table_name), LockMode::kIntentionExclusive));
@@ -539,6 +647,8 @@ Status Engine::Delete(uint64_t txn_id, const std::string& db_name,
                             db_name + "." + table_name);
   }
   uint64_t version = table->NextVersion();
+  MvccStageWrite(txn, db_name, table_name, pk, old, std::nullopt, version,
+                 table);
   table->Delete(pk, version);
   txn->write_ops++;
   txn->undo_log.push_back(UndoRecord{UndoRecord::Type::kDelete, db_name,
@@ -565,6 +675,9 @@ Result<std::vector<std::pair<Value, Row>>> Engine::ScanRange(
     const std::string& table_name, const std::optional<Value>& lo,
     const std::optional<Value>& hi) {
   MTDB_ASSIGN_OR_RETURN(Transaction * txn, FindActive(txn_id));
+  if (txn->read_only) {
+    return SnapshotScanRange(txn, db_name, table_name, lo, hi);
+  }
   MTDB_ASSIGN_OR_RETURN(Table * table, ResolveTable(db_name, table_name));
   MTDB_RETURN_IF_ERROR(lock_manager_.Acquire(
       txn_id, TableLockId(db_name, table_name), LockMode::kShared));
@@ -598,16 +711,144 @@ Result<std::vector<std::pair<Value, Row>>> Engine::ScanRange(
   return out;
 }
 
+Result<std::vector<std::pair<Value, Row>>> Engine::SnapshotScanRange(
+    Transaction* txn, const std::string& db_name,
+    const std::string& table_name, const std::optional<Value>& lo,
+    const std::optional<Value>& hi) {
+  MTDB_ASSIGN_OR_RETURN(Table * table, ResolveTable(db_name, table_name));
+  obs::Increment(m_mvcc_snapshot_reads_);
+  // Live pass first, overlay second (same ordering argument as
+  // SnapshotRead): any key chained after its live value was copied is
+  // resolved from the overlay, so an in-flight writer's uncommitted image
+  // can never leak into the result.
+  std::vector<std::pair<Value, StoredRow>> stored = table->ScanRange(lo, hi);
+  std::map<Value, mvcc::RowVersion> overlay =
+      versions_.Overlay(db_name, table_name, lo, hi, txn->snapshot_ts);
+  // Merge: chained keys take the snapshot image (tombstone = invisible,
+  // covers rows inserted after the snapshot); unchained keys keep the live
+  // value; chained keys missing from the live scan are rows deleted after
+  // the snapshot, still visible here.
+  std::map<Value, std::pair<Row, uint64_t>> merged;
+  int64_t scan_misses = 0;
+  auto touch = [&](const Value& pk) {
+    if (options_.buffer_pool_pages == 0) return;
+    uint64_t key_hash = std::hash<std::string>{}(db_name + "/" + table_name +
+                                                 "/" + pk.LockKey());
+    uint64_t page_id = key_hash / static_cast<uint64_t>(options_.rows_per_page);
+    if (!buffer_cache_.Touch(page_id)) ++scan_misses;
+  };
+  for (auto& [pk, stored_row] : stored) {
+    if (overlay.find(pk) != overlay.end()) continue;
+    touch(pk);
+    merged.emplace(std::move(pk), std::make_pair(std::move(stored_row.values),
+                                                 stored_row.version));
+  }
+  for (auto& [pk, version] : overlay) {
+    if (!version.values) continue;
+    touch(pk);
+    merged.emplace(pk, std::make_pair(std::move(*version.values),
+                                      version.row_version));
+  }
+  std::vector<std::pair<Value, Row>> out;
+  out.reserve(merged.size());
+  for (auto& [pk, row_and_version] : merged) {
+    txn->read_ops++;
+    if (options_.record_history) {
+      txn->reads.push_back(
+          {RowLockId(db_name, table_name, pk), row_and_version.second});
+    }
+    out.emplace_back(pk, std::move(row_and_version.first));
+  }
+  if (scan_misses > 0 && options_.cache_miss_penalty_us > 0) {
+    constexpr int64_t kSequentialDiscount = 8;
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        scan_misses * options_.cache_miss_penalty_us / kSequentialDiscount));
+  }
+  return out;
+}
+
+void Engine::MvccStageWrite(Transaction* txn, const std::string& db_name,
+                            const std::string& table_name, const Value& pk,
+                            const std::optional<StoredRow>& old,
+                            std::optional<Row> new_values, uint64_t new_version,
+                            const Table* table) {
+  if (!options_.enable_mvcc) return;
+  // First transactional writer of a key seeds the chain base with the
+  // committed pre-image while holding the row X lock and *before* mutating
+  // the live table, so snapshot readers that find the chain never need the
+  // (possibly dirty) live row.
+  std::optional<Row> base_values;
+  uint64_t base_version = 0;
+  if (old) {
+    base_values = old->values;
+    base_version = old->version;
+  } else {
+    base_version = table->LastVersion(pk);
+  }
+  if (versions_.SeedBase(db_name, table_name, pk, std::move(base_values),
+                         base_version)) {
+    SetGauge(m_mvcc_versions_, versions_.live_versions());
+  }
+  txn->mvcc_pending[{db_name, table_name}][pk] = {std::move(new_values),
+                                                  new_version};
+}
+
+void Engine::MvccPublish(Transaction* txn) {
+  if (!options_.enable_mvcc || txn->mvcc_pending.empty()) return;
+  // Reserve -> install -> publish, serialized so that a snapshot taken at
+  // LastPublished() never observes a torn commit: ts becomes visible to
+  // BeginSnapshot only after every version of this txn is installed.
+  platform::Guard lock(mvcc_commit_mu_);
+  uint64_t ts = oracle_.ReserveCommit();
+  for (auto& [table_key, rows] : txn->mvcc_pending) {
+    for (auto& [pk, image] : rows) {
+      versions_.Append(table_key.first, table_key.second, pk, ts,
+                       std::move(image.first), image.second);
+    }
+  }
+  oracle_.Publish(ts);
+  txn->mvcc_pending.clear();
+  SetGauge(m_mvcc_versions_, versions_.live_versions());
+}
+
+void Engine::MvccEndSnapshot(Transaction* txn) {
+  if (!txn->read_only) return;
+  oracle_.EndSnapshot(txn->snapshot_ts);
+  // Amortized GC: prune once every kMvccGcInterval snapshot completions
+  // (the watermark only rises when snapshots end).
+  if (snapshots_since_gc_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+      kMvccGcInterval) {
+    snapshots_since_gc_.store(0, std::memory_order_relaxed);
+    MvccGc();
+  }
+}
+
+size_t Engine::MvccGc() {
+  if (!options_.enable_mvcc) return 0;
+  size_t pruned = versions_.PruneBelow(oracle_.Watermark());
+  if (pruned > 0) {
+    obs::Increment(m_mvcc_gc_pruned_, static_cast<int64_t>(pruned));
+    SetGauge(m_mvcc_versions_, versions_.live_versions());
+  }
+  return pruned;
+}
+
 Result<std::vector<Value>> Engine::IndexLookup(uint64_t txn_id,
                                                const std::string& db_name,
                                                const std::string& table_name,
                                                const std::string& column_name,
                                                const Value& key) {
-  MTDB_RETURN_IF_ERROR(FindActive(txn_id).status());
+  MTDB_ASSIGN_OR_RETURN(Transaction * txn, FindActive(txn_id));
   MTDB_ASSIGN_OR_RETURN(Table * table, ResolveTable(db_name, table_name));
   int column_index = table->schema().ColumnIndex(column_name);
   if (column_index < 0) {
     return Status::InvalidArgument("no column " + column_name);
+  }
+  if (txn->read_only) {
+    // Snapshot transactions probe the index latch-only, with no IS lock;
+    // visibility of each candidate pk is enforced by the SnapshotRead the
+    // executor issues per probe result.
+    return table->IndexLookup(column_index, key);
   }
   MTDB_RETURN_IF_ERROR(lock_manager_.Acquire(
       txn_id, TableLockId(db_name, table_name), LockMode::kIntentionShared));
@@ -616,7 +857,12 @@ Result<std::vector<Value>> Engine::IndexLookup(uint64_t txn_id,
 
 Status Engine::LockTableExclusive(uint64_t txn_id, const std::string& db_name,
                                   const std::string& table_name) {
-  MTDB_RETURN_IF_ERROR(FindActive(txn_id).status());
+  MTDB_ASSIGN_OR_RETURN(Transaction * txn, FindActive(txn_id));
+  if (txn->read_only) {
+    return Status::FailedPrecondition("read-only txn " +
+                                      std::to_string(txn_id) +
+                                      " cannot lock tables");
+  }
   MTDB_RETURN_IF_ERROR(ResolveTable(db_name, table_name).status());
   return lock_manager_.Acquire(txn_id, TableLockId(db_name, table_name),
                                LockMode::kExclusive);
@@ -624,7 +870,12 @@ Status Engine::LockTableExclusive(uint64_t txn_id, const std::string& db_name,
 
 Status Engine::LockTableShared(uint64_t txn_id, const std::string& db_name,
                                const std::string& table_name) {
-  MTDB_RETURN_IF_ERROR(FindActive(txn_id).status());
+  MTDB_ASSIGN_OR_RETURN(Transaction * txn, FindActive(txn_id));
+  if (txn->read_only) {
+    return Status::FailedPrecondition("read-only txn " +
+                                      std::to_string(txn_id) +
+                                      " cannot lock tables");
+  }
   MTDB_RETURN_IF_ERROR(ResolveTable(db_name, table_name).status());
   return lock_manager_.Acquire(txn_id, TableLockId(db_name, table_name),
                                LockMode::kShared);

@@ -18,6 +18,8 @@
 #include "src/storage/buffer_cache.h"
 #include "src/storage/database.h"
 #include "src/storage/lock_manager.h"
+#include "src/storage/mvcc/timestamp_oracle.h"
+#include "src/storage/mvcc/version_store.h"
 #include "src/storage/transaction.h"
 #include "src/storage/wal.h"
 
@@ -37,6 +39,13 @@ struct EngineOptions {
   // the source of the aggressive-controller anomaly (Section 3.1). ON by
   // default, matching "most modern database systems".
   bool release_read_locks_on_prepare = true;
+
+  // Maintain the MVCC version store so read-only transactions can run
+  // against a commit-timestamp snapshot without acquiring row locks
+  // (DESIGN.md §13). With this off, Begin(txn, /*read_only=*/true) degrades
+  // to a plain strict-2PL transaction — still correct, just lock-bound —
+  // which is the strict-2PL leg of the isolation ablation.
+  bool enable_mvcc = true;
 
   // Buffer-pool model. 0 pages disables it (all hits, no penalty).
   size_t buffer_pool_pages = 0;
@@ -130,7 +139,12 @@ class Engine {
 
   // --- Transaction lifecycle ---
   // txn_id is assigned by the coordinator and must be unique engine-wide.
-  Status Begin(uint64_t txn_id);
+  // A read_only transaction (with enable_mvcc on) pins a snapshot timestamp
+  // at begin — reported through *snapshot_ts when non-null — and serves
+  // every read from the version store without touching the lock manager;
+  // its write ops are rejected with kFailedPrecondition.
+  Status Begin(uint64_t txn_id, bool read_only = false,
+               uint64_t* snapshot_ts = nullptr);
   // First phase of 2PC. Votes yes by returning OK; per options, releases
   // read locks.
   Status Prepare(uint64_t txn_id);
@@ -189,6 +203,15 @@ class Engine {
                              const std::string& table_name,
                              const std::vector<std::pair<Row, uint64_t>>& rows);
 
+  // --- MVCC (DESIGN.md §13) ---
+  const mvcc::TimestampOracle& timestamp_oracle() const { return oracle_; }
+  const mvcc::VersionStore& version_store() const { return versions_; }
+  // Run one garbage-collection pass at the current watermark (min active
+  // snapshot, or the published frontier when idle). Also triggered
+  // automatically every kMvccGcInterval snapshot completions. Returns the
+  // number of versions pruned.
+  size_t MvccGc();
+
   // --- History & stats ---
   std::vector<CommittedTxnRecord> GetHistory() const;
   void ClearHistory();
@@ -215,6 +238,34 @@ class Engine {
   void RecordCommit(Transaction* txn);
   // Applies the undo log in reverse; requires the txn's X locks still held.
   void ApplyUndo(Transaction* txn);
+
+  // --- MVCC internals ---
+  // Lock-free snapshot read of one row at the txn's snapshot timestamp;
+  // never touches lock_manager_.
+  Result<std::optional<Row>> SnapshotRead(Transaction* txn,
+                                          const std::string& db_name,
+                                          const std::string& table_name,
+                                          const Value& pk);
+  // Lock-free snapshot range scan (live rows overlaid with the version
+  // store, plus rows deleted after the snapshot).
+  Result<std::vector<std::pair<Value, Row>>> SnapshotScanRange(
+      Transaction* txn, const std::string& db_name,
+      const std::string& table_name, const std::optional<Value>& lo,
+      const std::optional<Value>& hi);
+  // Captures the committed pre-image of (db, table, pk) into the version
+  // store (base version, ts 0) if the key has no chain yet, and stages the
+  // post-image on the txn for publication at commit. Caller holds the row's
+  // X lock and has NOT yet applied the in-place table mutation.
+  void MvccStageWrite(Transaction* txn, const std::string& db_name,
+                      const std::string& table_name, const Value& pk,
+                      const std::optional<StoredRow>& old,
+                      std::optional<Row> new_values, uint64_t new_version,
+                      const Table* table);
+  // Publishes the txn's staged post-images under one reserved commit
+  // timestamp. Called from RecordCommit, before lock release.
+  void MvccPublish(Transaction* txn);
+  // Closes out a read-only txn's snapshot and occasionally runs GC.
+  void MvccEndSnapshot(Transaction* txn);
 
   std::string site_name_;
   EngineOptions options_;
@@ -261,6 +312,15 @@ class Engine {
   std::atomic<int64_t> plan_cache_hits_{0};
   std::atomic<int64_t> plan_cache_misses_{0};
 
+  // --- MVCC state (DESIGN.md §13) ---
+  mvcc::TimestampOracle oracle_;
+  mvcc::VersionStore versions_;
+  // Serializes reserve→install→publish so snapshot timestamps never expose
+  // a half-installed commit. Held only across version-store appends (no
+  // lock-manager or table-latch interaction).
+  platform::Mutex mvcc_commit_mu_{"storage/Engine::mvcc_commit_mu"};
+  std::atomic<uint64_t> snapshots_since_gc_{0};
+
   // Committed-transaction log for the offline DSG auditor (populated when
   // options_.record_history is set); owns its own lock.
   analysis::HistoryRecorder history_;
@@ -275,6 +335,10 @@ class Engine {
   obs::Counter* m_txn_abort_ = nullptr;
   obs::Counter* m_plan_hit_ = nullptr;
   obs::Counter* m_plan_miss_ = nullptr;
+  obs::Counter* m_mvcc_snapshot_reads_ = nullptr;
+  obs::Counter* m_mvcc_gc_pruned_ = nullptr;
+  obs::Gauge* m_mvcc_versions_ = nullptr;
+  Histogram* m_mvcc_snapshot_begin_ = nullptr;
 
   std::unique_ptr<WriteAheadLog> wal_;  // null when WAL disabled
 };

@@ -2,7 +2,10 @@
 #define MTDB_STORAGE_TRANSACTION_H_
 
 #include <cstdint>
+#include <map>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/storage/value.h"
@@ -44,11 +47,21 @@ struct VersionObservation {
 struct Transaction {
   uint64_t id = 0;
   TxnState state = TxnState::kActive;
+  // Declared read-only at Begin: reads come from the MVCC snapshot at
+  // snapshot_ts without touching the lock manager, and every write op is
+  // rejected with kFailedPrecondition (DESIGN.md §13).
+  bool read_only = false;
+  uint64_t snapshot_ts = 0;
   std::vector<UndoRecord> undo_log;
   // Version observations, recorded only when the engine's record_history
   // option is set.
   std::vector<VersionObservation> reads;
   std::vector<VersionObservation> writes;
+  // Post-images captured by write ops for publication into the MVCC version
+  // store at commit, keyed "db\0table" -> pk -> image. nullopt = tombstone.
+  std::map<std::pair<std::string, std::string>,
+           std::map<Value, std::pair<std::optional<Row>, uint64_t>>>
+      mvcc_pending;
   // Count of row-level write operations (used by stats and by the cluster
   // controller to distinguish read-only transactions).
   int64_t write_ops = 0;
@@ -59,6 +72,9 @@ struct Transaction {
 // the engine's history log for the serializability checker.
 struct CommittedTxnRecord {
   uint64_t txn_id = 0;
+  // Committed in snapshot (read-only) mode: the DSG auditor uses this to
+  // prove no G2 cycle ever routes through a declared read-only transaction.
+  bool read_only = false;
   std::vector<VersionObservation> reads;
   std::vector<VersionObservation> writes;
 };

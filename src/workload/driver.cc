@@ -64,8 +64,8 @@ WorkloadStats RunSession(ClusterController* controller,
   while (watch.ElapsedMicros() < options.duration_ms * 1000) {
     Interaction interaction = DrawInteraction(options.mix, &rng);
     Stopwatch txn_watch;
-    InteractionResult result =
-        RunInteraction(conn.get(), stmts, interaction, scale, &rng);
+    InteractionResult result = RunInteraction(
+        conn.get(), stmts, interaction, scale, &rng, options.snapshot_reads);
     if (result.status.ok()) {
       stats.committed++;
       if (result.was_write) stats.write_committed++;

@@ -17,6 +17,9 @@ struct DriverOptions {
   int sessions = 4;
   int64_t duration_ms = 1000;
   uint64_t seed = 7;
+  // Run read-only interactions as MVCC snapshot transactions (writes keep
+  // strict 2PL) — the third isolation ablation point.
+  bool snapshot_reads = false;
 };
 
 // Aggregated outcome of one workload run.

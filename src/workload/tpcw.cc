@@ -407,10 +407,11 @@ Status AdminUpdate(Connection* conn, const TpcwStatements& stmts,
 InteractionResult RunInteraction(Connection* conn,
                                  const TpcwStatements& statements,
                                  Interaction interaction,
-                                 const TpcwScale& scale, Random* rng) {
+                                 const TpcwScale& scale, Random* rng,
+                                 bool snapshot_reads) {
   InteractionResult result;
   result.was_write = IsWriteInteraction(interaction);
-  Status status = conn->Begin();
+  Status status = conn->Begin(snapshot_reads && !result.was_write);
   if (!status.ok()) {
     result.status = status;
     return result;
@@ -457,7 +458,8 @@ InteractionResult RunInteraction(Connection* conn,
 }
 
 InteractionResult RunInteraction(Connection* conn, Interaction interaction,
-                                 const TpcwScale& scale, Random* rng) {
+                                 const TpcwScale& scale, Random* rng,
+                                 bool snapshot_reads) {
   // The statement set lives in the controller's shared registry, so this
   // fetch is a handful of map lookups after the first call.
   auto stmts_or = PrepareTpcwStatements(conn);
@@ -467,7 +469,8 @@ InteractionResult RunInteraction(Connection* conn, Interaction interaction,
     result.was_write = IsWriteInteraction(interaction);
     return result;
   }
-  return RunInteraction(conn, *stmts_or, interaction, scale, rng);
+  return RunInteraction(conn, *stmts_or, interaction, scale, rng,
+                        snapshot_reads);
 }
 
 }  // namespace mtdb::workload

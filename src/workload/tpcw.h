@@ -96,17 +96,21 @@ Result<TpcwStatements> PrepareTpcwStatements(Connection* conn);
 
 // Runs one interaction as a single transaction on the connection, executing
 // the prepared statement set. On error the transaction has already been
-// rolled back.
+// rolled back. With `snapshot_reads`, read-only interactions (the browse
+// side of the mix) run as MVCC snapshot transactions — lock-free reads
+// pinned to one replica; write interactions always use strict 2PL.
 InteractionResult RunInteraction(Connection* conn,
                                  const TpcwStatements& statements,
                                  Interaction interaction,
-                                 const TpcwScale& scale, Random* rng);
+                                 const TpcwScale& scale, Random* rng,
+                                 bool snapshot_reads = false);
 
 // Convenience overload that fetches the statement set from the controller's
 // shared registry first (cheap after the first call). Long-running drivers
 // should prepare once and use the overload above.
 InteractionResult RunInteraction(Connection* conn, Interaction interaction,
-                                 const TpcwScale& scale, Random* rng);
+                                 const TpcwScale& scale, Random* rng,
+                                 bool snapshot_reads = false);
 
 }  // namespace mtdb::workload
 

@@ -157,6 +157,40 @@ TEST(DsgAuditorTest, DuplicateEdgesAreDeduplicated) {
   EXPECT_EQ(auditor.edges().size(), 1u);  // wr T1->T2, witnessed once
 }
 
+TEST(DsgAuditorTest, CycleThroughReadOnlyTxnSetsTheFlag) {
+  // A G2 cycle that routes through a pure reader: wr T1->T2 (T2 observes
+  // x@1), rw T2->T1 (T1 overwrote the y@0 that T2 read). With T2 marked
+  // read-only the report must flag the violated snapshot promise — this is
+  // exactly the witness shape the MVCC read path is supposed to make
+  // impossible.
+  auto report = AuditHistories({HistoryBuilder()
+                                    .Txn(1).Write("x", 1).Write("y", 1)
+                                    .Txn(2).ReadOnly().Read("x", 1).Read("y", 0)
+                                    .Build()});
+  ASSERT_FALSE(report.serializable);
+  EXPECT_EQ(report.anomaly, AnomalyClass::kG2);
+  EXPECT_TRUE(report.read_only_in_cycle);
+  std::string text = report.ToString();
+  EXPECT_NE(text.find("read-only"), std::string::npos);
+}
+
+TEST(DsgAuditorTest, WriteSkewAmongWritersLeavesReadOnlyFlagClear) {
+  // Two *writing* transactions with snapshot-style reads produce classic
+  // write skew — still G2, still caught. A read-only observer of a
+  // consistent state rides along; it must not be dragged into the cycle, so
+  // read_only_in_cycle stays false: the auditor distinguishes "snapshot
+  // writers broke serializability" from "the snapshot read path is broken".
+  auto report = AuditHistories({HistoryBuilder()
+                                    .Txn(1).Read("x", 0).Read("y", 0).Write("y", 1)
+                                    .Txn(2).Read("x", 0).Read("y", 0).Write("x", 1)
+                                    .Txn(3).ReadOnly().Read("x", 0).Read("y", 0)
+                                    .Build()});
+  ASSERT_FALSE(report.serializable);
+  EXPECT_EQ(report.anomaly, AnomalyClass::kG2);
+  EXPECT_FALSE(report.read_only_in_cycle);
+  for (uint64_t id : report.cycle) EXPECT_NE(id, 3u);
+}
+
 TEST(DsgAuditorTest, ReportToStringNamesAnomalyAndTypedCycle) {
   auto report = AuditHistories({HistoryBuilder()
                                     .Txn(1).Read("x", 0).Write("x", 1)
@@ -178,13 +212,16 @@ TEST(HistoryRecorderTest, RecordsInCommitOrderAndClears) {
   Transaction t2;
   t2.id = 9;
   t2.reads.push_back({"x", 1});
+  t2.read_only = true;
   recorder.RecordCommit(t1);
   recorder.RecordCommit(t2);
   EXPECT_EQ(recorder.size(), 2u);
   auto snapshot = recorder.Snapshot();
   ASSERT_EQ(snapshot.size(), 2u);
   EXPECT_EQ(snapshot[0].txn_id, 7u);
+  EXPECT_FALSE(snapshot[0].read_only);
   EXPECT_EQ(snapshot[1].txn_id, 9u);
+  EXPECT_TRUE(snapshot[1].read_only);
   ASSERT_EQ(snapshot[1].reads.size(), 1u);
   EXPECT_EQ(snapshot[1].reads[0].object_id, "x");
   recorder.Clear();

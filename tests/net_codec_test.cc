@@ -281,6 +281,67 @@ TEST(NetCodecTest, RetryAfterRoundTrips) {
   EXPECT_EQ(RoundTripResponse(unthrottled).retry_after_us, 0);
 }
 
+TEST(NetCodecTest, BeginReadOnlyFlagRoundTrips) {
+  // The MVCC snapshot flag rides every request (like trace_id): BEGIN uses
+  // it, everything else carries it as false.
+  RpcRequest begin_ro;
+  begin_ro.type = RpcType::kBegin;
+  begin_ro.txn_id = 310;
+  begin_ro.db_name = "shop";
+  begin_ro.read_only = true;
+  RpcRequest out = RoundTripRequest(begin_ro);
+  EXPECT_EQ(out.type, RpcType::kBegin);
+  EXPECT_TRUE(out.read_only);
+
+  begin_ro.read_only = false;
+  EXPECT_FALSE(RoundTripRequest(begin_ro).read_only);
+
+  RpcRequest execute;
+  execute.type = RpcType::kExecute;
+  execute.sql = "SELECT 1";
+  EXPECT_FALSE(RoundTripRequest(execute).read_only);
+}
+
+TEST(NetCodecTest, SnapshotTimestampRoundTrips) {
+  // BEGIN responses for read-only transactions return the snapshot
+  // timestamp; every other response carries the 0 sentinel.
+  RpcResponse response;
+  response.snapshot_ts = 0xFEEDFACE12345678ull;
+  EXPECT_EQ(RoundTripResponse(response).snapshot_ts, 0xFEEDFACE12345678ull);
+
+  RpcResponse plain;
+  EXPECT_EQ(RoundTripResponse(plain).snapshot_ts, 0u);
+}
+
+TEST(NetCodecTest, PreMvccWireFormatIsRejected) {
+  // Frames produced by the previous wire format — identical except for the
+  // trailing read_only byte (requests) / snapshot_ts u64 (responses) — must
+  // fail to decode as "truncated", not silently default the missing field.
+  RpcRequest request;
+  request.type = RpcType::kBegin;
+  request.txn_id = 11;
+  request.db_name = "shop";
+  request.read_only = true;
+  std::string frame;
+  EncodeRequestFrame(request, &frame);
+  std::string payload(PayloadOf(frame));
+  ASSERT_GT(payload.size(), 1u);
+  auto old_request = DecodeRequest(
+      std::string_view(payload.data(), payload.size() - 1));
+  EXPECT_FALSE(old_request.ok()) << "request without read_only byte decoded";
+
+  RpcResponse response;
+  response.snapshot_ts = 42;
+  std::string response_frame;
+  EncodeResponseFrame(response, &response_frame);
+  std::string response_payload(PayloadOf(response_frame));
+  ASSERT_GT(response_payload.size(), 8u);
+  auto old_response = DecodeResponse(std::string_view(
+      response_payload.data(), response_payload.size() - 8));
+  EXPECT_FALSE(old_response.ok())
+      << "response without snapshot_ts field decoded";
+}
+
 // --- robustness ---
 
 TEST(NetCodecTest, TruncatedRequestPayloadsAreRejected) {
@@ -293,6 +354,7 @@ TEST(NetCodecTest, TruncatedRequestPayloadsAreRejected) {
   request.params = {Value(int64_t{5}), Value("s")};
   request.rows = {{Value(int64_t{1}), Value("r")}};
   request.dump = MakeDump();
+  request.read_only = true;  // trailing u8: every prefix must fail
   std::string frame;
   EncodeRequestFrame(request, &frame);
   ExpectPrefixAndSuffixRejected(
@@ -308,7 +370,8 @@ TEST(NetCodecTest, TruncatedResponsePayloadsAreRejected) {
   response.dumps.push_back(MakeDump());
   response.txn_ids = {7, 8};
   response.names = {"item"};
-  response.retry_after_us = 12'345;  // trailing u64: every prefix must fail
+  response.retry_after_us = 12'345;
+  response.snapshot_ts = 6'789;  // trailing u64: every prefix must fail
   std::string frame;
   EncodeResponseFrame(response, &frame);
   ExpectPrefixAndSuffixRejected(

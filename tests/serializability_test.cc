@@ -8,7 +8,11 @@ namespace {
 CommittedTxnRecord Txn(uint64_t id,
                        std::vector<VersionObservation> reads,
                        std::vector<VersionObservation> writes) {
-  return CommittedTxnRecord{id, std::move(reads), std::move(writes)};
+  CommittedTxnRecord record;
+  record.txn_id = id;
+  record.reads = std::move(reads);
+  record.writes = std::move(writes);
+  return record;
 }
 
 TEST(SerializabilityTest, EmptyHistoryIsSerializable) {

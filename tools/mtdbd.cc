@@ -116,6 +116,29 @@ int RunSmokeClient(const std::string& host, uint16_t port) {
     std::fprintf(stderr, "smoke: stock not decremented as committed\n");
     return 1;
   }
+
+  // A read-only snapshot transaction over the same wire: BEGIN carries the
+  // read_only flag, the reads come from the MVCC version store (bumping
+  // mtdb_mvcc_snapshot_reads_total, asserted by mtdbd_smoke.sh), and the
+  // committed decrement must be visible in the snapshot.
+  status = conn->Begin(/*read_only=*/true);
+  if (!status.ok()) return fail(status, "begin read-only");
+  auto snap1 = conn->Execute("SELECT i_stock FROM item WHERE i_id = ?",
+                             {mtdb::Value(int64_t{7})});
+  if (!snap1.ok()) return fail(snap1.status(), "snapshot read 1");
+  auto snap2 = conn->Execute("SELECT i_stock FROM item WHERE i_id = ?",
+                             {mtdb::Value(int64_t{3})});
+  if (!snap2.ok()) return fail(snap2.status(), "snapshot read 2");
+  if (snap1->rows.size() != 1 ||
+      snap1->rows[0][0] != mtdb::Value(int64_t{99}) ||
+      snap2->rows.size() != 1 ||
+      snap2->rows[0][0] != mtdb::Value(int64_t{100})) {
+    std::fprintf(stderr, "smoke: snapshot read returned wrong stock\n");
+    return 1;
+  }
+  status = conn->Commit();
+  if (!status.ok()) return fail(status, "commit read-only");
+
   std::printf("SMOKE OK\n");
   return 0;
 }

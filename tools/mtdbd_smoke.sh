@@ -52,6 +52,20 @@ if [ -x "$MTDBSTAT" ]; then
   fi
   echo "mtdbstat reports $COMMITS committed transaction(s)"
 
+  # The smoke client's read-only transaction must have gone through the
+  # MVCC snapshot-read path, not the lock manager (--grep also exercises
+  # the prefix filter).
+  MVCC_STATS="$("$MTDBSTAT" --grep mtdb_mvcc_ "127.0.0.1:$PORT")"
+  SNAPSHOT_READS="$(printf '%s\n' "$MVCC_STATS" \
+    | sed -n 's/^mtdb_mvcc_snapshot_reads_total{[^}]*} \([0-9]*\)$/\1/p' \
+    | head -n 1)"
+  if [ -z "$SNAPSHOT_READS" ] || [ "$SNAPSHOT_READS" -eq 0 ]; then
+    echo "mtdbstat: no MVCC snapshot reads in stats dump:" >&2
+    printf '%s\n' "$MVCC_STATS" >&2
+    exit 1
+  fi
+  echo "mtdbstat reports $SNAPSHOT_READS MVCC snapshot read(s)"
+
   # Interval mode must parse its flags and emit exactly one delta window.
   INTERVAL_OUT="$("$MTDBSTAT" --interval 0.2 --count 1 "127.0.0.1:$PORT")"
   if ! printf '%s\n' "$INTERVAL_OUT" | grep -q '^--- window 1 '; then

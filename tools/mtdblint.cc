@@ -1,6 +1,6 @@
 // mtdblint: project-rule checker for the mtdb tree.
 //
-// Four rules, each encoding a convention the compiler cannot see:
+// Five rules, each encoding a convention the compiler cannot see:
 //
 //   raw-mutex        Outside src/platform, code must lock through the
 //                    annotated platform::Mutex/Guard vocabulary — a raw
@@ -9,7 +9,20 @@
 //                    the handful of deliberate uses (violation-reporting
 //                    paths that must not recurse into the instrumentation):
 //                    a comment `mtdblint: allow(raw-mutex)` on the line or
-//                    one of the three lines above it.
+//                    one of the three lines above it. In src/storage/mvcc
+//                    the escape is NOT honored: the version store and
+//                    timestamp oracle are part of the compile-time
+//                    concurrency-proof surface, so their synchronization
+//                    must stay on the annotated vocabulary unconditionally.
+//
+//   snapshot-lock    A lock-manager call on a path guarded by a *set*
+//                    read-only flag (`if (txn->read_only) ... lock_manager_
+//                    ...`) contradicts the MVCC contract that snapshot
+//                    transactions never touch the LockManager. The
+//                    sanctioned shapes are negated guards
+//                    (`if (!txn->read_only) lock_manager_.ReleaseAll(...)`)
+//                    or early returns before any lock call. Escape:
+//                    `mtdblint: allow(snapshot-lock)`.
 //
 //   rpc-coverage     Every net::RpcType enumerator must be handled in both
 //                    src/net/codec.cc (name/validation) and
@@ -111,11 +124,48 @@ bool InPlatform(const std::string& rel) {
   return rel.rfind("src/platform/", 0) == 0;
 }
 
+bool InMvcc(const std::string& rel) {
+  return rel.rfind("src/storage/mvcc/", 0) == 0;
+}
+
+// Returns true when `code` opens an if whose condition tests a *set*
+// read-only flag — `if (txn->read_only)`, `if (read_only_ && ...)`. The
+// negated writer-path shape (`if (!txn->read_only) ...`) does not count.
+bool IsReadOnlyGuard(const std::string& code) {
+  size_t cond = code.find("if (");
+  if (cond == std::string::npos) cond = code.find("if(");
+  if (cond == std::string::npos) return false;
+  size_t flag = code.find("read_only", cond);
+  if (flag == std::string::npos) return false;
+  // Walk back across the object expression (`txn->`, `this->`, names) to
+  // see whether the test is negated.
+  size_t back = flag;
+  while (back > 0) {
+    char c = code[back - 1];
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+        c == '>' || c == '-' || c == ':' || c == '(') {
+      --back;
+      continue;
+    }
+    break;
+  }
+  return back == 0 || code[back - 1] != '!';
+}
+
+const char* const kLockManagerTokens[] = {"lock_manager", "LockManager"};
+
 void CheckFile(const fs::path& root, const fs::path& path) {
   const std::string rel = RelPath(root, path);
   const std::vector<std::string> lines = ReadLines(path);
   // This file defines the rules; its own spellings are not uses.
   const bool self = rel == "tools/mtdblint.cc";
+
+  // snapshot-lock state: brace depths at which a block guarded by a set
+  // read-only flag opened; while one is active, lock-manager tokens are
+  // findings.
+  int depth = 0;
+  std::vector<int> guard_stack;
+  bool pending_guard = false;
 
   for (size_t i = 0; i < lines.size(); ++i) {
     const std::string& raw = lines[i];
@@ -125,13 +175,61 @@ void CheckFile(const fs::path& root, const fs::path& path) {
     if (!self && !InPlatform(rel)) {
       for (const char* token : kRawMutexTokens) {
         if (code.find(token) == std::string::npos) continue;
-        if (HasEscape(lines, i, "raw-mutex")) continue;
+        // src/storage/mvcc gets no escape hatch: its synchronization is
+        // part of the concurrency-proof surface.
+        if (!InMvcc(rel) && HasEscape(lines, i, "raw-mutex")) continue;
         Report(rel, lineno, "raw-mutex",
                std::string(token) +
-                   " outside src/platform; lock through platform::Mutex/"
-                   "Guard (src/platform/mutex.h) or add "
-                   "`mtdblint: allow(raw-mutex)` with a justification");
+                   (InMvcc(rel)
+                        ? " in src/storage/mvcc; the MVCC subsystem must use "
+                          "the annotated platform::Mutex/Guard vocabulary "
+                          "(no escape hatch here)"
+                        : " outside src/platform; lock through platform::"
+                          "Mutex/Guard (src/platform/mutex.h) or add "
+                          "`mtdblint: allow(raw-mutex)` with a "
+                          "justification"));
         break;  // one finding per line is enough
+      }
+    }
+
+    if (!self) {
+      const bool guard_line = IsReadOnlyGuard(code);
+      if (guard_line || pending_guard || !guard_stack.empty()) {
+        for (const char* token : kLockManagerTokens) {
+          if (code.find(token) == std::string::npos) continue;
+          if (HasEscape(lines, i, "snapshot-lock")) continue;
+          Report(rel, lineno, "snapshot-lock",
+                 std::string(token) +
+                     " on a path guarded by a set read-only flag: snapshot "
+                     "transactions must never touch the LockManager; guard "
+                     "the lock call with the negated flag or add "
+                     "`mtdblint: allow(snapshot-lock)` with a justification");
+          break;
+        }
+      }
+      if (guard_line) pending_guard = true;
+      for (char c : code) {
+        if (c == '{') {
+          ++depth;
+          if (pending_guard) {
+            guard_stack.push_back(depth);
+            pending_guard = false;
+          }
+        } else if (c == '}') {
+          while (!guard_stack.empty() && guard_stack.back() == depth) {
+            guard_stack.pop_back();
+          }
+          --depth;
+        }
+      }
+      // A braceless guard covers only its single statement.
+      if (pending_guard && !guard_line &&
+          code.find(';') != std::string::npos) {
+        pending_guard = false;
+      }
+      if (pending_guard && guard_line &&
+          code.find(';') != std::string::npos) {
+        pending_guard = false;  // `if (ro) return ...;` on one line
       }
     }
 

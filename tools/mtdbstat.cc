@@ -1,13 +1,15 @@
 // mtdbstat: dump the metrics registry of a running mtdbd.
 //
-//   mtdbstat [--interval SECONDS [--count N]] HOST:PORT
+//   mtdbstat [--grep PREFIX] [--interval SECONDS [--count N]] HOST:PORT
 //
 // connects over TCP and issues kStats RPCs. Without flags it prints one
 // metrics text dump to stdout and exits. With --interval it keeps polling,
 // printing the per-window *delta* of every counter and gauge that moved
 // (vmstat-style), which is what an operator actually wants when watching a
 // live machine: rates, not lifetime totals. --count bounds the number of
-// windows (default: poll forever).
+// windows (default: poll forever). --grep keeps only metric lines whose
+// name starts with PREFIX (e.g. --grep mtdb_mvcc_ to watch the version
+// store), in both one-shot and interval mode.
 //
 // Exits 0 on success, 1 on any failure (unreachable daemon, RPC error,
 // empty dump), 2 on usage errors. Used by tools/mtdbd_smoke.sh and the CI
@@ -27,9 +29,10 @@
 namespace {
 
 int Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--interval SECONDS [--count N]] HOST:PORT\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [--grep PREFIX] [--interval SECONDS [--count N]] HOST:PORT\n",
+      argv0);
   return 2;
 }
 
@@ -57,11 +60,29 @@ std::map<std::string, long long> ParseScalars(const std::string& dump) {
   return scalars;
 }
 
+// Keeps only the lines whose metric name starts with `prefix`.
+std::string FilterByPrefix(const std::string& dump,
+                           const std::string& prefix) {
+  std::string out;
+  size_t start = 0;
+  while (start < dump.size()) {
+    size_t end = dump.find('\n', start);
+    if (end == std::string::npos) end = dump.size();
+    if (dump.compare(start, prefix.size(), prefix) == 0) {
+      out.append(dump, start, end - start);
+      out.push_back('\n');
+    }
+    start = end + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double interval_s = 0;
   long long count = -1;  // -1 = forever
+  std::string grep_prefix;
   std::string target;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--interval") == 0 && i + 1 < argc) {
@@ -70,6 +91,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--count") == 0 && i + 1 < argc) {
       count = std::atoll(argv[++i]);
       if (count <= 0) return Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--grep") == 0 && i + 1 < argc) {
+      grep_prefix = argv[++i];
+      if (grep_prefix.empty()) return Usage(argv[0]);
     } else if (argv[i][0] == '-') {
       return Usage(argv[0]);
     } else if (target.empty()) {
@@ -104,7 +128,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "mtdbstat: %s\n", dump.status().ToString().c_str());
       return 1;
     }
-    std::fputs(dump->c_str(), stdout);
+    std::fputs(grep_prefix.empty() ? dump->c_str()
+                                   : FilterByPrefix(*dump, grep_prefix).c_str(),
+               stdout);
     return 0;
   }
 
@@ -126,6 +152,10 @@ int main(int argc, char** argv) {
     std::map<std::string, long long> current = ParseScalars(*dump);
     std::printf("--- window %lld (%.3gs) ---\n", window, interval_s);
     for (const auto& [key, value] : current) {
+      if (!grep_prefix.empty() &&
+          key.compare(0, grep_prefix.size(), grep_prefix) != 0) {
+        continue;
+      }
       auto it = previous.find(key);
       long long delta = value - (it == previous.end() ? 0 : it->second);
       if (delta != 0) std::printf("%s %+lld\n", key.c_str(), delta);
