@@ -1,0 +1,290 @@
+#ifndef MTDB_CLUSTER_CATALOG_TENANT_CATALOG_H_
+#define MTDB_CLUSTER_CATALOG_TENANT_CATALOG_H_
+
+// Sharded, lazily-loaded tenant catalog — the authoritative per-tenant
+// metadata store for a cluster sized "a large number of small applications"
+// (the paper's 10^5-10^6 tenants, ROADMAP item 5).
+//
+// The design splits each tenant's state in two:
+//
+//  * Durable state (TenantRecord): placement (replica list, primary offset,
+//    copy-in-progress bookkeeping) and the QoS quota spec. ~100 bytes per
+//    tenant, lives for the tenant's lifetime, never evicted. This is the
+//    whole per-tenant cost of an idle application.
+//
+//  * Resident state (materialized on first use, LRU-evicted when idle):
+//    prepared-statement registrations today, plus — via the eviction
+//    listener — whatever derived state other layers key by tenant name
+//    (LoadMonitor windows, per-tenant metric series, engine plan caches).
+//    All of it rebuilds on demand from durable/controller state, so
+//    eviction is invisible to correctness: the next Acquire reloads.
+//
+// Concurrency: tenants are sharded by name hash; each shard has its own
+// mutex guarding its map and every entry in it. Catalog methods take at
+// most ONE shard lock at a time (the eviction sweep walks shards strictly
+// sequentially), so the single shard lock class can never deadlock against
+// itself. Callers must not call back into the catalog from With() callbacks
+// or eviction listeners' synchronous path into catalog methods — the shard
+// mutexes are one lock class and re-entry would self-nest. Eviction
+// listeners are invoked with no shard lock held.
+//
+// Eviction invariant: a tenant pinned by an Acquire ref (= a transaction in
+// flight on it) is never evicted. Pins are counted under the shard lock, so
+// a concurrent Acquire either pins before the sweep re-checks (victim
+// skipped) or materializes fresh resident state after (a reload).
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/catalog/prepared_statement.h"
+#include "src/common/result.h"
+#include "src/obs/metrics.h"
+#include "src/platform/mutex.h"
+#include "src/qos/qos.h"
+
+namespace mtdb::catalog {
+
+// Algorithm-1 copy bookkeeping, part of the durable record (a mid-copy
+// tenant is by definition not idle metadata).
+struct CopyState {
+  bool active = false;
+  int target_machine = -1;
+  std::set<std::string> copied_tables;
+  std::string in_progress;  // "" = none, "*" = whole database
+};
+
+// The durable per-tenant record: everything the controller must know about
+// a tenant even when it has been idle for a week. Mutated only under the
+// owning shard's lock (via TenantCatalog::With).
+struct TenantRecord {
+  std::vector<int> replicas;
+  // Which replica serves Option-1 reads: assigned round-robin among
+  // databases sharing the same replica set, so per-database primaries
+  // spread evenly across machines.
+  int primary_offset = 0;
+  CopyState copy;
+  int64_t rejected_writes = 0;
+  // QoS admission quota + WDRR weight, pushed to every replica (and
+  // re-pushed to copy targets on promotion). has_quota distinguishes "no
+  // quota configured" from "explicitly unlimited". `quota` keeps the base
+  // (SLA-derived) spec; live_rate_tps is the last rate actually pushed,
+  // which RefreshQuotasFromLoad may raise above the base as measured load
+  // grows.
+  qos::QuotaSpec quota;
+  bool has_quota = false;
+  double live_rate_tps = 0;
+};
+
+// Point-in-time catalog counters, exposed through mtdb_catalog_* metrics
+// (and therefore over the kStats RPC) and TenantCatalog::Stats().
+struct CatalogStats {
+  int64_t tenants = 0;
+  int64_t resident = 0;
+  int64_t pinned = 0;
+  int64_t prepared = 0;
+  int64_t evictions = 0;
+  int64_t reloads = 0;
+  int64_t prepared_evicted = 0;
+};
+
+class TenantCatalog {
+ public:
+  struct Options {
+    // Shard count (rounded up to a power of two). More shards = less lock
+    // contention on the Acquire hot path.
+    size_t shards = 16;
+    // Resident-state LRU cap: at most this many tenants keep materialized
+    // resident state. Eviction frees down to ~90% of the cap in one sweep
+    // so the sweep cost amortizes across many Acquires.
+    size_t max_resident = 1024;
+    // Global cap on prepared-statement registrations across all tenants.
+    size_t max_prepared = 4096;
+    // Per-tenant cap on prepared registrations (a single tenant preparing
+    // distinct texts in a loop evicts its own LRU statement, not other
+    // tenants' state).
+    size_t max_prepared_per_tenant = 512;
+    // Label for this catalog's metric series (a process may host several:
+    // the controller's, and in principle per-machine ones).
+    const char* name = "catalog";
+  };
+
+  // Invoked (unlocked) once per evicted tenant so sibling layers can drop
+  // their derived per-tenant state (LoadMonitor window, metric series, ...).
+  using EvictionListener = std::function<void(const std::string& tenant)>;
+
+  // Two constructors (not one defaulted argument): GCC rejects a `= {}`
+  // default for a nested-class parameter inside the enclosing class body.
+  TenantCatalog();
+  explicit TenantCatalog(Options options);
+  ~TenantCatalog();
+
+  TenantCatalog(const TenantCatalog&) = delete;
+  TenantCatalog& operator=(const TenantCatalog&) = delete;
+
+  void SetEvictionListener(EvictionListener listener);
+
+  // --- Lifecycle ---
+  // Reserves `name` for a creation in progress: Contains() turns true (so
+  // concurrent creates fail kAlreadyExists) but the record is not yet
+  // routable (With/Acquire report NotFound). Finish with Install or
+  // AbortReserve.
+  Status Reserve(const std::string& name);
+  void Install(const std::string& name, TenantRecord record);
+  void AbortReserve(const std::string& name);
+  Status Erase(const std::string& name);
+  bool Contains(const std::string& name) const;
+  size_t tenant_count() const;
+  std::vector<std::string> Names() const;
+
+  // --- Record access ---
+  // Runs `fn` on the tenant's durable record under its shard lock; returns
+  // NotFound for absent or still-reserved tenants. The callback must be
+  // short and must not re-enter the catalog or take locks that can be held
+  // while calling catalog methods.
+  Status With(const std::string& name,
+              const std::function<void(TenantRecord&)>& fn);
+  Status With(const std::string& name,
+              const std::function<void(const TenantRecord&)>& fn) const;
+
+  // --- Acquire / Release ---
+  // Pin on a tenant: while at least one TenantRef is live, the tenant's
+  // resident state is never evicted. Connections hold one for the duration
+  // of every transaction. Release is idempotent and automatic on
+  // destruction; an Acquire of an unknown tenant returns an invalid ref
+  // (valid() == false), which is a no-op to release.
+  class TenantRef {
+   public:
+    TenantRef() = default;
+    TenantRef(TenantRef&& other) noexcept { *this = std::move(other); }
+    TenantRef& operator=(TenantRef&& other) noexcept;
+    ~TenantRef() { Release(); }
+
+    TenantRef(const TenantRef&) = delete;
+    TenantRef& operator=(const TenantRef&) = delete;
+
+    bool valid() const { return catalog_ != nullptr; }
+    const std::string& tenant() const { return tenant_; }
+    void Release();
+
+   private:
+    friend class TenantCatalog;
+    TenantRef(TenantCatalog* catalog, std::string tenant)
+        : catalog_(catalog), tenant_(std::move(tenant)) {}
+
+    TenantCatalog* catalog_ = nullptr;
+    std::string tenant_;
+  };
+
+  // Pins `name`, materializing (or reloading) its resident state and
+  // bumping its LRU position. May trigger an eviction sweep of other,
+  // unpinned tenants when the resident cap is exceeded.
+  TenantRef Acquire(const std::string& name);
+
+  // --- Prepared-statement registry (resident state) ---
+  std::shared_ptr<PreparedStatement> FindPrepared(const std::string& tenant,
+                                                  const std::string& sql);
+  // Registers `stmt` for (tenant, sql), returning the registered instance —
+  // which is an earlier racing registration if one won. A statement for an
+  // unknown/reserved tenant is returned unregistered (it still executes;
+  // it just is not cached). Counts toward the per-tenant and global
+  // prepared caps; exceeding them evicts LRU registrations and bumps
+  // mtdb_prepared_evicted.
+  std::shared_ptr<PreparedStatement> InternPrepared(
+      const std::string& tenant, const std::string& sql,
+      std::shared_ptr<PreparedStatement> stmt);
+  // Visits every registered statement (shard by shard, under each shard's
+  // lock). `fn` may take per-statement locks (shard lock orders before
+  // PreparedStatement::mu_) but must not re-enter the catalog.
+  void ForEachPrepared(const std::function<void(PreparedStatement&)>& fn);
+
+  // --- Eviction ---
+  // Evicts idle (unpinned) tenants' resident state, oldest first, until at
+  // most `target` tenants stay resident. Returns the number evicted.
+  size_t EvictResidentDownTo(size_t target);
+
+  CatalogStats Stats() const;
+  size_t resident_count() const {
+    return static_cast<size_t>(
+        resident_count_.load(std::memory_order_relaxed));
+  }
+  size_t prepared_count() const {
+    return static_cast<size_t>(
+        prepared_count_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  struct PreparedSlot {
+    std::shared_ptr<PreparedStatement> stmt;
+    int64_t last_use_us = 0;
+  };
+
+  // Evictable resident state. Today: prepared registrations. The struct
+  // exists (rather than a bare map) so later layers can hang more derived
+  // state off it without touching the eviction machinery.
+  struct TenantResident {
+    std::unordered_map<std::string, PreparedSlot> prepared;
+  };
+
+  // One tenant. All fields are guarded by the owning shard's mutex (the
+  // entry is only reachable through the shard map).
+  struct Entry {
+    TenantRecord record;
+    bool reserved = false;
+    int64_t pins = 0;
+    int64_t last_active_us = 0;
+    bool ever_resident = false;
+    std::unique_ptr<TenantResident> resident;
+  };
+
+  struct Shard {
+    platform::Mutex mu{"catalog/TenantCatalog::shard_mu"};
+    std::unordered_map<std::string, std::unique_ptr<Entry>> tenants
+        MTDB_GUARDED_BY(mu);
+  };
+
+  Shard& ShardFor(const std::string& name) const;
+  // Materializes resident state for an entry (shard lock held), updating
+  // the resident/reload counters. Returns true if this was a (re)load.
+  bool MaterializeLocked(Entry& entry, int64_t now_us);
+  // Sweeps unpinned resident tenants, oldest first, until the resident
+  // count is <= target. No shard lock held on entry; takes them one at a
+  // time. Invokes the eviction listener for each victim after all locks are
+  // released.
+  size_t SweepResident(size_t target);
+  void Unpin(const std::string& name);
+  void MaybeEvict();
+
+  Options options_;
+  size_t shard_mask_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable platform::Mutex listener_mu_{"catalog/TenantCatalog::listener_mu"};
+  EvictionListener listener_ MTDB_GUARDED_BY(listener_mu_);
+
+  std::atomic<int64_t> tenant_count_{0};
+  std::atomic<int64_t> resident_count_{0};
+  std::atomic<int64_t> pinned_count_{0};
+  std::atomic<int64_t> prepared_count_{0};
+  std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> reloads_{0};
+  std::atomic<int64_t> prepared_evicted_{0};
+
+  // Metric series (label machine=options_.name). mtdb_prepared_evicted is
+  // the satellite-mandated name; the rest follow the _total convention.
+  obs::Gauge* m_tenants_ = nullptr;
+  obs::Gauge* m_resident_ = nullptr;
+  obs::Gauge* m_prepared_ = nullptr;
+  obs::Counter* m_evictions_ = nullptr;
+  obs::Counter* m_reloads_ = nullptr;
+  obs::Counter* m_prepared_evicted_ = nullptr;
+};
+
+}  // namespace mtdb::catalog
+
+#endif  // MTDB_CLUSTER_CATALOG_TENANT_CATALOG_H_

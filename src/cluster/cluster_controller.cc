@@ -61,7 +61,30 @@ struct CallBarrier {
 // ===== ClusterController =====
 
 ClusterController::ClusterController(ClusterControllerOptions options)
-    : options_(options) {
+    : options_(options), catalog_(options_.catalog) {
+  // Evicting an idle tenant's resident state also drops the derived
+  // per-tenant state sibling layers key by database name: the LoadMonitor
+  // window, the per-database metric series (whose values roll up into the
+  // family's aggregate series), and each machine's QoS buckets, WDRR slot,
+  // and cached plans. Everything rebuilds on demand when the tenant becomes
+  // active again. Invoked by the catalog with no shard lock held, so taking
+  // mu_ here cannot invert against the shard locks (the controller never
+  // calls into the catalog while holding mu_). Machine teardown runs
+  // unlocked on snapshotted pointers — machines_ entries are never
+  // destroyed while the controller lives.
+  catalog_.SetEvictionListener([this](const std::string& db_name) {
+    load_monitor_.Evict(db_name);
+    obs::MetricsRegistry::Global().EvictDatabaseSeries(db_name);
+    std::vector<Machine*> machines;
+    {
+      platform::Guard lock(mu_);
+      machines.reserve(machines_.size());
+      for (const auto& m : machines_) {
+        if (!m->failed()) machines.push_back(m.get());
+      }
+    }
+    for (Machine* m : machines) m->EvictTenant(db_name);
+  });
   if (options_.transport != nullptr) {
     transport_ = options_.transport;
   } else {
@@ -93,6 +116,7 @@ int ClusterController::AddMachine(MachineOptions machine_options) {
     services_.push_back(
         std::make_unique<net::MachineService>(machines_.back().get()));
     service = services_.back().get();
+    machine_replica_load_.push_back(0);
   }
   transport_->AttachLocal(id, service);
   return id;
@@ -119,22 +143,21 @@ std::vector<int> ClusterController::MachineIds() const {
 Status ClusterController::CreateDatabase(const std::string& db_name,
                                          int num_replicas) {
   if (num_replicas <= 0) num_replicas = options_.default_replicas;
+  if (catalog_.Contains(db_name)) {
+    return Status::AlreadyExists("database " + db_name);
+  }
   std::vector<int> chosen;
   {
     platform::Guard lock(mu_);
-    if (databases_.count(db_name) > 0 || creating_.count(db_name) > 0) {
-      return Status::AlreadyExists("database " + db_name);
-    }
     // Least-loaded placement: machines hosting the fewest replicas first.
-    std::vector<std::pair<int, int>> load_by_machine;  // (load, id)
+    // machine_replica_load_ is maintained incrementally on every placement
+    // change, so a create costs O(machines log machines) — not a scan of
+    // every tenant's replica list, which at 10^5 tenants would make
+    // creation quadratic in aggregate.
+    std::vector<std::pair<int64_t, int>> load_by_machine;  // (load, id)
     for (const auto& m : machines_) {
       if (m->failed()) continue;
-      int load = 0;
-      for (const auto& [name, db] : databases_) {
-        load += static_cast<int>(std::count(db->replicas.begin(),
-                                            db->replicas.end(), m->id()));
-      }
-      load_by_machine.emplace_back(load, m->id());
+      load_by_machine.emplace_back(machine_replica_load_[m->id()], m->id());
     }
     if (static_cast<int>(load_by_machine.size()) < num_replicas) {
       return Status::ResourceExhausted(
@@ -156,9 +179,6 @@ Status ClusterController::CreateDatabaseOn(const std::string& db_name,
   }
   {
     platform::Guard lock(mu_);
-    if (databases_.count(db_name) > 0 || creating_.count(db_name) > 0) {
-      return Status::AlreadyExists("database " + db_name);
-    }
     for (int id : machine_ids) {
       if (id < 0 || static_cast<size_t>(id) >= machines_.size()) {
         return Status::InvalidArgument("no machine " + std::to_string(id));
@@ -168,11 +188,15 @@ Status ClusterController::CreateDatabaseOn(const std::string& db_name,
                                    " is failed");
       }
     }
-    creating_.insert(db_name);
   }
+  // Reserve the name in the catalog while the replica CreateDatabase RPCs
+  // run unlocked (a reserved tenant fails concurrent creates with
+  // kAlreadyExists but is not yet routable).
+  MTDB_RETURN_IF_ERROR(catalog_.Reserve(db_name));
 
-  // The CreateDatabase RPCs run unlocked: mu_ guards routing state and must
-  // never be held across the wire (a slow machine would stall the cluster).
+  // The CreateDatabase RPCs run unlocked: neither mu_ nor a catalog shard
+  // lock may be held across the wire (a slow machine would stall the
+  // cluster).
   Status status;
   std::vector<int> created;
   for (int id : machine_ids) {
@@ -180,61 +204,71 @@ Status ClusterController::CreateDatabaseOn(const std::string& db_name,
     if (!status.ok()) break;
     created.push_back(id);
   }
-
-  platform::Guard lock(mu_);
-  creating_.erase(db_name);
   if (!status.ok()) {
     for (int id : created) (void)client_->DropDatabase(id, db_name);
+    catalog_.AbortReserve(db_name);
     return status;
   }
-  auto db = std::make_unique<DbState>();
-  db->replicas = machine_ids;
-  int same_set = 0;
-  for (const auto& [name, other] : databases_) {
-    if (other->replicas == machine_ids) ++same_set;
+
+  catalog::TenantRecord record;
+  record.replicas = machine_ids;
+  {
+    platform::Guard lock(mu_);
+    // Round-robin primary assignment among databases sharing this replica
+    // set, so Option-1 primaries spread evenly across machines.
+    uint64_t rr = replica_set_rr_[machine_ids]++;
+    record.primary_offset =
+        static_cast<int>(rr % machine_ids.size());
+    for (int id : machine_ids) machine_replica_load_[id]++;
+    backup_.replica_map[db_name] = machine_ids;
   }
-  db->primary_offset = same_set % static_cast<int>(machine_ids.size());
-  databases_[db_name] = std::move(db);
-  backup_.replica_map[db_name] = machine_ids;
+  catalog_.Install(db_name, std::move(record));
   return Status::OK();
 }
 
 Status ClusterController::DropDatabase(const std::string& db_name) {
   std::vector<int> replicas;
+  Status found = catalog_.With(
+      db_name, [&](catalog::TenantRecord& record) {
+        replicas = record.replicas;
+      });
+  MTDB_RETURN_IF_ERROR(found);
+  // Erase from the catalog first (new transactions fail routing with
+  // NotFound); a concurrent dropper losing this race returns NotFound and
+  // skips the load accounting below. The entry's prepared registrations
+  // die with it.
+  MTDB_RETURN_IF_ERROR(catalog_.Erase(db_name));
+  std::vector<int> alive;
   {
     platform::Guard lock(mu_);
-    auto it = databases_.find(db_name);
-    if (it == databases_.end()) return Status::NotFound("database " + db_name);
-    for (int id : it->second->replicas) {
-      if (!machines_[id]->failed()) replicas.push_back(id);
+    for (int id : replicas) {
+      machine_replica_load_[id]--;
+      if (!machines_[id]->failed()) alive.push_back(id);
     }
-    databases_.erase(it);
     backup_.replica_map.erase(db_name);
   }
-  for (int id : replicas) {
+  for (int id : alive) {
     (void)client_->DropDatabase(id, db_name);
   }
-  {
-    platform::Guard lock(stmt_mu_);
-    std::erase_if(prepared_stmts_, [&db_name](const auto& entry) {
-      return entry.first.first == db_name;
-    });
-  }
+  // Drop the derived per-tenant state eviction would have dropped: the
+  // LoadMonitor window and the per-database metric series (rolled up).
+  load_monitor_.Evict(db_name);
+  obs::MetricsRegistry::Global().EvictDatabaseSeries(db_name);
   return Status::OK();
 }
 
 std::vector<int> ClusterController::ReplicasOf(
     const std::string& db_name) const {
-  platform::Guard lock(mu_);
-  auto it = databases_.find(db_name);
-  return it == databases_.end() ? std::vector<int>() : it->second->replicas;
+  std::vector<int> replicas;
+  (void)catalog_.With(db_name,
+                      [&](const catalog::TenantRecord& record) {
+                        replicas = record.replicas;
+                      });
+  return replicas;
 }
 
 std::vector<std::string> ClusterController::DatabaseNames() const {
-  platform::Guard lock(mu_);
-  std::vector<std::string> names;
-  for (const auto& [name, db] : databases_) names.push_back(name);
-  return names;
+  return catalog_.Names();
 }
 
 Status ClusterController::ExecuteDdl(const std::string& db_name,
@@ -275,10 +309,8 @@ std::unique_ptr<Connection> ClusterController::Connect(
 
 Result<std::shared_ptr<PreparedStatement>> ClusterController::PrepareStatement(
     const std::string& db_name, const std::string& sql) {
-  {
-    platform::Guard lock(stmt_mu_);
-    auto it = prepared_stmts_.find({db_name, sql});
-    if (it != prepared_stmts_.end()) return it->second;
+  if (auto hit = catalog_.FindPrepared(db_name, sql); hit != nullptr) {
+    return hit;
   }
   // Parse locally for routing facts only (read vs. write, target table); the
   // machines parse and plan for themselves when their handle is minted.
@@ -298,11 +330,11 @@ Result<std::shared_ptr<PreparedStatement>> ClusterController::PrepareStatement(
   }
   auto prepared = std::shared_ptr<PreparedStatement>(new PreparedStatement(
       db_name, sql, is_read, std::move(write_table)));
-  platform::Guard lock(stmt_mu_);
-  // Racing preparers of the same text share whichever instance won.
-  auto [it, inserted] =
-      prepared_stmts_.emplace(std::make_pair(db_name, sql), prepared);
-  return it->second;
+  // The catalog interns the registration in the tenant's evictable resident
+  // state (racing preparers of the same text share whichever instance won);
+  // a statement for an unknown database comes back unregistered but still
+  // executable.
+  return catalog_.InternPrepared(db_name, sql, std::move(prepared));
 }
 
 Result<uint64_t> ClusterController::HandleOn(PreparedStatement* stmt,
@@ -326,11 +358,12 @@ void ClusterController::DropHandle(PreparedStatement* stmt, int machine_id) {
 }
 
 void ClusterController::InvalidateHandles(int machine_id) {
-  platform::Guard lock(stmt_mu_);
-  for (auto& [key, stmt] : prepared_stmts_) {
-    platform::Guard stmt_lock(stmt->mu_);
-    stmt->machine_handles_.erase(machine_id);
-  }
+  // Lock order: catalog shard_mu (inside ForEachPrepared) before
+  // PreparedStatement::mu_, never the reverse.
+  catalog_.ForEachPrepared([machine_id](PreparedStatement& stmt) {
+    platform::Guard stmt_lock(stmt.mu_);
+    stmt.machine_handles_.erase(machine_id);
+  });
 }
 
 // --- Failure & copy coordination ---
@@ -348,70 +381,104 @@ void ClusterController::FailMachine(int machine_id) {
 
 Status ClusterController::BeginCopy(const std::string& db_name,
                                     int target_machine) {
-  platform::Guard lock(mu_);
-  auto it = databases_.find(db_name);
-  if (it == databases_.end()) return Status::NotFound("database " + db_name);
-  DbState& db = *it->second;
-  if (db.copy.active) {
-    return Status::FailedPrecondition("copy already active for " + db_name);
-  }
-  if (std::count(db.replicas.begin(), db.replicas.end(), target_machine) > 0) {
-    return Status::InvalidArgument("target already hosts " + db_name);
-  }
-  db.copy = CopyState{true, target_machine, {}, ""};
-  return Status::OK();
+  Status status = Status::OK();
+  Status found = catalog_.With(
+      db_name, [&](catalog::TenantRecord& record) {
+        if (record.copy.active) {
+          status =
+              Status::FailedPrecondition("copy already active for " + db_name);
+          return;
+        }
+        if (std::count(record.replicas.begin(), record.replicas.end(),
+                       target_machine) > 0) {
+          status = Status::InvalidArgument("target already hosts " + db_name);
+          return;
+        }
+        record.copy = catalog::CopyState{true, target_machine, {}, ""};
+      });
+  MTDB_RETURN_IF_ERROR(found);
+  return status;
 }
 
 Status ClusterController::SetCopyInProgress(const std::string& db_name,
                                             const std::string& table) {
-  platform::Guard lock(mu_);
-  auto it = databases_.find(db_name);
-  if (it == databases_.end()) return Status::NotFound("database " + db_name);
-  if (!it->second->copy.active) {
-    return Status::FailedPrecondition("no active copy for " + db_name);
-  }
-  it->second->copy.in_progress = table;
-  return Status::OK();
+  Status status = Status::OK();
+  Status found = catalog_.With(
+      db_name, [&](catalog::TenantRecord& record) {
+        if (!record.copy.active) {
+          status = Status::FailedPrecondition("no active copy for " + db_name);
+          return;
+        }
+        record.copy.in_progress = table;
+      });
+  MTDB_RETURN_IF_ERROR(found);
+  return status;
 }
 
 Status ClusterController::MarkTableCopied(const std::string& db_name,
                                           const std::string& table) {
-  platform::Guard lock(mu_);
-  auto it = databases_.find(db_name);
-  if (it == databases_.end()) return Status::NotFound("database " + db_name);
-  CopyState& copy = it->second->copy;
-  if (!copy.active) {
-    return Status::FailedPrecondition("no active copy for " + db_name);
-  }
-  copy.copied_tables.insert(table);
-  if (copy.in_progress == table) copy.in_progress.clear();
-  return Status::OK();
+  Status status = Status::OK();
+  Status found = catalog_.With(
+      db_name, [&](catalog::TenantRecord& record) {
+        if (!record.copy.active) {
+          status = Status::FailedPrecondition("no active copy for " + db_name);
+          return;
+        }
+        record.copy.copied_tables.insert(table);
+        if (record.copy.in_progress == table) record.copy.in_progress.clear();
+      });
+  MTDB_RETURN_IF_ERROR(found);
+  return status;
 }
 
 Status ClusterController::CompleteCopy(const std::string& db_name) {
   int target = -1;
   qos::QuotaSpec quota;
   bool push_quota = false;
+  // Snapshot machine aliveness under mu_ first: the record mutation below
+  // runs under the catalog shard lock, which is never nested with mu_.
+  std::vector<char> failed;
   {
     platform::Guard lock(mu_);
-    auto it = databases_.find(db_name);
-    if (it == databases_.end()) return Status::NotFound("database " + db_name);
-    DbState& db = *it->second;
-    if (!db.copy.active) {
-      return Status::FailedPrecondition("no active copy for " + db_name);
+    failed.resize(machines_.size());
+    for (const auto& m : machines_) {
+      failed[m->id()] = m->failed() ? 1 : 0;
     }
-    target = db.copy.target_machine;
-    db.replicas.push_back(db.copy.target_machine);
-    // Failed machines have been replaced; drop them from the replica map.
-    std::erase_if(db.replicas,
-                  [this](int id) { return machines_[id]->failed(); });
-    db.copy = CopyState{};
-    backup_.replica_map[db_name] = db.replicas;
-    if (db.has_quota) {
-      quota = db.quota;
-      if (db.live_rate_tps > 0) quota.rate_tps = db.live_rate_tps;
-      push_quota = true;
-    }
+  }
+  Status status = Status::OK();
+  std::vector<int> old_replicas;
+  std::vector<int> new_replicas;
+  Status found = catalog_.With(
+      db_name, [&](catalog::TenantRecord& record) {
+        if (!record.copy.active) {
+          status = Status::FailedPrecondition("no active copy for " + db_name);
+          return;
+        }
+        target = record.copy.target_machine;
+        old_replicas = record.replicas;
+        record.replicas.push_back(record.copy.target_machine);
+        // Failed machines have been replaced; drop them from the replica
+        // map.
+        std::erase_if(record.replicas,
+                      [&failed](int id) { return failed[id] != 0; });
+        record.copy = catalog::CopyState{};
+        new_replicas = record.replicas;
+        if (record.has_quota) {
+          quota = record.quota;
+          if (record.live_rate_tps > 0) quota.rate_tps = record.live_rate_tps;
+          push_quota = true;
+        }
+      });
+  MTDB_RETURN_IF_ERROR(found);
+  MTDB_RETURN_IF_ERROR(status);
+  {
+    platform::Guard lock(mu_);
+    // Replica-count bookkeeping for least-loaded placement: apply the
+    // multiset delta between the new and old replica lists (the target
+    // joined; pruned failed machines left).
+    for (int id : new_replicas) machine_replica_load_[id]++;
+    for (int id : old_replicas) machine_replica_load_[id]--;
+    backup_.replica_map[db_name] = new_replicas;
   }
   // The target may be a restarted process behind a stable endpoint; any
   // handle minted against its previous incarnation is stale.
@@ -426,28 +493,25 @@ Status ClusterController::CompleteCopy(const std::string& db_name) {
 }
 
 Status ClusterController::AbandonCopy(const std::string& db_name) {
-  platform::Guard lock(mu_);
-  auto it = databases_.find(db_name);
-  if (it == databases_.end()) return Status::NotFound("database " + db_name);
-  it->second->copy = CopyState{};
-  return Status::OK();
+  return catalog_.With(db_name, [](catalog::TenantRecord& record) {
+    record.copy = catalog::CopyState{};
+  });
 }
 
 // --- QoS / admission control ---
 
 Status ClusterController::SetDatabaseQuota(const std::string& db_name,
                                            const qos::QuotaSpec& spec) {
-  std::vector<int> targets;
-  {
-    platform::Guard lock(mu_);
-    auto it = databases_.find(db_name);
-    if (it == databases_.end()) return Status::NotFound("database " + db_name);
-    DbState& db = *it->second;
-    db.quota = spec;
-    db.has_quota = true;
-    db.live_rate_tps = spec.rate_tps;
-    targets = AliveReplicasLocked(db);
-  }
+  std::vector<int> replicas;
+  Status found = catalog_.With(
+      db_name, [&](catalog::TenantRecord& record) {
+        record.quota = spec;
+        record.has_quota = true;
+        record.live_rate_tps = spec.rate_tps;
+        replicas = record.replicas;
+      });
+  MTDB_RETURN_IF_ERROR(found);
+  std::vector<int> targets = AliveReplicas(replicas);
   // Push unlocked: kSetQuota is idempotent and a slow machine must not hold
   // the replica map.
   Status result = Status::OK();
@@ -461,65 +525,76 @@ Status ClusterController::SetDatabaseQuota(const std::string& db_name,
 
 qos::QuotaSpec ClusterController::DatabaseQuota(
     const std::string& db_name) const {
-  platform::Guard lock(mu_);
-  auto it = databases_.find(db_name);
-  if (it == databases_.end() || !it->second->has_quota) return {};
-  return it->second->quota;
+  qos::QuotaSpec spec;
+  (void)catalog_.With(db_name,
+                      [&](const catalog::TenantRecord& record) {
+                        if (record.has_quota) spec = record.quota;
+                      });
+  return spec;
 }
 
 int ClusterController::RefreshQuotasFromLoad(double headroom) {
-  // Snapshot quota-bearing databases under mu_, then measure and push
-  // unlocked.
-  struct Refresh {
-    std::string db_name;
+  // Walk the catalog tenant by tenant: measure unlocked, mutate the record
+  // under its shard lock, push unlocked. No global lock is held across the
+  // sweep, so a refresh over 10^5 tenants never stalls routing.
+  int pushed = 0;
+  for (const std::string& db_name : catalog_.Names()) {
+    double measured = load_monitor_.TpsFor(db_name);
+    bool do_push = false;
     qos::QuotaSpec spec;
-    std::vector<int> targets;
-  };
-  std::vector<Refresh> refreshes;
-  {
-    platform::Guard lock(mu_);
-    for (auto& [db_name, db] : databases_) {
-      if (!db->has_quota || db->quota.rate_tps <= 0) continue;
-      double measured = load_monitor_.TpsFor(db_name);
-      // Quotas only ever grow with observed demand; the SLA-derived base
-      // rate is the floor, so a quiet tenant keeps its full entitlement.
-      double rate = std::max(db->quota.rate_tps, measured * headroom);
-      double current = db->live_rate_tps > 0 ? db->live_rate_tps
-                                             : db->quota.rate_tps;
-      if (std::abs(rate - current) <= 0.01 * current) continue;
-      db->live_rate_tps = rate;
-      qos::QuotaSpec spec = db->quota;
-      spec.rate_tps = rate;
-      refreshes.push_back({db_name, spec, AliveReplicasLocked(*db)});
+    std::vector<int> replicas;
+    (void)catalog_.With(
+        db_name, [&](catalog::TenantRecord& record) {
+          if (!record.has_quota || record.quota.rate_tps <= 0) return;
+          // Quotas only ever grow with observed demand; the SLA-derived
+          // base rate is the floor, so a quiet tenant keeps its full
+          // entitlement.
+          double rate = std::max(record.quota.rate_tps, measured * headroom);
+          double current = record.live_rate_tps > 0 ? record.live_rate_tps
+                                                    : record.quota.rate_tps;
+          if (std::abs(rate - current) <= 0.01 * current) return;
+          record.live_rate_tps = rate;
+          spec = record.quota;
+          spec.rate_tps = rate;
+          replicas = record.replicas;
+          do_push = true;
+        });
+    if (!do_push) continue;
+    ++pushed;
+    for (int machine_id : AliveReplicas(replicas)) {
+      (void)client_->SetQuota(machine_id, db_name, spec.rate_tps, spec.burst,
+                              spec.weight);
     }
   }
-  for (const Refresh& refresh : refreshes) {
-    for (int machine_id : refresh.targets) {
-      (void)client_->SetQuota(machine_id, refresh.db_name,
-                              refresh.spec.rate_tps, refresh.spec.burst,
-                              refresh.spec.weight);
-    }
-  }
-  return static_cast<int>(refreshes.size());
+  return pushed;
 }
 
 // --- Routing ---
 
 std::vector<int> ClusterController::AliveReplicasLocked(
-    const DbState& db) const {
+    const std::vector<int>& replicas) const {
   std::vector<int> alive;
-  for (int id : db.replicas) {
+  for (int id : replicas) {
     if (!machines_[id]->failed()) alive.push_back(id);
   }
   return alive;
 }
 
+std::vector<int> ClusterController::AliveReplicas(
+    const std::vector<int>& replicas) const {
+  platform::Guard lock(mu_);
+  return AliveReplicasLocked(replicas);
+}
+
 Result<std::vector<int>> ClusterController::ReadTargets(
     const std::string& db_name) const {
-  platform::Guard lock(mu_);
-  auto it = databases_.find(db_name);
-  if (it == databases_.end()) return Status::NotFound("database " + db_name);
-  std::vector<int> targets = AliveReplicasLocked(*it->second);
+  std::vector<int> replicas;
+  Status found = catalog_.With(
+      db_name, [&](const catalog::TenantRecord& record) {
+        replicas = record.replicas;
+      });
+  MTDB_RETURN_IF_ERROR(found);
+  std::vector<int> targets = AliveReplicas(replicas);
   if (targets.empty()) {
     return Status::Unavailable("no alive replica of " + db_name);
   }
@@ -528,7 +603,18 @@ Result<std::vector<int>> ClusterController::ReadTargets(
 
 Result<int> ClusterController::PickReadMachine(const std::string& db_name,
                                                int sticky) {
-  MTDB_ASSIGN_OR_RETURN(std::vector<int> targets, ReadTargets(db_name));
+  std::vector<int> replicas;
+  int primary_offset = 0;
+  Status found = catalog_.With(
+      db_name, [&](const catalog::TenantRecord& record) {
+        replicas = record.replicas;
+        primary_offset = record.primary_offset;
+      });
+  MTDB_RETURN_IF_ERROR(found);
+  std::vector<int> targets = AliveReplicas(replicas);
+  if (targets.empty()) {
+    return Status::Unavailable("no alive replica of " + db_name);
+  }
   // An explicit pin overrides the routing policy. Option 2 sets one after
   // its first read; snapshot transactions set one under EVERY policy,
   // because their snapshot timestamp is engine-local — one read routed to a
@@ -537,12 +623,6 @@ Result<int> ClusterController::PickReadMachine(const std::string& db_name,
   // read-only txn through the same writer).
   if (sticky >= 0 && std::count(targets.begin(), targets.end(), sticky) > 0) {
     return sticky;
-  }
-  int primary_offset = 0;
-  {
-    platform::Guard lock(mu_);
-    auto it = databases_.find(db_name);
-    if (it != databases_.end()) primary_offset = it->second->primary_offset;
   }
   switch (options_.read_option) {
     case ReadRoutingOption::kPerDatabase:
@@ -559,22 +639,38 @@ Result<int> ClusterController::PickReadMachine(const std::string& db_name,
 
 Result<std::vector<int>> ClusterController::WriteTargets(
     const std::string& db_name, const std::string& table) {
-  platform::Guard lock(mu_);
-  auto it = databases_.find(db_name);
-  if (it == databases_.end()) return Status::NotFound("database " + db_name);
-  DbState& db = *it->second;
-  std::vector<int> targets = AliveReplicasLocked(db);
-  if (db.copy.active) {
-    // Algorithm 1: reject writes to the table being copied ("*" = whole
-    // database during coarse-granularity copying).
-    if (db.copy.in_progress == "*" || db.copy.in_progress == table) {
-      db.rejected_writes.fetch_add(1, std::memory_order_relaxed);
-      return Status::Rejected("table " + table + " of " + db_name +
-                              " is being copied");
-    }
-    if (db.copy.copied_tables.count(table) > 0 &&
-        !machines_[db.copy.target_machine]->failed()) {
-      targets.push_back(db.copy.target_machine);
+  RouteSnapshot snap;
+  bool rejected = false;
+  Status found = catalog_.With(
+      db_name, [&](catalog::TenantRecord& record) {
+        if (record.copy.active) {
+          // Algorithm 1: reject writes to the table being copied ("*" =
+          // whole database during coarse-granularity copying).
+          if (record.copy.in_progress == "*" ||
+              record.copy.in_progress == table) {
+            record.rejected_writes++;
+            rejected = true;
+            return;
+          }
+          snap.copy_active = true;
+          snap.copy_target = record.copy.target_machine;
+          snap.copy_target_writable =
+              record.copy.copied_tables.count(table) > 0;
+        }
+        snap.replicas = record.replicas;
+      });
+  MTDB_RETURN_IF_ERROR(found);
+  if (rejected) {
+    return Status::Rejected("table " + table + " of " + db_name +
+                            " is being copied");
+  }
+  std::vector<int> targets;
+  {
+    platform::Guard lock(mu_);
+    targets = AliveReplicasLocked(snap.replicas);
+    if (snap.copy_active && snap.copy_target_writable &&
+        !machines_[snap.copy_target]->failed()) {
+      targets.push_back(snap.copy_target);
     }
   }
   if (targets.empty()) {
@@ -664,18 +760,21 @@ void ClusterController::SimulateControllerFailover() {
 // --- Introspection ---
 
 int64_t ClusterController::rejected_writes(const std::string& db_name) const {
-  platform::Guard lock(mu_);
-  auto it = databases_.find(db_name);
-  return it == databases_.end()
-             ? 0
-             : it->second->rejected_writes.load(std::memory_order_relaxed);
+  int64_t count = 0;
+  (void)catalog_.With(db_name,
+                      [&](const catalog::TenantRecord& record) {
+                        count = record.rejected_writes;
+                      });
+  return count;
 }
 
 int64_t ClusterController::total_rejected_writes() const {
-  platform::Guard lock(mu_);
   int64_t total = 0;
-  for (const auto& [name, db] : databases_) {
-    total += db->rejected_writes.load(std::memory_order_relaxed);
+  for (const std::string& db_name : catalog_.Names()) {
+    (void)catalog_.With(db_name,
+                        [&](const catalog::TenantRecord& record) {
+                          total += record.rejected_writes;
+                        });
   }
   return total;
 }
@@ -784,6 +883,10 @@ Status Connection::BeginInternal(bool read_only) {
   }
   txn_id_ = controller_->NextTxnId();
   active_ = true;
+  // Pin the tenant for the transaction's lifetime: a pinned tenant's
+  // resident catalog state (prepared registrations, plan caches behind it)
+  // is never evicted mid-transaction.
+  tenant_ref_ = controller_->catalog_.Acquire(db_name_);
   wrote_ = false;
   read_only_ = read_only;
   snapshot_ts_ = 0;
@@ -804,6 +907,7 @@ Status Connection::BeginInternal(bool read_only) {
 }
 
 void Connection::FinishTxnObservation(bool committed) {
+  tenant_ref_.Release();
   int64_t latency_us = NowMicros() - txn_start_us_;
   obs::Increment(committed ? m_db_commit_ : m_db_abort_);
   obs::Observe(m_txn_latency_us_, latency_us);
@@ -1299,6 +1403,7 @@ Status Connection::Commit() {
 Status Connection::CommitInternal() {
   if (epoch_ != controller_->epoch()) {
     active_ = false;
+    tenant_ref_.Release();
     return Status::Unavailable("connection lost: controller failover");
   }
   // Conservative controllers have no outstanding writes (each Execute waited

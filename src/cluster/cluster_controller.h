@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "src/cluster/catalog/prepared_statement.h"
+#include "src/cluster/catalog/tenant_catalog.h"
 #include "src/cluster/machine.h"
 #include "src/cluster/serializability.h"
 #include "src/common/clock.h"
@@ -72,50 +74,20 @@ struct ClusterControllerOptions {
   net::Transport* transport = nullptr;
   // Per-RPC deadline; expiry marks the silent machine failed.
   net::RpcOptions rpc;
+  // Tenant-catalog sizing: how many tenants may keep resident (evictable)
+  // state materialized at once, and the prepared-registration caps. The
+  // defaults keep every tenant of a small cluster resident; bench/tests
+  // shrink max_resident to exercise eviction.
+  catalog::TenantCatalog::Options catalog{.name = "controller"};
 };
 
 class ClusterController;
 class Connection;
 
-// A cluster-level prepared statement: one SQL text plus the routing facts the
-// controller derived from it once (read vs. write, which table a write
-// touches), plus a lazily-filled cache of machine-local statement handles
-// minted through kPrepareStatement RPCs. Machines keep the parsed + planned
-// form in their engine plan cache, so executing a handle skips parse and plan
-// entirely on the hot path; DDL bumps the engine's schema version and the
-// next execution re-plans transparently.
-//
-// Instances are shared (one per distinct (database, sql) pair, handed out as
-// shared_ptr by ClusterController::PrepareStatement) and thread-safe.
-class PreparedStatement {
- public:
-  const std::string& database() const { return db_name_; }
-  const std::string& sql() const { return sql_; }
-  bool is_read() const { return is_read_; }
-
-  PreparedStatement(const PreparedStatement&) = delete;
-  PreparedStatement& operator=(const PreparedStatement&) = delete;
-
- private:
-  friend class ClusterController;
-  friend class Connection;
-
-  PreparedStatement(std::string db_name, std::string sql, bool is_read,
-                    std::string write_table)
-      : db_name_(std::move(db_name)), sql_(std::move(sql)), is_read_(is_read),
-        write_table_(std::move(write_table)) {}
-
-  std::string db_name_;
-  std::string sql_;
-  bool is_read_;
-  std::string write_table_;  // empty for reads
-
-  platform::Mutex mu_{"cluster/PreparedStatement::mu"};
-  // machine id -> engine-local statement handle. Entries are dropped when a
-  // machine fails (handles do not survive recovery) or when a machine
-  // reports the handle unknown (process restart behind a stable endpoint).
-  std::map<int, uint64_t> machine_handles_ MTDB_GUARDED_BY(mu_);
-};
+// PreparedStatement (the cluster-level prepared statement shared per
+// (database, sql) pair) lives with the rest of the per-tenant metadata in
+// src/cluster/catalog/prepared_statement.h; re-exported here because the
+// controller mints and routes them.
 
 // A client database connection, handed out by the cluster controller (which
 // is the connection manager: clients never talk to machines directly).
@@ -258,6 +230,9 @@ class Connection {
   Histogram* m_2pc_prepare_us_ = nullptr;
   Histogram* m_2pc_commit_us_ = nullptr;
   int sticky_read_machine_ = -1;  // Option 2 anchor for the current txn
+  // Catalog pin held for the life of each transaction: a tenant with an
+  // in-flight transaction is never evicted from resident state.
+  catalog::TenantCatalog::TenantRef tenant_ref_;
   std::set<int> begun_machines_;
   // One RPC session (= ordered channel) per machine this connection talks
   // to — the strand-per-(connection,machine) of the pre-RPC controller,
@@ -381,6 +356,12 @@ class ClusterController {
   // ResourceVectors to sla::Placement.
   obs::LoadMonitor* load_monitor() { return &load_monitor_; }
 
+  // The sharded tenant catalog holding every per-tenant record (placement,
+  // quota, prepared registrations) with LRU eviction of idle tenants'
+  // resident state. Exposed for stats, benches, and tests.
+  catalog::TenantCatalog* tenant_catalog() { return &catalog_; }
+  const catalog::TenantCatalog* tenant_catalog() const { return &catalog_; }
+
   // --- QoS / admission control ---
   // Records `spec` as db_name's admission quota and pushes it to every alive
   // replica via kSetQuota. Newly promoted copy targets receive the quota in
@@ -408,41 +389,34 @@ class ClusterController {
  private:
   friend class Connection;
 
-  struct CopyState {
-    bool active = false;
-    int target_machine = -1;
-    std::set<std::string> copied_tables;
-    std::string in_progress;  // "" = none, "*" = whole database
-  };
-
-  struct DbState {
-    std::vector<int> replicas;
-    // Which replica serves Option-1 reads: assigned round-robin among
-    // databases sharing the same replica set, so per-database primaries
-    // spread evenly across machines.
-    int primary_offset = 0;
-    CopyState copy;
-    std::atomic<int64_t> rejected_writes{0};
-    // QoS admission quota + WDRR weight, pushed to every replica (and
-    // re-pushed to copy targets on promotion). has_quota distinguishes "no
-    // quota configured" from "explicitly unlimited". `quota` keeps the base
-    // (SLA-derived) spec; live_rate_tps is the last rate actually pushed,
-    // which RefreshQuotasFromLoad may raise above the base as measured load
-    // grows.
-    qos::QuotaSpec quota;
-    bool has_quota = false;
-    double live_rate_tps = 0;
-  };
-
   // Hot-standby mirror of controller state (the process pair's backup).
+  // The replica map mirrors the catalog's durable records; per-tenant cost
+  // is one vector<int>, so it scales with tenant count like the catalog
+  // itself. mtdblint: allow(tenant-map) mirrored durable placement state,
+  // bounded by tenant count (erased in DropDatabase).
   struct BackupImage {
     std::map<std::string, std::vector<int>> replica_map;
     std::set<uint64_t> commit_decisions;
   };
 
+  // Copy of the routing-relevant slice of a tenant's record, taken under
+  // the catalog shard lock so the controller never nests the shard lock
+  // with mu_ (machine-aliveness filtering happens under mu_ afterwards).
+  struct RouteSnapshot {
+    std::vector<int> replicas;
+    int primary_offset = 0;
+    bool copy_active = false;
+    int copy_target = -1;
+    bool copy_target_writable = false;  // target gets writes for this table
+  };
+
   uint64_t NextTxnId() { return next_txn_id_.fetch_add(1); }
   // Replicas that are alive (machine not failed), under mu_.
-  std::vector<int> AliveReplicasLocked(const DbState& db) const;
+  std::vector<int> AliveReplicasLocked(const std::vector<int>& replicas) const
+      MTDB_REQUIRES(mu_);
+  // Alive-filter without holding the catalog shard lock: snapshots the
+  // record via the catalog, then filters under mu_.
+  std::vector<int> AliveReplicas(const std::vector<int>& replicas) const;
   // Read targets per Algorithm 1: alive replicas excluding the copy target.
   Result<std::vector<int>> ReadTargets(const std::string& db_name) const;
   // Write targets per Algorithm 1; returns kRejected for a table being
@@ -475,11 +449,14 @@ class ClusterController {
   // (no-op for remote transports: the server process hosts the service).
   std::vector<std::unique_ptr<net::MachineService>> services_
       MTDB_GUARDED_BY(mu_);
-  std::map<std::string, std::unique_ptr<DbState>> databases_
-      MTDB_GUARDED_BY(mu_);
-  // Databases mid-CreateDatabaseOn: reserved under mu_ while the replica
-  // CreateDatabase RPCs run unlocked.
-  std::set<std::string> creating_ MTDB_GUARDED_BY(mu_);
+  // Incrementally maintained replica count per machine, so least-loaded
+  // placement is O(machines log machines) per create instead of scanning
+  // every tenant's replica list (O(tenants) — ruinous at 100k creates).
+  std::vector<int64_t> machine_replica_load_ MTDB_GUARDED_BY(mu_);
+  // Round-robin counter per distinct replica set, for primary_offset
+  // assignment (bounded by the number of distinct replica sets, not by
+  // tenant count).
+  std::map<std::vector<int>, uint64_t> replica_set_rr_ MTDB_GUARDED_BY(mu_);
   BackupImage backup_ MTDB_GUARDED_BY(mu_);
 
   std::atomic<uint64_t> next_txn_id_{1};
@@ -494,17 +471,20 @@ class ClusterController {
   obs::LoadMonitor load_monitor_;
   obs::Counter* m_failover_ = nullptr;
 
-  // Prepared-statement registry: one shared PreparedStatement per distinct
-  // (database, sql) text. Lock order: stmt_mu_ before any
-  // PreparedStatement::mu_, never the reverse.
-  mutable platform::Mutex stmt_mu_{"cluster/ClusterController::stmt_mu"};
-  std::map<std::pair<std::string, std::string>,
-           std::shared_ptr<PreparedStatement>>
-      prepared_stmts_ MTDB_GUARDED_BY(stmt_mu_);
+  // The sharded tenant catalog: durable records (placement, quota, copy
+  // state) plus evictable resident state (prepared registrations). Has its
+  // own shard locks; the controller never holds mu_ while calling into it
+  // (and the catalog never calls the controller), so the two lock layers
+  // cannot order-invert. Lock order within the catalog path:
+  // catalog/TenantCatalog::shard_mu before any PreparedStatement::mu_,
+  // never the reverse.
+  catalog::TenantCatalog catalog_;
 
   mutable platform::Mutex inflight_mu_{"cluster/ClusterController::inflight_mu"};
   platform::CondVar inflight_cv_;
-  // Keys: "<db>" (all tables) and "<db>/<table>".
+  // Keys: "<db>" (all tables) and "<db>/<table>". Entries are erased when
+  // their count drops to zero, so the map tracks only writes in flight.
+  // mtdblint: allow(tenant-map)
   std::map<std::string, int64_t> inflight_writes_ MTDB_GUARDED_BY(inflight_mu_);
 
   // Owned transport when the options did not supply one.

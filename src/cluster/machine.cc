@@ -59,4 +59,10 @@ void Machine::RecordExecuteLatency(int64_t latency_us) {
   overload_->RecordExecute(latency_us);
 }
 
+void Machine::EvictTenant(const std::string& db) {
+  (void)admission_->Evict(db, NowMicros());
+  if (fair_queue_ != nullptr) (void)fair_queue_->EvictIdle(db);
+  engine()->EvictTenantPlans(db);
+}
+
 }  // namespace mtdb

@@ -91,6 +91,14 @@ class Machine {
   // Feeds one execute latency sample to the overload detector.
   void RecordExecuteLatency(int64_t latency_us);
 
+  // Drops `db`'s rebuildable QoS and plan state on this machine: the
+  // admission token bucket (only if idle long enough that the full-burst
+  // rebuild is exact — see AdmissionController::Evict), the WDRR scheduler
+  // slot (only if no waiters are parked), and the engine's cached plans and
+  // schema-version entry. Driven by the controller's tenant-catalog
+  // eviction sweep; every piece reloads on the tenant's next transaction.
+  void EvictTenant(const std::string& db);
+
   bool shedding() const { return overload_->shedding(); }
 
  private:

@@ -85,6 +85,11 @@ std::vector<sla::DatabaseDemand> LoadMonitor::Demands(int replicas) const {
   return demands;
 }
 
+void LoadMonitor::Evict(const std::string& db) {
+  platform::Guard lock(mu_);
+  windows_.erase(db);
+}
+
 void LoadMonitor::ResetForTest() {
   platform::Guard lock(mu_);
   windows_.clear();

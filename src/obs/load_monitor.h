@@ -59,6 +59,11 @@ class LoadMonitor {
   // All databases with samples in the window, ready to feed FirstFitPlacer.
   std::vector<sla::DatabaseDemand> Demands(int replicas) const;
 
+  // Drops `db`'s window (samples, size hint, first-seen mark). Called by the
+  // tenant catalog's eviction sweep for idle tenants and on DropDatabase;
+  // the window rebuilds from scratch on the tenant's next transaction.
+  void Evict(const std::string& db);
+
   void ResetForTest();
 
  private:
@@ -74,6 +79,9 @@ class LoadMonitor {
 
   Options options_;
   mutable platform::Mutex mu_{"obs/LoadMonitor::mu"};
+  // Evictable: the catalog's eviction listener calls Evict(db) when a
+  // tenant goes idle, and the window rebuilds from live traffic.
+  // mtdblint: allow(tenant-map)
   std::map<std::string, Window> windows_ MTDB_GUARDED_BY(mu_);
 };
 

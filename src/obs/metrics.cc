@@ -30,8 +30,10 @@ std::string MetricsRegistry::LabelKey(const MetricLabels& labels) {
 namespace {
 
 // Shared lookup-or-insert over the three family map shapes. Returns a
-// stable pointer; falls back to the family overflow series once the
-// cardinality bound is hit.
+// stable pointer; falls back to the family rollup series once the
+// cardinality bound is hit (eviction of idle databases' series frees slots
+// again, so a family saturating the cap is a transient, not a terminal,
+// state).
 template <typename FamilyMap, typename Series>
 Series* GetSeries(platform::SharedMutex& mu, FamilyMap& families,
                   const std::string& name, const MetricLabels& labels,
@@ -46,7 +48,7 @@ Series* GetSeries(platform::SharedMutex& mu, FamilyMap& families,
       }
       if (family_it->second.series.size() >=
           MetricsRegistry::kMaxSeriesPerFamily) {
-        return &family_it->second.overflow;
+        return &family_it->second.rollup;
       }
     }
   }
@@ -55,7 +57,7 @@ Series* GetSeries(platform::SharedMutex& mu, FamilyMap& families,
   auto series_it = family.series.find(key);
   if (series_it != family.series.end()) return series_it->second.get();
   if (family.series.size() >= MetricsRegistry::kMaxSeriesPerFamily) {
-    return &family.overflow;
+    return &family.rollup;
   }
   auto inserted = family.series.emplace(key, std::make_unique<Series>());
   family.labels.emplace(key, labels);
@@ -99,8 +101,13 @@ int64_t MetricsRegistry::SumCounter(const std::string& name) const {
   platform::ReaderGuard read(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) return 0;
-  int64_t total = it->second.overflow.Value();
+  int64_t total = it->second.rollup.Value();
   for (const auto& [key, counter] : it->second.series) {
+    total += counter->Value();
+  }
+  // Graveyarded series were folded into the rollup and reset at eviction,
+  // so adding their (post-eviction) residue never double-counts.
+  for (const auto& counter : it->second.graveyard) {
     total += counter->Value();
   }
   return total;
@@ -111,11 +118,11 @@ int64_t MetricsRegistry::CounterValue(const std::string& name,
   platform::ReaderGuard read(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) return 0;
-  // The overflow series is addressable under the same pseudo-label the
+  // The rollup series is addressable under the same pseudo-label the
   // Snapshot/TextDump expositions use for it.
-  if (labels.machine.empty() && labels.database.empty() &&
-      labels.operation == "_overflow") {
-    return it->second.overflow.Value();
+  if (labels.machine.empty() && labels.operation.empty() &&
+      labels.database == kRollupDatabase) {
+    return it->second.rollup.Value();
   }
   auto series_it = it->second.series.find(LabelKey(labels));
   return series_it == it->second.series.end() ? 0
@@ -127,6 +134,10 @@ int64_t MetricsRegistry::GaugeValue(const std::string& name,
   platform::ReaderGuard read(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) return 0;
+  if (labels.machine.empty() && labels.operation.empty() &&
+      labels.database == kRollupDatabase) {
+    return it->second.rollup.Value();
+  }
   auto series_it = it->second.series.find(LabelKey(labels));
   return series_it == it->second.series.end() ? 0
                                               : series_it->second->Value();
@@ -144,12 +155,12 @@ std::vector<SeriesSnapshot> MetricsRegistry::Snapshot() const {
       snap.value = counter->Value();
       out.push_back(std::move(snap));
     }
-    if (int64_t spilled = family.overflow.Value(); spilled != 0) {
+    if (int64_t rolled = family.rollup.Value(); rolled != 0) {
       SeriesSnapshot snap;
       snap.name = name;
-      snap.labels.operation = "_overflow";
+      snap.labels.database = kRollupDatabase;
       snap.kind = SeriesSnapshot::Kind::kCounter;
-      snap.value = spilled;
+      snap.value = rolled;
       out.push_back(std::move(snap));
     }
   }
@@ -162,6 +173,14 @@ std::vector<SeriesSnapshot> MetricsRegistry::Snapshot() const {
       snap.value = gauge->Value();
       out.push_back(std::move(snap));
     }
+    if (int64_t rolled = family.rollup.Value(); rolled != 0) {
+      SeriesSnapshot snap;
+      snap.name = name;
+      snap.labels.database = kRollupDatabase;
+      snap.kind = SeriesSnapshot::Kind::kGauge;
+      snap.value = rolled;
+      out.push_back(std::move(snap));
+    }
   }
   for (const auto& [name, family] : histograms_) {
     for (const auto& [key, histogram] : family.series) {
@@ -172,8 +191,51 @@ std::vector<SeriesSnapshot> MetricsRegistry::Snapshot() const {
       snap.histogram = histogram->Snapshot();
       out.push_back(std::move(snap));
     }
+    if (family.rollup.count() != 0) {
+      SeriesSnapshot snap;
+      snap.name = name;
+      snap.labels.database = kRollupDatabase;
+      snap.kind = SeriesSnapshot::Kind::kHistogram;
+      snap.histogram = family.rollup.Snapshot();
+      out.push_back(std::move(snap));
+    }
   }
   return out;
+}
+
+void MetricsRegistry::EvictDatabaseSeries(const std::string& database) {
+  if (database.empty()) return;
+  platform::WriterGuard write(mu_);
+  auto evict = [&](auto& families, const auto& fold) {
+    for (auto& [name, family] : families) {
+      for (auto it = family.labels.begin(); it != family.labels.end();) {
+        if (it->second.database != database) {
+          ++it;
+          continue;
+        }
+        auto series_it = family.series.find(it->first);
+        fold(family, *series_it->second);
+        family.graveyard.push_back(std::move(series_it->second));
+        family.series.erase(series_it);
+        it = family.labels.erase(it);
+      }
+    }
+  };
+  evict(counters_, [](CounterFamily& family, Counter& counter) {
+    // Fold-then-reset keeps SumCounter lossless: the history moves to the
+    // rollup, and only post-eviction increments remain on the graveyarded
+    // object.
+    family.rollup.Add(counter.Value());
+    counter.Reset();
+  });
+  evict(gauges_, [](GaugeFamily&, Gauge& gauge) {
+    // Instantaneous state of an idle tenant: dropping it is the truth.
+    gauge.Reset();
+  });
+  evict(histograms_, [](HistogramFamily& family, Histogram& histogram) {
+    family.rollup.Merge(histogram);
+    histogram.Reset();
+  });
 }
 
 std::string MetricsRegistry::TextDump() const {
@@ -196,16 +258,19 @@ std::string MetricsRegistry::TextDump() const {
 void MetricsRegistry::ResetForTest() {
   platform::WriterGuard write(mu_);
   for (auto& [name, family] : counters_) {
-    family.overflow.Reset();
+    family.rollup.Reset();
     for (auto& [key, counter] : family.series) counter->Reset();
+    for (auto& counter : family.graveyard) counter->Reset();
   }
   for (auto& [name, family] : gauges_) {
-    family.overflow.Reset();
+    family.rollup.Reset();
     for (auto& [key, gauge] : family.series) gauge->Reset();
+    for (auto& gauge : family.graveyard) gauge->Reset();
   }
   for (auto& [name, family] : histograms_) {
-    family.overflow.Reset();
+    family.rollup.Reset();
     for (auto& [key, histogram] : family.series) histogram->Reset();
+    for (auto& histogram : family.graveyard) histogram->Reset();
   }
 }
 

@@ -16,7 +16,14 @@
 //     dangling pointer even during shutdown.
 //  3. Cardinality is bounded. Each family caps distinct label tuples at
 //     kMaxSeriesPerFamily; past that, recordings fold into a per-family
-//     overflow series instead of growing without bound.
+//     rollup series (exposed with labels {database: "_rollup"}) instead of
+//     growing without bound — the aggregate survives even when the
+//     individual attribution does not. Per-database series of idle tenants
+//     can be evicted (EvictDatabaseSeries) to reclaim label space: counter
+//     and histogram contents fold into the rollup, and the series object
+//     moves to a family graveyard so pointers cached by instrumented code
+//     stay valid. Recordings through such stale pointers still count toward
+//     SumCounter; the next Get* for the same tuple mints a fresh series.
 //
 // Metrics can be disabled at runtime (MetricsRegistry::SetEnabled(false))
 // or compiled out entirely with -DMTDB_NO_METRICS=1 (cmake -DMTDB_METRICS=OFF),
@@ -102,8 +109,11 @@ struct SeriesSnapshot {
 class MetricsRegistry {
  public:
   // Distinct label tuples allowed per family before recordings fold into the
-  // family's overflow series (labels {operation: "_overflow"}).
+  // family's rollup series (labels {database: "_rollup"}).
   static constexpr size_t kMaxSeriesPerFamily = 512;
+  // Pseudo-database label the rollup series is exposed (and addressable via
+  // CounterValue/GaugeValue) under.
+  static constexpr const char* kRollupDatabase = "_rollup";
 
   // Process-wide registry; never destroyed, so series pointers handed to
   // instrumented code stay valid through static destruction.
@@ -140,6 +150,16 @@ class MetricsRegistry {
   //   name{operation="kPrepare"} count=10 mean=130.0 p50=120 p99=400 max=412
   std::string TextDump() const;
 
+  // Retires every series labeled {database == `database`} across all
+  // families, reclaiming label-space for other tenants. Counter values and
+  // histogram contents fold into the family rollup (so family aggregates
+  // are lossless across eviction); gauges are instantaneous state of a
+  // now-idle tenant and are simply dropped. The series objects move to a
+  // per-family graveyard — never freed, so pointers cached by instrumented
+  // code stay valid, and counter increments through them still reach
+  // SumCounter. Called by the tenant catalog's eviction sweep.
+  void EvictDatabaseSeries(const std::string& database);
+
   // Zeroes every registered series (the series themselves stay registered so
   // cached pointers remain live). Test-only.
   void ResetForTest();
@@ -147,20 +167,26 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
+  // The graveyard keeps evicted series objects alive for pointer stability;
+  // its growth is bounded by eviction traffic, and each entry is one series
+  // (tens of bytes) versus the map nodes + label strings reclaimed.
   struct CounterFamily {
     std::map<std::string, std::unique_ptr<Counter>> series;
     std::map<std::string, MetricLabels> labels;
-    Counter overflow;
+    Counter rollup;
+    std::vector<std::unique_ptr<Counter>> graveyard;
   };
   struct GaugeFamily {
     std::map<std::string, std::unique_ptr<Gauge>> series;
     std::map<std::string, MetricLabels> labels;
-    Gauge overflow;
+    Gauge rollup;
+    std::vector<std::unique_ptr<Gauge>> graveyard;
   };
   struct HistogramFamily {
     std::map<std::string, std::unique_ptr<Histogram>> series;
     std::map<std::string, MetricLabels> labels;
-    Histogram overflow;
+    Histogram rollup;
+    std::vector<std::unique_ptr<Histogram>> graveyard;
   };
 
   static std::string LabelKey(const MetricLabels& labels);
@@ -170,8 +196,13 @@ class MetricsRegistry {
 #endif
 
   mutable platform::SharedMutex mu_{"obs/MetricsRegistry::mu"};
+  // Keyed by metric *name* (bounded by the code); the per-tenant dimension
+  // inside each family is capped at kMaxSeriesPerFamily and evicted via
+  // EvictDatabaseSeries. mtdblint: allow(tenant-map)
   std::map<std::string, CounterFamily> counters_ MTDB_GUARDED_BY(mu_);
+  // mtdblint: allow(tenant-map)
   std::map<std::string, GaugeFamily> gauges_ MTDB_GUARDED_BY(mu_);
+  // mtdblint: allow(tenant-map)
   std::map<std::string, HistogramFamily> histograms_ MTDB_GUARDED_BY(mu_);
 };
 

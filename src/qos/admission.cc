@@ -29,6 +29,7 @@ void AdmissionController::SetQuota(const std::string& db,
   platform::Guard lock(mu_);
   Entry& entry = EntryLocked(db);
   entry.spec = spec;
+  entry.explicit_quota = true;
   if (spec.rate_tps <= 0) {
     entry.bucket.reset();
   } else if (entry.bucket != nullptr) {
@@ -52,6 +53,13 @@ AdmitDecision AdmissionController::AdmitTxn(const std::string& db,
   {
     platform::Guard lock(mu_);
     Entry& entry = EntryLocked(db);
+    if (entry.bucket == nullptr && entry.spec.rate_tps > 0) {
+      // Rebuild after eviction: full burst, which Evict's idle-time
+      // precondition made equivalent to having kept the bucket.
+      entry.bucket =
+          std::make_unique<TokenBucket>(entry.spec.rate_tps, entry.spec.burst);
+    }
+    entry.last_admit_us = now_us;
     bucket = entry.bucket.get();
     throttled = entry.throttled;
   }
@@ -60,6 +68,34 @@ AdmitDecision AdmissionController::AdmitTxn(const std::string& db,
   decision.admitted = bucket->TryAcquire(now_us, &decision.retry_after_us);
   if (!decision.admitted) obs::Increment(throttled);
   return decision;
+}
+
+bool AdmissionController::Evict(const std::string& db, int64_t now_us) {
+  platform::Guard lock(mu_);
+  auto it = entries_.find(db);
+  if (it == entries_.end()) return false;
+  Entry& entry = it->second;
+  bool dropped = false;
+  if (entry.bucket != nullptr && entry.spec.rate_tps > 0) {
+    // One full refill must have elapsed since the last admission, so the
+    // bucket is provably full and a full-burst rebuild loses nothing.
+    double refill_s = entry.spec.burst / entry.spec.rate_tps;
+    int64_t refill_us = static_cast<int64_t>(refill_s * 1e6) + 1;
+    if (now_us - entry.last_admit_us < refill_us) return false;
+    entry.bucket.reset();
+    dropped = true;
+  }
+  if (!entry.explicit_quota) {
+    // Default-quota entries are pure cache (EntryLocked recreates them),
+    // so the map node itself can go.
+    entries_.erase(it);
+  }
+  return dropped;
+}
+
+size_t AdmissionController::entry_count() const {
+  platform::Guard lock(mu_);
+  return entries_.size();
 }
 
 }  // namespace mtdb::qos

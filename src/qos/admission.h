@@ -42,10 +42,25 @@ class AdmissionController {
   // always admitted without charge.
   AdmitDecision AdmitTxn(const std::string& db, int64_t now_us);
 
+  // Releases `db`'s evictable state (the token bucket) if — and only if —
+  // the database has been idle for at least one full bucket refill
+  // (burst/rate seconds). After that long a kept bucket would be full
+  // anyway, so the lazy full-burst rebuild on the next AdmitTxn is
+  // indistinguishable from never having evicted: quota enforcement is
+  // exactly preserved. The quota spec itself stays (it is pushed by the
+  // controller, not rederivable locally). Returns true if a bucket was
+  // dropped. Databases that never had an explicit quota and carry no bucket
+  // have their whole entry erased.
+  bool Evict(const std::string& db, int64_t now_us);
+
+  size_t entry_count() const;
+
  private:
   struct Entry {
     QuotaSpec spec{};
-    std::unique_ptr<TokenBucket> bucket;  // null when unlimited
+    bool explicit_quota = false;  // spec came from SetQuota, keep it
+    std::unique_ptr<TokenBucket> bucket;  // null when unlimited or evicted
+    int64_t last_admit_us = 0;
     obs::Counter* throttled = nullptr;
   };
 
@@ -53,6 +68,9 @@ class AdmissionController {
 
   const Options options_;
   mutable platform::Mutex mu_{"qos/AdmissionController::mu"};
+  // Per-database, but bounded: entries without an explicit quota are erased
+  // by Evict, and explicit quotas are themselves catalog-driven.
+  // mtdblint: allow(tenant-map)
   std::map<std::string, Entry> entries_ MTDB_GUARDED_BY(mu_);
 };
 

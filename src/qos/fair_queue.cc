@@ -113,6 +113,19 @@ void WeightedFairQueue::SetWeight(const std::string& db, int weight) {
   tenants_.try_emplace(db).first->second.weight = std::max(1, weight);
 }
 
+bool WeightedFairQueue::EvictIdle(const std::string& db) {
+  platform::Guard lock(mu_);
+  auto it = tenants_.find(db);
+  if (it == tenants_.end() || !it->second.waiters.empty()) return false;
+  tenants_.erase(it);
+  return true;
+}
+
+size_t WeightedFairQueue::tenant_count() const {
+  platform::Guard lock(mu_);
+  return tenants_.size();
+}
+
 size_t WeightedFairQueue::queue_depth() const {
   platform::Guard lock(mu_);
   return waiting_;

@@ -52,6 +52,16 @@ class WeightedFairQueue {
   // database's next replenish round.
   void SetWeight(const std::string& db, int weight);
 
+  // Erases `db`'s scheduler state if it has no parked waiters. Safe at any
+  // time: an idle tenant holds no deficit (GrantLocked zeroes it when the
+  // queue drains), and the weight is re-pushed with the quota on the
+  // tenant's next kSetQuota — until then a resubmitting tenant runs at the
+  // default weight, which only ever under-privileges it. Returns true if
+  // state was erased.
+  bool EvictIdle(const std::string& db);
+
+  size_t tenant_count() const;
+
   // Number of waiters currently parked (excludes granted slots). This is the
   // queue-depth signal the overload detector samples.
   size_t queue_depth() const;
@@ -93,6 +103,8 @@ class WeightedFairQueue {
   const Options options_;
   mutable platform::Mutex mu_{"qos/WeightedFairQueue::mu"};
   platform::CondVar cv_;
+  // Per-database, but bounded: idle tenants are erased by EvictIdle from
+  // the catalog's eviction sweep. mtdblint: allow(tenant-map)
   std::map<std::string, Tenant> tenants_ MTDB_GUARDED_BY(mu_);
   // Round-robin ring of database names with parked waiters.
   std::vector<std::string> active_ MTDB_GUARDED_BY(mu_);

@@ -39,6 +39,8 @@ class Database {
   std::string name_;
   // Untracked like Table::latch_: a leaf latch held only for map lookups.
   mutable platform::SharedMutex latch_{"storage/Database::latch", nullptr};
+  // Keyed by table name within ONE database: bounded by the tenant's own
+  // schema, not by the tenant count. mtdblint: allow(tenant-map)
   std::map<std::string, std::unique_ptr<Table>> tables_
       MTDB_GUARDED_BY(latch_);
 };

@@ -13,10 +13,6 @@ namespace mtdb {
 
 namespace {
 
-// Clear-when-full bound on the plan cache (same policy and size the old
-// MachineService parse cache used; a TPC-W-style fixed statement set fits
-// with a wide margin).
-constexpr size_t kMaxCachedPlans = 512;
 
 // Amortized GC trigger: run a version-store prune once per this many
 // completed snapshot transactions (plus on-demand via Engine::MvccGc).
@@ -204,6 +200,15 @@ uint64_t Engine::SchemaVersion(const std::string& db_name) const {
   return it == schema_versions_.end() ? 0 : it->second;
 }
 
+void Engine::EvictTenantPlans(const std::string& db_name) {
+  platform::Guard lock(plan_mu_);
+  schema_versions_.erase(db_name);
+  auto lo = plan_cache_.lower_bound({db_name, ""});
+  while (lo != plan_cache_.end() && lo->first.first == db_name) {
+    lo = plan_cache_.erase(lo);
+  }
+}
+
 size_t Engine::plan_cache_size() const {
   platform::Guard lock(plan_mu_);
   return plan_cache_.size();
@@ -219,6 +224,7 @@ Result<std::shared_ptr<const sql::PlannedStatement>> Engine::GetPlan(
     version = vit == schema_versions_.end() ? 0 : vit->second;
     auto it = plan_cache_.find({db_name, sql});
     if (it != plan_cache_.end() && it->second.schema_version == version) {
+      it->second.last_use_us = NowMicros();
       plan_cache_hits_.fetch_add(1, std::memory_order_relaxed);
       obs::Increment(m_plan_hit_);
       return it->second.plan;
@@ -238,8 +244,20 @@ Result<std::shared_ptr<const sql::PlannedStatement>> Engine::GetPlan(
     // Don't cache a plan that raced a DDL: it was planned against a catalog
     // that no longer matches any version we could tag it with.
     if (now == version) {
-      if (plan_cache_.size() >= kMaxCachedPlans) plan_cache_.clear();
-      plan_cache_[{db_name, sql}] = CachedPlan{version, plan};
+      if (options_.max_cached_plans > 0 &&
+          plan_cache_.size() >= options_.max_cached_plans) {
+        // Evict the least-recently-used entry: one displaced plan instead
+        // of the old clear-when-full stampede that cold-started every
+        // co-located tenant at once.
+        auto victim = plan_cache_.begin();
+        for (auto it = plan_cache_.begin(); it != plan_cache_.end(); ++it) {
+          if (it->second.last_use_us < victim->second.last_use_us) {
+            victim = it;
+          }
+        }
+        plan_cache_.erase(victim);
+      }
+      plan_cache_[{db_name, sql}] = CachedPlan{version, NowMicros(), plan};
     }
   }
   return plan;

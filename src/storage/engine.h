@@ -52,6 +52,11 @@ struct EngineOptions {
   int64_t cache_miss_penalty_us = 0;
   int64_t rows_per_page = 16;
 
+  // Plan-cache capacity (distinct (db, sql) entries). When full, the
+  // least-recently-used entry is evicted — one tenant's churn displaces one
+  // plan at a time instead of wiping every tenant's warm plans.
+  size_t max_cached_plans = 512;
+
   // Non-empty: append a redo-only write-ahead log to this file. Recover a
   // crashed engine's state with WriteAheadLog::Recover(path, fresh_engine).
   std::string wal_path;
@@ -127,6 +132,14 @@ class Engine {
   Result<sql::QueryResult> ExecutePrepared(uint64_t txn_id,
                                            StatementHandle handle,
                                            const std::vector<Value>& params);
+
+  // Drops `db_name`'s cached plans and schema-version entry (tenant
+  // catalog eviction of an idle tenant). Safe at any time: versions are
+  // drawn from the engine-wide epoch, so an evicted entry reads as 0
+  // ("unknown") and the next DDL mints a version greater than any a
+  // surviving plan could be tagged with — a stale plan can never validate
+  // against a post-eviction schema (no ABA).
+  void EvictTenantPlans(const std::string& db_name);
 
   // Plan-cache observability (tests + bench).
   size_t plan_cache_size() const;
@@ -274,6 +287,9 @@ class Engine {
 
   mutable platform::SharedMutex catalog_latch_{
       "storage/Engine::catalog_latch"};
+  // The tenant DATA itself — rows are what a storage machine exists to
+  // hold; only derived metadata (plans, schema versions) is evictable.
+  // mtdblint: allow(tenant-map)
   std::map<std::string, std::unique_ptr<Database>> databases_
       MTDB_GUARDED_BY(catalog_latch_);
 
@@ -290,6 +306,7 @@ class Engine {
   // --- Plan cache & prepared statements ---
   struct CachedPlan {
     uint64_t schema_version = 0;
+    int64_t last_use_us = 0;
     std::shared_ptr<const sql::PlannedStatement> plan;
   };
   struct PreparedStmt {
@@ -301,6 +318,9 @@ class Engine {
   void BumpSchemaVersion(const std::string& db_name);
 
   mutable platform::Mutex plan_mu_{"storage/Engine::plan_mu"};
+  // Evictable via EvictTenantPlans (catalog eviction listener): a missing
+  // entry re-mints from schema_epoch_ on the next DDL or plan lookup.
+  // mtdblint: allow(tenant-map)
   std::map<std::string, uint64_t> schema_versions_ MTDB_GUARDED_BY(plan_mu_);
   // engine-wide; versions never repeat
   uint64_t schema_epoch_ MTDB_GUARDED_BY(plan_mu_) = 0;

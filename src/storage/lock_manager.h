@@ -129,6 +129,9 @@ class LockManager {
   platform::CondVar cv_;
   // Strict-2PL auditor; consulted under mu_ when options_.audit_strict_2pl.
   analysis::TwoPhaseLockingAuditor auditor_ MTDB_GUARDED_BY(mu_);
+  // Keyed by resource name; entries are erased when the last holder
+  // releases, so the map tracks only in-flight locks.
+  // mtdblint: allow(tenant-map)
   std::unordered_map<std::string, LockState> locks_ MTDB_GUARDED_BY(mu_);
   // txn -> resources it holds (for release).
   std::unordered_map<uint64_t, std::unordered_set<std::string>> held_

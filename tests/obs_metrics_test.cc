@@ -73,20 +73,52 @@ TEST(ObsMetricsTest, ConcurrentResolveAndRecordIsSafe) {
 TEST(ObsMetricsTest, CardinalityIsBoundedPerFamily) {
   auto& registry = MetricsRegistry::Global();
   // Resolve far more label tuples than the per-family cap; the registry must
-  // stop minting new series and fold the excess into the overflow series.
+  // stop minting new series and fold the excess into the family rollup.
   const size_t kAttempts = MetricsRegistry::kMaxSeriesPerFamily + 100;
   for (size_t i = 0; i < kAttempts; ++i) {
     MetricLabels labels{.operation = "op" + std::to_string(i)};
     obs::Increment(registry.GetCounter("test_cardinality_total", labels));
   }
-  // Past-the-cap tuples all landed on the shared overflow series.
-  int64_t overflow = registry.CounterValue("test_cardinality_total",
-                                           {.operation = "_overflow"});
-  EXPECT_EQ(overflow, 100);
+  // Past-the-cap tuples all landed on the shared rollup series (addressed by
+  // the reserved database label, so nothing is silently dropped).
+  int64_t rollup = registry.CounterValue(
+      "test_cardinality_total",
+      {.database = MetricsRegistry::kRollupDatabase});
+  EXPECT_EQ(rollup, 100);
   // In-cap tuples kept their own series.
   EXPECT_EQ(registry.CounterValue("test_cardinality_total",
                                   {.operation = "op0"}),
             1);
+}
+
+TEST(ObsMetricsTest, EvictDatabaseSeriesFoldsWithoutLosingCounts) {
+  auto& registry = MetricsRegistry::Global();
+  for (int d = 0; d < 3; ++d) {
+    obs::Increment(
+        registry.GetCounter("test_evict_total",
+                            {.database = "app" + std::to_string(d)}),
+        10);
+  }
+  ASSERT_EQ(registry.SumCounter("test_evict_total"), 30);
+
+  // Evicting one database's series folds its count into the family rollup:
+  // the family total is lossless across eviction.
+  registry.EvictDatabaseSeries("app1");
+  EXPECT_EQ(registry.SumCounter("test_evict_total"), 30);
+  EXPECT_EQ(registry.CounterValue(
+                "test_evict_total",
+                {.database = MetricsRegistry::kRollupDatabase}),
+            10);
+  // The per-database series is gone; a fresh one mints from zero on reuse.
+  EXPECT_EQ(registry.CounterValue("test_evict_total", {.database = "app1"}),
+            0);
+  obs::Increment(registry.GetCounter("test_evict_total", {.database = "app1"}),
+                 5);
+  EXPECT_EQ(registry.SumCounter("test_evict_total"), 35);
+
+  // Untouched databases keep their own series.
+  EXPECT_EQ(registry.CounterValue("test_evict_total", {.database = "app0"}),
+            10);
 }
 
 TEST(ObsMetricsTest, TextDumpFormatsLabelsAndHistograms) {

@@ -1,6 +1,6 @@
 // mtdblint: project-rule checker for the mtdb tree.
 //
-// Five rules, each encoding a convention the compiler cannot see:
+// Six rules, each encoding a convention the compiler cannot see:
 //
 //   raw-mutex        Outside src/platform, code must lock through the
 //                    annotated platform::Mutex/Guard vocabulary — a raw
@@ -38,6 +38,16 @@
 //   todo-tag         Every TODO must carry an issue tag — `TODO(#123)` —
 //                    so it is trackable; bare TODOs rot.
 //
+//   tenant-map       A string-keyed member map (`std::map<std::string, …>
+//                    foo_`) outside src/cluster/catalog is how unbounded
+//                    per-database state creeps in: one entry per tenant,
+//                    no eviction path, and at 10^5-10^6 tenants that is the
+//                    memory bug the sharded catalog exists to prevent.
+//                    Per-tenant state belongs in the catalog (durable
+//                    record or evictable resident state) or must be
+//                    justified with `mtdblint: allow(tenant-map)` stating
+//                    why the map is bounded or evictable.
+//
 // Usage: mtdblint [repo-root]   (default: current directory)
 // Exit status: 0 clean, 1 findings, 2 usage/environment error.
 //
@@ -48,6 +58,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <regex>
 #include <set>
 #include <sstream>
 #include <string>
@@ -154,6 +165,17 @@ bool IsReadOnlyGuard(const std::string& code) {
 
 const char* const kLockManagerTokens[] = {"lock_manager", "LockManager"};
 
+bool InCatalog(const std::string& rel) {
+  return rel.rfind("src/cluster/catalog/", 0) == 0;
+}
+
+// A string-keyed map declared as a *member* (trailing-underscore name on
+// the same line as the type). Locals and parameters — which die with their
+// scope — deliberately do not match; neither do underscore-less struct
+// fields, the residual false-negative this textual heuristic accepts.
+const std::regex kTenantMapRe(
+    R"(std::(unordered_)?map<\s*std::string\s*,[^;]*>\s+([A-Za-z0-9_]*_)\s*($|;|\{|=|MTDB_GUARDED_BY))");
+
 void CheckFile(const fs::path& root, const fs::path& path) {
   const std::string rel = RelPath(root, path);
   const std::vector<std::string> lines = ReadLines(path);
@@ -239,6 +261,17 @@ void CheckFile(const fs::path& root, const fs::path& path) {
              "detached thread: join it (or route the work through a "
              "cluster::Strand); `mtdblint: allow(detached-thread)` to "
              "override");
+    }
+
+    if (!self && !InCatalog(rel) &&
+        std::regex_search(code, kTenantMapRe) &&
+        !HasEscape(lines, i, "tenant-map")) {
+      Report(rel, lineno, "tenant-map",
+             "string-keyed member map outside src/cluster/catalog: one entry "
+             "per database with no eviction path is the tenant-scale memory "
+             "bug; keep per-tenant state in the catalog or add "
+             "`mtdblint: allow(tenant-map)` saying why this map is bounded "
+             "or evictable");
     }
 
     size_t todo = raw.find("TODO");

@@ -1,6 +1,7 @@
 // mtdbstat: dump the metrics registry of a running mtdbd.
 //
-//   mtdbstat [--grep PREFIX] [--interval SECONDS [--count N]] HOST:PORT
+//   mtdbstat [--grep PREFIX] [--top N] [--interval SECONDS [--count N]]
+//            HOST:PORT
 //
 // connects over TCP and issues kStats RPCs. Without flags it prints one
 // metrics text dump to stdout and exits. With --interval it keeps polling,
@@ -9,12 +10,16 @@
 // live machine: rates, not lifetime totals. --count bounds the number of
 // windows (default: poll forever). --grep keeps only metric lines whose
 // name starts with PREFIX (e.g. --grep mtdb_mvcc_ to watch the version
-// store), in both one-shot and interval mode.
+// store), in both one-shot and interval mode. --top N keeps only the N
+// largest scalar series — by value one-shot, by per-window delta with
+// --interval — which is how you find the hot tenants on a machine hosting
+// thousands of label series (histogram lines are dropped in --top mode).
 //
 // Exits 0 on success, 1 on any failure (unreachable daemon, RPC error,
 // empty dump), 2 on usage errors. Used by tools/mtdbd_smoke.sh and the CI
 // smoke job.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +27,8 @@
 #include <map>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "src/net/machine_client.h"
 #include "src/net/tcp_transport.h"
@@ -29,10 +36,10 @@
 namespace {
 
 int Usage(const char* argv0) {
-  std::fprintf(
-      stderr,
-      "usage: %s [--grep PREFIX] [--interval SECONDS [--count N]] HOST:PORT\n",
-      argv0);
+  std::fprintf(stderr,
+               "usage: %s [--grep PREFIX] [--top N] "
+               "[--interval SECONDS [--count N]] HOST:PORT\n",
+               argv0);
   return 2;
 }
 
@@ -77,11 +84,30 @@ std::string FilterByPrefix(const std::string& dump,
   return out;
 }
 
+// Prints the `top` largest entries of (name, value) pairs, value-descending,
+// name-ascending among ties so the output is stable across runs.
+void PrintTop(std::vector<std::pair<std::string, long long>> entries,
+              long long top, bool as_delta) {
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    long long lhs = a.second < 0 ? -a.second : a.second;
+    long long rhs = b.second < 0 ? -b.second : b.second;
+    if (lhs != rhs) return lhs > rhs;
+    return a.first < b.first;
+  });
+  if (top >= 0 && entries.size() > static_cast<size_t>(top)) {
+    entries.resize(static_cast<size_t>(top));
+  }
+  for (const auto& [key, value] : entries) {
+    std::printf(as_delta ? "%s %+lld\n" : "%s %lld\n", key.c_str(), value);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double interval_s = 0;
   long long count = -1;  // -1 = forever
+  long long top = -1;    // -1 = no ranking
   std::string grep_prefix;
   std::string target;
   for (int i = 1; i < argc; ++i) {
@@ -91,6 +117,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--count") == 0 && i + 1 < argc) {
       count = std::atoll(argv[++i]);
       if (count <= 0) return Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top = std::atoll(argv[++i]);
+      if (top <= 0) return Usage(argv[0]);
     } else if (std::strcmp(argv[i], "--grep") == 0 && i + 1 < argc) {
       grep_prefix = argv[++i];
       if (grep_prefix.empty()) return Usage(argv[0]);
@@ -128,9 +157,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "mtdbstat: %s\n", dump.status().ToString().c_str());
       return 1;
     }
-    std::fputs(grep_prefix.empty() ? dump->c_str()
-                                   : FilterByPrefix(*dump, grep_prefix).c_str(),
-               stdout);
+    std::string text =
+        grep_prefix.empty() ? *dump : FilterByPrefix(*dump, grep_prefix);
+    if (top < 0) {
+      std::fputs(text.c_str(), stdout);
+      return 0;
+    }
+    std::map<std::string, long long> scalars = ParseScalars(text);
+    PrintTop({scalars.begin(), scalars.end()}, top, /*as_delta=*/false);
     return 0;
   }
 
@@ -151,6 +185,7 @@ int main(int argc, char** argv) {
     }
     std::map<std::string, long long> current = ParseScalars(*dump);
     std::printf("--- window %lld (%.3gs) ---\n", window, interval_s);
+    std::vector<std::pair<std::string, long long>> deltas;
     for (const auto& [key, value] : current) {
       if (!grep_prefix.empty() &&
           key.compare(0, grep_prefix.size(), grep_prefix) != 0) {
@@ -158,8 +193,14 @@ int main(int argc, char** argv) {
       }
       auto it = previous.find(key);
       long long delta = value - (it == previous.end() ? 0 : it->second);
-      if (delta != 0) std::printf("%s %+lld\n", key.c_str(), delta);
+      if (delta == 0) continue;
+      if (top < 0) {
+        std::printf("%s %+lld\n", key.c_str(), delta);
+      } else {
+        deltas.emplace_back(key, delta);
+      }
     }
+    if (top >= 0) PrintTop(std::move(deltas), top, /*as_delta=*/true);
     std::fflush(stdout);
     previous = std::move(current);
   }
