@@ -72,6 +72,10 @@ Engine::Engine(std::string site_name, EngineOptions options)
   if (!options_.wal_path.empty()) {
     WriteAheadLog::Options wal_options;
     wal_options.sync_on_commit = options_.wal_sync_on_commit;
+    wal_options.sync_policy = options_.wal_sync_policy;
+    wal_options.async_max_lag_records = options_.wal_async_max_lag_records;
+    wal_options.sync_delay_us = options_.wal_sync_delay_us;
+    wal_options.metrics_label = site_name_;
     auto wal = WriteAheadLog::Open(options_.wal_path, wal_options);
     if (wal.ok()) {
       wal_ = std::move(*wal);
@@ -359,6 +363,17 @@ Result<Transaction*> Engine::FindActive(uint64_t txn_id) const {
 
 Status Engine::Prepare(uint64_t txn_id) {
   MTDB_ASSIGN_OR_RETURN(Transaction * txn, FindActive(txn_id));
+  // A write transaction's yes-vote is a durability promise: the PREPARE
+  // record (and, by LSN order, every row image before it) must reach the
+  // log before we report kPrepared to the coordinator. The record is
+  // enqueued here and awaited *after* read-lock release, so concurrent
+  // PREPAREs on this machine ride the same group flush.
+  uint64_t prepare_lsn = 0;
+  if (wal_ != nullptr && !txn->undo_log.empty()) {
+    auto lsn_or = wal_->AppendDecisionAsync(WalRecordType::kPrepare, txn->id);
+    if (!lsn_or.ok()) return lsn_or.status();  // vote no; coordinator aborts
+    prepare_lsn = *lsn_or;
+  }
   txn->state = TxnState::kPrepared;
   if (txn_checker_ != nullptr) {
     platform::Guard lock(txn_mu_);
@@ -367,6 +382,9 @@ Status Engine::Prepare(uint64_t txn_id) {
   if (options_.release_read_locks_on_prepare && !txn->read_only) {
     lock_manager_.ReleaseReadLocks(txn_id);
   }
+  if (prepare_lsn != 0 && options_.wal_sync_on_commit) {
+    MTDB_RETURN_IF_ERROR(wal_->AwaitDurable(prepare_lsn));
+  }
   return Status::OK();
 }
 
@@ -374,12 +392,9 @@ void Engine::RecordCommit(Transaction* txn) {
   // Version publication happens here, the single funnel both Commit and
   // CommitPrepared pass through *before* lock release: the txn still holds
   // its X locks, so no competing writer can interleave with the append.
+  // (The commit WAL record was already enqueued by the caller — its
+  // durability wait happens after lock release, in the caller.)
   MvccPublish(txn);
-  // Read-only (and otherwise writeless) transactions logged no row ops, so
-  // a commit decision record would be recovery noise; skip the fsync.
-  if (wal_ != nullptr && !txn->undo_log.empty()) {
-    (void)wal_->AppendDecision(WalRecordType::kCommit, txn->id);
-  }
   if (options_.record_history) {
     history_.RecordCommit(*txn);
   }
@@ -393,20 +408,54 @@ Status Engine::CommitPrepared(uint64_t txn_id) {
     return Status::FailedPrecondition("txn " + std::to_string(txn_id) +
                                       " not prepared");
   }
+  // A failed commit-record append fails the commit — but does NOT abort:
+  // the participant voted yes and must hold its locks in kPrepared until
+  // the coordinator resolves the outcome (2PC contract).
+  uint64_t commit_lsn = 0;
+  if (wal_ != nullptr && !txn->undo_log.empty()) {
+    MTDB_ASSIGN_OR_RETURN(
+        commit_lsn, wal_->AppendDecisionAsync(WalRecordType::kCommit, txn->id));
+  }
   txn->state = TxnState::kCommitted;
   RecordCommit(txn);
   MvccEndSnapshot(txn);
   if (!txn->read_only) {
     lock_manager_.ReleaseAll(txn_id);
   }
-  platform::Guard lock(txn_mu_);
-  if (txn_checker_ != nullptr) txn_checker_->OnCommitPrepared(txn_id);
-  txns_.erase(txn_id);
+  {
+    platform::Guard lock(txn_mu_);
+    if (txn_checker_ != nullptr) txn_checker_->OnCommitPrepared(txn_id);
+    txns_.erase(txn_id);
+  }
+  // The durability wait comes after lock release: the fsync (the slow part)
+  // no longer extends the lock hold time, which is the group-commit win.
+  if (commit_lsn != 0 && options_.wal_sync_on_commit) {
+    MTDB_RETURN_IF_ERROR(wal_->AwaitDurable(commit_lsn));
+  }
   return Status::OK();
 }
 
 Status Engine::Commit(uint64_t txn_id) {
   MTDB_ASSIGN_OR_RETURN(Transaction * txn, FindActive(txn_id));
+  // Enqueue the commit record before any state changes: if the log is dead
+  // the transaction can still be rolled back (locks and undo are intact),
+  // so a durability failure becomes a clean abort instead of a silently
+  // volatile "commit". Read-only (and otherwise writeless) transactions
+  // logged no row ops, so a commit record would be recovery noise; skip it.
+  uint64_t commit_lsn = 0;
+  if (wal_ != nullptr && !txn->undo_log.empty()) {
+    auto lsn_or = wal_->AppendDecisionAsync(WalRecordType::kCommit, txn->id);
+    if (!lsn_or.ok()) {
+      Status rollback = Abort(txn_id);
+      if (!rollback.ok()) {
+        MTDB_LOG(kError) << "engine " << site_name_
+                         << " rollback after failed commit append also failed: "
+                         << rollback.ToString();
+      }
+      return lsn_or.status();
+    }
+    commit_lsn = *lsn_or;
+  }
   txn->state = TxnState::kCommitted;
   RecordCommit(txn);
   MvccEndSnapshot(txn);
@@ -416,9 +465,18 @@ Status Engine::Commit(uint64_t txn_id) {
   if (!txn->read_only) {
     lock_manager_.ReleaseAll(txn_id);
   }
-  platform::Guard lock(txn_mu_);
-  if (txn_checker_ != nullptr) txn_checker_->OnCommit(txn_id);
-  txns_.erase(txn_id);
+  {
+    platform::Guard lock(txn_mu_);
+    if (txn_checker_ != nullptr) txn_checker_->OnCommit(txn_id);
+    txns_.erase(txn_id);
+  }
+  // Block on durability only after locks are gone (see CommitPrepared). A
+  // failed wait is surfaced to the caller: in-memory state has advanced but
+  // the log is sticky-dead, so every later commit fails too — the machine
+  // is effectively write-dead rather than silently non-durable.
+  if (commit_lsn != 0 && options_.wal_sync_on_commit) {
+    MTDB_RETURN_IF_ERROR(wal_->AwaitDurable(commit_lsn));
+  }
   return Status::OK();
 }
 
@@ -449,7 +507,16 @@ Status Engine::Abort(uint64_t txn_id) {
   }
   ApplyUndo(txn);
   if (wal_ != nullptr && !txn->undo_log.empty()) {
-    (void)wal_->AppendDecision(WalRecordType::kAbort, txn_id);
+    // The abort itself must complete regardless — undo is applied and the
+    // locks must come off. An ABT record is only a recovery hint (losers
+    // are identified by the *absence* of a CMT record), so a dead log costs
+    // the hint, not correctness; surface the failure instead of swallowing.
+    auto lsn_or = wal_->AppendDecisionAsync(WalRecordType::kAbort, txn_id);
+    if (!lsn_or.ok()) {
+      MTDB_LOG(kError) << "engine " << site_name_
+                       << " failed to log abort record for txn " << txn_id
+                       << ": " << lsn_or.status().ToString();
+    }
   }
   txn->state = TxnState::kAborted;
   aborted_.fetch_add(1, std::memory_order_relaxed);

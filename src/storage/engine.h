@@ -21,7 +21,7 @@
 #include "src/storage/mvcc/timestamp_oracle.h"
 #include "src/storage/mvcc/version_store.h"
 #include "src/storage/transaction.h"
-#include "src/storage/wal.h"
+#include "src/storage/wal/wal.h"
 
 namespace mtdb::sql {
 struct PlannedStatement;
@@ -61,6 +61,14 @@ struct EngineOptions {
   // crashed engine's state with WriteAheadLog::Recover(path, fresh_engine).
   std::string wal_path;
   bool wal_sync_on_commit = true;
+  // Group-commit pipeline knobs, forwarded into WalOptions (DESIGN.md §15).
+  // The sync policy is the durability ablation axis: per-commit (one sync
+  // per decision), group (coalesced, the default), async (bounded-lag
+  // background sync).
+  wal::SyncPolicy wal_sync_policy = wal::SyncPolicy::kGroup;
+  int64_t wal_async_max_lag_records = 64;
+  // Modeled log-device sync latency (µs), like cache_miss_penalty_us.
+  int64_t wal_sync_delay_us = 0;
 
   // Run the runtime concurrency auditors on this engine: the strict-2PL
   // auditor in the lock manager and the 2PC participant state checker on

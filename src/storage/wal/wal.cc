@@ -1,8 +1,9 @@
-#include "src/storage/wal.h"
+#include "src/storage/wal/wal.h"
 
 #include <map>
 #include <memory>
 #include <sstream>
+#include <utility>
 
 #include "src/storage/engine.h"
 
@@ -92,6 +93,8 @@ const char* TypeTag(WalRecordType type) {
       return "UPD";
     case WalRecordType::kDelete:
       return "DEL";
+    case WalRecordType::kPrepare:
+      return "PRP";
     case WalRecordType::kCommit:
       return "CMT";
     case WalRecordType::kAbort:
@@ -107,6 +110,7 @@ Result<WalRecordType> ParseTypeTag(const std::string& tag) {
   if (tag == "INS") return WalRecordType::kInsert;
   if (tag == "UPD") return WalRecordType::kUpdate;
   if (tag == "DEL") return WalRecordType::kDelete;
+  if (tag == "PRP") return WalRecordType::kPrepare;
   if (tag == "CMT") return WalRecordType::kCommit;
   if (tag == "ABT") return WalRecordType::kAbort;
   return Status::Internal("unknown WAL record tag " + tag);
@@ -209,38 +213,24 @@ Result<TableSchema> WriteAheadLog::DecodeSchema(const std::string& text) {
   return schema;
 }
 
-WriteAheadLog::WriteAheadLog(std::string path, std::FILE* file,
+WriteAheadLog::WriteAheadLog(std::unique_ptr<wal::LogWriter> writer,
                              Options options)
-    : path_(std::move(path)), file_(file), options_(options) {}
+    : writer_(std::move(writer)), options_(std::move(options)) {}
 
-WriteAheadLog::~WriteAheadLog() {
-  if (file_ != nullptr) {
-    std::fflush(file_);
-    std::fclose(file_);
-  }
-}
+WriteAheadLog::~WriteAheadLog() = default;
 
 Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
     const std::string& path, Options options) {
-  std::FILE* file = std::fopen(path.c_str(), "ab");
-  if (file == nullptr) {
-    return Status::Internal("cannot open WAL file " + path);
-  }
+  wal::LogWriterOptions writer_options;
+  writer_options.sync_policy = options.sync_policy;
+  writer_options.async_max_lag_records = options.async_max_lag_records;
+  writer_options.sync_delay_us = options.sync_delay_us;
+  writer_options.max_queue_records = options.max_queue_records;
+  writer_options.metrics_label = options.metrics_label;
+  MTDB_ASSIGN_OR_RETURN(std::unique_ptr<wal::LogWriter> writer,
+                        wal::LogWriter::Open(path, std::move(writer_options)));
   return std::unique_ptr<WriteAheadLog>(
-      new WriteAheadLog(path, file, options));
-}
-
-Status WriteAheadLog::AppendLine(const std::string& line, bool sync) {
-  platform::Guard lock(mu_);
-  if (std::fputs(line.c_str(), file_) == EOF ||
-      std::fputc('\n', file_) == EOF) {
-    return Status::Internal("WAL append failed for " + path_);
-  }
-  records_written_.fetch_add(1, std::memory_order_relaxed);
-  if (sync && std::fflush(file_) != 0) {
-    return Status::Internal("WAL flush failed for " + path_);
-  }
-  return Status::OK();
+      new WriteAheadLog(std::move(writer), std::move(options)));
 }
 
 Status WriteAheadLog::AppendDdl(WalRecordType type,
@@ -250,8 +240,10 @@ Status WriteAheadLog::AppendDdl(WalRecordType type,
   std::string line = std::string(TypeTag(type)) + kFieldSep + "0" +
                      kFieldSep + Escape(database) + kFieldSep + Escape(table) +
                      kFieldSep + Escape(aux);
-  // DDL is rare and structural: always flushed.
-  return AppendLine(line, /*sync=*/true);
+  MTDB_ASSIGN_OR_RETURN(uint64_t lsn, writer_->Append(std::move(line)));
+  (void)lsn;
+  // DDL is rare and structural: always durable before returning.
+  return writer_->SyncAll();
 }
 
 Status WriteAheadLog::AppendRowOp(WalRecordType type, uint64_t txn_id,
@@ -266,23 +258,33 @@ Status WriteAheadLog::AppendRowOp(WalRecordType type, uint64_t txn_id,
     line += kFieldSep;
     line += Escape(EncodeValue(value));
   }
-  return AppendLine(line, /*sync=*/false);
+  // Enqueue only: the decision record appended after this one has a higher
+  // LSN, so awaiting the decision covers every row image of the txn.
+  MTDB_ASSIGN_OR_RETURN(uint64_t lsn, writer_->Append(std::move(line)));
+  (void)lsn;
+  return Status::OK();
+}
+
+Result<uint64_t> WriteAheadLog::AppendDecisionAsync(WalRecordType type,
+                                                    uint64_t txn_id) {
+  std::string line =
+      std::string(TypeTag(type)) + kFieldSep + std::to_string(txn_id);
+  return writer_->Append(std::move(line));
+}
+
+Status WriteAheadLog::AwaitDurable(uint64_t lsn) {
+  return writer_->AwaitDurable(lsn);
 }
 
 Status WriteAheadLog::AppendDecision(WalRecordType type, uint64_t txn_id) {
-  std::string line =
-      std::string(TypeTag(type)) + kFieldSep + std::to_string(txn_id);
-  return AppendLine(line, options_.sync_on_commit &&
-                              type == WalRecordType::kCommit);
-}
-
-Status WriteAheadLog::Sync() {
-  platform::Guard lock(mu_);
-  if (std::fflush(file_) != 0) {
-    return Status::Internal("WAL flush failed for " + path_);
+  MTDB_ASSIGN_OR_RETURN(uint64_t lsn, AppendDecisionAsync(type, txn_id));
+  if (options_.sync_on_commit && type == WalRecordType::kCommit) {
+    return AwaitDurable(lsn);
   }
   return Status::OK();
 }
+
+Status WriteAheadLog::Sync() { return writer_->SyncAll(); }
 
 Result<std::vector<WalRecord>> WriteAheadLog::ReadAll(
     const std::string& path) {
@@ -303,6 +305,7 @@ Result<std::vector<WalRecord>> WriteAheadLog::ReadAll(
     record.type = *type_or;
     record.txn_id = std::stoull(fields[1]);
     switch (record.type) {
+      case WalRecordType::kPrepare:
       case WalRecordType::kCommit:
       case WalRecordType::kAbort:
         break;
@@ -403,6 +406,11 @@ Status WriteAheadLog::Recover(const std::string& path, Engine* engine) {
         }
         break;
       }
+      case WalRecordType::kPrepare:
+        // Advisory: a PREPARE without a later CMT is a loser (the
+        // coordinator never decided commit), which is already the default
+        // for any txn absent from the committed map.
+        break;
       case WalRecordType::kCommit:
       case WalRecordType::kAbort:
         break;

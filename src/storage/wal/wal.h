@@ -1,0 +1,151 @@
+#ifndef MTDB_STORAGE_WAL_WAL_H_
+#define MTDB_STORAGE_WAL_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/storage/schema.h"
+#include "src/storage/value.h"
+#include "src/storage/wal/log_writer.h"
+
+namespace mtdb {
+
+class Engine;
+
+// Record kinds in the redo log.
+enum class WalRecordType {
+  kCreateDatabase,
+  kCreateTable,
+  kCreateIndex,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kPrepare,
+  kCommit,
+  kAbort,
+};
+
+// One parsed log record. Field usage depends on the type.
+struct WalRecord {
+  WalRecordType type;
+  uint64_t txn_id = 0;       // row ops, prepare, commit, abort
+  std::string database;
+  std::string table;         // also index target
+  std::string aux;           // index name / serialized schema
+  Value primary_key;
+  Row row;                   // after-image for insert/update
+};
+
+// A redo-only write-ahead log, line-oriented and human-greppable. The engine
+// appends row after-images as statements execute and a COMMIT record at
+// transaction commit; recovery replays the redo of committed transactions in
+// log order, discarding losers. (The in-memory tables are the volatile
+// buffer; this log is the persistent copy — a no-steal/redo-only regime, so
+// no undo is ever needed at recovery time.)
+//
+// Durability runs through the wal::LogWriter group-commit pipeline
+// (log_writer.h): appends enqueue onto a bounded queue and return an LSN, a
+// dedicated log thread coalesces queued records into one write+sync, and
+// AwaitDurable(lsn) releases committers in LSN order. The on-disk format is
+// unchanged — one escaped line per record — so ReadAll/Recover and the
+// dump/copy machinery read logs from either era.
+//
+// Thread-safe: concurrent appends are serialized by the pipeline's queue;
+// record order in the file is LSN order.
+struct WalOptions {
+  // Wait for the commit record to be durable (per the sync policy) before
+  // Commit returns to the caller.
+  bool sync_on_commit = true;
+
+  // How committers are released relative to the device sync — the ablation
+  // axis of the group-commit study (see wal::SyncPolicy).
+  wal::SyncPolicy sync_policy = wal::SyncPolicy::kGroup;
+
+  // kAsync only: bound on written-but-unsynced records (a crash loses at
+  // most this suffix).
+  int64_t async_max_lag_records = 64;
+
+  // Modeled log-device sync latency in microseconds (the host file system
+  // stands in for the disk; see LogWriterOptions::sync_delay_us).
+  int64_t sync_delay_us = 0;
+
+  // Commit-queue bound; appenders block when it is full.
+  size_t max_queue_records = 4096;
+
+  // {machine=} label for the mtdb_wal_* metric series.
+  std::string metrics_label;
+};
+
+class WriteAheadLog {
+ public:
+  using Options = WalOptions;
+
+  // Opens (appending) or creates the log file and starts the log thread.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(const std::string& path,
+                                                     Options options = {});
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  const std::string& path() const { return writer_->path(); }
+  const Options& options() const { return options_; }
+
+  // DDL is rare and structural: appended and synced before returning,
+  // regardless of policy.
+  Status AppendDdl(WalRecordType type, const std::string& database,
+                   const std::string& table, const std::string& aux);
+  // Row after-images are enqueued without waiting; the decision record that
+  // follows them (same LSN order) carries their durability.
+  Status AppendRowOp(WalRecordType type, uint64_t txn_id,
+                     const std::string& database, const std::string& table,
+                     const Value& primary_key, const Row& row);
+
+  // Enqueues a PREPARE/COMMIT/ABORT record and returns its LSN without
+  // waiting — the caller decides when (and whether) to AwaitDurable, which
+  // is what lets Engine::Commit release locks before blocking on the sync.
+  Result<uint64_t> AppendDecisionAsync(WalRecordType type, uint64_t txn_id);
+  // Blocks until `lsn` (and everything before it) is durable under the
+  // configured policy.
+  Status AwaitDurable(uint64_t lsn);
+
+  // Compatibility wrapper: enqueue + AwaitDurable when the record is a
+  // commit and sync_on_commit is set (the pre-pipeline contract).
+  Status AppendDecision(WalRecordType type, uint64_t txn_id);
+
+  // Full durability barrier: everything appended so far is written+synced.
+  Status Sync();
+
+  int64_t records_written() const { return writer_->records_appended(); }
+
+  // The underlying pipeline (sync counters, crash injection for tests).
+  wal::LogWriter* writer() { return writer_.get(); }
+
+  // Reads every well-formed record of a log file (a torn final line — the
+  // classic crash artifact — is ignored).
+  static Result<std::vector<WalRecord>> ReadAll(const std::string& path);
+
+  // Rebuilds engine state from a log: replays DDL immediately and the row
+  // images of committed transactions in commit order. The engine must be
+  // fresh (no databases).
+  static Status Recover(const std::string& path, Engine* engine);
+
+  // --- Serialization helpers (exposed for tests) ---
+  static std::string EncodeValue(const Value& value);
+  static Result<Value> DecodeValue(const std::string& text);
+  static std::string EncodeSchema(const TableSchema& schema);
+  static Result<TableSchema> DecodeSchema(const std::string& text);
+
+ private:
+  WriteAheadLog(std::unique_ptr<wal::LogWriter> writer, Options options);
+
+  std::unique_ptr<wal::LogWriter> writer_;
+  Options options_;
+};
+
+}  // namespace mtdb
+
+#endif  // MTDB_STORAGE_WAL_WAL_H_

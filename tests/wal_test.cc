@@ -5,7 +5,7 @@
 
 #include "src/common/random.h"
 #include "src/storage/engine.h"
-#include "src/storage/wal.h"
+#include "src/storage/wal/wal.h"
 
 namespace mtdb {
 namespace {

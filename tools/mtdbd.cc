@@ -22,6 +22,8 @@
 #include <string>
 #include <thread>
 
+#include <unistd.h>
+
 #include "src/cluster/cluster_controller.h"
 #include "src/cluster/machine.h"
 #include "src/net/machine_service.h"
@@ -34,7 +36,12 @@ std::atomic<bool> g_stop{false};
 void HandleSignal(int) { g_stop.store(true); }
 
 int RunServer(uint16_t port) {
-  mtdb::Machine machine(/*id=*/0, mtdb::MachineOptions());
+  // Run with the group-commit WAL enabled so smoke traffic exercises the
+  // durability pipeline (mtdbd_smoke.sh asserts mtdb_wal_* metrics moved).
+  mtdb::MachineOptions machine_options;
+  machine_options.engine_options.wal_path =
+      "/tmp/mtdbd_wal." + std::to_string(static_cast<long long>(getpid()));
+  mtdb::Machine machine(/*id=*/0, machine_options);
   mtdb::net::MachineService service(&machine);
   mtdb::net::TcpServer server(&service);
   mtdb::Status status = server.Start(port);
@@ -52,6 +59,7 @@ int RunServer(uint16_t port) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   server.Stop();
+  std::remove(machine_options.engine_options.wal_path.c_str());
   std::printf("mtdbd stopped\n");
   return 0;
 }

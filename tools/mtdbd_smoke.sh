@@ -66,6 +66,24 @@ if [ -x "$MTDBSTAT" ]; then
   fi
   echo "mtdbstat reports $SNAPSHOT_READS MVCC snapshot read(s)"
 
+  # The daemon runs with the group-commit WAL enabled, so the committed
+  # smoke transaction must have flowed through the durability pipeline:
+  # appended records and at least one device sync.
+  WAL_STATS="$("$MTDBSTAT" --grep mtdb_wal_ "127.0.0.1:$PORT")"
+  WAL_APPENDS="$(printf '%s\n' "$WAL_STATS" \
+    | sed -n 's/^mtdb_wal_appends_total{[^}]*} \([0-9]*\)$/\1/p' \
+    | head -n 1)"
+  WAL_SYNCS="$(printf '%s\n' "$WAL_STATS" \
+    | sed -n 's/^mtdb_wal_syncs_total{[^}]*} \([0-9]*\)$/\1/p' \
+    | head -n 1)"
+  if [ -z "$WAL_APPENDS" ] || [ "$WAL_APPENDS" -eq 0 ] \
+     || [ -z "$WAL_SYNCS" ] || [ "$WAL_SYNCS" -eq 0 ]; then
+    echo "mtdbstat: WAL pipeline left no marks in stats dump:" >&2
+    printf '%s\n' "$WAL_STATS" >&2
+    exit 1
+  fi
+  echo "mtdbstat reports $WAL_APPENDS WAL append(s), $WAL_SYNCS sync(s)"
+
   # Interval mode must parse its flags and emit exactly one delta window.
   INTERVAL_OUT="$("$MTDBSTAT" --interval 0.2 --count 1 "127.0.0.1:$PORT")"
   if ! printf '%s\n' "$INTERVAL_OUT" | grep -q '^--- window 1 '; then

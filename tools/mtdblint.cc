@@ -1,6 +1,6 @@
 // mtdblint: project-rule checker for the mtdb tree.
 //
-// Six rules, each encoding a convention the compiler cannot see:
+// Seven rules, each encoding a convention the compiler cannot see:
 //
 //   raw-mutex        Outside src/platform, code must lock through the
 //                    annotated platform::Mutex/Guard vocabulary — a raw
@@ -37,6 +37,19 @@
 //
 //   todo-tag         Every TODO must carry an issue tag — `TODO(#123)` —
 //                    so it is trackable; bare TODOs rot.
+//
+//   wal-sync         Direct file-durability calls — `fflush`/`fsync`/
+//                    `fdatasync`/`fopen`/`std::FILE` — outside
+//                    src/storage/wal/ are how ad-hoc durability paths creep
+//                    back in around the group-commit pipeline: a stray
+//                    fflush re-creates the one-fsync-per-commit bottleneck
+//                    the LogWriter exists to remove, invisible to its
+//                    mtdb_wal_* metrics and sync policies. Durable writes go
+//                    through WriteAheadLog/LogWriter. Lines touching
+//                    stdout/stderr are exempt (console I/O is not
+//                    durability); other legitimate uses (benchmark JSON
+//                    artifacts, dump files) must be justified with
+//                    `mtdblint: allow(wal-sync)`.
 //
 //   tenant-map       A string-keyed member map (`std::map<std::string, …>
 //                    foo_`) outside src/cluster/catalog is how unbounded
@@ -165,6 +178,20 @@ bool IsReadOnlyGuard(const std::string& code) {
 
 const char* const kLockManagerTokens[] = {"lock_manager", "LockManager"};
 
+// File-durability tokens banned outside src/storage/wal/ (rule wal-sync).
+// Spelled via concatenation so this file's own strings are not uses.
+const char* const kWalSyncTokens[] = {
+    "std::"  "FILE",
+    "fopen"  "(",
+    "fflush" "(",
+    "fsync"  "(",
+    "fdatasync" "(",
+};
+
+bool InWalDir(const std::string& rel) {
+  return rel.rfind("src/storage/wal/", 0) == 0;
+}
+
 bool InCatalog(const std::string& rel) {
   return rel.rfind("src/cluster/catalog/", 0) == 0;
 }
@@ -252,6 +279,26 @@ void CheckFile(const fs::path& root, const fs::path& path) {
       if (pending_guard && guard_line &&
           code.find(';') != std::string::npos) {
         pending_guard = false;  // `if (ro) return ...;` on one line
+      }
+    }
+
+    if (!self && !InWalDir(rel)) {
+      for (const char* token : kWalSyncTokens) {
+        if (code.find(token) == std::string::npos) continue;
+        // Console flushing is not durability.
+        if (code.find("stdout") != std::string::npos ||
+            code.find("stderr") != std::string::npos) {
+          break;
+        }
+        if (HasEscape(lines, i, "wal-sync")) break;
+        Report(rel, lineno, "wal-sync",
+               std::string(token) +
+                   " outside src/storage/wal/: durable writes must go "
+                   "through the WriteAheadLog/LogWriter pipeline (its sync "
+                   "policies and mtdb_wal_* metrics cover every fsync); for "
+                   "non-durability file I/O add `mtdblint: allow(wal-sync)` "
+                   "with a justification");
+        break;  // one finding per line is enough
       }
     }
 
