@@ -204,6 +204,37 @@ TenantCatalog::TenantRef TenantCatalog::Acquire(const std::string& name) {
   return TenantRef(this, name);
 }
 
+TenantCatalog::TenantRef TenantCatalog::AcquireForTxn(const std::string& name,
+                                                      bool* cutover) {
+  *cutover = false;
+  {
+    Shard& shard = ShardFor(name);
+    platform::Guard lock(shard.mu);
+    auto it = shard.tenants.find(name);
+    if (it == shard.tenants.end() || it->second->reserved) return TenantRef();
+    Entry& entry = *it->second;
+    if (entry.record.migration.phase == rebalance::MigrationPhase::kCutover) {
+      // Mid-cutover: no new pins, so the migrator's drain converges. The
+      // caller backs off and retries; the window is milliseconds.
+      *cutover = true;
+      return TenantRef();
+    }
+    entry.pins++;
+    pinned_count_.fetch_add(1, std::memory_order_relaxed);
+    entry.last_active_us = NowMicros();
+    MaterializeLocked(entry, entry.last_active_us);
+  }
+  MaybeEvict();
+  return TenantRef(this, name);
+}
+
+int64_t TenantCatalog::PinCount(const std::string& name) const {
+  Shard& shard = ShardFor(name);
+  platform::Guard lock(shard.mu);
+  auto it = shard.tenants.find(name);
+  return it == shard.tenants.end() ? 0 : it->second->pins;
+}
+
 void TenantCatalog::Unpin(const std::string& name) {
   Shard& shard = ShardFor(name);
   platform::Guard lock(shard.mu);

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "src/cluster/catalog/prepared_statement.h"
+#include "src/cluster/rebalance/migration_state.h"
 #include "src/common/result.h"
 #include "src/obs/metrics.h"
 #include "src/platform/mutex.h"
@@ -79,6 +80,9 @@ struct TenantRecord {
   qos::QuotaSpec quota;
   bool has_quota = false;
   double live_rate_tps = 0;
+  // Live-migration state machine (assigned only inside src/cluster/rebalance/
+  // — see migration_state.h; the catalog itself only reads the phase).
+  rebalance::MigrationState migration;
 };
 
 // Point-in-time catalog counters, exposed through mtdb_catalog_* metrics
@@ -185,6 +189,18 @@ class TenantCatalog {
   // bumping its LRU position. May trigger an eviction sweep of other,
   // unpinned tenants when the resident cap is exceeded.
   TenantRef Acquire(const std::string& name);
+
+  // Acquire for a new transaction: refuses to pin a tenant whose migration
+  // is in its cutover window, returning an invalid ref with *cutover = true
+  // so the caller backs off and retries (throttled, never failed). The phase
+  // check and the pin are one atomic step under the shard lock — once the
+  // migrator has set kCutover, the pin count can only fall, so its drain
+  // loop (PinCount() == 0) cannot race a late pin.
+  TenantRef AcquireForTxn(const std::string& name, bool* cutover);
+
+  // Current pin count (0 for unknown tenants). The migration cutover's
+  // drain condition.
+  int64_t PinCount(const std::string& name) const;
 
   // --- Prepared-statement registry (resident state) ---
   std::shared_ptr<PreparedStatement> FindPrepared(const std::string& tenant,

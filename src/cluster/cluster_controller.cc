@@ -498,6 +498,68 @@ Status ClusterController::AbandonCopy(const std::string& db_name) {
   });
 }
 
+Status ClusterController::SwapReplica(const std::string& db_name,
+                                      int source_machine, int target_machine) {
+  {
+    platform::Guard lock(mu_);
+    if (target_machine < 0 ||
+        target_machine >= static_cast<int>(machines_.size())) {
+      return Status::InvalidArgument("no machine " +
+                                     std::to_string(target_machine));
+    }
+    if (machines_[target_machine]->failed()) {
+      return Status::FailedPrecondition("swap target machine failed");
+    }
+  }
+  Status status = Status::OK();
+  std::vector<int> new_replicas;
+  qos::QuotaSpec quota;
+  bool push_quota = false;
+  Status found = catalog_.With(db_name, [&](catalog::TenantRecord& record) {
+    auto it = std::find(record.replicas.begin(), record.replicas.end(),
+                        source_machine);
+    if (it == record.replicas.end()) {
+      status = Status::FailedPrecondition(
+          db_name + " has no replica on machine " +
+          std::to_string(source_machine));
+      return;
+    }
+    if (std::find(record.replicas.begin(), record.replicas.end(),
+                  target_machine) != record.replicas.end()) {
+      status = Status::FailedPrecondition(
+          db_name + " already has a replica on machine " +
+          std::to_string(target_machine));
+      return;
+    }
+    *it = target_machine;
+    new_replicas = record.replicas;
+    if (record.has_quota) {
+      quota = record.quota;
+      if (record.live_rate_tps > 0) quota.rate_tps = record.live_rate_tps;
+      push_quota = true;
+    }
+  });
+  MTDB_RETURN_IF_ERROR(found);
+  MTDB_RETURN_IF_ERROR(status);
+  {
+    platform::Guard lock(mu_);
+    if (source_machine >= 0 &&
+        source_machine < static_cast<int>(machine_replica_load_.size())) {
+      machine_replica_load_[source_machine]--;
+    }
+    machine_replica_load_[target_machine]++;
+    backup_.replica_map[db_name] = new_replicas;
+  }
+  // The admission quota follows the tenant to its new home immediately;
+  // without this, the target would serve unthrottled until the next
+  // RefreshQuotasFromLoad pass noticed the move.
+  if (push_quota) {
+    (void)client_->SetQuota(target_machine, db_name, quota.rate_tps,
+                            quota.burst, quota.weight);
+  }
+  return Status::OK();
+}
+
 // --- QoS / admission control ---
 
 Status ClusterController::SetDatabaseQuota(const std::string& db_name,
@@ -881,12 +943,43 @@ Status Connection::BeginInternal(bool read_only) {
   if (epoch_ != controller_->epoch()) {
     return Status::Unavailable("connection lost: controller failover");
   }
+  // Pin the tenant BEFORE minting any transaction state. AcquireForTxn
+  // atomically refuses the pin while the tenant is in a migration cutover,
+  // so every transaction holding a pin is visible to the cutover drain and
+  // no transaction can slip between the drain check and the replica swap.
+  // A refused begin backs off and retries — throttled, never failed — with
+  // the same policy as QoS admission; cutovers last milliseconds, far under
+  // the retry budget.
+  bool cutover = false;
+  catalog::TenantCatalog::TenantRef ref =
+      controller_->catalog_.AcquireForTxn(db_name_, &cutover);
+  if (cutover) {
+    const ThrottleRetryPolicy& policy = controller_->options().throttle_retry;
+    int64_t deadline_us = NowMicros() + std::max<int64_t>(policy.budget_us, 0);
+    int64_t backoff_us = std::max<int64_t>(policy.initial_backoff_us, 1);
+    while (cutover) {
+      int64_t wait_us =
+          std::min(backoff_us, std::max<int64_t>(policy.max_backoff_us, 1));
+      wait_us += static_cast<int64_t>(
+          rng_.Uniform(static_cast<uint64_t>(wait_us / 2 + 1)));
+      if (NowMicros() + wait_us > deadline_us) {
+        return Status::ResourceExhausted("tenant " + db_name_ +
+                                         " is in a migration cutover");
+      }
+      obs::Increment(m_backoff_);
+      obs::Observe(m_backoff_wait_us_, wait_us);
+      std::this_thread::sleep_for(std::chrono::microseconds(wait_us));
+      backoff_us = std::min(backoff_us * 2,
+                            std::max<int64_t>(policy.max_backoff_us, 1));
+      ref = controller_->catalog_.AcquireForTxn(db_name_, &cutover);
+    }
+  }
   txn_id_ = controller_->NextTxnId();
   active_ = true;
-  // Pin the tenant for the transaction's lifetime: a pinned tenant's
+  // The pin lives for the transaction's lifetime: a pinned tenant's
   // resident catalog state (prepared registrations, plan caches behind it)
   // is never evicted mid-transaction.
-  tenant_ref_ = controller_->catalog_.Acquire(db_name_);
+  tenant_ref_ = std::move(ref);
   wrote_ = false;
   read_only_ = read_only;
   snapshot_ts_ = 0;

@@ -333,6 +333,17 @@ class ClusterController {
   Status CompleteCopy(const std::string& db_name);
   Status AbandonCopy(const std::string& db_name);
 
+  // --- Live migration (rebalance::TenantMigrator's cutover step) ---
+  // Atomically replaces `source_machine` with `target_machine` in db_name's
+  // replica list. Positional swap, so primary_offset keeps naming the same
+  // logical slot. The stored quota is pushed to the target — it joins with
+  // the tenant's admission limits already in force, closing the gap where
+  // placement changes outran RefreshQuotasFromLoad. No handle invalidation
+  // needed: a machine that never saw the tenant answers kNotFound for a
+  // foreign statement handle and the connection re-mints via DropHandle.
+  Status SwapReplica(const std::string& db_name, int source_machine,
+                     int target_machine);
+
   // --- Process-pair failover ---
   // Simulates the primary controller crashing and the backup taking over:
   // existing connections are invalidated, in-flight 2PC transactions are

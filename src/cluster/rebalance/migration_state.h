@@ -1,0 +1,49 @@
+#ifndef MTDB_CLUSTER_REBALANCE_MIGRATION_STATE_H_
+#define MTDB_CLUSTER_REBALANCE_MIGRATION_STATE_H_
+
+// Live-migration bookkeeping embedded in the durable tenant record.
+//
+// The phase field is the migration protocol's state machine (DESIGN.md §16):
+//
+//     kIdle ──▶ kBulkCopy ──▶ kDeltaCatchup ──▶ kCutover ──▶ kIdle
+//       ▲           │               │               │      (placement
+//       └───────────┴───── abort ───┴───────────────┘       swapped)
+//
+// Everything before kCutover is invisible to transactions: the source keeps
+// serving reads and writes while the target is bulk-loaded and caught up
+// from the source's WAL. kCutover is the only phase with a client-visible
+// effect — TenantCatalog::AcquireForTxn refuses new pins so begins back off
+// (throttled, never failed) for the few milliseconds it takes to drain
+// in-flight transactions, ship the final WAL delta, and swap the replica
+// list. An abort from any phase restores kIdle with placement unchanged.
+//
+// Mutation discipline: migration state is only ever assigned inside
+// src/cluster/rebalance/ (enforced by the mtdblint `migration-state` rule);
+// the catalog and controller read it (phase comparisons) but never write it.
+
+#include <cstdint>
+
+namespace mtdb::rebalance {
+
+enum class MigrationPhase : uint8_t {
+  kIdle = 0,
+  kBulkCopy,      // dump-based table copy; source serves normally
+  kDeltaCatchup,  // WAL delta rounds; source serves normally
+  kCutover,       // new begins refused (backed off), pins draining
+};
+
+struct MigrationState {
+  MigrationPhase phase = MigrationPhase::kIdle;
+  int source_machine = -1;
+  int target_machine = -1;
+  // Source-WAL frontier the target has been caught up to (LSN = line number
+  // in the source log; the PR-9 LogWriter appends one line per record).
+  uint64_t wal_cursor = 0;
+  int64_t started_us = 0;
+
+  bool active() const { return phase != MigrationPhase::kIdle; }
+};
+
+}  // namespace mtdb::rebalance
+
+#endif  // MTDB_CLUSTER_REBALANCE_MIGRATION_STATE_H_

@@ -241,13 +241,15 @@ std::string_view RpcTypeName(RpcType type) {
     case RpcType::kExecutePrepared: return "ExecutePrepared";
     case RpcType::kStats: return "Stats";
     case RpcType::kSetQuota: return "SetQuota";
+    case RpcType::kWalDeltaRead: return "WalDeltaRead";
+    case RpcType::kWalDeltaApply: return "WalDeltaApply";
   }
   return "?";
 }
 
 namespace {
 
-constexpr int kNumRpcTypes = static_cast<int>(RpcType::kSetQuota) + 1;
+constexpr int kNumRpcTypes = static_cast<int>(RpcType::kWalDeltaApply) + 1;
 
 // Per-type request byte counters, resolved once. Encoding is the one place
 // that sees every outbound request regardless of transport.
@@ -292,6 +294,9 @@ void EncodeRequestFrame(const RpcRequest& request, std::string* out) {
   AppendU64(out, request.stmt_handle);
   AppendU64(out, request.trace_id);
   AppendU8(out, request.read_only ? 1 : 0);
+  AppendU64(out, request.wal_cursor);
+  AppendU32(out, static_cast<uint32_t>(request.lines.size()));
+  for (const std::string& line : request.lines) AppendString(out, line);
   uint32_t payload = static_cast<uint32_t>(out->size() - frame_start - 4);
   for (int i = 0; i < 4; ++i) {
     (*out)[frame_start + i] = static_cast<char>((payload >> (8 * i)) & 0xff);
@@ -317,6 +322,7 @@ void EncodeResponseFrame(const RpcResponse& response, std::string* out) {
   AppendU64(out, static_cast<uint64_t>(response.server_duration_us));
   AppendU64(out, static_cast<uint64_t>(response.retry_after_us));
   AppendU64(out, response.snapshot_ts);
+  AppendU64(out, response.wal_lsn);
   uint32_t payload = static_cast<uint32_t>(out->size() - frame_start - 4);
   for (int i = 0; i < 4; ++i) {
     (*out)[frame_start + i] = static_cast<char>((payload >> (8 * i)) & 0xff);
@@ -351,7 +357,7 @@ Result<RpcRequest> DecodeRequest(std::string_view payload) {
   RpcRequest request;
   uint8_t type = in.ReadU8();
   if (type < static_cast<uint8_t>(RpcType::kHealth) ||
-      type > static_cast<uint8_t>(RpcType::kSetQuota)) {
+      type > static_cast<uint8_t>(RpcType::kWalDeltaApply)) {
     return Status::InvalidArgument("unknown request type " +
                                    std::to_string(type));
   }
@@ -376,6 +382,12 @@ Result<RpcRequest> DecodeRequest(std::string_view payload) {
   request.stmt_handle = in.ReadU64();
   request.trace_id = in.ReadU64();
   request.read_only = in.ReadU8() != 0;
+  request.wal_cursor = in.ReadU64();
+  uint32_t lines = in.ReadCount();
+  request.lines.reserve(lines);
+  for (uint32_t i = 0; i < lines && in.ok(); ++i) {
+    request.lines.push_back(in.ReadString());
+  }
   if (!in.ok()) return Status::InvalidArgument("truncated request frame");
   if (in.remaining() != 0) {
     return Status::InvalidArgument("trailing bytes after request frame");
@@ -416,6 +428,7 @@ Result<RpcResponse> DecodeResponse(std::string_view payload) {
   response.server_duration_us = static_cast<int64_t>(in.ReadU64());
   response.retry_after_us = static_cast<int64_t>(in.ReadU64());
   response.snapshot_ts = in.ReadU64();
+  response.wal_lsn = in.ReadU64();
   if (!in.ok()) return Status::InvalidArgument("truncated response frame");
   if (in.remaining() != 0) {
     return Status::InvalidArgument("trailing bytes after response frame");

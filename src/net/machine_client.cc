@@ -354,6 +354,32 @@ Status MachineClient::ApplyDump(int machine_id, const std::string& db_name,
   return CallSync(channel.get(), machine_id, request).ToStatus();
 }
 
+Result<std::vector<std::string>> MachineClient::WalDeltaRead(
+    int machine_id, const std::string& db_name, uint64_t wal_cursor,
+    uint64_t* frontier) {
+  RpcRequest request;
+  request.type = RpcType::kWalDeltaRead;
+  request.db_name = db_name;
+  request.wal_cursor = wal_cursor;
+  // Transient channel, like the dump calls: a delta round can be large and
+  // must not head-of-line-block the control channel.
+  auto channel = transport_->OpenChannel(machine_id);
+  RpcResponse response = CallSync(channel.get(), machine_id, request);
+  if (!response.ok()) return response.ToStatus();
+  *frontier = response.wal_lsn;
+  return std::move(response.names);
+}
+
+Status MachineClient::WalDeltaApply(int machine_id, const std::string& db_name,
+                                    const std::vector<std::string>& lines) {
+  RpcRequest request;
+  request.type = RpcType::kWalDeltaApply;
+  request.db_name = db_name;
+  request.lines = lines;
+  auto channel = transport_->OpenChannel(machine_id);
+  return CallSync(channel.get(), machine_id, request).ToStatus();
+}
+
 // --- Deadline machinery ---
 
 void MachineClient::CallWithDeadline(Channel* channel, int machine_id,

@@ -144,6 +144,21 @@ class MachineClient {
   Status ApplyDump(int machine_id, const std::string& db_name,
                    const TableDump& dump);
 
+  // Live-migration delta calls (kWalDeltaRead / kWalDeltaApply); transient
+  // channels, like the dump calls. WalDeltaRead returns the raw WAL lines
+  // the target must replay to catch db_name up past `wal_cursor`, and sets
+  // `*frontier` to the source-WAL LSN the delta reaches (the next round's
+  // cursor). Cursor UINT64_MAX is a probe: frontier only, no lines; a
+  // source without a WAL answers kFailedPrecondition.
+  Result<std::vector<std::string>> WalDeltaRead(int machine_id,
+                                                const std::string& db_name,
+                                                uint64_t wal_cursor,
+                                                uint64_t* frontier);
+  // Replays delta lines on the target (DDL idempotently, row images as
+  // upserts). Lines must come from WalDeltaRead against the same database.
+  Status WalDeltaApply(int machine_id, const std::string& db_name,
+                       const std::vector<std::string>& lines);
+
   // Drops the cached control channel to one machine (e.g. after it was
   // recovered into a new process); the next control call reconnects.
   void ResetControlChannel(int machine_id);

@@ -11,6 +11,7 @@
 #include "src/sql/executor.h"
 #include "src/sql/parser.h"
 #include "src/storage/dump.h"
+#include "src/storage/wal/wal.h"
 
 namespace mtdb::net {
 
@@ -18,7 +19,7 @@ namespace {
 
 // Server-side per-type service-time histograms, resolved once.
 Histogram* ServerLatencyFor(RpcType type) {
-  constexpr int kNumTypes = static_cast<int>(RpcType::kSetQuota) + 1;
+  constexpr int kNumTypes = static_cast<int>(RpcType::kWalDeltaApply) + 1;
   static Histogram** table = [] {
     auto** entries = new Histogram*[kNumTypes]();
     for (int i = 1; i < kNumTypes; ++i) {
@@ -240,6 +241,79 @@ RpcResponse MachineService::DispatchControl(const RpcRequest& request) {
                                          ? request.params[2].AsInt()
                                          : request.params[2].AsDouble());
       machine_->SetQuota(request.db_name, spec);
+      return RpcResponse();
+    }
+    case RpcType::kWalDeltaRead: {
+      WriteAheadLog* log = engine->wal();
+      if (log == nullptr) {
+        // Doubles as the migrator's capability probe: a WAL-less source
+        // cannot serve deltas, so the migration falls back to frozen copy.
+        return RpcResponse::FromStatus(
+            Status::FailedPrecondition("source machine has no WAL"));
+      }
+      // Push enqueued records to the file so the frontier covers them.
+      Status sync_status = log->Sync();
+      if (!sync_status.ok()) return RpcResponse::FromStatus(sync_status);
+      uint64_t frontier = 0;
+      if (request.wal_cursor == UINT64_MAX) {
+        // Probe round: frontier only, no lines.
+        auto probe_or = WriteAheadLog::ReadCommittedDeltaSince(
+            log->path(), request.db_name, UINT64_MAX, &frontier);
+        if (!probe_or.ok()) return RpcResponse::FromStatus(probe_or.status());
+        RpcResponse response;
+        response.wal_lsn = frontier;
+        return response;
+      }
+      auto lines_or = WriteAheadLog::ReadCommittedDeltaSince(
+          log->path(), request.db_name, request.wal_cursor, &frontier);
+      if (!lines_or.ok()) return RpcResponse::FromStatus(lines_or.status());
+      RpcResponse response;
+      response.names = std::move(*lines_or);
+      response.wal_lsn = frontier;
+      return response;
+    }
+    case RpcType::kWalDeltaApply: {
+      std::vector<WalRecord> records =
+          WriteAheadLog::ParseDeltaLines(request.lines);
+      for (const WalRecord& record : records) {
+        Status status = Status::OK();
+        switch (record.type) {
+          case WalRecordType::kCreateDatabase:
+            status = engine->CreateDatabase(record.database);
+            break;
+          case WalRecordType::kCreateTable: {
+            auto schema_or = WriteAheadLog::DecodeSchema(record.aux);
+            if (!schema_or.ok()) {
+              status = schema_or.status();
+              break;
+            }
+            status = engine->CreateTable(record.database, *schema_or);
+            break;
+          }
+          case WalRecordType::kCreateIndex: {
+            // aux is "<index>:<column>", the AppendDdl encoding.
+            size_t colon = record.aux.find(':');
+            if (colon == std::string::npos) break;
+            status = engine->CreateIndex(record.database, record.table,
+                                         record.aux.substr(0, colon),
+                                         record.aux.substr(colon + 1));
+            break;
+          }
+          case WalRecordType::kInsert:
+          case WalRecordType::kUpdate:
+          case WalRecordType::kDelete:
+            status = engine->ApplyRedoRow(record.database, record.table,
+                                          record.type, record.primary_key,
+                                          record.row);
+            break;
+          default:
+            break;
+        }
+        // The bulk copy may already include this DDL: re-applying is fine.
+        if (!status.ok() && status.code() != StatusCode::kAlreadyExists) {
+          return RpcResponse::FromStatus(status);
+        }
+      }
       return RpcResponse();
     }
     case RpcType::kListTables: {

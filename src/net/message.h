@@ -39,6 +39,8 @@ enum class RpcType : uint8_t {
   kExecutePrepared = 20,   // run a prepared handle inside txn_id
   kStats = 21,             // metrics dump (text exposition in the message)
   kSetQuota = 22,          // install a QoS quota for db_name on the machine
+  kWalDeltaRead = 23,      // live migration: committed WAL delta since cursor
+  kWalDeltaApply = 24,     // live migration: replay delta lines on the target
 };
 
 std::string_view RpcTypeName(RpcType type);
@@ -69,6 +71,12 @@ struct RpcRequest {
   // from the MVCC snapshot without lock-manager traffic, writes are
   // rejected. Always on the wire; old-format frames fail decoding.
   bool read_only = false;
+  // kWalDeltaRead: ship committed records for db_name past this source-WAL
+  // frontier (LSN). UINT64_MAX is a capability probe: no lines, frontier
+  // only. Always on the wire, like read_only.
+  uint64_t wal_cursor = 0;
+  // kWalDeltaApply: raw WAL lines to replay (as returned by kWalDeltaRead).
+  std::vector<std::string> lines;
 };
 
 // A decoded response. `code`/`message` carry the operation Status; payload
@@ -94,6 +102,11 @@ struct RpcResponse {
   // timestamp assigned to it (0 for read-write begins and every other
   // response type). Always on the wire, like retry_after_us.
   uint64_t snapshot_ts = 0;
+  // kWalDeltaRead: the source-WAL frontier (LSN of the last complete line)
+  // the returned delta catches the caller up to; feed it back as the next
+  // round's wal_cursor. 0 elsewhere. Always on the wire, like snapshot_ts.
+  // The delta lines themselves travel in `names`.
+  uint64_t wal_lsn = 0;
 
   bool ok() const { return code == StatusCode::kOk; }
   Status ToStatus() const {

@@ -43,6 +43,14 @@ double LoadMonitor::TpsLocked(const Window& window, int64_t now_us) const {
   return static_cast<double>(committed) * 1e6 / static_cast<double>(span_us);
 }
 
+bool LoadMonitor::IdleLocked(const Window& window, int64_t now_us) const {
+  int64_t horizon = now_us - options_.window_us;
+  for (const auto& [when, ok] : window.samples) {
+    if (when >= horizon && ok) return false;
+  }
+  return true;
+}
+
 double LoadMonitor::TpsFor(const std::string& db) const {
   int64_t now = NowMicros();
   platform::Guard lock(mu_);
@@ -57,6 +65,11 @@ ResourceVector LoadMonitor::EstimateFor(const std::string& db) const {
   if (it == windows_.end()) {
     return sla::EstimateRequirement(0.0, 0.0, options_.model);
   }
+  // A database with no committed transactions in the window contributes a
+  // zero vector, not the size-term floor of the profile model: stale windows
+  // must not keep reporting demand (and thereby trigger rebalancing) for
+  // tenants that went quiet.
+  if (IdleLocked(it->second, now)) return ResourceVector{};
   return sla::EstimateRequirement(it->second.size_mb,
                                   TpsLocked(it->second, now), options_.model);
 }
@@ -71,18 +84,22 @@ sla::DatabaseDemand LoadMonitor::DemandFor(const std::string& db,
 }
 
 std::vector<sla::DatabaseDemand> LoadMonitor::Demands(int replicas) const {
-  std::vector<std::string> names;
-  {
-    platform::Guard lock(mu_);
-    names.reserve(windows_.size());
-    for (const auto& [name, window] : windows_) names.push_back(name);
-  }
   std::vector<sla::DatabaseDemand> demands;
-  demands.reserve(names.size());
-  for (const std::string& name : names) {
+  for (const std::string& name : ActiveDatabases()) {
     demands.push_back(DemandFor(name, replicas));
   }
   return demands;
+}
+
+std::vector<std::string> LoadMonitor::ActiveDatabases() const {
+  int64_t now = NowMicros();
+  std::vector<std::string> names;
+  platform::Guard lock(mu_);
+  names.reserve(windows_.size());
+  for (const auto& [name, window] : windows_) {
+    if (!IdleLocked(window, now)) names.push_back(name);
+  }
+  return names;
 }
 
 void LoadMonitor::Evict(const std::string& db) {

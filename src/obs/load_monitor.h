@@ -56,8 +56,15 @@ class LoadMonitor {
   // Packaged for the placer: measured demand for one database.
   sla::DatabaseDemand DemandFor(const std::string& db, int replicas) const;
 
-  // All databases with samples in the window, ready to feed FirstFitPlacer.
+  // Databases with committed traffic inside the window, ready to feed
+  // FirstFitPlacer. Idle databases are excluded entirely — their estimate is
+  // a zero vector (see EstimateFor), so reporting them would only dilute the
+  // placer's input with ghosts.
   std::vector<sla::DatabaseDemand> Demands(int replicas) const;
+
+  // Names of the non-idle databases (the Demands() universe). The
+  // rebalancer's working set: tenants whose measured demand is current.
+  std::vector<std::string> ActiveDatabases() const;
 
   // Drops `db`'s window (samples, size hint, first-seen mark). Called by the
   // tenant catalog's eviction sweep for idle tenants and on DropDatabase;
@@ -75,6 +82,10 @@ class LoadMonitor {
   };
 
   double TpsLocked(const Window& window, int64_t now_us) const
+      MTDB_REQUIRES(mu_);
+  // True when the window holds no committed sample inside the horizon — the
+  // tenant went quiet and its last-known demand is stale.
+  bool IdleLocked(const Window& window, int64_t now_us) const
       MTDB_REQUIRES(mu_);
 
   Options options_;

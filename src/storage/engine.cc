@@ -1005,6 +1005,30 @@ Status Engine::BulkInsertVersioned(
   return Status::OK();
 }
 
+Status Engine::ApplyRedoRow(const std::string& db_name,
+                            const std::string& table_name, WalRecordType type,
+                            const Value& primary_key, const Row& row) {
+  MTDB_ASSIGN_OR_RETURN(Table * table, ResolveTable(db_name, table_name));
+  switch (type) {
+    case WalRecordType::kInsert:
+    case WalRecordType::kUpdate: {
+      MTDB_RETURN_IF_ERROR(table->schema().ValidateRow(row));
+      if (table->Update(primary_key, row, table->NextVersion())) {
+        return Status::OK();
+      }
+      if (table->Insert(row, table->NextVersion())) return Status::OK();
+      return Status::Internal("redo apply failed for " + db_name + "." +
+                              table_name);
+    }
+    case WalRecordType::kDelete:
+      // Deleting an absent row is fine: the bulk copy may already reflect it.
+      (void)table->Delete(primary_key, table->NextVersion());
+      return Status::OK();
+    default:
+      return Status::InvalidArgument("not a redo row record");
+  }
+}
+
 // --- History ---
 
 std::vector<CommittedTxnRecord> Engine::GetHistory() const {

@@ -223,6 +223,15 @@ class Engine {
   Status BulkInsertVersioned(const std::string& db_name,
                              const std::string& table_name,
                              const std::vector<std::pair<Row, uint64_t>>& rows);
+  // Applies one redo row image from a live-migration WAL delta (kInsert /
+  // kUpdate / kDelete). Upsert semantics: the same committed transaction may
+  // be shipped by more than one catch-up round only if the log is replayed
+  // from scratch, but an insert-then-update chain within a round must land
+  // on whatever the bulk copy already installed. Like BulkInsertVersioned,
+  // never WAL-logged — the migrated replica re-seeds by re-copy on restart.
+  Status ApplyRedoRow(const std::string& db_name, const std::string& table_name,
+                      WalRecordType type, const Value& primary_key,
+                      const Row& row);
 
   // --- MVCC (DESIGN.md §13) ---
   const mvcc::TimestampOracle& timestamp_oracle() const { return oracle_; }

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <utility>
 
@@ -286,68 +287,164 @@ Status WriteAheadLog::AppendDecision(WalRecordType type, uint64_t txn_id) {
 
 Status WriteAheadLog::Sync() { return writer_->SyncAll(); }
 
-Result<std::vector<WalRecord>> WriteAheadLog::ReadAll(
-    const std::string& path) {
+namespace {
+
+// Parses one complete log line. Three outcomes, matching ReadAll's historic
+// contract: OK with *out filled for a good record, OK with *out empty for a
+// torn/unknown-tag line (skipped by design), error for a structurally valid
+// line whose value payload fails to decode.
+Status ParseWalLine(const std::string& line, std::optional<WalRecord>* out) {
+  out->reset();
+  if (line.empty()) return Status::OK();
+  std::vector<std::string> fields = SplitFields(line);
+  if (fields.size() < 2) return Status::OK();  // torn record: skip
+  auto type_or = ParseTypeTag(fields[0]);
+  if (!type_or.ok()) return Status::OK();  // torn record: skip
+  WalRecord record;
+  record.type = *type_or;
+  record.txn_id = std::stoull(fields[1]);
+  switch (record.type) {
+    case WalRecordType::kPrepare:
+    case WalRecordType::kCommit:
+    case WalRecordType::kAbort:
+      break;
+    case WalRecordType::kCreateDatabase:
+    case WalRecordType::kCreateTable:
+    case WalRecordType::kCreateIndex:
+      if (fields.size() < 5) return Status::OK();
+      record.database = Unescape(fields[2]);
+      record.table = Unescape(fields[3]);
+      record.aux = Unescape(fields[4]);
+      break;
+    case WalRecordType::kInsert:
+    case WalRecordType::kUpdate:
+    case WalRecordType::kDelete: {
+      if (fields.size() < 5) return Status::OK();
+      record.database = Unescape(fields[2]);
+      record.table = Unescape(fields[3]);
+      MTDB_ASSIGN_OR_RETURN(record.primary_key,
+                            WriteAheadLog::DecodeValue(Unescape(fields[4])));
+      for (size_t f = 5; f < fields.size(); ++f) {
+        MTDB_ASSIGN_OR_RETURN(Value value,
+                              WriteAheadLog::DecodeValue(Unescape(fields[f])));
+        record.row.push_back(std::move(value));
+      }
+      break;
+    }
+  }
+  *out = std::move(record);
+  return Status::OK();
+}
+
+// Every complete ('\n'-terminated) line of the log file, raw. Line i (0-based)
+// holds LSN i+1; a trailing line without '\n' is a torn write, ignored.
+Result<std::vector<std::string>> ReadLines(const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
     return Status::NotFound("WAL file " + path);
   }
-  std::vector<WalRecord> records;
+  std::vector<std::string> lines;
   std::string line;
   int c;
-  auto process_line = [&]() -> Status {
-    if (line.empty()) return Status::OK();
-    std::vector<std::string> fields = SplitFields(line);
-    if (fields.size() < 2) return Status::OK();  // torn record: skip
-    auto type_or = ParseTypeTag(fields[0]);
-    if (!type_or.ok()) return Status::OK();  // torn record: skip
-    WalRecord record;
-    record.type = *type_or;
-    record.txn_id = std::stoull(fields[1]);
-    switch (record.type) {
-      case WalRecordType::kPrepare:
-      case WalRecordType::kCommit:
-      case WalRecordType::kAbort:
-        break;
-      case WalRecordType::kCreateDatabase:
-      case WalRecordType::kCreateTable:
-      case WalRecordType::kCreateIndex:
-        if (fields.size() < 5) return Status::OK();
-        record.database = Unescape(fields[2]);
-        record.table = Unescape(fields[3]);
-        record.aux = Unescape(fields[4]);
-        break;
-      case WalRecordType::kInsert:
-      case WalRecordType::kUpdate:
-      case WalRecordType::kDelete: {
-        if (fields.size() < 5) return Status::OK();
-        record.database = Unescape(fields[2]);
-        record.table = Unescape(fields[3]);
-        MTDB_ASSIGN_OR_RETURN(record.primary_key,
-                              DecodeValue(Unescape(fields[4])));
-        for (size_t f = 5; f < fields.size(); ++f) {
-          MTDB_ASSIGN_OR_RETURN(Value value, DecodeValue(Unescape(fields[f])));
-          record.row.push_back(std::move(value));
-        }
-        break;
-      }
-    }
-    records.push_back(std::move(record));
-    return Status::OK();
-  };
-  Status status = Status::OK();
   while ((c = std::fgetc(file)) != EOF) {
     if (c == '\n') {
-      status = process_line();
+      lines.push_back(std::move(line));
       line.clear();
-      if (!status.ok()) break;
     } else {
       line.push_back(static_cast<char>(c));
     }
   }
-  // A trailing line without '\n' is a torn write: ignored by design.
   std::fclose(file);
-  if (!status.ok()) return status;
+  return lines;
+}
+
+}  // namespace
+
+Result<std::vector<WalRecord>> WriteAheadLog::ReadAll(
+    const std::string& path) {
+  MTDB_ASSIGN_OR_RETURN(std::vector<std::string> lines, ReadLines(path));
+  std::vector<WalRecord> records;
+  for (const std::string& line : lines) {
+    std::optional<WalRecord> record;
+    MTDB_RETURN_IF_ERROR(ParseWalLine(line, &record));
+    if (record.has_value()) records.push_back(*std::move(record));
+  }
+  return records;
+}
+
+Result<std::vector<std::string>> WriteAheadLog::ReadCommittedDeltaSince(
+    const std::string& path, const std::string& database, uint64_t after_lsn,
+    uint64_t* frontier) {
+  MTDB_ASSIGN_OR_RETURN(std::vector<std::string> lines, ReadLines(path));
+  *frontier = static_cast<uint64_t>(lines.size());
+  // Parse every line once, keeping the LSN = index+1 alignment (a malformed
+  // line still occupies its line number). Delta reads tolerate undecodable
+  // values by skipping the line — the live log is being appended while we
+  // read, and anything skipped here is either garbage or re-sent by a later
+  // round (frontier only covers complete lines).
+  std::vector<std::optional<WalRecord>> records(lines.size());
+  std::map<uint64_t, uint64_t> commit_lsn;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::optional<WalRecord> record;
+    if (!ParseWalLine(lines[i], &record).ok() || !record.has_value()) continue;
+    if (record->type == WalRecordType::kCommit) {
+      commit_lsn[record->txn_id] = i + 1;
+    }
+    records[i] = std::move(record);
+  }
+  std::vector<std::string> delta;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (!records[i].has_value()) continue;
+    const WalRecord& record = *records[i];
+    uint64_t lsn = i + 1;
+    switch (record.type) {
+      case WalRecordType::kCreateDatabase:
+      case WalRecordType::kCreateTable:
+      case WalRecordType::kCreateIndex:
+        // DDL is decision-free (synced immediately): keyed on its own LSN.
+        if (record.database == database && lsn > after_lsn) {
+          delta.push_back(lines[i]);
+        }
+        break;
+      case WalRecordType::kInsert:
+      case WalRecordType::kUpdate:
+      case WalRecordType::kDelete: {
+        if (record.database != database) break;
+        if (record.txn_id == 0) {
+          // Bulk-load pseudo-transaction: implicitly committed at append.
+          if (lsn > after_lsn) delta.push_back(lines[i]);
+          break;
+        }
+        // Keyed on the transaction's COMMIT LSN: a transaction that was in
+        // flight at the previous round's frontier had its op lines below
+        // the cursor, but its commit lands above it, so this round ships
+        // the whole transaction exactly once.
+        auto it = commit_lsn.find(record.txn_id);
+        if (it != commit_lsn.end() && it->second > after_lsn) {
+          delta.push_back(lines[i]);
+        }
+        break;
+      }
+      case WalRecordType::kPrepare:
+      case WalRecordType::kCommit:
+      case WalRecordType::kAbort:
+        // Decisions never ship: the commit filter has already applied them,
+        // so the target replays the delta unconditionally in line order.
+        break;
+    }
+  }
+  return delta;
+}
+
+std::vector<WalRecord> WriteAheadLog::ParseDeltaLines(
+    const std::vector<std::string>& lines) {
+  std::vector<WalRecord> records;
+  records.reserve(lines.size());
+  for (const std::string& line : lines) {
+    std::optional<WalRecord> record;
+    if (!ParseWalLine(line, &record).ok() || !record.has_value()) continue;
+    records.push_back(*std::move(record));
+  }
   return records;
 }
 

@@ -128,6 +128,30 @@ class WriteAheadLog {
   // classic crash artifact — is ignored).
   static Result<std::vector<WalRecord>> ReadAll(const std::string& path);
 
+  // Live-migration delta read (LSN = 1-based line number; the LogWriter
+  // appends exactly one line per record, so file order is LSN order).
+  // Returns, in log order, the raw lines a migration target must replay to
+  // catch `database` up past the `after_lsn` frontier:
+  //   * DDL lines for the database with LSN > after_lsn, and
+  //   * row-op lines of transactions whose COMMIT record has LSN >
+  //     after_lsn — the op lines themselves may be older (a transaction
+  //     in flight when the previous round read the log), which is why the
+  //     filter keys on the decision LSN, not the op LSN. Bulk-load lines
+  //     (pseudo-transaction 0, implicitly committed) key on their own LSN.
+  // Aborted and still-undecided transactions are excluded, so the returned
+  // lines are unconditionally applicable on the target. `frontier` receives
+  // the LSN of the last complete line; passing it back as the next round's
+  // after_lsn yields disjoint, gap-free rounds. Callers must Sync() the
+  // live log first so enqueued records have reached the file.
+  static Result<std::vector<std::string>> ReadCommittedDeltaSince(
+      const std::string& path, const std::string& database,
+      uint64_t after_lsn, uint64_t* frontier);
+
+  // Parses raw delta lines (as returned by ReadCommittedDeltaSince) back
+  // into records; malformed lines are skipped, like ReadAll.
+  static std::vector<WalRecord> ParseDeltaLines(
+      const std::vector<std::string>& lines);
+
   // Rebuilds engine state from a log: replays DDL immediately and the row
   // images of committed transactions in commit order. The engine must be
   // fresh (no databases).

@@ -1,0 +1,565 @@
+// Live-migration and rebalancer tests (DESIGN.md §16).
+//
+// The contract under test: a tenant can be moved between machines while it
+// keeps serving — zero failed in-flight transactions, zero lost writes,
+// snapshot reads pinned to the source stay valid until their transaction
+// ends, and an injected fault during delta catch-up aborts cleanly back to
+// the source. Plus the control loop around it: planner decisions, the
+// LoadMonitor idle-decay regression, and hysteresis/cooldown on Tick().
+//
+// This tier carries the "sanitizer;rebalance" labels (tests/CMakeLists.txt)
+// so the TSan CI job runs exactly this file with `ctest -L rebalance`.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/cluster/cluster_controller.h"
+#include "src/cluster/rebalance/rebalancer.h"
+#include "src/net/inproc_transport.h"
+#include "src/net/message.h"
+#include "src/obs/load_monitor.h"
+
+namespace mtdb {
+namespace {
+
+MachineOptions FastMachine() {
+  MachineOptions options;
+  options.engine_options.lock_options.lock_timeout_us = 2'000'000;
+  return options;
+}
+
+// A machine with its own group-commit WAL (live migrations need one on the
+// source). The file is per-test and per-machine; a stale file from a crashed
+// earlier run would be replayed as recovery, so remove it first.
+MachineOptions WalMachine(const std::string& tag, int id) {
+  MachineOptions options = FastMachine();
+  options.engine_options.wal_path =
+      ::testing::TempDir() + "mtdb_rebalance_" + tag + "_" +
+      std::to_string(static_cast<long long>(getpid())) + "_" +
+      std::to_string(id) + ".wal";
+  std::remove(options.engine_options.wal_path.c_str());
+  return options;
+}
+
+rebalance::MigrationPlan MakePlan(const std::string& db, int source,
+                                  int target) {
+  rebalance::MigrationPlan plan;
+  plan.database = db;
+  plan.source_machine = source;
+  plan.target_machine = target;
+  return plan;
+}
+
+class RebalanceTest : public ::testing::Test {
+ protected:
+  void BuildWal(const std::string& tag, int machines,
+                ClusterControllerOptions options = {}) {
+    controller_ = std::make_unique<ClusterController>(options);
+    wal_paths_.clear();
+    for (int i = 0; i < machines; ++i) {
+      MachineOptions machine = WalMachine(tag, i);
+      wal_paths_.push_back(machine.engine_options.wal_path);
+      controller_->AddMachine(machine);
+    }
+  }
+
+  void BuildPlain(int machines, ClusterControllerOptions options = {}) {
+    controller_ = std::make_unique<ClusterController>(options);
+    for (int i = 0; i < machines; ++i) {
+      controller_->AddMachine(FastMachine());
+    }
+  }
+
+  void TearDown() override {
+    controller_.reset();
+    for (const std::string& path : wal_paths_) std::remove(path.c_str());
+  }
+
+  // One single-replica tenant on `machine` with a counter table.
+  void SetUpCounters(const std::string& db, int machine, int64_t rows) {
+    ASSERT_TRUE(controller_->CreateDatabaseOn(db, {machine}).ok());
+    ASSERT_TRUE(controller_
+                    ->ExecuteDdl(db,
+                                 "CREATE TABLE counters (id INT PRIMARY KEY, "
+                                 "v INT)")
+                    .ok());
+    std::vector<Row> load;
+    for (int64_t i = 0; i < rows; ++i) {
+      load.push_back({Value(i), Value(int64_t{0})});
+    }
+    ASSERT_TRUE(controller_->BulkLoad(db, "counters", load).ok());
+  }
+
+  rebalance::MigrationPhase PhaseOf(const std::string& db) {
+    rebalance::MigrationPhase phase = rebalance::MigrationPhase::kIdle;
+    const catalog::TenantCatalog* cat = controller_->tenant_catalog();
+    EXPECT_TRUE(cat->With(db, [&](const catalog::TenantRecord& record) {
+                     phase = record.migration.phase;
+                   })
+                    .ok());
+    return phase;
+  }
+
+  int64_t CounterValue(int machine, const std::string& db, int64_t id) {
+    Table* table = controller_->machine(machine)
+                       ->engine()
+                       ->GetDatabase(db)
+                       ->GetTable("counters");
+    auto row = table->Get(Value(id));
+    return row.has_value() ? row->values[1].AsInt() : -1;
+  }
+
+  std::unique_ptr<ClusterController> controller_;
+  std::vector<std::string> wal_paths_;
+};
+
+// --- Planner ----------------------------------------------------------
+
+TEST(PlannerTest, UtilizationIsTheHottestDimension) {
+  ResourceVector capacity(100, 1000, 1000, 100);
+  EXPECT_DOUBLE_EQ(rebalance::Utilization({50, 100, 100, 10}, capacity), 0.5);
+  EXPECT_DOUBLE_EQ(rebalance::Utilization({10, 900, 100, 10}, capacity), 0.9);
+  // Degenerate capacity never divides by zero.
+  EXPECT_DOUBLE_EQ(rebalance::Utilization({50, 0, 0, 0}, ResourceVector{}), 0);
+}
+
+TEST(PlannerTest, MovesLargestTenantOffTheHotMachine) {
+  rebalance::ClusterLoadView view;
+  ResourceVector capacity(100, 4096, 100000, 1000);
+  view.machines.push_back({0, capacity, ResourceVector(80, 0, 0, 0), true});
+  view.machines.push_back({1, capacity, ResourceVector(0, 0, 0, 0), true});
+  view.tenants.push_back({"big", ResourceVector(50, 0, 0, 0), {0}});
+  view.tenants.push_back({"small", ResourceVector(30, 0, 0, 0), {0}});
+
+  rebalance::FirstFitReplanner planner;
+  auto plan = planner.Plan(view);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->database, "big");
+  EXPECT_EQ(plan->source_machine, 0);
+  EXPECT_EQ(plan->target_machine, 1);
+  EXPECT_FALSE(plan->reason.empty());
+}
+
+TEST(PlannerTest, BalancedClusterNeedsNoPlan) {
+  rebalance::ClusterLoadView view;
+  ResourceVector capacity(100, 4096, 100000, 1000);
+  view.machines.push_back({0, capacity, ResourceVector(40, 0, 0, 0), true});
+  view.machines.push_back({1, capacity, ResourceVector(40, 0, 0, 0), true});
+  view.tenants.push_back({"a", ResourceVector(40, 0, 0, 0), {0}});
+  view.tenants.push_back({"b", ResourceVector(40, 0, 0, 0), {1}});
+
+  rebalance::FirstFitReplanner planner;
+  EXPECT_FALSE(planner.Plan(view).has_value());
+}
+
+TEST(PlannerTest, NeverMovesToAFailedMachine) {
+  rebalance::ClusterLoadView view;
+  ResourceVector capacity(100, 4096, 100000, 1000);
+  view.machines.push_back({0, capacity, ResourceVector(80, 0, 0, 0), true});
+  view.machines.push_back({1, capacity, ResourceVector(0, 0, 0, 0), false});
+  view.tenants.push_back({"big", ResourceVector(80, 0, 0, 0), {0}});
+
+  rebalance::FirstFitReplanner planner;
+  EXPECT_FALSE(planner.Plan(view).has_value());
+}
+
+// --- LoadMonitor idle decay (regression) ------------------------------
+
+// A tenant that stops committing must decay to zero measured demand once
+// its window empties — and drop out of the rebalancer's working set — so
+// the planner never migrates a ghost. This was the staleness bug: the
+// monitor kept reporting the last-known vector forever.
+TEST(LoadMonitorIdleTest, IdleTenantDecaysToZeroDemand) {
+  obs::LoadMonitor::Options options;
+  options.window_us = 100'000;
+  obs::LoadMonitor monitor(options);
+  for (int i = 0; i < 20; ++i) {
+    monitor.RecordTxn("busy", /*latency_us=*/500, /*wrote=*/true,
+                      /*committed=*/true);
+  }
+  EXPECT_GT(monitor.TpsFor("busy"), 0.0);
+  ResourceVector live = monitor.EstimateFor("busy");
+  EXPECT_GT(live.cpu + live.memory_mb + live.disk_mb + live.disk_io, 0.0);
+  ASSERT_EQ(monitor.ActiveDatabases().size(), 1u);
+  EXPECT_EQ(monitor.ActiveDatabases()[0], "busy");
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  EXPECT_DOUBLE_EQ(monitor.TpsFor("busy"), 0.0);
+  ResourceVector idle = monitor.EstimateFor("busy");
+  EXPECT_DOUBLE_EQ(idle.cpu, 0.0);
+  EXPECT_DOUBLE_EQ(idle.memory_mb, 0.0);
+  EXPECT_DOUBLE_EQ(idle.disk_mb, 0.0);
+  EXPECT_DOUBLE_EQ(idle.disk_io, 0.0);
+  EXPECT_TRUE(monitor.ActiveDatabases().empty());
+  EXPECT_TRUE(monitor.Demands(/*replicas=*/1).empty());
+}
+
+// --- Live migration ---------------------------------------------------
+
+TEST_F(RebalanceTest, LiveMigrationUnderConcurrentWritesLosesNothing) {
+  BuildWal("live", 3);
+  constexpr int kThreads = 4;
+  constexpr int64_t kRowsPerThread = 4;
+  constexpr int64_t kRows = kThreads * kRowsPerThread;
+  SetUpCounters("hot", /*machine=*/0, kRows);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::array<std::atomic<int64_t>, kRows> commits{};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    // Disjoint row ranges per thread: no lock conflicts, so every failure
+    // the counters record is the migration's fault, not contention's.
+    writers.emplace_back([&, t] {
+      auto conn = controller_->Connect("hot");
+      int64_t iteration = 0;
+      while (!stop.load()) {
+        int64_t id = t * kRowsPerThread + (iteration++ % kRowsPerThread);
+        Status status = conn->Begin();
+        if (status.ok()) {
+          auto write = conn->Execute(
+              "UPDATE counters SET v = v + 1 WHERE id = " +
+              std::to_string(id));
+          if (write.ok()) {
+            status = conn->Commit();
+          } else {
+            status = write.status();
+            (void)conn->Abort();
+          }
+        }
+        if (status.ok()) {
+          commits[id].fetch_add(1);
+        } else {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  rebalance::MigratorOptions migrator_options;
+  migrator_options.per_row_delay_us = 200;  // widen the bulk-copy window
+  rebalance::TenantMigrator migrator(controller_.get(), migrator_options);
+  Status migrated = migrator.Migrate(
+      MakePlan("hot", 0, 1));
+
+  // Keep writing after the swap: post-cutover traffic lands on the target.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true);
+  for (auto& writer : writers) writer.join();
+
+  ASSERT_TRUE(migrated.ok()) << migrated.ToString();
+  EXPECT_EQ(failures.load(), 0) << "in-flight transactions failed during "
+                                   "the live migration";
+  EXPECT_EQ(controller_->ReplicasOf("hot"), std::vector<int>{1});
+  EXPECT_EQ(PhaseOf("hot"), rebalance::MigrationPhase::kIdle);
+  EXPECT_FALSE(controller_->machine(0)->engine()->HasDatabase("hot"));
+
+  // Zero lost writes: every committed increment — before, during, and after
+  // the move — is visible on the target replica.
+  int64_t total = 0;
+  for (int64_t id = 0; id < kRows; ++id) {
+    EXPECT_EQ(CounterValue(/*machine=*/1, "hot", id), commits[id].load())
+        << "row " << id;
+    total += commits[id].load();
+  }
+  EXPECT_GT(total, 0);
+}
+
+TEST_F(RebalanceTest, SnapshotReadStaysOnSourceUntilTxnEnd) {
+  BuildWal("snap", 2);
+  SetUpCounters("pinned", /*machine=*/0, 8);
+
+  // Open a read-only snapshot before the migration starts. Its pin must
+  // keep the cutover drained-out until the transaction commits, so every
+  // read inside it stays on the source and stays consistent.
+  auto reader = controller_->Connect("pinned");
+  ASSERT_TRUE(reader->Begin(/*read_only=*/true).ok());
+  auto first = reader->Execute("SELECT v FROM counters WHERE id = 3");
+  ASSERT_TRUE(first.ok());
+  int64_t seen = first->at(0, 0).AsInt();
+
+  rebalance::MigratorOptions migrator_options;
+  migrator_options.per_row_delay_us = 200;
+  rebalance::TenantMigrator migrator(controller_.get(), migrator_options);
+  std::atomic<bool> done{false};
+  Status migrated = Status::OK();
+  std::thread mover([&] {
+    migrated = migrator.Migrate(
+        MakePlan("pinned", 0, 1));
+    done.store(true);
+  });
+
+  // Wait until the migration is actually draining on our pin.
+  while (PhaseOf("pinned") != rebalance::MigrationPhase::kCutover) {
+    ASSERT_FALSE(done.load()) << "migration finished around an open pin: "
+                              << migrated.ToString();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // The swap must not have happened while we are pinned.
+  EXPECT_EQ(controller_->ReplicasOf("pinned"), std::vector<int>{0});
+  auto during = reader->Execute("SELECT v FROM counters WHERE id = 3");
+  ASSERT_TRUE(during.ok());
+  EXPECT_EQ(during->at(0, 0).AsInt(), seen);
+
+  ASSERT_TRUE(reader->Commit().ok());
+  mover.join();
+  ASSERT_TRUE(migrated.ok()) << migrated.ToString();
+  EXPECT_EQ(controller_->ReplicasOf("pinned"), std::vector<int>{1});
+}
+
+TEST_F(RebalanceTest, DroppedDeltaRpcAbortsBackToSource) {
+  ClusterControllerOptions options;
+  options.rpc.call_timeout_us = 300'000;
+  BuildWal("drop", 2, options);
+  constexpr int64_t kRows = 8;
+  SetUpCounters("hot", /*machine=*/0, kRows);
+
+  // Lose every target-bound kWalDeltaApply: the first delta round that
+  // ships lines times out and the migration must abort from kDeltaCatchup.
+  // (Only target-bound RPCs are dropped — the controller's fail-stop model
+  // declares a machine that misses a deadline failed, and failing the
+  // single-replica *source* would be a machine failure, not a migration
+  // fault.)
+  controller_->inproc_transport()->SetFaultHook(
+      [&](int, const net::RpcRequest& request) {
+        if (request.type == net::RpcType::kWalDeltaApply) {
+          return net::InProcTransport::Fault::kDropRequest;
+        }
+        return net::InProcTransport::Fault::kDeliver;
+      });
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::array<std::atomic<int64_t>, kRows> commits{};
+  std::thread writer([&] {
+    auto conn = controller_->Connect("hot");
+    int64_t iteration = 0;
+    while (!stop.load()) {
+      int64_t id = iteration++ % kRows;
+      auto write = conn->Execute(
+          "UPDATE counters SET v = v + 1 WHERE id = " + std::to_string(id));
+      if (write.ok()) {
+        commits[id].fetch_add(1);
+      } else {
+        failures.fetch_add(1);
+      }
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  // Slow the bulk copy so the concurrent writer is guaranteed to commit
+  // between the capability probe and the first delta round — the round then
+  // has lines to ship and hits the dropped apply.
+  rebalance::MigratorOptions migrator_options;
+  migrator_options.per_row_delay_us = 1000;
+  rebalance::TenantMigrator migrator(controller_.get(), migrator_options);
+  Status migrated = migrator.Migrate(MakePlan("hot", 0, 1));
+  EXPECT_FALSE(migrated.ok());
+
+  // Aborted cleanly back to the source: placement untouched, state machine
+  // idle — and the writer never failed. (The silent target was declared
+  // failed by the fail-stop deadline policy; that is the controller's
+  // business, not the tenant's.)
+  EXPECT_EQ(controller_->ReplicasOf("hot"), std::vector<int>{0});
+  EXPECT_EQ(PhaseOf("hot"), rebalance::MigrationPhase::kIdle);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(failures.load(), 0)
+      << "writes failed while the migration aborted";
+
+  // Heal and retry: with the fault gone and the target machine recovered,
+  // the same plan completes and every committed increment survives the
+  // move.
+  controller_->inproc_transport()->SetFaultHook(nullptr);
+  controller_->machine(1)->Recover();
+  EXPECT_FALSE(controller_->machine(1)->engine()->HasDatabase("hot"));
+  ASSERT_TRUE(migrator.Migrate(MakePlan("hot", 0, 1)).ok());
+  EXPECT_EQ(controller_->ReplicasOf("hot"), std::vector<int>{1});
+  for (int64_t id = 0; id < kRows; ++id) {
+    EXPECT_EQ(CounterValue(/*machine=*/1, "hot", id), commits[id].load())
+        << "row " << id;
+  }
+}
+
+TEST_F(RebalanceTest, PartitionedTargetAbortsCleanly) {
+  ClusterControllerOptions options;
+  options.rpc.call_timeout_us = 300'000;
+  BuildWal("part", 2, options);
+  SetUpCounters("hot", /*machine=*/0, 4);
+
+  controller_->inproc_transport()->PartitionMachine(1);
+  rebalance::TenantMigrator migrator(controller_.get());
+  Status migrated = migrator.Migrate(
+      MakePlan("hot", 0, 1));
+  EXPECT_FALSE(migrated.ok());
+  EXPECT_EQ(controller_->ReplicasOf("hot"), std::vector<int>{0});
+  EXPECT_EQ(PhaseOf("hot"), rebalance::MigrationPhase::kIdle);
+
+  // The tenant keeps serving on the source after the abort.
+  auto conn = controller_->Connect("hot");
+  EXPECT_TRUE(conn->Execute("UPDATE counters SET v = v + 1 WHERE id = 0").ok());
+
+  // Heal the partition and recover the machine the fail-stop deadline
+  // policy declared dead while it was unreachable.
+  controller_->inproc_transport()->HealMachine(1);
+  controller_->machine(1)->Recover();
+  ASSERT_TRUE(migrator.Migrate(MakePlan("hot", 0, 1)).ok());
+  EXPECT_EQ(controller_->ReplicasOf("hot"), std::vector<int>{1});
+  EXPECT_EQ(CounterValue(/*machine=*/1, "hot", 0), 1);
+}
+
+TEST_F(RebalanceTest, FrozenFallbackMovesWalLessTenant) {
+  // Default machines have no WAL: the capability probe answers
+  // kFailedPrecondition and the migrator must fall back to freeze-then-copy.
+  BuildPlain(2);
+  SetUpCounters("plain", /*machine=*/0, 4);
+  auto conn = controller_->Connect("plain");
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        conn->Execute("UPDATE counters SET v = v + 1 WHERE id = " +
+                      std::to_string(i))
+            .ok());
+  }
+
+  rebalance::TenantMigrator migrator(controller_.get());
+  ASSERT_TRUE(migrator
+                  .Migrate(MakePlan("plain", 0, 1))
+                  .ok());
+  EXPECT_EQ(controller_->ReplicasOf("plain"), std::vector<int>{1});
+  EXPECT_EQ(PhaseOf("plain"), rebalance::MigrationPhase::kIdle);
+  EXPECT_FALSE(controller_->machine(0)->engine()->HasDatabase("plain"));
+  for (int64_t id = 0; id < 4; ++id) {
+    EXPECT_EQ(CounterValue(/*machine=*/1, "plain", id), 1) << "row " << id;
+  }
+  // And the moved tenant still serves.
+  auto read = conn->Execute("SELECT v FROM counters WHERE id = 2");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->at(0, 0).AsInt(), 1);
+}
+
+TEST_F(RebalanceTest, MigrateRefusesNonsensePlans) {
+  BuildPlain(2);
+  SetUpCounters("db", /*machine=*/0, 2);
+  rebalance::TenantMigrator migrator(controller_.get());
+  // Source does not host the tenant.
+  EXPECT_EQ(migrator
+                .Migrate(MakePlan("db", 1, 0))
+                .code(),
+            StatusCode::kFailedPrecondition);
+  // Target already hosts the tenant.
+  EXPECT_EQ(migrator
+                .Migrate(MakePlan("db", 0, 0))
+                .code(),
+            StatusCode::kFailedPrecondition);
+  // Unknown tenant.
+  EXPECT_FALSE(migrator
+                   .Migrate(MakePlan("ghost", 0, 1))
+                   .ok());
+  EXPECT_EQ(controller_->ReplicasOf("db"), std::vector<int>{0});
+}
+
+// --- Control loop -----------------------------------------------------
+
+TEST_F(RebalanceTest, TickSustainsThenMigratesThenCoolsDown) {
+  BuildPlain(2);
+  SetUpCounters("hot", /*machine=*/0, 4);
+  SetUpCounters("cold", /*machine=*/0, 4);
+
+  // Real traffic feeds the LoadMonitor: "hot" commits ~4x as often, so it
+  // is the largest-demand tenant on the (only) loaded machine.
+  auto hot_conn = controller_->Connect("hot");
+  auto cold_conn = controller_->Connect("cold");
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        hot_conn->Execute("UPDATE counters SET v = v + 1 WHERE id = 1").ok());
+    if (i % 4 == 0) {
+      ASSERT_TRUE(
+          cold_conn->Execute("UPDATE counters SET v = v + 1 WHERE id = 1")
+              .ok());
+    }
+  }
+
+  rebalance::RebalancerOptions options;
+  options.min_utilization = 1e-9;  // measured demand is tiny in a unit test
+  options.imbalance_ratio = 1.2;
+  options.sustain_ticks = 2;
+  options.cooldown_ticks = 3;
+  rebalance::Rebalancer rebalancer(controller_.get(), options);
+
+  // Tick 1: imbalanced, but hysteresis holds the trigger.
+  ASSERT_TRUE(rebalancer.Tick().ok());
+  EXPECT_EQ(rebalancer.migrations_executed(), 0);
+  EXPECT_EQ(controller_->ReplicasOf("hot"), std::vector<int>{0});
+
+  // Tick 2: sustained — plan and migrate the hot tenant off machine 0.
+  ASSERT_TRUE(rebalancer.Tick().ok());
+  EXPECT_EQ(rebalancer.migrations_executed(), 1);
+  EXPECT_EQ(controller_->ReplicasOf("hot"), std::vector<int>{1});
+  EXPECT_EQ(controller_->ReplicasOf("cold"), std::vector<int>{0});
+
+  // Cooldown: no second move while the last one settles, no matter how the
+  // next windows look.
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(rebalancer.Tick().ok());
+  EXPECT_EQ(rebalancer.migrations_executed(), 1);
+
+  // The moved tenant serves from its new home.
+  auto read = hot_conn->Execute("SELECT v FROM counters WHERE id = 1");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->at(0, 0).AsInt(), 40);
+}
+
+TEST_F(RebalanceTest, BalancedClusterNeverTriggersTick) {
+  BuildPlain(2);
+  SetUpCounters("a", /*machine=*/0, 2);
+  SetUpCounters("b", /*machine=*/1, 2);
+  auto conn_a = controller_->Connect("a");
+  auto conn_b = controller_->Connect("b");
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        conn_a->Execute("UPDATE counters SET v = v + 1 WHERE id = 0").ok());
+    ASSERT_TRUE(
+        conn_b->Execute("UPDATE counters SET v = v + 1 WHERE id = 0").ok());
+  }
+  rebalance::RebalancerOptions options;
+  options.min_utilization = 1e-9;
+  options.sustain_ticks = 1;
+  rebalance::Rebalancer rebalancer(controller_.get(), options);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(rebalancer.Tick().ok());
+  EXPECT_EQ(rebalancer.migrations_executed(), 0);
+  EXPECT_EQ(controller_->ReplicasOf("a"), std::vector<int>{0});
+  EXPECT_EQ(controller_->ReplicasOf("b"), std::vector<int>{1});
+}
+
+TEST_F(RebalanceTest, BackgroundLoopStartsTicksAndStops) {
+  BuildPlain(2);
+  rebalance::RebalancerOptions options;
+  options.interval_us = 5'000;
+  rebalance::Rebalancer rebalancer(controller_.get(), options);
+  rebalancer.Start();
+  int64_t waited_ms = 0;
+  while (rebalancer.ticks() == 0 && waited_ms < 2000) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    waited_ms += 5;
+  }
+  rebalancer.Stop();
+  EXPECT_GT(rebalancer.ticks(), 0);
+  int64_t after_stop = rebalancer.ticks();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(rebalancer.ticks(), after_stop);
+}
+
+}  // namespace
+}  // namespace mtdb

@@ -84,6 +84,25 @@ if [ -x "$MTDBSTAT" ]; then
   fi
   echo "mtdbstat reports $WAL_APPENDS WAL append(s), $WAL_SYNCS sync(s)"
 
+  # The migration metric series must be registered (and exposed through the
+  # --watch shorthand) even on a daemon that has never migrated anything:
+  # an operator watching migrations needs zeros, not silence.
+  MIG_STATS="$("$MTDBSTAT" --watch migrations "127.0.0.1:$PORT")"
+  MIG_STARTED="$(printf '%s\n' "$MIG_STATS" \
+    | sed -n 's/^mtdb_rebalance_migrations_started_total \([0-9]*\)$/\1/p' \
+    | head -n 1)"
+  if [ -z "$MIG_STARTED" ]; then
+    echo "mtdbstat --watch migrations: no migration series in stats dump:" >&2
+    printf '%s\n' "$MIG_STATS" >&2
+    exit 1
+  fi
+  if ! printf '%s\n' "$MIG_STATS" | grep -q '^mtdb_rebalance_cutover_pause_us '; then
+    echo "mtdbstat --watch migrations: no cutover pause histogram:" >&2
+    printf '%s\n' "$MIG_STATS" >&2
+    exit 1
+  fi
+  echo "mtdbstat --watch migrations reports $MIG_STARTED migration(s) started"
+
   # Interval mode must parse its flags and emit exactly one delta window.
   INTERVAL_OUT="$("$MTDBSTAT" --interval 0.2 --count 1 "127.0.0.1:$PORT")"
   if ! printf '%s\n' "$INTERVAL_OUT" | grep -q '^--- window 1 '; then

@@ -1,6 +1,6 @@
 // mtdblint: project-rule checker for the mtdb tree.
 //
-// Seven rules, each encoding a convention the compiler cannot see:
+// Eight rules, each encoding a convention the compiler cannot see:
 //
 //   raw-mutex        Outside src/platform, code must lock through the
 //                    annotated platform::Mutex/Guard vocabulary — a raw
@@ -61,6 +61,18 @@
 //                    justified with `mtdblint: allow(tenant-map)` stating
 //                    why the map is bounded or evictable.
 //
+//   migration-state  TenantRecord::migration (rebalance::MigrationState /
+//                    MigrationPhase) is only ever *assigned* inside
+//                    src/cluster/rebalance/ — the migration protocol's
+//                    state machine has exactly one driver, the
+//                    TenantMigrator. Everyone else (catalog, controller,
+//                    tools) may read and compare the phase but never write
+//                    it; a stray assignment elsewhere silently corrupts an
+//                    in-flight migration (e.g. unfreezing a cutover while
+//                    the migrator still believes begins are blocked).
+//                    Comparisons (`==`, `!=`, switch/case) are fine.
+//                    Escape: `mtdblint: allow(migration-state)`.
+//
 // Usage: mtdblint [repo-root]   (default: current directory)
 // Exit status: 0 clean, 1 findings, 2 usage/environment error.
 //
@@ -68,6 +80,7 @@
 // the rules target idioms with stable spellings, and a dependency-free
 // scanner runs everywhere — including CI images without libclang.
 
+#include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -196,6 +209,22 @@ bool InCatalog(const std::string& rel) {
   return rel.rfind("src/cluster/catalog/", 0) == 0;
 }
 
+bool InRebalance(const std::string& rel) {
+  return rel.rfind("src/cluster/rebalance/", 0) == 0;
+}
+
+// True when `code` assigns (not compares) a migration-state value: a single
+// `=` (not `==`/`!=`/`<=`/`>=`) whose right-hand side is a possibly
+// namespace-qualified `MigrationPhase::k...` enumerator or `MigrationState{`
+// / `MigrationState()` aggregate. Declarations, case labels, and switch
+// conditions have no `=` before the token and never match.
+bool AssignsMigrationState(const std::string& code) {
+  static const std::regex kAssign(
+      R"((^|[^=!<>])=\s*([A-Za-z_]\w*::)*MigrationState\s*(\{|\(\s*\)))"
+      R"(|(^|[^=!<>])=\s*([A-Za-z_]\w*::)*MigrationPhase::k\w+)");
+  return std::regex_search(code, kAssign);
+}
+
 // A string-keyed map declared as a *member* (trailing-underscore name on
 // the same line as the type). Locals and parameters — which die with their
 // scope — deliberately do not match; neither do underscore-less struct
@@ -319,6 +348,15 @@ void CheckFile(const fs::path& root, const fs::path& path) {
              "bug; keep per-tenant state in the catalog or add "
              "`mtdblint: allow(tenant-map)` saying why this map is bounded "
              "or evictable");
+    }
+
+    if (!self && !InRebalance(rel) && AssignsMigrationState(code) &&
+        !HasEscape(lines, i, "migration-state")) {
+      Report(rel, lineno, "migration-state",
+             "migration state assigned outside src/cluster/rebalance/: the "
+             "TenantMigrator is the state machine's only driver; read and "
+             "compare the phase elsewhere, never write it, or add "
+             "`mtdblint: allow(migration-state)` with a justification");
     }
 
     size_t todo = raw.find("TODO");

@@ -1,7 +1,7 @@
 // mtdbstat: dump the metrics registry of a running mtdbd.
 //
-//   mtdbstat [--grep PREFIX] [--top N] [--interval SECONDS [--count N]]
-//            HOST:PORT
+//   mtdbstat [--grep PREFIX] [--watch WHAT] [--top N]
+//            [--interval SECONDS [--count N]] HOST:PORT
 //
 // connects over TCP and issues kStats RPCs. Without flags it prints one
 // metrics text dump to stdout and exits. With --interval it keeps polling,
@@ -14,6 +14,10 @@
 // largest scalar series — by value one-shot, by per-window delta with
 // --interval — which is how you find the hot tenants on a machine hosting
 // thousands of label series (histogram lines are dropped in --top mode).
+// --watch WHAT is a named prefix shorthand; `--watch migrations` selects
+// the live-migration series (mtdb_rebalance_*: started/completed/aborted
+// counters, bytes copied, delta rounds, and the cutover pause histogram).
+// Combine with --interval to watch migrations land in real time.
 //
 // Exits 0 on success, 1 on any failure (unreachable daemon, RPC error,
 // empty dump), 2 on usage errors. Used by tools/mtdbd_smoke.sh and the CI
@@ -37,7 +41,7 @@ namespace {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--grep PREFIX] [--top N] "
+               "usage: %s [--grep PREFIX] [--watch migrations] [--top N] "
                "[--interval SECONDS [--count N]] HOST:PORT\n",
                argv0);
   return 2;
@@ -123,6 +127,15 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--grep") == 0 && i + 1 < argc) {
       grep_prefix = argv[++i];
       if (grep_prefix.empty()) return Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--watch") == 0 && i + 1 < argc) {
+      const char* what = argv[++i];
+      if (std::strcmp(what, "migrations") == 0) {
+        grep_prefix = "mtdb_rebalance_";
+      } else {
+        std::fprintf(stderr, "mtdbstat: unknown --watch category '%s'\n",
+                     what);
+        return Usage(argv[0]);
+      }
     } else if (argv[i][0] == '-') {
       return Usage(argv[0]);
     } else if (target.empty()) {
